@@ -1,0 +1,56 @@
+//! The Naive baseline: train on the source, apply to the target, no
+//! transfer whatsoever.
+
+use transer_common::{Label, Result};
+
+use crate::{RunContext, TaskView, TransferMethod};
+
+/// Source-trained classifier applied blindly to the target — the paper's
+/// stand-in for Magellan/Tamer-style supervised matching without TL.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Naive;
+
+impl TransferMethod for Naive {
+    fn name(&self) -> &'static str {
+        "Naive"
+    }
+
+    fn run(&self, task: &TaskView<'_>, ctx: &RunContext) -> Result<Vec<Label>> {
+        task.validate()?;
+        let mut clf = ctx.classifier.build(ctx.seed);
+        clf.fit(task.xs, task.ys)?;
+        ctx.check_time()?;
+        Ok(clf.predict(task.xt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transer_common::FeatureMatrix;
+
+    #[test]
+    fn classifies_aligned_domains_well() {
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            let j = i as f64 * 0.004;
+            rows.push(vec![0.9 - j, 0.85 + j]);
+            ys.push(Label::Match);
+            rows.push(vec![0.1 + j, 0.2 - j]);
+            ys.push(Label::NonMatch);
+        }
+        let xs = FeatureMatrix::from_vecs(&rows).unwrap();
+        let xt = xs.clone();
+        let task = TaskView::features(&xs, &ys, &xt);
+        let out = Naive.run(&task, &RunContext::default()).unwrap();
+        assert_eq!(out, ys);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let empty = FeatureMatrix::empty(2);
+        let task = TaskView::features(&empty, &[], &empty);
+        assert!(Naive.run(&task, &RunContext::default()).is_err());
+    }
+}

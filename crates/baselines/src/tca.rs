@@ -1,0 +1,252 @@
+//! TCA — Transfer Component Analysis (Pan et al., 2011).
+//!
+//! TCA maps source and target into a shared latent space that minimises
+//! the maximum mean discrepancy between the two domains: with an RBF
+//! kernel `K` over the stacked instances, the transfer components are the
+//! leading eigenvectors of `(K L K + μI)^{-1} K H K`, where `L` encodes the
+//! MMD weights and `H` is the centering matrix. A classifier is then
+//! trained on the transformed source and applied to the transformed
+//! target.
+//!
+//! The method is faithfully `O(n²)` in memory and `O(n³)` in time for
+//! `n = |X^S| + |X^T|` — which is exactly why the paper reports `ME`
+//! (memory exceeded) for TCA on every data set beyond the bibliographic
+//! pair; the [`RunContext`] guards reproduce that behaviour.
+
+use transer_common::{Error, FeatureMatrix, Label, Result};
+use transer_linalg::Mat;
+
+use crate::{RunContext, TaskView, TransferMethod};
+
+/// The TCA baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct Tca {
+    /// Number of transfer components (latent dimensions).
+    pub components: usize,
+    /// Regularisation μ of the generalised eigenproblem.
+    pub mu: f64,
+    /// RBF kernel width parameter γ in `exp(-γ ‖a−b‖²)`.
+    pub gamma: f64,
+    /// Orthogonal-iteration rounds for the leading eigenvectors.
+    pub power_iterations: usize,
+}
+
+impl Default for Tca {
+    fn default() -> Self {
+        Tca { components: 8, mu: 1.0, gamma: 1.0, power_iterations: 30 }
+    }
+}
+
+impl Tca {
+    fn rbf_kernel(&self, z: &FeatureMatrix) -> Mat {
+        let n = z.rows();
+        let mut k = Mat::zeros(n, n);
+        for i in 0..n {
+            k[(i, i)] = 1.0;
+            for j in (i + 1)..n {
+                let d2 = transer_common::sq_dist(z.row(i), z.row(j));
+                let v = (-self.gamma * d2).exp();
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k
+    }
+}
+
+impl TransferMethod for Tca {
+    fn name(&self) -> &'static str {
+        "TCA"
+    }
+
+    fn run(&self, task: &TaskView<'_>, ctx: &RunContext) -> Result<Vec<Label>> {
+        task.validate()?;
+        let ns = task.xs.rows();
+        let nt = task.xt.rows();
+        let n = ns + nt;
+        // Three n×n matrices live simultaneously (K, KHK/M, scratch).
+        ctx.check_memory(3 * (n as u64) * (n as u64) * 8)?;
+
+        let z = task.xs.vstack(task.xt)?;
+        let k = self.rbf_kernel(&z);
+        ctx.check_time()?;
+
+        // L = u uᵀ with u_i = 1/ns (source) or −1/nt (target), so
+        // K L K = v vᵀ with v = K u — rank one.
+        let mut u = vec![1.0 / ns as f64; ns];
+        u.extend(std::iter::repeat_n(-1.0 / nt as f64, nt));
+        let v = k.matvec(&u);
+
+        // H K = K with centred columns; then K H K = (H K)ᵀ K.
+        let col_means: Vec<f64> =
+            (0..n).map(|j| (0..n).map(|i| k[(i, j)]).sum::<f64>() / n as f64).collect();
+        let mut hk = k.clone();
+        for i in 0..n {
+            for j in 0..n {
+                hk[(i, j)] -= col_means[j];
+            }
+        }
+        ctx.check_time()?;
+        let khk = hk.transpose().matmul(&k);
+        ctx.check_time()?;
+
+        // M = (v vᵀ + μ I)^{-1} K H K via Sherman–Morrison.
+        let vtv: f64 = v.iter().map(|x| x * x).sum();
+        let vt_khk = khk.transpose().matvec(&v); // row vector vᵀ·KHK
+        let scale = 1.0 / (self.mu + vtv);
+        let mut m = khk;
+        for i in 0..n {
+            let vi = v[i] * scale;
+            for j in 0..n {
+                m[(i, j)] = (m[(i, j)] - vi * vt_khk[j]) / self.mu;
+            }
+        }
+        ctx.check_time()?;
+
+        // Leading eigenvectors by orthogonal iteration.
+        let d = self.components.min(n.saturating_sub(1)).max(1);
+        let mut q = Mat::zeros(n, d);
+        // Deterministic pseudo-random start.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ ctx.seed;
+        for i in 0..n {
+            for j in 0..d {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                q[(i, j)] = ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+            }
+        }
+        for _ in 0..self.power_iterations {
+            ctx.check_time()?;
+            let mq = m.matmul(&q);
+            q = gram_schmidt(mq)?;
+        }
+
+        // Embed: rows of K·Q; first ns rows are the source, rest target.
+        // The iteration may have narrowed to the kernel's numerical rank,
+        // so use the actual component count.
+        let embedded = k.matmul(&q);
+        let _ = d;
+        let mut es = FeatureMatrix::empty(embedded.cols());
+        let mut et = FeatureMatrix::empty(embedded.cols());
+        for i in 0..n {
+            if i < ns {
+                es.push_row(embedded.row(i));
+            } else {
+                et.push_row(embedded.row(i));
+            }
+        }
+
+        let mut clf = ctx.classifier.build(ctx.seed);
+        clf.fit(&es, task.ys)?;
+        ctx.check_time()?;
+        Ok(clf.predict(&et))
+    }
+}
+
+/// Orthonormalise the columns of `a` (modified Gram-Schmidt), *dropping*
+/// linearly dependent columns — smooth kernels are effectively low-rank,
+/// so the iteration gracefully narrows to the kernel's numerical rank.
+fn gram_schmidt(a: Mat) -> Result<Mat> {
+    let (n, d) = (a.rows(), a.cols());
+    let mut kept: Vec<Vec<f64>> = Vec::with_capacity(d);
+    for j in 0..d {
+        let mut col: Vec<f64> = (0..n).map(|i| a[(i, j)]).collect();
+        for prev in &kept {
+            let dot: f64 = col.iter().zip(prev).map(|(x, y)| x * y).sum();
+            for (c, p) in col.iter_mut().zip(prev) {
+                *c -= dot * p;
+            }
+        }
+        let norm: f64 = col.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-10 {
+            continue; // dependent direction: the kernel's rank is exhausted
+        }
+        col.iter_mut().for_each(|x| *x /= norm);
+        kept.push(col);
+    }
+    if kept.is_empty() {
+        return Err(Error::TrainingFailed("TCA: zero-rank iteration".into()));
+    }
+    let mut q = Mat::zeros(n, kept.len());
+    for (j, col) in kept.iter().enumerate() {
+        for i in 0..n {
+            q[(i, j)] = col[i];
+        }
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ResourceBudget;
+    use transer_ml::ClassifierKind;
+
+    fn shifted_domains() -> (FeatureMatrix, Vec<Label>, FeatureMatrix, Vec<Label>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut xt = Vec::new();
+        let mut yt = Vec::new();
+        for i in 0..25 {
+            let j = (i % 10) as f64 * 0.006;
+            xs.push(vec![0.85 + j, 0.8 - j]);
+            ys.push(Label::Match);
+            xs.push(vec![0.15 - j / 2.0, 0.2 + j]);
+            ys.push(Label::NonMatch);
+            xt.push(vec![0.8 + j, 0.85 - j]);
+            yt.push(Label::Match);
+            xt.push(vec![0.2 - j / 2.0, 0.25 + j]);
+            yt.push(Label::NonMatch);
+        }
+        (
+            FeatureMatrix::from_vecs(&xs).unwrap(),
+            ys,
+            FeatureMatrix::from_vecs(&xt).unwrap(),
+            yt,
+        )
+    }
+
+    #[test]
+    fn transfers_on_small_aligned_domains() {
+        let (xs, ys, xt, yt) = shifted_domains();
+        let task = TaskView::features(&xs, &ys, &xt);
+        let out = Tca::default().run(&task, &RunContext::default()).unwrap();
+        let acc = out.iter().zip(&yt).filter(|(a, b)| a == b).count() as f64 / yt.len() as f64;
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn memory_guard_reproduces_me() {
+        let (xs, ys, xt, _) = shifted_domains();
+        let task = TaskView::features(&xs, &ys, &xt);
+        let ctx = RunContext::new(
+            ClassifierKind::LogisticRegression,
+            0,
+            ResourceBudget { max_memory_bytes: 1024, max_secs: 100.0 },
+        );
+        let err = Tca::default().run(&task, &ctx).unwrap_err();
+        assert!(matches!(err, Error::MemoryExceeded { .. }));
+    }
+
+    #[test]
+    fn gram_schmidt_orthonormalises() {
+        let a = Mat::from_rows(&[
+            vec![1.0, 1.0],
+            vec![1.0, 0.0],
+            vec![0.0, 2.0],
+        ]);
+        let q = gram_schmidt(a).unwrap();
+        let qtq = q.transpose().matmul(&q);
+        assert!(qtq.frobenius_distance(&Mat::identity(2)) < 1e-10);
+    }
+
+    #[test]
+    fn rank_deficient_columns_are_dropped() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        let q = gram_schmidt(a).unwrap();
+        assert_eq!(q.cols(), 1);
+        let zero = Mat::zeros(3, 2);
+        assert!(gram_schmidt(zero).is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! Blocking-step benchmarks: MinHash signatures and LSH candidate
+//! generation over generated publication records.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use transer_blocking::{token_hashes, MinHashLsh, MinHashLshConfig};
+use transer_datagen::biblio::{self, BiblioConfig};
+
+fn bench_blocking(c: &mut Criterion) {
+    let (left, right) = biblio::generate(&BiblioConfig::dblp_acm(1_000, 3));
+    let blocker = MinHashLsh::new(MinHashLshConfig::default());
+    let hashes = token_hashes(&left[0]);
+
+    let mut g = c.benchmark_group("blocking");
+    g.bench_function("token_hashes/record", |b| b.iter(|| token_hashes(black_box(&left[0]))));
+    g.bench_function("signature/record", |b| b.iter(|| blocker.signature(black_box(&hashes))));
+    g.sample_size(20);
+    g.bench_function("lsh_candidates/1k_x_1k", |b| {
+        b.iter(|| blocker.candidate_pairs_masked(black_box(&left), black_box(&right), Some(&[0, 1])))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_blocking);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Classifier training benchmarks on ER-shaped data — GEN and TCL each
+//! train one of these per run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use transer_bench::biblio_pair;
+use transer_ml::ClassifierKind;
+
+fn bench_classifiers(c: &mut Criterion) {
+    let pair = biblio_pair();
+    let (x, y) = (&pair.source.x, &pair.source.y);
+    let mut g = c.benchmark_group("classifiers");
+    g.sample_size(10);
+    for kind in ClassifierKind::PAPER_SET {
+        g.bench_function(format!("fit/{}", kind.name()), |b| {
+            b.iter(|| {
+                let mut clf = kind.build(7);
+                clf.fit(black_box(x), black_box(y)).unwrap();
+                clf
+            })
+        });
+    }
+    let mut fitted = ClassifierKind::RandomForest.build(7);
+    fitted.fit(x, y).unwrap();
+    g.bench_function("predict_proba/rf", |b| {
+        b.iter(|| fitted.predict_proba(black_box(&pair.target.x)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_classifiers);
+criterion_main!(benches);

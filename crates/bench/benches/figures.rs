@@ -1,0 +1,55 @@
+//! One benchmark per paper *figure*: the code regenerating each figure's
+//! series.
+//!
+//! Figure 2 — similarity distributions; Figure 5 — decay curves; Figure 6
+//! — one labelled-fraction point; Figure 7 — one parameter-sweep point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use transer_bench::{biblio_pair, BENCH_SCALE, BENCH_SEED};
+use transer_core::decay::exp_decay_5;
+use transer_eval::sensitivity::SweptParameter;
+use transer_eval::{directed_tasks, run_transer};
+use transer_metrics::Histogram;
+use transer_ml::{stratified_fraction, ClassifierKind};
+
+fn bench_figures(c: &mut Criterion) {
+    let pair = biblio_pair();
+    let tasks = directed_tasks(BENCH_SCALE, BENCH_SEED).unwrap();
+    let task = &tasks[0];
+    let classifiers = [ClassifierKind::LogisticRegression];
+
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig2/distribution_histogram", |b| {
+        b.iter(|| Histogram::from_values(20, black_box(&pair.target.x).row_means()))
+    });
+
+    g.bench_function("fig5/decay_curve", |b| {
+        b.iter(|| (0..=100).map(|i| exp_decay_5(i as f64 / 100.0)).sum::<f64>())
+    });
+
+    g.bench_function("fig6/half_labelled_point", |b| {
+        b.iter(|| {
+            let keep = stratified_fraction(black_box(&task.source.y), 0.5, 7);
+            let reduced = transer_eval::EvalTask {
+                name: task.name.clone(),
+                source: task.source.select(&keep),
+                target: task.target.clone(),
+                source_texts: keep.iter().map(|&i| task.source_texts[i].clone()).collect(),
+                target_texts: task.target_texts.clone(),
+            };
+            run_transer(Default::default(), &reduced, &classifiers, 7).unwrap()
+        })
+    });
+
+    g.bench_function("fig7/tc_sweep_point", |b| {
+        let cfg = SweptParameter::Tc.config(0.8);
+        b.iter(|| run_transer(cfg, black_box(task), &classifiers, 7).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Micro-benchmarks of the record-pair comparison step's similarity
+//! functions — the per-pair cost every experiment pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use transer_similarity::*;
+
+fn bench_similarity(c: &mut Criterion) {
+    let name_a = "alexander macdonald";
+    let name_b = "alexandr mcdonald";
+    let title_a = "efficient adaptive indexing for scalable entity resolution systems";
+    let title_b = "eficient adaptive indexes for scalable entity resolution";
+
+    let mut g = c.benchmark_group("similarity");
+    g.bench_function("jaro_winkler/name", |b| {
+        b.iter(|| jaro_winkler(black_box(name_a), black_box(name_b)))
+    });
+    g.bench_function("levenshtein/name", |b| {
+        b.iter(|| levenshtein_similarity(black_box(name_a), black_box(name_b)))
+    });
+    g.bench_function("token_jaccard/title", |b| {
+        b.iter(|| jaccard_tokens(black_box(title_a), black_box(title_b)))
+    });
+    g.bench_function("qgram_jaccard/title", |b| {
+        b.iter(|| jaccard_qgram(black_box(title_a), black_box(title_b), 3))
+    });
+    g.bench_function("monge_elkan_jw/name", |b| {
+        b.iter(|| monge_elkan(black_box(name_a), black_box(name_b), jaro_winkler))
+    });
+    g.bench_function("soundex/name", |b| {
+        b.iter(|| soundex_similarity(black_box(name_a), black_box(name_b)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! One benchmark per paper *table*: the code that regenerates each table,
+//! exercised end to end at a bench-friendly scale.
+//!
+//! Table 1 — data set characteristics; Table 2 — one quality-comparison
+//! cell (TransER + Naive on one directed task); Table 3 — a runtime row;
+//! Table 4 — the ablation suite on one task.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use transer_baselines::{Naive, ResourceBudget, RunContext, TransferMethod};
+use transer_bench::{BENCH_SCALE, BENCH_SEED};
+use transer_core::{TransEr, TransErConfig, Variant};
+use transer_datagen::ScenarioPair;
+use transer_eval::characteristics::{common_stats, dataset_stats};
+use transer_eval::{directed_tasks, run_transer};
+use transer_ml::ClassifierKind;
+
+fn bench_tables(c: &mut Criterion) {
+    let pair = ScenarioPair::Bibliographic.domain_pair(BENCH_SCALE, BENCH_SEED).unwrap();
+    let tasks = directed_tasks(BENCH_SCALE, BENCH_SEED).unwrap();
+    let task = &tasks[0];
+    let classifiers = [ClassifierKind::LogisticRegression];
+
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+
+    g.bench_function("table1/characteristics", |b| {
+        b.iter(|| {
+            let a = dataset_stats(black_box(&pair.source));
+            let bb = dataset_stats(black_box(&pair.target));
+            let common = common_stats(&pair.source, &pair.target);
+            (a, bb, common)
+        })
+    });
+
+    g.bench_function("table2/transer_cell", |b| {
+        b.iter(|| run_transer(TransErConfig::default(), black_box(task), &classifiers, 7).unwrap())
+    });
+
+    g.bench_function("table3/naive_runtime_row", |b| {
+        b.iter(|| {
+            let ctx = RunContext::new(ClassifierKind::LogisticRegression, 7, ResourceBudget::default());
+            Naive.run(black_box(&task.view()), &ctx).unwrap()
+        })
+    });
+
+    g.bench_function("table4/ablation_without_sel", |b| {
+        let cfg = TransErConfig { variant: Variant::without_sel(), ..Default::default() };
+        let t = TransEr::new(cfg, ClassifierKind::LogisticRegression, 7).unwrap();
+        b.iter(|| {
+            t.fit_predict(
+                black_box(&task.source.x),
+                black_box(&task.source.y),
+                black_box(&task.target.x),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Phase-level benchmarks of the TransER pipeline itself: SEL, GEN + TCL,
+//! and the end-to-end run — the per-task costs behind Table 3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use transer_bench::{biblio_pair, music_pair};
+use transer_core::{generate_pseudo_labels, select_instances, TransEr, TransErConfig};
+use transer_ml::ClassifierKind;
+
+fn bench_phases(c: &mut Criterion) {
+    let pair = biblio_pair();
+    let cfg = TransErConfig::default();
+    let mut g = c.benchmark_group("transer_phases");
+    g.sample_size(10);
+
+    g.bench_function("sel/biblio", |b| {
+        b.iter(|| {
+            select_instances(
+                black_box(&pair.source.x),
+                black_box(&pair.source.y),
+                black_box(&pair.target.x),
+                &cfg,
+            )
+            .unwrap()
+        })
+    });
+
+    let sel = select_instances(&pair.source.x, &pair.source.y, &pair.target.x, &cfg).unwrap();
+    let (xu, yu) = sel.transferred(&pair.source.x, &pair.source.y);
+    g.bench_function("gen/biblio", |b| {
+        b.iter(|| {
+            let mut clf = ClassifierKind::LogisticRegression.build(7);
+            generate_pseudo_labels(clf.as_mut(), black_box(&xu), black_box(&yu), &pair.target.x)
+                .unwrap()
+        })
+    });
+
+    let transer = TransEr::new(cfg, ClassifierKind::LogisticRegression, 7).unwrap();
+    g.bench_function("full_pipeline/biblio", |b| {
+        b.iter(|| {
+            transer
+                .fit_predict(
+                    black_box(&pair.source.x),
+                    black_box(&pair.source.y),
+                    black_box(&pair.target.x),
+                )
+                .unwrap()
+        })
+    });
+
+    let music = music_pair();
+    g.bench_function("full_pipeline/music", |b| {
+        b.iter(|| {
+            transer
+                .fit_predict(
+                    black_box(&music.source.x),
+                    black_box(&music.source.y),
+                    black_box(&music.target.x),
+                )
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! The benchmark harness mirrors the evaluation harness: every paper table
+//! and figure has a bench exercising the code that regenerates it (at a
+//! bench-friendly scale), plus micro-benches for the hot substrates
+//! (similarity functions, KD-tree, MinHash blocking, classifier training).
+
+#![forbid(unsafe_code)]
+
+use transer_common::DomainPair;
+use transer_datagen::ScenarioPair;
+
+/// Scale used by the experiment-level benches: large enough to be
+/// representative, small enough for Criterion's repeated sampling.
+pub const BENCH_SCALE: f64 = 0.05;
+
+/// Deterministic seed for all bench fixtures.
+pub const BENCH_SEED: u64 = 42;
+
+/// The bibliographic transfer task at bench scale.
+pub fn biblio_pair() -> DomainPair {
+    ScenarioPair::Bibliographic
+        .domain_pair(BENCH_SCALE, BENCH_SEED)
+        .expect("bench workload generation")
+}
+
+/// The music transfer task at bench scale.
+pub fn music_pair() -> DomainPair {
+    ScenarioPair::Music
+        .domain_pair(BENCH_SCALE, BENCH_SEED)
+        .expect("bench workload generation")
+}

@@ -1,0 +1,162 @@
+//! The record-pair comparison step: turning candidate pairs into similarity
+//! feature vectors and ground-truth labels.
+
+use transer_common::{AttrValue, Error, FeatureMatrix, Label, LabeledDataset, Record, Result};
+use transer_similarity::Measure;
+
+use crate::CandidatePair;
+
+/// Declares the feature space: which similarity [`Measure`] applies to
+/// which attribute index. Sharing one `Comparison` between the source and
+/// target domains is exactly the homogeneous-TL assumption
+/// (`X^S = X^T`) of the paper.
+///
+/// ```
+/// use transer_blocking::Comparison;
+/// use transer_common::{AttrValue, Record};
+/// use transer_similarity::Measure;
+///
+/// let cmp = Comparison::new(vec![(0, Measure::TokenJaccard), (1, Measure::Year)]).unwrap();
+/// let a = Record::new(0, 1, vec![AttrValue::Text("deep matching".into()), AttrValue::Number(2018.0)]);
+/// let b = Record::new(0, 1, vec![AttrValue::Text("deep matching".into()), AttrValue::Number(2019.0)]);
+/// let v = cmp.feature_vector(&a, &b);
+/// assert_eq!(v[0], 1.0);
+/// assert!((v[1] - 0.9).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// `(attribute index, measure)` per feature, in feature order.
+    pub features: Vec<(usize, Measure)>,
+}
+
+impl Comparison {
+    /// Create from `(attribute index, measure)` pairs.
+    ///
+    /// # Errors
+    /// Returns [`Error::EmptyInput`] when no features are declared.
+    pub fn new(features: Vec<(usize, Measure)>) -> Result<Self> {
+        if features.is_empty() {
+            return Err(Error::EmptyInput("comparison features"));
+        }
+        Ok(Comparison { features })
+    }
+
+    /// Number of features `m`.
+    pub fn num_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// The feature vector `x_ij` of one record pair. Missing values yield
+    /// similarity 0 (nothing to agree on).
+    pub fn feature_vector(&self, a: &Record, b: &Record) -> Vec<f64> {
+        self.features
+            .iter()
+            .map(|&(attr, measure)| compare_values(measure, &a.values[attr], &b.values[attr]))
+            .collect()
+    }
+
+    /// Compare all candidate pairs between two databases, producing the
+    /// feature matrix and ground-truth labels (from the records' entity
+    /// identifiers).
+    pub fn compare_pairs(
+        &self,
+        left: &[Record],
+        right: &[Record],
+        pairs: &[CandidatePair],
+    ) -> (FeatureMatrix, Vec<Label>) {
+        let mut x = FeatureMatrix::empty(self.num_features());
+        let mut y = Vec::with_capacity(pairs.len());
+        for &(i, j) in pairs {
+            let (a, b) = (&left[i], &right[j]);
+            x.push_row(&self.feature_vector(a, b));
+            y.push(Label::from_bool(a.entity == b.entity));
+        }
+        (x, y)
+    }
+
+    /// Convenience: compare pairs and bundle the result as a named
+    /// [`LabeledDataset`].
+    ///
+    /// # Errors
+    /// Propagates [`LabeledDataset::new`] errors (cannot occur for aligned
+    /// outputs, but kept in the signature for API stability).
+    pub fn compare_to_dataset(
+        &self,
+        name: impl Into<String>,
+        left: &[Record],
+        right: &[Record],
+        pairs: &[CandidatePair],
+    ) -> Result<LabeledDataset> {
+        let (x, y) = self.compare_pairs(left, right, pairs);
+        LabeledDataset::new(name, x, y)
+    }
+}
+
+fn compare_values(measure: Measure, a: &AttrValue, b: &AttrValue) -> f64 {
+    match (a, b) {
+        (AttrValue::Text(x), AttrValue::Text(y)) => measure.text(x, y),
+        (AttrValue::Number(x), AttrValue::Number(y)) => measure.number(*x, *y),
+        (AttrValue::Text(x), AttrValue::Number(y)) => measure.text(x, &y.to_string()),
+        (AttrValue::Number(x), AttrValue::Text(y)) => measure.text(&x.to_string(), y),
+        _ => 0.0, // at least one side missing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, entity: u64, title: &str, year: f64) -> Record {
+        Record::new(id, entity, vec![AttrValue::Text(title.into()), AttrValue::Number(year)])
+    }
+
+    fn cmp() -> Comparison {
+        Comparison::new(vec![(0, Measure::TokenJaccard), (1, Measure::Year)]).unwrap()
+    }
+
+    #[test]
+    fn feature_vectors_and_labels() {
+        let left = vec![rec(0, 100, "deep entity matching", 2018.0)];
+        let right = vec![
+            rec(0, 100, "deep entity matching", 2018.0),
+            rec(1, 200, "something else entirely", 1970.0),
+        ];
+        let (x, y) = cmp().compare_pairs(&left, &right, &[(0, 0), (0, 1)]);
+        assert_eq!(x.rows(), 2);
+        assert_eq!(x.row(0), &[1.0, 1.0]);
+        assert!(x.row(1)[0] < 0.3);
+        assert_eq!(y, vec![Label::Match, Label::NonMatch]);
+    }
+
+    #[test]
+    fn missing_values_score_zero() {
+        let a = Record::new(0, 1, vec![AttrValue::Missing, AttrValue::Number(2000.0)]);
+        let b = rec(1, 1, "anything", 2000.0);
+        let v = cmp().feature_vector(&a, &b);
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[1], 1.0);
+    }
+
+    #[test]
+    fn mixed_text_number_compares_textually() {
+        let a = Record::new(0, 1, vec![AttrValue::Text("x".into()), AttrValue::Text("1999".into())]);
+        let b = rec(1, 1, "x", 1999.0);
+        let v = cmp().feature_vector(&a, &b);
+        assert_eq!(v[1], 1.0);
+    }
+
+    #[test]
+    fn dataset_bundling() {
+        let left = vec![rec(0, 1, "a b", 2000.0)];
+        let right = vec![rec(0, 1, "a b", 2000.0)];
+        let ds = cmp().compare_to_dataset("test", &left, &right, &[(0, 0)]).unwrap();
+        assert_eq!(ds.name, "test");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.num_matches(), 1);
+    }
+
+    #[test]
+    fn empty_feature_space_rejected() {
+        assert!(Comparison::new(vec![]).is_err());
+    }
+}

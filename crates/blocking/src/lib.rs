@@ -1,0 +1,37 @@
+//! The blocking and record-pair comparison steps of the ER pipeline
+//! (Fig. 1 of the paper).
+//!
+//! Blocking reduces the quadratic comparison space `R × R` to a candidate
+//! set `B ⊂ R × R`. The paper's experiments use a locality-sensitive-
+//! hashing technique that maps records with similar attribute values to the
+//! same MinHash bucket (Papadakis et al., 2020); [`MinHashLsh`] implements
+//! that scheme, and [`StandardBlocking`] / [`SortedNeighbourhood`] provide
+//! the classic alternatives.
+//!
+//! The comparison step then turns each candidate pair into a feature vector
+//! of attribute similarities; [`Comparison`] declares which
+//! [`Measure`](transer_similarity::Measure) applies to which attribute and
+//! produces the [`FeatureMatrix`](transer_common::FeatureMatrix) plus
+//! ground-truth labels consumed by the transfer-learning layer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compare;
+mod minhash;
+mod resolution;
+mod sorted;
+mod standard;
+mod tokenize;
+
+pub use compare::Comparison;
+pub use resolution::{one_to_one_matching, transitive_clusters};
+pub use minhash::{MinHashLsh, MinHashLshConfig};
+pub use sorted::SortedNeighbourhood;
+pub use standard::StandardBlocking;
+pub use tokenize::{record_tokens, record_tokens_masked, token_hashes, token_hashes_masked};
+
+/// A candidate record pair: indices into the two record slices handed to
+/// the blocker (for deduplication within one database both indices refer to
+/// the same slice and `left < right`).
+pub type CandidatePair = (usize, usize);

@@ -1,0 +1,193 @@
+//! Turning pairwise match decisions into entity clusters — the step after
+//! classification in the ER process of Fig. 1 (Draisbach et al., 2019).
+//!
+//! Two strategies:
+//!
+//! * [`transitive_clusters`] — the classic transitive closure: connected
+//!   components over the predicted match pairs. Simple, but one false
+//!   match chains whole groups together.
+//! * [`one_to_one_matching`] — greedy score-descending one-to-one
+//!   assignment for two-database linkage, where each record may match at
+//!   most one record of the other database (births link to one death).
+
+use transer_common::Label;
+
+use crate::CandidatePair;
+
+/// Union-find over `0..n`.
+struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n] }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+            std::cmp::Ordering::Less => self.parent[ra as usize] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb as usize] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb as usize] = ra;
+                self.rank[ra as usize] += 1;
+            }
+        }
+    }
+}
+
+/// Transitive closure over predicted matches for a two-database task:
+/// records are `0..n_left` (left) and `n_left..n_left+n_right` (right);
+/// returns the clusters (sorted record ids), singletons omitted.
+pub fn transitive_clusters(
+    n_left: usize,
+    n_right: usize,
+    pairs: &[CandidatePair],
+    labels: &[Label],
+) -> Vec<Vec<usize>> {
+    assert_eq!(pairs.len(), labels.len(), "pairs/labels length mismatch");
+    let n = n_left + n_right;
+    let mut uf = UnionFind::new(n);
+    for (&(i, j), &label) in pairs.iter().zip(labels) {
+        if label.is_match() {
+            uf.union(i as u32, (n_left + j) as u32);
+        }
+    }
+    let mut by_root: std::collections::HashMap<u32, Vec<usize>> = std::collections::HashMap::new();
+    for x in 0..n as u32 {
+        by_root.entry(uf.find(x)).or_default().push(x as usize);
+    }
+    let mut clusters: Vec<Vec<usize>> =
+        by_root.into_values().filter(|c| c.len() > 1).collect();
+    for c in &mut clusters {
+        c.sort_unstable();
+    }
+    clusters.sort();
+    clusters
+}
+
+/// Greedy one-to-one matching: process predicted matches in descending
+/// score order and keep a pair only when both records are still unmatched.
+/// Returns the kept pairs, sorted.
+///
+/// # Panics
+/// Panics when the three slices disagree in length.
+pub fn one_to_one_matching(
+    pairs: &[CandidatePair],
+    labels: &[Label],
+    scores: &[f64],
+) -> Vec<CandidatePair> {
+    assert_eq!(pairs.len(), labels.len(), "pairs/labels length mismatch");
+    assert_eq!(pairs.len(), scores.len(), "pairs/scores length mismatch");
+    let mut order: Vec<usize> =
+        (0..pairs.len()).filter(|&k| labels[k].is_match()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    let mut left_used = std::collections::HashSet::new();
+    let mut right_used = std::collections::HashSet::new();
+    let mut kept = Vec::new();
+    for k in order {
+        let (i, j) = pairs[k];
+        if left_used.contains(&i) || right_used.contains(&j) {
+            continue;
+        }
+        left_used.insert(i);
+        right_used.insert(j);
+        kept.push((i, j));
+    }
+    kept.sort_unstable();
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Label {
+        Label::Match
+    }
+    fn n() -> Label {
+        Label::NonMatch
+    }
+
+    #[test]
+    fn transitive_closure_chains_matches() {
+        // left 0 ~ right 0, left 1 ~ right 0 => {L0, L1, R0} one cluster.
+        let pairs = vec![(0, 0), (1, 0), (2, 1)];
+        let labels = vec![m(), m(), n()];
+        let clusters = transitive_clusters(3, 2, &pairs, &labels);
+        assert_eq!(clusters, vec![vec![0, 1, 3]]);
+    }
+
+    #[test]
+    fn no_matches_no_clusters() {
+        let pairs = vec![(0, 0), (1, 1)];
+        let labels = vec![n(), n()];
+        assert!(transitive_clusters(2, 2, &pairs, &labels).is_empty());
+    }
+
+    #[test]
+    fn disjoint_matches_form_separate_clusters() {
+        let pairs = vec![(0, 0), (1, 1)];
+        let labels = vec![m(), m()];
+        let clusters = transitive_clusters(2, 2, &pairs, &labels);
+        assert_eq!(clusters, vec![vec![0, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn one_to_one_prefers_higher_scores() {
+        // Left 0 matches right 0 (0.9) and right 1 (0.8); left 1 matches
+        // right 0 (0.7). Greedy keeps (0,0) then (1,?) - right 0 taken, so
+        // left 1 goes unmatched; right 1 falls to nobody since left 0 used.
+        let pairs = vec![(0, 0), (0, 1), (1, 0)];
+        let labels = vec![m(), m(), m()];
+        let scores = vec![0.9, 0.8, 0.7];
+        let kept = one_to_one_matching(&pairs, &labels, &scores);
+        assert_eq!(kept, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn one_to_one_assigns_the_stable_alternative() {
+        let pairs = vec![(0, 0), (0, 1), (1, 0), (1, 1)];
+        let labels = vec![m(), m(), m(), m()];
+        let scores = vec![0.95, 0.6, 0.7, 0.9];
+        let kept = one_to_one_matching(&pairs, &labels, &scores);
+        assert_eq!(kept, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn non_matches_never_kept() {
+        let pairs = vec![(0, 0)];
+        let labels = vec![n()];
+        assert!(one_to_one_matching(&pairs, &labels, &[0.99]).is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let pairs = vec![(0, 0), (1, 0)];
+        let labels = vec![m(), m()];
+        let kept = one_to_one_matching(&pairs, &labels, &[0.8, 0.8]);
+        assert_eq!(kept, vec![(0, 0)], "earlier pair wins equal scores");
+    }
+}

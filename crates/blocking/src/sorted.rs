@@ -1,0 +1,110 @@
+//! Sorted-neighbourhood blocking: sort all records by a sorting key and
+//! slide a fixed-size window over the sorted sequence; records co-occurring
+//! in a window become candidates.
+
+use transer_common::Record;
+
+use crate::CandidatePair;
+
+/// Sorted-neighbourhood blocker with window size `w`.
+pub struct SortedNeighbourhood<F>
+where
+    F: Fn(&Record) -> String,
+{
+    key_fn: F,
+    window: usize,
+}
+
+impl<F> SortedNeighbourhood<F>
+where
+    F: Fn(&Record) -> String,
+{
+    /// Create a blocker with the given sorting-key function and window.
+    ///
+    /// # Panics
+    /// Panics when `window < 2`.
+    pub fn new(key_fn: F, window: usize) -> Self {
+        assert!(window >= 2, "window must cover at least two records");
+        SortedNeighbourhood { key_fn, window }
+    }
+
+    /// Candidate pairs for linking two databases: both sides are merged
+    /// into one sorted sequence and only cross-database pairs inside the
+    /// window are emitted. Sorted and deduplicated.
+    pub fn candidate_pairs(&self, left: &[Record], right: &[Record]) -> Vec<CandidatePair> {
+        // (key, side, index); side 0 = left, 1 = right.
+        let mut keyed: Vec<(String, u8, usize)> = left
+            .iter()
+            .enumerate()
+            .map(|(i, r)| ((self.key_fn)(r), 0, i))
+            .chain(right.iter().enumerate().map(|(j, r)| ((self.key_fn)(r), 1, j)))
+            .collect();
+        keyed.sort();
+        let mut pairs = Vec::new();
+        for (pos, &(_, side_a, idx_a)) in keyed.iter().enumerate() {
+            for &(_, side_b, idx_b) in keyed.iter().skip(pos + 1).take(self.window - 1) {
+                match (side_a, side_b) {
+                    (0, 1) => pairs.push((idx_a, idx_b)),
+                    (1, 0) => pairs.push((idx_b, idx_a)),
+                    _ => {}
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transer_common::AttrValue;
+
+    fn rec(id: u64, name: &str) -> Record {
+        Record::new(id, id, vec![AttrValue::Text(name.into())])
+    }
+
+    fn key(r: &Record) -> String {
+        r.values[0].as_text().unwrap_or("").to_string()
+    }
+
+    #[test]
+    fn window_pairs_adjacent_keys() {
+        let left = vec![rec(0, "aaa"), rec(1, "mmm"), rec(2, "zzz")];
+        let right = vec![rec(0, "aab"), rec(1, "mmn")];
+        let b = SortedNeighbourhood::new(key, 2);
+        let pairs = b.candidate_pairs(&left, &right);
+        assert!(pairs.contains(&(0, 0)), "{pairs:?}"); // aaa ~ aab adjacent
+        assert!(pairs.contains(&(1, 1)), "{pairs:?}"); // mmm ~ mmn adjacent
+        assert!(!pairs.contains(&(2, 0)), "{pairs:?}"); // zzz far from aab
+    }
+
+    #[test]
+    fn larger_window_superset_of_smaller() {
+        let left: Vec<Record> = (0..6).map(|i| rec(i, &format!("k{i}"))).collect();
+        let right: Vec<Record> = (0..6).map(|i| rec(i, &format!("k{i}x"))).collect();
+        let small = SortedNeighbourhood::new(key, 2).candidate_pairs(&left, &right);
+        let large = SortedNeighbourhood::new(key, 4).candidate_pairs(&left, &right);
+        for p in &small {
+            assert!(large.contains(p));
+        }
+        assert!(large.len() >= small.len());
+    }
+
+    #[test]
+    fn only_cross_database_pairs() {
+        let left = vec![rec(0, "a"), rec(1, "b")];
+        let right = vec![rec(0, "c")];
+        let b = SortedNeighbourhood::new(key, 3);
+        for (i, j) in b.candidate_pairs(&left, &right) {
+            assert!(i < left.len() && j < right.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn tiny_window_panics() {
+        SortedNeighbourhood::new(key, 1);
+    }
+}

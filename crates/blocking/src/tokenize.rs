@@ -1,0 +1,104 @@
+//! Turning records into the token sets that blocking operates on.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use transer_common::{AttrValue, Record};
+use transer_similarity::{qgrams, tokens};
+
+/// All blocking tokens of a record: whitespace tokens plus character
+/// 3-grams of every textual attribute, and the decimal rendering of every
+/// numeric attribute. The redundancy (words *and* grams) makes the MinHash
+/// signature robust to the typographical errors the paper's data sets are
+/// full of.
+pub fn record_tokens(record: &Record) -> Vec<String> {
+    record_tokens_masked(record, None)
+}
+
+/// Like [`record_tokens`] but restricted to the attributes in `attrs`
+/// (`None` = all). Blocking on a *subset* of attributes — titles for
+/// publications, person names for civil registers — is standard ER
+/// practice: it targets the identifying attributes and keeps shared
+/// low-information attributes (venues, occupations) from flooding blocks.
+pub fn record_tokens_masked(record: &Record, attrs: Option<&[usize]>) -> Vec<String> {
+    let mut out = Vec::new();
+    let selected: Box<dyn Iterator<Item = &AttrValue>> = match attrs {
+        Some(idx) => Box::new(idx.iter().filter_map(|&q| record.values.get(q))),
+        None => Box::new(record.values.iter()),
+    };
+    for value in selected {
+        match value {
+            AttrValue::Text(s) if !s.is_empty() => {
+                out.extend(tokens(s));
+                out.extend(qgrams(s, 3));
+            }
+            AttrValue::Number(x) => out.push(format!("num:{x}")),
+            _ => {}
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Hash each token to a `u64` (stable within one process run) — MinHash
+/// operates on these integers rather than the strings.
+pub fn token_hashes(record: &Record) -> Vec<u64> {
+    token_hashes_masked(record, None)
+}
+
+/// Masked variant of [`token_hashes`]; see [`record_tokens_masked`].
+pub fn token_hashes_masked(record: &Record, attrs: Option<&[usize]>) -> Vec<u64> {
+    let mut hashes: Vec<u64> = record_tokens_masked(record, attrs)
+        .into_iter()
+        .map(|t| {
+            let mut h = DefaultHasher::new();
+            t.hash(&mut h);
+            h.finish()
+        })
+        .collect();
+    hashes.sort_unstable();
+    hashes.dedup();
+    hashes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transer_common::AttrValue;
+
+    fn rec(title: &str, year: f64) -> Record {
+        Record::new(0, 0, vec![AttrValue::Text(title.into()), AttrValue::Number(year)])
+    }
+
+    #[test]
+    fn tokens_cover_words_grams_and_numbers() {
+        let t = record_tokens(&rec("deep learning", 2018.0));
+        assert!(t.contains(&"deep".to_string()));
+        assert!(t.contains(&"learning".to_string()));
+        assert!(t.contains(&"##d".to_string()));
+        assert!(t.contains(&"num:2018".to_string()));
+    }
+
+    #[test]
+    fn missing_values_ignored() {
+        let r = Record::new(0, 0, vec![AttrValue::Missing, AttrValue::Text(String::new())]);
+        assert!(record_tokens(&r).is_empty());
+        assert!(token_hashes(&r).is_empty());
+    }
+
+    #[test]
+    fn similar_records_share_most_tokens() {
+        let a = token_hashes(&rec("the quick brown fox", 1999.0));
+        let b = token_hashes(&rec("the quick browne fox", 1999.0));
+        let inter = a.iter().filter(|h| b.contains(h)).count();
+        let union = a.len() + b.len() - inter;
+        assert!(inter as f64 / union as f64 > 0.6);
+    }
+
+    #[test]
+    fn hashes_deduplicated_and_sorted() {
+        let h = token_hashes(&rec("a a a b", 1.0));
+        assert!(h.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests on blocking and comparison: candidate-pair invariants,
+//! MinHash behaviour, feature-matrix bounds.
+
+use proptest::prelude::*;
+use transer_blocking::{Comparison, MinHashLsh, MinHashLshConfig};
+use transer_common::{AttrValue, Label, Record};
+use transer_similarity::Measure;
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-z]{2,8}( [a-z]{2,8}){0,3}"
+}
+
+fn records(max: usize) -> impl Strategy<Value = Vec<Record>> {
+    prop::collection::vec((word(), 1900f64..2020.0), 1..max).prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (title, year))| {
+                Record::new(
+                    i as u64,
+                    i as u64 / 2, // every two records share an entity
+                    vec![AttrValue::Text(title), AttrValue::Number(year)],
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn candidate_pairs_are_valid_sorted_and_unique(
+        left in records(30),
+        right in records(30),
+    ) {
+        let blocker = MinHashLsh::new(MinHashLshConfig::default());
+        let pairs = blocker.candidate_pairs(&left, &right);
+        for w in pairs.windows(2) {
+            prop_assert!(w[0] < w[1], "not sorted/unique: {:?}", w);
+        }
+        for &(i, j) in &pairs {
+            prop_assert!(i < left.len() && j < right.len());
+        }
+    }
+
+    #[test]
+    fn identical_record_always_becomes_a_candidate(title in "[a-z]{4,12}( [a-z]{4,12}){1,3}") {
+        let rec = Record::new(0, 0, vec![AttrValue::Text(title)]);
+        let blocker = MinHashLsh::new(MinHashLshConfig::default());
+        let pairs = blocker.candidate_pairs(std::slice::from_ref(&rec), std::slice::from_ref(&rec));
+        prop_assert_eq!(pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn dedup_pairs_are_strictly_ordered(recs in records(40)) {
+        let blocker = MinHashLsh::new(MinHashLshConfig::default());
+        for (i, j) in blocker.candidate_pairs_dedup(&recs) {
+            prop_assert!(i < j);
+            prop_assert!(j < recs.len());
+        }
+    }
+
+    #[test]
+    fn bucket_cap_only_removes_pairs(recs in records(40)) {
+        let base = MinHashLsh::new(MinHashLshConfig::default());
+        let capped = MinHashLsh::new(MinHashLshConfig { max_bucket: 2, ..Default::default() });
+        let all = base.candidate_pairs_dedup(&recs);
+        let few = capped.candidate_pairs_dedup(&recs);
+        prop_assert!(few.len() <= all.len());
+        for p in &few {
+            prop_assert!(all.contains(p), "capped produced a new pair {p:?}");
+        }
+    }
+
+    #[test]
+    fn comparison_output_is_aligned_and_bounded(
+        left in records(20),
+        right in records(20),
+    ) {
+        let comparison = Comparison::new(vec![
+            (0, Measure::TokenJaccard),
+            (1, Measure::Year),
+        ]).unwrap();
+        let blocker = MinHashLsh::new(MinHashLshConfig::default());
+        let pairs = blocker.candidate_pairs(&left, &right);
+        let (x, y) = comparison.compare_pairs(&left, &right, &pairs);
+        prop_assert_eq!(x.rows(), pairs.len());
+        prop_assert_eq!(y.len(), pairs.len());
+        for (k, row) in x.iter_rows().enumerate() {
+            for &v in row {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+            let (i, j) = pairs[k];
+            prop_assert_eq!(y[k], Label::from_bool(left[i].entity == right[j].entity));
+        }
+    }
+
+    #[test]
+    fn signature_length_matches_config(hashes in prop::collection::vec(any::<u64>(), 0..50)) {
+        let blocker = MinHashLsh::new(MinHashLshConfig { num_hashes: 48, bands: 8, ..Default::default() });
+        prop_assert_eq!(blocker.signature(&hashes).len(), 48);
+    }
+}

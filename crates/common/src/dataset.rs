@@ -1,0 +1,158 @@
+//! Labelled feature data sets and source/target domain pairs.
+
+use crate::{count_matches, Error, FeatureMatrix, Label, Result};
+
+/// A feature matrix together with one ground-truth label per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledDataset {
+    /// Human-readable name, e.g. `"DBLP-ACM"`.
+    pub name: String,
+    /// Feature matrix `X` with one row per candidate record pair.
+    pub x: FeatureMatrix,
+    /// Ground-truth labels `Y`, aligned with the rows of `x`.
+    pub y: Vec<Label>,
+}
+
+impl LabeledDataset {
+    /// Bundle a feature matrix and labels.
+    ///
+    /// # Errors
+    /// Returns [`Error::DimensionMismatch`] when `x.rows() != y.len()`.
+    pub fn new(name: impl Into<String>, x: FeatureMatrix, y: Vec<Label>) -> Result<Self> {
+        if x.rows() != y.len() {
+            return Err(Error::DimensionMismatch {
+                what: "rows vs labels",
+                left: x.rows(),
+                right: y.len(),
+            });
+        }
+        Ok(LabeledDataset { name: name.into(), x, y })
+    }
+
+    /// Number of record pairs.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when the data set holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of true matches.
+    pub fn num_matches(&self) -> usize {
+        count_matches(&self.y)
+    }
+
+    /// Fraction of true matches; 0 for an empty data set.
+    pub fn match_rate(&self) -> f64 {
+        if self.y.is_empty() {
+            0.0
+        } else {
+            self.num_matches() as f64 / self.y.len() as f64
+        }
+    }
+
+    /// Keep only the rows at `indices` (in order).
+    pub fn select(&self, indices: &[usize]) -> LabeledDataset {
+        LabeledDataset {
+            name: self.name.clone(),
+            x: self.x.select_rows(indices),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+}
+
+/// A transfer-learning task: a fully labelled source domain and a target
+/// domain whose labels exist only as evaluation ground truth.
+///
+/// Both domains share the feature space (`source.x.cols() ==
+/// target.x.cols()`), matching the homogeneous TL setting of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainPair {
+    /// Labelled source domain `(X^S, Y^S)`.
+    pub source: LabeledDataset,
+    /// Target domain `(X^T, Y^T)`; `target.y` is ground truth used **only**
+    /// for evaluation, never shown to the transfer methods.
+    pub target: LabeledDataset,
+}
+
+impl DomainPair {
+    /// Bundle a source and target domain.
+    ///
+    /// # Errors
+    /// Returns [`Error::DimensionMismatch`] when the feature spaces differ —
+    /// heterogeneous transfer is out of scope for TransER.
+    pub fn new(source: LabeledDataset, target: LabeledDataset) -> Result<Self> {
+        if source.x.cols() != target.x.cols() {
+            return Err(Error::DimensionMismatch {
+                what: "source vs target feature columns",
+                left: source.x.cols(),
+                right: target.x.cols(),
+            });
+        }
+        Ok(DomainPair { source, target })
+    }
+
+    /// `"source -> target"`, the notation used throughout the paper.
+    pub fn label(&self) -> String {
+        format!("{} -> {}", self.source.name, self.target.name)
+    }
+
+    /// Number of shared feature columns `m`.
+    pub fn num_features(&self) -> usize {
+        self.source.x.cols()
+    }
+
+    /// Swap source and target, producing the reverse transfer scenario
+    /// (e.g. `DBLP-ACM -> DBLP-Scholar` becomes `DBLP-Scholar -> DBLP-ACM`).
+    pub fn reversed(&self) -> DomainPair {
+        DomainPair { source: self.target.clone(), target: self.source.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(name: &str, rows: &[(f64, Label)]) -> LabeledDataset {
+        let x = FeatureMatrix::from_vecs(&rows.iter().map(|(v, _)| vec![*v, 1.0 - *v]).collect::<Vec<_>>())
+            .unwrap();
+        let y = rows.iter().map(|(_, l)| *l).collect();
+        LabeledDataset::new(name, x, y).unwrap()
+    }
+
+    #[test]
+    fn labeled_dataset_basics() {
+        let d = ds("A", &[(0.9, Label::Match), (0.1, Label::NonMatch), (0.8, Label::Match)]);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.num_matches(), 2);
+        assert!((d.match_rate() - 2.0 / 3.0).abs() < 1e-12);
+        let s = d.select(&[1]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.y, vec![Label::NonMatch]);
+    }
+
+    #[test]
+    fn mismatched_labels_rejected() {
+        let x = FeatureMatrix::from_vecs(&[vec![0.5]]).unwrap();
+        assert!(LabeledDataset::new("A", x, vec![]).is_err());
+    }
+
+    #[test]
+    fn domain_pair_checks_feature_space() {
+        let a = ds("A", &[(0.9, Label::Match)]);
+        let b = ds("B", &[(0.2, Label::NonMatch)]);
+        let p = DomainPair::new(a.clone(), b).unwrap();
+        assert_eq!(p.label(), "A -> B");
+        assert_eq!(p.num_features(), 2);
+        let r = p.reversed();
+        assert_eq!(r.label(), "B -> A");
+
+        let narrow =
+            LabeledDataset::new("C", FeatureMatrix::from_vecs(&[vec![0.5]]).unwrap(), vec![Label::Match])
+                .unwrap();
+        assert!(DomainPair::new(a, narrow).is_err());
+    }
+}

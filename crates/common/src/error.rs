@@ -1,0 +1,105 @@
+//! Error type shared by the TransER crates.
+
+use std::fmt;
+
+/// Convenience alias for results produced by the TransER crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the ER pipeline and the transfer-learning methods.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Two inputs that must agree on a dimension (rows, columns, lengths)
+    /// did not.
+    DimensionMismatch {
+        /// What the dimensions describe, e.g. `"feature columns"`.
+        what: &'static str,
+        /// Dimension of the first operand.
+        left: usize,
+        /// Dimension of the second operand.
+        right: usize,
+    },
+    /// An operation needed data (rows, labels, classes, ...) that was empty.
+    EmptyInput(&'static str),
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name, e.g. `"k"`.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+    /// A method's estimated memory footprint exceeded its budget.
+    ///
+    /// Used to reproduce the paper's `ME` table entries: TCA's `O(n^2)`
+    /// kernel blows the memory budget on mid-sized data sets.
+    MemoryExceeded {
+        /// Estimated requirement in bytes.
+        required: u64,
+        /// Configured budget in bytes.
+        budget: u64,
+    },
+    /// A method's wall-clock time exceeded its budget.
+    ///
+    /// Used to reproduce the paper's `TE` table entries.
+    TimeExceeded {
+        /// Elapsed seconds when the method was cut off.
+        elapsed_secs: f64,
+        /// Configured budget in seconds.
+        budget_secs: f64,
+    },
+    /// Training a model failed to converge or produced degenerate output.
+    TrainingFailed(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { what, left, right } => {
+                write!(f, "dimension mismatch on {what}: {left} vs {right}")
+            }
+            Error::EmptyInput(what) => write!(f, "empty input: {what}"),
+            Error::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter {name}: {message}")
+            }
+            Error::MemoryExceeded { required, budget } => {
+                write!(f, "memory exceeded: needs {required} B, budget {budget} B (ME)")
+            }
+            Error::TimeExceeded { elapsed_secs, budget_secs } => {
+                write!(f, "time exceeded: {elapsed_secs:.1}s elapsed, budget {budget_secs:.1}s (TE)")
+            }
+            Error::TrainingFailed(msg) => write!(f, "training failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// True when the error is one of the resource-guard outcomes the
+    /// evaluation reports as `ME`/`TE` rather than a programming error.
+    pub fn is_resource_exceeded(&self) -> bool {
+        matches!(self, Error::MemoryExceeded { .. } | Error::TimeExceeded { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = Error::DimensionMismatch { what: "rows", left: 3, right: 4 };
+        assert_eq!(e.to_string(), "dimension mismatch on rows: 3 vs 4");
+        assert_eq!(Error::EmptyInput("labels").to_string(), "empty input: labels");
+        let e = Error::InvalidParameter { name: "k", message: "must be > 0".into() };
+        assert_eq!(e.to_string(), "invalid parameter k: must be > 0");
+    }
+
+    #[test]
+    fn resource_exceeded_classification() {
+        assert!(Error::MemoryExceeded { required: 10, budget: 5 }.is_resource_exceeded());
+        assert!(
+            Error::TimeExceeded { elapsed_secs: 10.0, budget_secs: 5.0 }.is_resource_exceeded()
+        );
+        assert!(!Error::EmptyInput("x").is_resource_exceeded());
+    }
+}

@@ -1,0 +1,107 @@
+//! The binary match / non-match class label.
+
+/// Class label of a compared record pair.
+///
+/// In the paper's notation `y ∈ {1, 0}` where `1` is a match (the two
+/// records refer to the same entity) and `0` a non-match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Label {
+    /// The record pair refers to different entities (`y = 0`).
+    NonMatch,
+    /// The record pair refers to the same entity (`y = 1`).
+    Match,
+}
+
+impl Label {
+    /// Numeric encoding used by the classifiers: match = 1.0, non-match = 0.0.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Label::Match => 1.0,
+            Label::NonMatch => 0.0,
+        }
+    }
+
+    /// True when this is [`Label::Match`].
+    #[inline]
+    pub fn is_match(self) -> bool {
+        matches!(self, Label::Match)
+    }
+
+    /// Decode from the classifier's numeric output using a 0.5 threshold.
+    #[inline]
+    pub fn from_score(score: f64) -> Self {
+        if score >= 0.5 {
+            Label::Match
+        } else {
+            Label::NonMatch
+        }
+    }
+
+    /// Decode from a boolean match flag.
+    #[inline]
+    pub fn from_bool(is_match: bool) -> Self {
+        if is_match {
+            Label::Match
+        } else {
+            Label::NonMatch
+        }
+    }
+
+    /// The opposite label.
+    #[inline]
+    pub fn flipped(self) -> Self {
+        match self {
+            Label::Match => Label::NonMatch,
+            Label::NonMatch => Label::Match,
+        }
+    }
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Label::Match => write!(f, "M"),
+            Label::NonMatch => write!(f, "N"),
+        }
+    }
+}
+
+/// Count the matches in a label slice.
+pub fn count_matches(labels: &[Label]) -> usize {
+    labels.iter().filter(|l| l.is_match()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        assert_eq!(Label::from_score(Label::Match.as_f64()), Label::Match);
+        assert_eq!(Label::from_score(Label::NonMatch.as_f64()), Label::NonMatch);
+        assert_eq!(Label::from_score(0.5), Label::Match);
+        assert_eq!(Label::from_score(0.4999), Label::NonMatch);
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        for l in [Label::Match, Label::NonMatch] {
+            assert_eq!(l.flipped().flipped(), l);
+            assert_ne!(l.flipped(), l);
+        }
+    }
+
+    #[test]
+    fn counting() {
+        let ls = [Label::Match, Label::NonMatch, Label::Match];
+        assert_eq!(count_matches(&ls), 2);
+        assert_eq!(count_matches(&[]), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Label::Match.to_string(), "M");
+        assert_eq!(Label::NonMatch.to_string(), "N");
+    }
+}

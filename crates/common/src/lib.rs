@@ -1,0 +1,32 @@
+//! Shared entity-resolution (ER) types used across the TransER workspace.
+//!
+//! This crate defines the vocabulary the rest of the system speaks:
+//!
+//! * [`Record`], [`Schema`] and [`AttrValue`] describe raw database rows
+//!   (publications, songs, civil certificates, ...).
+//! * [`FeatureMatrix`] holds the similarity feature vectors produced by the
+//!   record-pair comparison step; each row is one candidate record pair and
+//!   each column one attribute similarity in `[0, 1]`.
+//! * [`Label`] is the binary match / non-match class label.
+//! * [`LabeledDataset`] and [`DomainPair`] bundle feature matrices with
+//!   (ground-truth) labels for the source and target domains of a transfer
+//!   learning task.
+//!
+//! The types are deliberately plain — row-major `Vec<f64>` storage, no
+//! lifetimes in public signatures — so that the algorithm crates stay easy
+//! to read and the hot loops easy for the compiler to optimise.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod error;
+mod features;
+mod label;
+mod record;
+
+pub use dataset::{DomainPair, LabeledDataset};
+pub use error::{Error, Result};
+pub use features::{sq_dist, FeatureMatrix};
+pub use label::{count_matches, Label};
+pub use record::{AttrType, AttrValue, Record, RecordId, Schema};

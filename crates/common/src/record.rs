@@ -1,0 +1,205 @@
+//! Raw database records and their schemas.
+//!
+//! A [`Record`] is a row of attribute values drawn from one database. The
+//! paper's examples are publications (title, venue, authors, year), songs
+//! (title, album, artist, year) and Scottish civil certificates (names,
+//! occupations, addresses, dates). Records carry an opaque [`RecordId`] plus
+//! the identifier of the real-world entity they describe; the entity id is
+//! only ever used to derive ground-truth labels, never by the algorithms.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a record within one database.
+pub type RecordId = u64;
+
+/// Type of an attribute, which determines the default similarity function
+/// used in the record-pair comparison step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// Short personal-name-like string; compared with Jaro-Winkler in the
+    /// paper's setup.
+    Name,
+    /// Longer free text (titles, venues); compared with token Jaccard.
+    Text,
+    /// Numeric value (e.g. age); compared with a bounded absolute difference.
+    Number,
+    /// Calendar year; compared with a bounded absolute difference.
+    Year,
+}
+
+/// Schema shared by all records of one database: ordered attribute names and
+/// their types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Arc<[(String, AttrType)]>,
+}
+
+impl Schema {
+    /// Build a schema from `(name, type)` pairs.
+    pub fn new<I, S>(attrs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, AttrType)>,
+        S: Into<String>,
+    {
+        let attributes: Vec<(String, AttrType)> =
+            attrs.into_iter().map(|(n, t)| (n.into(), t)).collect();
+        Schema { attributes: attributes.into() }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Name of attribute `q`.
+    pub fn name(&self, q: usize) -> &str {
+        &self.attributes[q].0
+    }
+
+    /// Type of attribute `q`.
+    pub fn attr_type(&self, q: usize) -> AttrType {
+        self.attributes[q].1
+    }
+
+    /// Index of the attribute called `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|(n, _)| n == name)
+    }
+
+    /// Iterate over `(name, type)` pairs in schema order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, AttrType)> + '_ {
+        self.attributes.iter().map(|(n, t)| (n.as_str(), *t))
+    }
+}
+
+/// One attribute value of a record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A textual value (already pre-processed / lower-cased by the loader).
+    Text(String),
+    /// A numeric value.
+    Number(f64),
+    /// The value is missing — common in the demographic certificates.
+    Missing,
+}
+
+impl AttrValue {
+    /// Borrow the text content, if any.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            AttrValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric content, if any.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            AttrValue::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// True when the value is [`AttrValue::Missing`] or empty text.
+    pub fn is_missing(&self) -> bool {
+        match self {
+            AttrValue::Missing => true,
+            AttrValue::Text(s) => s.is_empty(),
+            AttrValue::Number(_) => false,
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Text(s) => write!(f, "{s}"),
+            AttrValue::Number(x) => write!(f, "{x}"),
+            AttrValue::Missing => write!(f, "?"),
+        }
+    }
+}
+
+/// One database row: an id, the id of the underlying real-world entity
+/// (ground truth only), and the attribute values in schema order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Identifier of this record within its database.
+    pub id: RecordId,
+    /// Identifier of the real-world entity the record describes. Two records
+    /// (from the same or different databases) match iff their entity ids are
+    /// equal. Algorithms must not read this; evaluation does.
+    pub entity: u64,
+    /// Attribute values, aligned with the database [`Schema`].
+    pub values: Vec<AttrValue>,
+}
+
+impl Record {
+    /// Create a record.
+    pub fn new(id: RecordId, entity: u64, values: Vec<AttrValue>) -> Self {
+        Record { id, entity, values }
+    }
+
+    /// Value of attribute `q`.
+    pub fn value(&self, q: usize) -> &AttrValue {
+        &self.values[q]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new([
+            ("title", AttrType::Text),
+            ("author", AttrType::Name),
+            ("year", AttrType::Year),
+        ])
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = schema();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.name(0), "title");
+        assert_eq!(s.attr_type(1), AttrType::Name);
+        assert_eq!(s.index_of("year"), Some(2));
+        assert_eq!(s.index_of("venue"), None);
+        let names: Vec<&str> = s.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["title", "author", "year"]);
+    }
+
+    #[test]
+    fn attr_value_accessors() {
+        assert_eq!(AttrValue::Text("abc".into()).as_text(), Some("abc"));
+        assert_eq!(AttrValue::Number(1.5).as_number(), Some(1.5));
+        assert!(AttrValue::Missing.is_missing());
+        assert!(AttrValue::Text(String::new()).is_missing());
+        assert!(!AttrValue::Number(0.0).is_missing());
+        assert_eq!(AttrValue::Missing.to_string(), "?");
+    }
+
+    #[test]
+    fn record_value_access() {
+        let r = Record::new(
+            7,
+            42,
+            vec![
+                AttrValue::Text("a study of things".into()),
+                AttrValue::Text("smith, j".into()),
+                AttrValue::Number(1999.0),
+            ],
+        );
+        assert_eq!(r.id, 7);
+        assert_eq!(r.entity, 42);
+        assert_eq!(r.value(2).as_number(), Some(1999.0));
+    }
+}

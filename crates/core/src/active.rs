@@ -1,0 +1,207 @@
+//! Active-learning integration — the paper's §6 future-work item "explore
+//! how to integrate our framework with active learning techniques".
+//!
+//! After the GEN phase, the pseudo-label confidences tell us exactly where
+//! the transferred model is unsure: the lowest-confidence target instances
+//! are the most informative ones to show a human oracle. This module ranks
+//! them (uncertainty sampling) and runs the resulting
+//! query → label → re-run loop on top of
+//! [`SemiSupervisedTransEr`](crate::SemiSupervisedTransEr).
+
+use transer_common::{Error, FeatureMatrix, Label, Result};
+use transer_ml::ClassifierKind;
+
+use crate::config::TransErConfig;
+use crate::pipeline::TransEr;
+use crate::semi::{SemiSupervisedTransEr, TargetLabel};
+
+/// Target row indices the oracle should label next, most informative
+/// first (uncertainty sampling over the pseudo-label confidences).
+///
+/// `exclude` lists rows already labelled; they are never suggested again.
+///
+/// # Errors
+/// Propagates pipeline errors; returns [`Error::EmptyInput`] when `n == 0`.
+#[allow(clippy::too_many_arguments)] // mirrors the pipeline inputs plus the query budget
+pub fn suggest_queries(
+    config: TransErConfig,
+    classifier: ClassifierKind,
+    seed: u64,
+    xs: &FeatureMatrix,
+    ys: &[Label],
+    xt: &FeatureMatrix,
+    exclude: &[usize],
+    n: usize,
+) -> Result<Vec<usize>> {
+    if n == 0 {
+        return Err(Error::EmptyInput("query budget"));
+    }
+    let out = TransEr::new(config, classifier, seed)?.fit_predict(xs, ys, xt)?;
+    let pseudo = out.pseudo.ok_or(Error::EmptyInput("pseudo labels (GEN/TCL ablated?)"))?;
+    let mut candidates: Vec<usize> =
+        (0..xt.rows()).filter(|i| !exclude.contains(i)).collect();
+    candidates.sort_by(|&a, &b| {
+        pseudo.confidences[a]
+            .partial_cmp(&pseudo.confidences[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    candidates.truncate(n);
+    Ok(candidates)
+}
+
+/// Result of one active-learning round.
+#[derive(Debug, Clone)]
+pub struct ActiveRound {
+    /// Labels predicted after incorporating the oracle answers so far.
+    pub labels: Vec<Label>,
+    /// All target rows labelled so far (cumulative).
+    pub labelled: Vec<TargetLabel>,
+}
+
+/// Run `rounds` rounds of uncertainty-sampled active transfer, asking the
+/// `oracle` for `per_round` labels each round and re-running the
+/// semi-supervised pipeline with everything collected.
+///
+/// The oracle is any `Fn(usize) -> Label` — in experiments, a lookup into
+/// the held-out ground truth.
+///
+/// # Errors
+/// Propagates pipeline and query errors.
+#[allow(clippy::too_many_arguments)] // mirrors the pipeline inputs plus the loop controls
+pub fn active_transfer(
+    config: TransErConfig,
+    classifier: ClassifierKind,
+    seed: u64,
+    xs: &FeatureMatrix,
+    ys: &[Label],
+    xt: &FeatureMatrix,
+    rounds: usize,
+    per_round: usize,
+    oracle: impl Fn(usize) -> Label,
+) -> Result<Vec<ActiveRound>> {
+    let semi = SemiSupervisedTransEr::new(config, classifier, seed)?;
+    let mut labelled: Vec<TargetLabel> = Vec::new();
+    let mut history = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let exclude: Vec<usize> = labelled.iter().map(|&(i, _)| i).collect();
+        let queries =
+            suggest_queries(config, classifier, seed, xs, ys, xt, &exclude, per_round)?;
+        if queries.is_empty() {
+            break;
+        }
+        labelled.extend(queries.iter().map(|&i| (i, oracle(i))));
+        let out = semi.fit_predict(xs, ys, xt, &labelled)?;
+        history.push(ActiveRound { labels: out.labels, labelled: labelled.clone() });
+    }
+    Ok(history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transer_metrics::evaluate;
+
+    fn shifted_task() -> (FeatureMatrix, Vec<Label>, FeatureMatrix, Vec<Label>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut xt = Vec::new();
+        let mut yt = Vec::new();
+        for i in 0..20 {
+            let j = (i % 10) as f64 * 0.006;
+            xs.push(vec![0.9 - j, 0.85 + j]);
+            ys.push(Label::Match);
+            xs.push(vec![0.1 + j, 0.15 - j]);
+            ys.push(Label::NonMatch);
+            xt.push(vec![0.6 - j, 0.58 + j]);
+            yt.push(Label::Match);
+            xt.push(vec![0.14 + j, 0.2 - j]);
+            yt.push(Label::NonMatch);
+        }
+        (
+            FeatureMatrix::from_vecs(&xs).unwrap(),
+            ys,
+            FeatureMatrix::from_vecs(&xt).unwrap(),
+            yt,
+        )
+    }
+
+    fn cfg() -> TransErConfig {
+        TransErConfig { k: 5, ..Default::default() }
+    }
+
+    #[test]
+    fn queries_target_the_uncertain_region() {
+        let (xs, ys, xt, _) = shifted_task();
+        let q = suggest_queries(
+            cfg(),
+            ClassifierKind::LogisticRegression,
+            1,
+            &xs,
+            &ys,
+            &xt,
+            &[],
+            5,
+        )
+        .unwrap();
+        assert_eq!(q.len(), 5);
+        // The uncertain instances are the shifted matches (even indices).
+        let shifted_hits = q.iter().filter(|&&i| i % 2 == 0).count();
+        assert!(shifted_hits >= 3, "queries {q:?} missed the uncertain region");
+    }
+
+    #[test]
+    fn exclusion_is_respected_and_deterministic() {
+        let (xs, ys, xt, _) = shifted_task();
+        let first = suggest_queries(cfg(), ClassifierKind::LogisticRegression, 1, &xs, &ys, &xt, &[], 3)
+            .unwrap();
+        let second =
+            suggest_queries(cfg(), ClassifierKind::LogisticRegression, 1, &xs, &ys, &xt, &first, 3)
+                .unwrap();
+        for i in &second {
+            assert!(!first.contains(i));
+        }
+        let again = suggest_queries(cfg(), ClassifierKind::LogisticRegression, 1, &xs, &ys, &xt, &[], 3)
+            .unwrap();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn active_rounds_accumulate_labels_and_do_not_regress() {
+        let (xs, ys, xt, yt) = shifted_task();
+        let history = active_transfer(
+            cfg(),
+            ClassifierKind::LogisticRegression,
+            1,
+            &xs,
+            &ys,
+            &xt,
+            3,
+            4,
+            |i| yt[i],
+        )
+        .unwrap();
+        assert_eq!(history.len(), 3);
+        assert_eq!(history[0].labelled.len(), 4);
+        assert_eq!(history[2].labelled.len(), 12);
+        let first = evaluate(&history[0].labels, &yt).f_star();
+        let last = evaluate(&history[2].labels, &yt).f_star();
+        assert!(last >= first - 0.05, "active learning regressed: {first} -> {last}");
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        let (xs, ys, xt, _) = shifted_task();
+        assert!(suggest_queries(
+            cfg(),
+            ClassifierKind::LogisticRegression,
+            1,
+            &xs,
+            &ys,
+            &xt,
+            &[],
+            0
+        )
+        .is_err());
+    }
+}

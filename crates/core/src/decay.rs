@@ -1,0 +1,82 @@
+//! Exponential decay functions mapping normalised distances in `[0, 1]`
+//! to similarity scores (Fig. 5 of the paper).
+//!
+//! The structural similarity `sim_l` divides a centroid distance by its
+//! maximum possible value `sqrt(m)`, which biases the normalised distance
+//! towards small values; the paper therefore converts it to a similarity
+//! with `e^{-5 d}`, which spreads those small distances over a useful part
+//! of `[0, 1]` (steeper than `e^{-d}`, gentler than `e^{-10 d}`).
+
+/// `e^{-d}` — too flat: a full-scale distance of 1 still scores 0.37.
+#[inline]
+pub fn exp_decay_1(d: f64) -> f64 {
+    (-d).exp()
+}
+
+/// `e^{-5 d}` — the decay TransER uses in Eq. (2).
+#[inline]
+pub fn exp_decay_5(d: f64) -> f64 {
+    (-5.0 * d).exp()
+}
+
+/// `e^{-10 d}` — too steep: moderate distances are crushed to ~0.
+#[inline]
+pub fn exp_decay_10(d: f64) -> f64 {
+    (-10.0 * d).exp()
+}
+
+/// Generic `e^{-rate·d}`.
+#[inline]
+pub fn exp_decay(d: f64, rate: f64) -> f64 {
+    (-rate * d).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_is_perfect_similarity() {
+        assert_eq!(exp_decay_1(0.0), 1.0);
+        assert_eq!(exp_decay_5(0.0), 1.0);
+        assert_eq!(exp_decay_10(0.0), 1.0);
+    }
+
+    #[test]
+    fn steeper_rates_decay_faster() {
+        for d in [0.1, 0.3, 0.5, 0.9] {
+            assert!(exp_decay_1(d) > exp_decay_5(d));
+            assert!(exp_decay_5(d) > exp_decay_10(d));
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing() {
+        let mut prev = exp_decay_5(0.0);
+        for i in 1..=10 {
+            let v = exp_decay_5(i as f64 / 10.0);
+            assert!(v < prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert!((exp_decay_5(0.2) - (-1.0f64).exp()).abs() < 1e-12);
+        assert!((exp_decay(0.5, 2.0) - (-1.0f64).exp()).abs() < 1e-12);
+        // At full-scale distance the paper's decay is ~0.0067 — effectively
+        // "not transferable".
+        assert!(exp_decay_5(1.0) < 0.01);
+    }
+
+    #[test]
+    fn output_in_unit_interval_for_unit_inputs() {
+        for i in 0..=100 {
+            let d = i as f64 / 100.0;
+            for f in [exp_decay_1, exp_decay_5, exp_decay_10] {
+                let s = f(d);
+                assert!((0.0..=1.0).contains(&s));
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Multi-source selection — the paper's §6 future-work item "explore how
+//! to choose the best source domain when multiple semantically related
+//! labelled data sets are available".
+//!
+//! Given several candidate source domains sharing the target's feature
+//! space, we score each by how much of it survives the SEL phase and how
+//! structurally close the transferable part is to the target: a source
+//! whose confident instances densely cover the target's local structures
+//! is a better donor. The score is deliberately computed from SEL's own
+//! quantities, so ranking costs one selector pass per candidate and no
+//! classifier training.
+
+use transer_common::{Error, FeatureMatrix, Label, Result};
+
+use crate::config::TransErConfig;
+use crate::selector::select_instances;
+
+/// Ranking of one candidate source domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceScore {
+    /// Index of the candidate in the input order.
+    pub source_index: usize,
+    /// Fraction of the source that passed SEL's thresholds.
+    pub selection_yield: f64,
+    /// Mean structural similarity `sim_l` of the *selected* instances.
+    pub mean_structural_similarity: f64,
+    /// Number of selected match instances (a donor with no transferable
+    /// matches cannot train `C^U`).
+    pub selected_matches: usize,
+    /// The combined score used for ranking (higher is better).
+    pub score: f64,
+}
+
+/// Rank candidate source domains for a target, best first.
+///
+/// The combined score is `yield × mean sim_l`, zeroed when the selection
+/// lacks either class — a donor must contribute a *trainable* transferred
+/// set, not just structurally similar instances.
+///
+/// # Errors
+/// Returns [`Error::EmptyInput`] when no candidate is given, and
+/// propagates selector errors (mismatched feature spaces and the like).
+pub fn rank_sources(
+    candidates: &[(&FeatureMatrix, &[Label])],
+    xt: &FeatureMatrix,
+    config: &TransErConfig,
+) -> Result<Vec<SourceScore>> {
+    if candidates.is_empty() {
+        return Err(Error::EmptyInput("candidate source domains"));
+    }
+    let mut scores = Vec::with_capacity(candidates.len());
+    for (source_index, &(xs, ys)) in candidates.iter().enumerate() {
+        let sel = select_instances(xs, ys, xt, config)?;
+        let selected = sel.indices.len();
+        let selection_yield = selected as f64 / xs.rows().max(1) as f64;
+        let mean_structural_similarity = if selected == 0 {
+            0.0
+        } else {
+            sel.indices.iter().map(|&i| sel.scores[i].sim_l).sum::<f64>() / selected as f64
+        };
+        let selected_matches = sel.indices.iter().filter(|&&i| ys[i].is_match()).count();
+        let selected_non_matches = selected - selected_matches;
+        let trainable = selected_matches > 0 && selected_non_matches > 0;
+        let score = if trainable { selection_yield * mean_structural_similarity } else { 0.0 };
+        scores.push(SourceScore {
+            source_index,
+            selection_yield,
+            mean_structural_similarity,
+            selected_matches,
+            score,
+        });
+    }
+    scores.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(scores)
+}
+
+/// Convenience: the index of the best-scoring candidate.
+///
+/// # Errors
+/// See [`rank_sources`].
+pub fn best_source(
+    candidates: &[(&FeatureMatrix, &[Label])],
+    xt: &FeatureMatrix,
+    config: &TransErConfig,
+) -> Result<usize> {
+    Ok(rank_sources(candidates, xt, config)?[0].source_index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Clustered domain with the match cluster centred at `center`.
+    fn domain(center: f64, n: usize) -> (FeatureMatrix, Vec<Label>) {
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let j = (i % 10) as f64 * 0.005;
+            rows.push(vec![center + j, center - j]);
+            ys.push(Label::Match);
+            rows.push(vec![0.1 + j, 0.12 - j]);
+            ys.push(Label::NonMatch);
+        }
+        (FeatureMatrix::from_vecs(&rows).unwrap(), ys)
+    }
+
+    #[test]
+    fn prefers_the_aligned_source() {
+        let (aligned_x, aligned_y) = domain(0.85, 25);
+        let (shifted_x, shifted_y) = domain(0.55, 25);
+        let (target_x, _) = domain(0.86, 25);
+        let config = TransErConfig { k: 5, ..Default::default() };
+        let candidates: Vec<(&FeatureMatrix, &[Label])> =
+            vec![(&shifted_x, &shifted_y), (&aligned_x, &aligned_y)];
+        let ranked = rank_sources(&candidates, &target_x, &config).unwrap();
+        assert_eq!(ranked[0].source_index, 1, "{ranked:?}");
+        assert!(ranked[0].score >= ranked[1].score);
+        assert_eq!(best_source(&candidates, &target_x, &config).unwrap(), 1);
+    }
+
+    #[test]
+    fn untrainable_donor_scores_zero() {
+        // A source whose matches never pass selection cannot be the donor.
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..30 {
+            rows.push(vec![0.1 + (i % 10) as f64 * 0.004, 0.1]);
+            ys.push(Label::NonMatch);
+        }
+        rows.push(vec![0.95, 0.95]); // a single isolated match
+        ys.push(Label::Match);
+        let xs = FeatureMatrix::from_vecs(&rows).unwrap();
+        let (xt, _) = domain(0.5, 20);
+        let config = TransErConfig { k: 5, ..Default::default() };
+        let scores =
+            rank_sources(&[(&xs, ys.as_slice())], &xt, &config).unwrap();
+        assert_eq!(scores[0].score, 0.0);
+    }
+
+    #[test]
+    fn scores_are_complete_and_sorted() {
+        let (a_x, a_y) = domain(0.8, 15);
+        let (b_x, b_y) = domain(0.7, 15);
+        let (c_x, c_y) = domain(0.6, 15);
+        let (t_x, _) = domain(0.8, 15);
+        let config = TransErConfig { k: 3, ..Default::default() };
+        let candidates: Vec<(&FeatureMatrix, &[Label])> =
+            vec![(&a_x, &a_y), (&b_x, &b_y), (&c_x, &c_y)];
+        let ranked = rank_sources(&candidates, &t_x, &config).unwrap();
+        assert_eq!(ranked.len(), 3);
+        for w in ranked.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        let mut seen: Vec<usize> = ranked.iter().map(|s| s.source_index).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_candidates_rejected() {
+        let (t_x, _) = domain(0.8, 5);
+        assert!(rank_sources(&[], &t_x, &TransErConfig::default()).is_err());
+    }
+}

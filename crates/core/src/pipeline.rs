@@ -1,0 +1,337 @@
+//! The TransER pipeline: SEL → GEN → TCL (Algorithm 1), with diagnostics,
+//! phase timings, ablation variants and documented fallbacks for the
+//! degenerate situations Algorithm 1 leaves implicit.
+
+use std::time::Instant;
+
+use transer_common::{FeatureMatrix, Label, Result};
+use transer_ml::{Classifier, ClassifierKind};
+
+use crate::config::TransErConfig;
+use crate::pseudo::{generate_pseudo_labels, PseudoLabels};
+use crate::selector::select_instances;
+use crate::target::train_target_classifier;
+
+/// Counters and timings recorded while running the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Diagnostics {
+    /// `|X^S|`.
+    pub source_count: usize,
+    /// `|X^U|` — instances transferred by SEL.
+    pub selected_count: usize,
+    /// `|X^V|` — target instances whose pseudo-label confidence cleared
+    /// `t_p` (0 when GEN/TCL is ablated away).
+    pub candidate_count: usize,
+    /// `|X^V_b|` — size of the balanced final training sample.
+    pub balanced_count: usize,
+    /// SEL wall-clock seconds.
+    pub sel_secs: f64,
+    /// GEN wall-clock seconds.
+    pub gen_secs: f64,
+    /// TCL wall-clock seconds.
+    pub tcl_secs: f64,
+    /// SEL produced a set too degenerate to train on (empty or
+    /// single-class); the full source was used instead.
+    pub selection_fallback: bool,
+    /// TCL could not be trained (no/single-class high-confidence pseudo
+    /// labels); the pseudo labels were returned directly.
+    pub tcl_fallback: bool,
+}
+
+impl Diagnostics {
+    /// Total wall-clock seconds across the three phases.
+    pub fn total_secs(&self) -> f64 {
+        self.sel_secs + self.gen_secs + self.tcl_secs
+    }
+}
+
+/// The result of running TransER on a domain pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransErOutput {
+    /// Final labels `Y^T`, aligned with the target rows.
+    pub labels: Vec<Label>,
+    /// The intermediate pseudo labels `Y^P`/`Z^P` (equal to the final
+    /// labels when the TCL phase fell back; absent when GEN/TCL is ablated
+    /// away).
+    pub pseudo: Option<PseudoLabels>,
+    /// Counters and timings.
+    pub diagnostics: Diagnostics,
+}
+
+/// The TransER framework: configuration plus the classifier family used
+/// for both `C^U` and `C^V`.
+#[derive(Debug, Clone)]
+pub struct TransEr {
+    config: TransErConfig,
+    classifier: ClassifierKind,
+    seed: u64,
+}
+
+impl TransEr {
+    /// Create a pipeline.
+    ///
+    /// # Errors
+    /// Returns [`transer_common::Error::InvalidParameter`] when the
+    /// configuration is invalid.
+    pub fn new(config: TransErConfig, classifier: ClassifierKind, seed: u64) -> Result<Self> {
+        config.validate()?;
+        Ok(TransEr { config, classifier, seed })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TransErConfig {
+        &self.config
+    }
+
+    /// Run Algorithm 1: predict labels for every target instance.
+    ///
+    /// Degenerate intermediate states fall back gracefully (and are flagged
+    /// in [`Diagnostics`]) rather than failing:
+    ///
+    /// * SEL transfers nothing / a single class → GEN trains on the full
+    ///   source instead (`selection_fallback`).
+    /// * No (two-class) high-confidence pseudo labels → the pseudo labels
+    ///   are returned as the final labels (`tcl_fallback`).
+    ///
+    /// # Errors
+    /// Returns an error for empty/mismatched inputs or when even the
+    /// fallback training sets are unusable (e.g. a single-class source).
+    pub fn fit_predict(
+        &self,
+        xs: &FeatureMatrix,
+        ys: &[Label],
+        xt: &FeatureMatrix,
+    ) -> Result<TransErOutput> {
+        let mut diag = Diagnostics { source_count: xs.rows(), ..Default::default() };
+        let variant = self.config.variant;
+
+        // Phase (i): SEL.
+        let started = Instant::now();
+        let (mut xu, mut yu) = if variant.use_selection {
+            let sel = select_instances(xs, ys, xt, &self.config)?;
+            sel.transferred(xs, ys)
+        } else {
+            // "without SEL": transfer everything. Still validates inputs.
+            let cfg = TransErConfig {
+                variant: crate::config::Variant {
+                    use_sim_c: false,
+                    use_sim_l: false,
+                    use_sim_v: false,
+                    ..variant
+                },
+                ..self.config
+            };
+            let sel = select_instances(xs, ys, xt, &cfg)?;
+            sel.transferred(xs, ys)
+        };
+        diag.selected_count = xu.rows();
+
+        // Fallback: a degenerate transferred set cannot train C^U.
+        let matches = yu.iter().filter(|l| l.is_match()).count();
+        if xu.rows() < 2 || matches == 0 || matches == yu.len() {
+            diag.selection_fallback = true;
+            xu = xs.clone();
+            yu = ys.to_vec();
+        }
+        diag.sel_secs = started.elapsed().as_secs_f64();
+
+        if !variant.use_gen_tcl {
+            // Ablation "without GEN & TCL": classify the target with a
+            // model trained directly on the transferred instances.
+            let started = Instant::now();
+            let mut clf = self.classifier.build(self.seed);
+            clf.fit(&xu, &yu)?;
+            let labels = clf.predict(xt);
+            diag.gen_secs = started.elapsed().as_secs_f64();
+            return Ok(TransErOutput { labels, pseudo: None, diagnostics: diag });
+        }
+
+        // Phase (ii): GEN.
+        let started = Instant::now();
+        let mut cu: Box<dyn Classifier> = self.classifier.build(self.seed);
+        let pseudo = generate_pseudo_labels(cu.as_mut(), &xu, &yu, xt)?;
+        diag.gen_secs = started.elapsed().as_secs_f64();
+
+        // Phase (iii): TCL.
+        let started = Instant::now();
+        let mut cv: Box<dyn Classifier> = self.classifier.build(self.seed.wrapping_add(1));
+        let output = match train_target_classifier(
+            cv.as_mut(),
+            xt,
+            &pseudo,
+            self.config.t_p,
+            self.config.balance_ratio,
+            self.seed,
+        ) {
+            Ok(out) => {
+                diag.candidate_count = out.candidate_count;
+                diag.balanced_count = out.balanced_count;
+                out.labels
+            }
+            Err(e) if !e.is_resource_exceeded() => {
+                // Fallback: the pseudo labels are the best available answer.
+                diag.tcl_fallback = true;
+                pseudo.labels.clone()
+            }
+            Err(e) => return Err(e),
+        };
+        diag.tcl_secs = started.elapsed().as_secs_f64();
+
+        Ok(TransErOutput { labels: output, pseudo: Some(pseudo), diagnostics: diag })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+
+    /// Source with a conflicted mid region; target is the two clean
+    /// clusters, shifted slightly.
+    fn fixture() -> (FeatureMatrix, Vec<Label>, FeatureMatrix, Vec<Label>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            let j = (i % 10) as f64 * 0.006;
+            xs.push(vec![0.9 - j, 0.85 + j]);
+            ys.push(Label::Match);
+            xs.push(vec![0.1 + j, 0.15 - j]);
+            ys.push(Label::NonMatch);
+            xs.push(vec![0.12 + j, 0.1 - j / 2.0]);
+            ys.push(Label::NonMatch);
+        }
+        // Conflicted instances whose labels disagree with the target's
+        // conditional distribution.
+        for i in 0..8 {
+            let j = i as f64 * 0.004;
+            xs.push(vec![0.5 + j, 0.5 - j]);
+            ys.push(if i % 2 == 0 { Label::Match } else { Label::NonMatch });
+        }
+        let mut xt = Vec::new();
+        let mut yt = Vec::new();
+        for i in 0..15 {
+            let j = (i % 8) as f64 * 0.007;
+            xt.push(vec![0.87 - j, 0.88 + j]);
+            yt.push(Label::Match);
+            xt.push(vec![0.13 + j, 0.12 - j]);
+            yt.push(Label::NonMatch);
+            xt.push(vec![0.16 + j, 0.14 - j / 2.0]);
+            yt.push(Label::NonMatch);
+        }
+        (
+            FeatureMatrix::from_vecs(&xs).unwrap(),
+            ys,
+            FeatureMatrix::from_vecs(&xt).unwrap(),
+            yt,
+        )
+    }
+
+    fn run(config: TransErConfig) -> (TransErOutput, Vec<Label>) {
+        let (xs, ys, xt, yt) = fixture();
+        let t = TransEr::new(config, ClassifierKind::LogisticRegression, 42).unwrap();
+        (t.fit_predict(&xs, &ys, &xt).unwrap(), yt)
+    }
+
+    fn accuracy(pred: &[Label], truth: &[Label]) -> f64 {
+        pred.iter().zip(truth).filter(|(a, b)| a == b).count() as f64 / truth.len() as f64
+    }
+
+    #[test]
+    fn full_pipeline_classifies_target() {
+        let cfg = TransErConfig { k: 5, ..Default::default() };
+        let (out, yt) = run(cfg);
+        assert_eq!(out.labels.len(), yt.len());
+        assert!(accuracy(&out.labels, &yt) > 0.95, "accuracy too low");
+        let d = out.diagnostics;
+        assert!(d.selected_count > 0 && d.selected_count < d.source_count);
+        assert!(!d.selection_fallback);
+        assert!(out.pseudo.is_some());
+        assert!(d.total_secs() >= 0.0);
+    }
+
+    #[test]
+    fn selector_drops_conflicted_instances() {
+        let cfg = TransErConfig { k: 5, ..Default::default() };
+        let (out, _) = run(cfg);
+        // The 8 conflicted mid instances cannot all survive selection.
+        assert!(out.diagnostics.selected_count <= out.diagnostics.source_count - 4);
+    }
+
+    #[test]
+    fn without_gen_tcl_variant() {
+        let cfg = TransErConfig {
+            k: 5,
+            variant: Variant::without_gen_tcl(),
+            ..Default::default()
+        };
+        let (out, yt) = run(cfg);
+        assert!(out.pseudo.is_none());
+        assert_eq!(out.diagnostics.candidate_count, 0);
+        assert!(accuracy(&out.labels, &yt) > 0.9);
+    }
+
+    #[test]
+    fn without_sel_transfers_everything() {
+        let cfg = TransErConfig { k: 5, variant: Variant::without_sel(), ..Default::default() };
+        let (out, _) = run(cfg);
+        assert_eq!(out.diagnostics.selected_count, out.diagnostics.source_count);
+    }
+
+    #[test]
+    fn tcl_fallback_on_impossible_threshold() {
+        // t_p = 1.0 keeps almost nothing; logistic probabilities rarely
+        // saturate exactly, so TCL falls back to the pseudo labels.
+        let cfg = TransErConfig { k: 5, t_p: 1.0, ..Default::default() };
+        let (out, yt) = run(cfg);
+        assert_eq!(out.labels.len(), yt.len());
+        if out.diagnostics.tcl_fallback {
+            let pseudo = out.pseudo.expect("pseudo kept");
+            assert_eq!(out.labels, pseudo.labels);
+        }
+    }
+
+    #[test]
+    fn selection_fallback_on_hostile_thresholds() {
+        // Thresholds so strict nothing passes: pipeline must fall back to
+        // the full source rather than fail.
+        let cfg = TransErConfig { k: 5, t_c: 1.0, t_l: 1.0, ..Default::default() };
+        let (xs, ys, xt, _) = fixture();
+        // Force structural mismatch so sim_l = 1.0 never holds.
+        let t = TransEr::new(cfg, ClassifierKind::LogisticRegression, 1).unwrap();
+        let out = t.fit_predict(&xs, &ys, &xt).unwrap();
+        assert_eq!(out.labels.len(), xt.rows());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = TransErConfig { k: 5, ..Default::default() };
+        let (xs, ys, xt, _) = fixture();
+        let a = TransEr::new(cfg, ClassifierKind::RandomForest, 9).unwrap();
+        let b = TransEr::new(cfg, ClassifierKind::RandomForest, 9).unwrap();
+        assert_eq!(
+            a.fit_predict(&xs, &ys, &xt).unwrap().labels,
+            b.fit_predict(&xs, &ys, &xt).unwrap().labels
+        );
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_construction() {
+        assert!(TransEr::new(
+            TransErConfig { k: 0, ..Default::default() },
+            ClassifierKind::Svm,
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn works_with_all_paper_classifiers() {
+        let (xs, ys, xt, yt) = fixture();
+        for kind in ClassifierKind::PAPER_SET {
+            let t = TransEr::new(TransErConfig { k: 5, ..Default::default() }, kind, 3).unwrap();
+            let out = t.fit_predict(&xs, &ys, &xt).unwrap();
+            let acc = accuracy(&out.labels, &yt);
+            assert!(acc > 0.8, "{} accuracy {acc}", kind.name());
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Phase (ii) — the pseudo-label generator (GEN), Section 4.2 of the paper.
+//!
+//! A classifier `C^U` is trained on the transferred instances `(X^U, Y^U)`
+//! and applied to the full target matrix `X^T`, producing a pseudo label
+//! `Y^P` and a confidence score `Z^P` (the probability of the predicted
+//! class) per target instance. The next phase trains on the target itself
+//! using only the high-confidence pseudo labels, which is how TransER
+//! absorbs the difference in marginal distributions.
+
+use transer_common::{Error, FeatureMatrix, Label, Result};
+use transer_ml::Classifier;
+
+/// Pseudo labels and confidences for every target instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PseudoLabels {
+    /// Predicted label `y^P` per target row.
+    pub labels: Vec<Label>,
+    /// Confidence `z^P = max(p, 1-p)` of each predicted label, in
+    /// `[0.5, 1]`.
+    pub confidences: Vec<f64>,
+}
+
+impl PseudoLabels {
+    /// Indices of instances whose confidence is at least `t_p`.
+    pub fn high_confidence_indices(&self, t_p: f64) -> Vec<usize> {
+        (0..self.labels.len()).filter(|&i| self.confidences[i] >= t_p).collect()
+    }
+}
+
+/// Train `C^U` on the transferred instances and pseudo-label the target
+/// (lines 10–11 of Algorithm 1).
+///
+/// The classifier is passed in unfitted so callers control the model family
+/// and seed; it is fitted here.
+///
+/// # Errors
+/// Returns an error when the transferred set is empty, single-class (no
+/// decision boundary can be learned), or training fails.
+pub fn generate_pseudo_labels(
+    classifier: &mut dyn Classifier,
+    xu: &FeatureMatrix,
+    yu: &[Label],
+    xt: &FeatureMatrix,
+) -> Result<PseudoLabels> {
+    if xu.rows() == 0 {
+        return Err(Error::EmptyInput("transferred instances"));
+    }
+    let matches = yu.iter().filter(|l| l.is_match()).count();
+    if matches == 0 || matches == yu.len() {
+        return Err(Error::TrainingFailed(format!(
+            "transferred set is single-class ({matches}/{} matches)",
+            yu.len()
+        )));
+    }
+    classifier.fit(xu, yu)?;
+    let (labels, confidences): (Vec<Label>, Vec<f64>) =
+        classifier.predict_confidence(xt).into_iter().unzip();
+    Ok(PseudoLabels { labels, confidences })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transer_ml::ClassifierKind;
+
+    fn training_data() -> (FeatureMatrix, Vec<Label>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..15 {
+            let j = i as f64 * 0.005;
+            rows.push(vec![0.9 - j, 0.85 + j]);
+            labels.push(Label::Match);
+            rows.push(vec![0.1 + j, 0.15 - j]);
+            labels.push(Label::NonMatch);
+        }
+        (FeatureMatrix::from_vecs(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn pseudo_labels_follow_structure() {
+        let (xu, yu) = training_data();
+        let xt =
+            FeatureMatrix::from_vecs(&[vec![0.88, 0.9], vec![0.12, 0.1], vec![0.5, 0.5]]).unwrap();
+        let mut clf = ClassifierKind::LogisticRegression.build(0);
+        let p = generate_pseudo_labels(clf.as_mut(), &xu, &yu, &xt).unwrap();
+        assert_eq!(p.labels[0], Label::Match);
+        assert_eq!(p.labels[1], Label::NonMatch);
+        // Confident at the extremes, less so in the middle.
+        assert!(p.confidences[0] > p.confidences[2]);
+        assert!(p.confidences[1] > p.confidences[2]);
+    }
+
+    #[test]
+    fn confidences_in_valid_range() {
+        let (xu, yu) = training_data();
+        let xt = xu.clone();
+        for kind in ClassifierKind::PAPER_SET {
+            let mut clf = kind.build(7);
+            let p = generate_pseudo_labels(clf.as_mut(), &xu, &yu, &xt).unwrap();
+            for &c in &p.confidences {
+                assert!((0.5..=1.0).contains(&c), "{} gave {c}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn high_confidence_filtering() {
+        let p = PseudoLabels {
+            labels: vec![Label::Match, Label::NonMatch, Label::Match],
+            confidences: vec![0.995, 0.7, 0.999],
+        };
+        assert_eq!(p.high_confidence_indices(0.99), vec![0, 2]);
+        assert_eq!(p.high_confidence_indices(0.5), vec![0, 1, 2]);
+        assert!(p.high_confidence_indices(1.0).is_empty());
+    }
+
+    #[test]
+    fn single_class_rejected() {
+        let x = FeatureMatrix::from_vecs(&[vec![0.9], vec![0.8]]).unwrap();
+        let mut clf = ClassifierKind::LogisticRegression.build(0);
+        let err = generate_pseudo_labels(clf.as_mut(), &x, &[Label::Match; 2], &x);
+        assert!(matches!(err, Err(Error::TrainingFailed(_))));
+        let err = generate_pseudo_labels(clf.as_mut(), &x, &[Label::NonMatch; 2], &x);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let mut clf = ClassifierKind::LogisticRegression.build(0);
+        let x = FeatureMatrix::empty(2);
+        assert!(generate_pseudo_labels(clf.as_mut(), &x, &[], &x).is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! Phase (i) — the instance selector (SEL), Section 4.1 of the paper.
+//!
+//! For every source instance `x^S` the selector computes:
+//!
+//! * `sim_c(x^S)` (Eq. 1): the fraction of its `k` nearest source
+//!   neighbours sharing its class label — the *class confidence*. Low
+//!   values flag instances in ambiguous regions, where the same feature
+//!   vector carries both labels.
+//! * `sim_l(x^S)` (Eq. 2): `exp(-5 · ‖c_S − c_T‖₂ / √m)` where `c_S`/`c_T`
+//!   are the centroids of its `k`-neighbourhoods in the source and target —
+//!   the *local structural similarity* of the two marginal distributions
+//!   around the instance.
+//! * optionally `sim_v(x^S)`: the covariance analogue used by LocIT,
+//!   `exp(-5 · ‖Σ_S − Σ_T‖_F / m)`, available for the `+ sim_v` ablation.
+//!
+//! An instance is transferred when every enabled score clears its
+//! threshold.
+
+use transer_common::{Error, FeatureMatrix, Label, Result};
+use transer_knn::KdTree;
+use transer_linalg::covariance;
+
+use crate::config::TransErConfig;
+use crate::decay::exp_decay_5;
+
+/// The per-instance similarity scores computed by the selector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceScores {
+    /// Class-confidence similarity `sim_c` (Eq. 1).
+    pub sim_c: f64,
+    /// Structural similarity `sim_l` (Eq. 2).
+    pub sim_l: f64,
+    /// Covariance similarity `sim_v` (only computed when the variant
+    /// enables it; 1.0 otherwise).
+    pub sim_v: f64,
+}
+
+/// Output of the SEL phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionResult {
+    /// Indices into `X^S` of the transferred instances `X^U`, ascending.
+    pub indices: Vec<usize>,
+    /// Scores for *every* source instance (selected or not), aligned with
+    /// the rows of `X^S`; useful for diagnostics and the sensitivity
+    /// experiments.
+    pub scores: Vec<InstanceScores>,
+}
+
+impl SelectionResult {
+    /// Materialise the transferred feature matrix `X^U` and labels `Y^U`.
+    pub fn transferred(&self, xs: &FeatureMatrix, ys: &[Label]) -> (FeatureMatrix, Vec<Label>) {
+        (xs.select_rows(&self.indices), self.indices.iter().map(|&i| ys[i]).collect())
+    }
+}
+
+/// Run the SEL phase: score every source instance and keep those clearing
+/// the enabled thresholds (lines 1–9 of Algorithm 1).
+///
+/// # Errors
+/// Returns an error for empty inputs, mismatched shapes or an invalid
+/// configuration.
+pub fn select_instances(
+    xs: &FeatureMatrix,
+    ys: &[Label],
+    xt: &FeatureMatrix,
+    config: &TransErConfig,
+) -> Result<SelectionResult> {
+    config.validate()?;
+    if xs.rows() == 0 {
+        return Err(Error::EmptyInput("source instances"));
+    }
+    if xt.rows() == 0 {
+        return Err(Error::EmptyInput("target instances"));
+    }
+    if xs.rows() != ys.len() {
+        return Err(Error::DimensionMismatch {
+            what: "source rows vs labels",
+            left: xs.rows(),
+            right: ys.len(),
+        });
+    }
+    if xs.cols() != xt.cols() {
+        return Err(Error::DimensionMismatch {
+            what: "source vs target feature columns",
+            left: xs.cols(),
+            right: xt.cols(),
+        });
+    }
+
+    let k = config.k;
+    let m = xs.cols() as f64;
+    let source_tree = KdTree::build(xs);
+    let target_tree = KdTree::build(xt);
+
+    let variant = config.variant;
+    let mut indices = Vec::new();
+    let mut scores = Vec::with_capacity(xs.rows());
+    for (i, row) in xs.iter_rows().enumerate() {
+        // Neighbourhoods N_x^S (excluding the instance itself) and N_x^T.
+        let ns = source_tree.k_nearest_excluding(row, k, Some(i));
+        let nt = target_tree.k_nearest(row, k);
+
+        // Eq. (1): fraction of source neighbours sharing the label. The
+        // paper divides by k; when fewer than k neighbours exist (tiny
+        // sources) we divide by the actual count to keep the score in [0,1].
+        let same = ns.iter().filter(|n| ys[n.index] == ys[i]).count();
+        let sim_c = if ns.is_empty() { 1.0 } else { same as f64 / ns.len() as f64 };
+
+        // Eq. (2): decayed, normalised centroid distance.
+        let sim_l = if nt.is_empty() {
+            0.0
+        } else {
+            let cs = centroid(xs, &ns, row);
+            let ct = centroid(xt, &nt, row);
+            let dist: f64 = cs
+                .iter()
+                .zip(&ct)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            exp_decay_5(dist / m.sqrt())
+        };
+
+        // Optional LocIT covariance similarity for the + sim_v ablation.
+        let sim_v = if variant.use_sim_v && !ns.is_empty() && !nt.is_empty() {
+            let cov_s = covariance(&xs.select_rows(&ns.iter().map(|n| n.index).collect::<Vec<_>>()));
+            let cov_t = covariance(&xt.select_rows(&nt.iter().map(|n| n.index).collect::<Vec<_>>()));
+            exp_decay_5(cov_s.frobenius_distance(&cov_t) / m)
+        } else {
+            1.0
+        };
+
+        let keep = (!variant.use_sim_c || sim_c >= config.t_c)
+            && (!variant.use_sim_l || sim_l >= config.t_l)
+            && (!variant.use_sim_v || sim_v >= config.t_v);
+        if keep {
+            indices.push(i);
+        }
+        scores.push(InstanceScores { sim_c, sim_l, sim_v });
+    }
+    Ok(SelectionResult { indices, scores })
+}
+
+/// Mean of the neighbourhood rows; falls back to the instance itself when
+/// the neighbourhood is empty (single-row matrices).
+fn centroid(
+    x: &FeatureMatrix,
+    neighbours: &[transer_knn::Neighbor],
+    fallback: &[f64],
+) -> Vec<f64> {
+    if neighbours.is_empty() {
+        return fallback.to_vec();
+    }
+    let mut c = vec![0.0; x.cols()];
+    for n in neighbours {
+        for (acc, &v) in c.iter_mut().zip(x.row(n.index)) {
+            *acc += v;
+        }
+    }
+    let k = neighbours.len() as f64;
+    c.iter_mut().for_each(|v| *v /= k);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Source: tight match cluster at (0.9, 0.9), tight non-match cluster
+    /// at (0.1, 0.1), plus one contested instance at (0.5, 0.5) surrounded
+    /// by opposite labels. Target mirrors the two clusters.
+    fn fixture() -> (FeatureMatrix, Vec<Label>, FeatureMatrix) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..10 {
+            let j = i as f64 * 0.004;
+            xs.push(vec![0.9 + j, 0.9 - j]);
+            ys.push(Label::Match);
+            xs.push(vec![0.1 + j, 0.1 - j]);
+            ys.push(Label::NonMatch);
+        }
+        // A conflicted region: interleaved labels at the same spot.
+        for i in 0..6 {
+            let j = i as f64 * 0.003;
+            xs.push(vec![0.5 + j, 0.5 - j]);
+            ys.push(if i % 2 == 0 { Label::Match } else { Label::NonMatch });
+        }
+        let mut xt = Vec::new();
+        for i in 0..10 {
+            let j = i as f64 * 0.004;
+            xt.push(vec![0.88 + j, 0.91 - j]);
+            xt.push(vec![0.12 + j, 0.09 - j]);
+        }
+        (
+            FeatureMatrix::from_vecs(&xs).unwrap(),
+            ys,
+            FeatureMatrix::from_vecs(&xt).unwrap(),
+        )
+    }
+
+    fn config(k: usize) -> TransErConfig {
+        TransErConfig { k, ..Default::default() }
+    }
+
+    #[test]
+    fn confident_cluster_instances_selected() {
+        let (xs, ys, xt) = fixture();
+        let sel = select_instances(&xs, &ys, &xt, &config(5)).unwrap();
+        // The 20 cluster instances are confident and structurally aligned;
+        // the 6 conflicted mid-points are not.
+        for &i in &sel.indices {
+            assert!(i < 20, "conflicted instance {i} selected");
+        }
+        assert!(sel.indices.len() >= 16, "selected {:?}", sel.indices.len());
+    }
+
+    #[test]
+    fn conflicted_instances_have_low_sim_c() {
+        let (xs, ys, xt) = fixture();
+        let sel = select_instances(&xs, &ys, &xt, &config(5)).unwrap();
+        for s in &sel.scores[20..] {
+            assert!(s.sim_c < 0.9, "sim_c {} not low", s.sim_c);
+        }
+        for s in &sel.scores[..20] {
+            assert!(s.sim_c >= 0.9, "cluster sim_c {} unexpectedly low", s.sim_c);
+        }
+    }
+
+    #[test]
+    fn structurally_absent_regions_have_low_sim_l() {
+        let (xs, ys, _) = fixture();
+        // Target far away from every source instance.
+        let far =
+            FeatureMatrix::from_vecs(&(0..10).map(|i| vec![0.0, 0.9 + i as f64 * 0.01]).collect::<Vec<_>>())
+                .unwrap();
+        let sel = select_instances(&xs, &ys, &far, &config(5)).unwrap();
+        // Match-cluster instances at (0.9,0.9) are far from the target
+        // cloud near (0.0,0.95): sim_l must be small.
+        assert!(sel.scores[0].sim_l < 0.9);
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let (xs, ys, xt) = fixture();
+        let sel = select_instances(&xs, &ys, &xt, &config(7)).unwrap();
+        for s in &sel.scores {
+            assert!((0.0..=1.0).contains(&s.sim_c));
+            assert!((0.0..=1.0).contains(&s.sim_l));
+            assert!((0.0..=1.0).contains(&s.sim_v));
+        }
+    }
+
+    #[test]
+    fn thresholds_zero_select_everything() {
+        let (xs, ys, xt) = fixture();
+        let cfg = TransErConfig { t_c: 0.0, t_l: 0.0, ..config(5) };
+        let sel = select_instances(&xs, &ys, &xt, &cfg).unwrap();
+        assert_eq!(sel.indices.len(), xs.rows());
+    }
+
+    #[test]
+    fn disabled_filters_ignore_thresholds() {
+        let (xs, ys, xt) = fixture();
+        let mut cfg = TransErConfig { t_c: 1.0, t_l: 1.0, ..config(5) };
+        cfg.variant.use_sim_c = false;
+        cfg.variant.use_sim_l = false;
+        let sel = select_instances(&xs, &ys, &xt, &cfg).unwrap();
+        assert_eq!(sel.indices.len(), xs.rows());
+    }
+
+    #[test]
+    fn sim_v_filter_tightens_selection() {
+        let (xs, ys, xt) = fixture();
+        let plain = select_instances(&xs, &ys, &xt, &config(5)).unwrap();
+        let mut cfg = config(5);
+        cfg.variant.use_sim_v = true;
+        cfg.t_v = 0.999; // extremely strict covariance agreement
+        let with_v = select_instances(&xs, &ys, &xt, &cfg).unwrap();
+        assert!(with_v.indices.len() <= plain.indices.len());
+        for i in &with_v.indices {
+            assert!(plain.indices.contains(i));
+        }
+    }
+
+    #[test]
+    fn transferred_materialisation() {
+        let (xs, ys, xt) = fixture();
+        let sel = select_instances(&xs, &ys, &xt, &config(5)).unwrap();
+        let (xu, yu) = sel.transferred(&xs, &ys);
+        assert_eq!(xu.rows(), sel.indices.len());
+        assert_eq!(yu.len(), sel.indices.len());
+        assert_eq!(xu.row(0), xs.row(sel.indices[0]));
+    }
+
+    #[test]
+    fn input_validation() {
+        let (xs, ys, xt) = fixture();
+        assert!(select_instances(&FeatureMatrix::empty(2), &[], &xt, &config(5)).is_err());
+        assert!(select_instances(&xs, &ys, &FeatureMatrix::empty(2), &config(5)).is_err());
+        assert!(select_instances(&xs, &ys[..3], &xt, &config(5)).is_err());
+        let narrow = FeatureMatrix::from_vecs(&[vec![0.5]]).unwrap();
+        assert!(select_instances(&xs, &ys, &narrow, &config(5)).is_err());
+        assert!(select_instances(&xs, &ys, &xt, &config(0)).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! Headline-shape probe: TransER vs Naive on all eight directed transfer
+//! tasks, averaged over the paper's four classifiers. The quick way to
+//! check the Table 2 shape after touching the generators or the pipeline.
+//! Usage: `cargo run --release -p transer-datagen --example headline [scale]`.
+use transer_core::{TransEr, TransErConfig};
+use transer_datagen::ScenarioPair;
+use transer_metrics::{evaluate, MeanStd};
+use transer_ml::ClassifierKind;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    for pair in ScenarioPair::ALL {
+        for dp in pair.both_directions(scale, 42).unwrap() {
+            let mut tf = MeanStd::new();
+            let mut tr = MeanStd::new();
+            let mut tp = MeanStd::new();
+            let mut nf = MeanStd::new();
+            let mut nr = MeanStd::new();
+            let mut np = MeanStd::new();
+            for kind in ClassifierKind::PAPER_SET {
+                let t = TransEr::new(TransErConfig::default(), kind, 7).unwrap();
+                let out = t.fit_predict(&dp.source.x, &dp.source.y, &dp.target.x).unwrap();
+                let cm = evaluate(&out.labels, &dp.target.y);
+                tf.push(cm.f_star()); tr.push(cm.recall()); tp.push(cm.precision());
+                let mut clf = kind.build(7);
+                clf.fit(&dp.source.x, &dp.source.y).unwrap();
+                let cm = evaluate(&clf.predict(&dp.target.x), &dp.target.y);
+                nf.push(cm.f_star()); nr.push(cm.recall()); np.push(cm.precision());
+            }
+            println!("{:<26} TransER F*={:.1} P={:.1} R={:.1} | Naive F*={:.1} P={:.1} R={:.1}",
+                dp.label(), tf.mean()*100.0, tp.mean()*100.0, tr.mean()*100.0,
+                nf.mean()*100.0, np.mean()*100.0, nr.mean()*100.0);
+        }
+    }
+}

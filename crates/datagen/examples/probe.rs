@@ -1,0 +1,25 @@
+//! Workload statistics probe: prints, for every scenario at the given
+//! scale, the candidate-pair count, match percentage and the share of
+//! ambiguous feature vectors — the quantities Table 1 is calibrated
+//! against. Usage: `cargo run --release -p transer-datagen --example
+//! probe [scale]`.
+
+use std::collections::HashMap;
+use transer_datagen::Scenario;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    for s in Scenario::ALL {
+        let d = s.generate(scale, 42).unwrap();
+        let n = d.len();
+        let m = d.num_matches();
+        // ambiguity: rounded vectors with both labels
+        let mut keys: HashMap<Vec<i64>, (usize, usize)> = HashMap::new();
+        for i in 0..n {
+            let e = keys.entry(d.x.row_key(i, 2)).or_default();
+            if d.y[i].is_match() { e.0 += 1 } else { e.1 += 1 }
+        }
+        let amb: usize = keys.values().filter(|(a,b)| *a>0 && *b>0).map(|(a,b)| a+b).sum();
+        println!("{:<14} pairs={:<8} M%={:.1} amb%={:.1}", s.name(), n, 100.0*m as f64/n as f64, 100.0*amb as f64/n as f64);
+    }
+}

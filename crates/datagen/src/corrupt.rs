@@ -1,0 +1,346 @@
+//! Value-corruption models: the typographical errors, spelling variations,
+//! abbreviations and omissions that make personal data hard to link
+//! (Christen, *Data Matching*, 2012).
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::RngExt;
+use transer_common::AttrValue;
+
+use crate::lexicon::nickname_of;
+
+/// Per-value corruption probabilities. Each database gets its own profile;
+/// the difference between profiles is what creates the difference in
+/// marginal (and conditional) distributions between domains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptionProfile {
+    /// Probability of applying 1–`max_typos` random character edits.
+    pub typo_prob: f64,
+    /// Maximum number of character edits per corrupted value.
+    pub max_typos: usize,
+    /// Probability of an OCR-style confusion (`m`↔`rn`, `l`↔`1`, ...).
+    pub ocr_prob: f64,
+    /// Probability of abbreviating a token to its initial (`john` → `j`).
+    pub abbreviate_prob: f64,
+    /// Probability of dropping one token from a multi-token value.
+    pub drop_token_prob: f64,
+    /// Probability of swapping two adjacent tokens.
+    pub swap_tokens_prob: f64,
+    /// Probability of replacing a name by a nickname variant.
+    pub nickname_prob: f64,
+    /// Probability of the value going missing entirely.
+    pub missing_prob: f64,
+    /// Probability of perturbing a numeric value by ±`max_jitter`.
+    pub numeric_jitter_prob: f64,
+    /// Maximum absolute numeric perturbation.
+    pub max_jitter: f64,
+}
+
+impl CorruptionProfile {
+    /// A curated, well-edited database (DBLP, ACM, MSD).
+    pub fn clean() -> Self {
+        CorruptionProfile {
+            typo_prob: 0.03,
+            max_typos: 1,
+            ocr_prob: 0.01,
+            abbreviate_prob: 0.02,
+            drop_token_prob: 0.02,
+            swap_tokens_prob: 0.01,
+            nickname_prob: 0.02,
+            missing_prob: 0.01,
+            numeric_jitter_prob: 0.02,
+            max_jitter: 1.0,
+        }
+    }
+
+    /// A moderately noisy database (Musicbrainz, KIL registers).
+    pub fn noisy() -> Self {
+        CorruptionProfile {
+            typo_prob: 0.12,
+            max_typos: 2,
+            ocr_prob: 0.04,
+            abbreviate_prob: 0.08,
+            drop_token_prob: 0.08,
+            swap_tokens_prob: 0.05,
+            nickname_prob: 0.08,
+            missing_prob: 0.05,
+            numeric_jitter_prob: 0.08,
+            max_jitter: 2.0,
+        }
+    }
+
+    /// A heavily corrupted database (Scholar's web-scraped records, IOS
+    /// transcriptions).
+    pub fn heavy() -> Self {
+        CorruptionProfile {
+            typo_prob: 0.22,
+            max_typos: 3,
+            ocr_prob: 0.08,
+            abbreviate_prob: 0.18,
+            drop_token_prob: 0.14,
+            swap_tokens_prob: 0.08,
+            nickname_prob: 0.12,
+            missing_prob: 0.10,
+            numeric_jitter_prob: 0.15,
+            max_jitter: 3.0,
+        }
+    }
+
+    /// No corruption at all — useful in tests.
+    pub fn none() -> Self {
+        CorruptionProfile {
+            typo_prob: 0.0,
+            max_typos: 0,
+            ocr_prob: 0.0,
+            abbreviate_prob: 0.0,
+            drop_token_prob: 0.0,
+            swap_tokens_prob: 0.0,
+            nickname_prob: 0.0,
+            missing_prob: 0.0,
+            numeric_jitter_prob: 0.0,
+            max_jitter: 0.0,
+        }
+    }
+}
+
+/// OCR/transcription confusion pairs.
+const OCR_CONFUSIONS: &[(&str, &str)] =
+    &[("m", "rn"), ("w", "vv"), ("l", "1"), ("o", "0"), ("s", "5"), ("cl", "d"), ("nn", "m")];
+
+const ALPHABET: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
+    's', 't', 'u', 'v', 'w', 'x', 'y', 'z',
+];
+
+/// Apply one random character edit (insert / delete / substitute /
+/// transpose) to a string; empty strings are returned unchanged.
+pub fn typo(s: &str, rng: &mut StdRng) -> String {
+    let mut chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return String::new();
+    }
+    match rng.random_range(0..4u8) {
+        0 => {
+            // insert
+            let pos = rng.random_range(0..=chars.len());
+            chars.insert(pos, *ALPHABET.choose(rng).expect("nonempty"));
+        }
+        1 => {
+            // delete
+            if chars.len() > 1 {
+                let pos = rng.random_range(0..chars.len());
+                chars.remove(pos);
+            }
+        }
+        2 => {
+            // substitute
+            let pos = rng.random_range(0..chars.len());
+            chars[pos] = *ALPHABET.choose(rng).expect("nonempty");
+        }
+        _ => {
+            // transpose adjacent
+            if chars.len() > 1 {
+                let pos = rng.random_range(0..chars.len() - 1);
+                chars.swap(pos, pos + 1);
+            }
+        }
+    }
+    chars.into_iter().collect()
+}
+
+/// Apply one OCR confusion somewhere in the string, if a pattern occurs.
+pub fn ocr_confusion(s: &str, rng: &mut StdRng) -> String {
+    let applicable: Vec<&(&str, &str)> =
+        OCR_CONFUSIONS.iter().filter(|(from, _)| s.contains(from)).collect();
+    match applicable.choose(rng) {
+        Some((from, to)) => s.replacen(from, to, 1),
+        None => s.to_string(),
+    }
+}
+
+/// Corrupt a textual value according to the profile. Returns
+/// [`AttrValue::Missing`] when the missing-value die comes up.
+pub fn corrupt_text(s: &str, profile: &CorruptionProfile, rng: &mut StdRng) -> AttrValue {
+    if rng.random_bool(profile.missing_prob) {
+        return AttrValue::Missing;
+    }
+    let mut tokens: Vec<String> = s.split(' ').map(str::to_string).collect();
+
+    // Nickname substitution operates on whole tokens.
+    if rng.random_bool(profile.nickname_prob) {
+        for t in &mut tokens {
+            if let Some(nick) = nickname_of(t) {
+                *t = nick.to_string();
+                break;
+            }
+        }
+    }
+    // Abbreviation: one token collapses to its initial.
+    if rng.random_bool(profile.abbreviate_prob) && !tokens.is_empty() {
+        let idx = rng.random_range(0..tokens.len());
+        if let Some(initial) = tokens[idx].chars().next() {
+            tokens[idx] = initial.to_string();
+        }
+    }
+    // Token drop / adjacent swap.
+    if tokens.len() > 1 && rng.random_bool(profile.drop_token_prob) {
+        let idx = rng.random_range(0..tokens.len());
+        tokens.remove(idx);
+    }
+    if tokens.len() > 1 && rng.random_bool(profile.swap_tokens_prob) {
+        let idx = rng.random_range(0..tokens.len() - 1);
+        tokens.swap(idx, idx + 1);
+    }
+
+    let mut out = tokens.join(" ");
+    if rng.random_bool(profile.ocr_prob) {
+        out = ocr_confusion(&out, rng);
+    }
+    if rng.random_bool(profile.typo_prob) {
+        let edits = rng.random_range(1..=profile.max_typos.max(1));
+        for _ in 0..edits {
+            out = typo(&out, rng);
+        }
+    }
+    if out.is_empty() {
+        AttrValue::Missing
+    } else {
+        AttrValue::Text(out)
+    }
+}
+
+/// Corrupt a numeric value: missingness plus integer jitter.
+pub fn corrupt_number(x: f64, profile: &CorruptionProfile, rng: &mut StdRng) -> AttrValue {
+    if rng.random_bool(profile.missing_prob) {
+        return AttrValue::Missing;
+    }
+    if profile.max_jitter > 0.0 && rng.random_bool(profile.numeric_jitter_prob) {
+        let jitter = rng.random_range(1..=profile.max_jitter as i64);
+        let sign = if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+        AttrValue::Number(x + sign * jitter as f64)
+    } else {
+        AttrValue::Number(x)
+    }
+}
+
+/// Corrupt any attribute value according to the profile.
+pub fn corrupt_value(v: &AttrValue, profile: &CorruptionProfile, rng: &mut StdRng) -> AttrValue {
+    match v {
+        AttrValue::Text(s) => corrupt_text(s, profile, rng),
+        AttrValue::Number(x) => corrupt_number(*x, profile, rng),
+        AttrValue::Missing => AttrValue::Missing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn typo_changes_at_most_one_edit() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let out = typo("macdonald", &mut rng);
+            let d = edit_distance(&out, "macdonald");
+            assert!(d <= 2, "{out} too far"); // transpose counts 2 in plain Levenshtein
+            assert!(!out.is_empty());
+        }
+    }
+
+    fn edit_distance(a: &str, b: &str) -> usize {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        for (i, ca) in a.iter().enumerate() {
+            let mut curr = vec![i + 1];
+            for (j, cb) in b.iter().enumerate() {
+                let cost = usize::from(ca != cb);
+                curr.push((prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost));
+            }
+            prev = curr;
+        }
+        prev[b.len()]
+    }
+
+    #[test]
+    fn none_profile_is_identity() {
+        let mut rng = rng();
+        let p = CorruptionProfile::none();
+        for s in ["john macdonald", "efficient query processing", "x"] {
+            match corrupt_text(s, &p, &mut rng) {
+                AttrValue::Text(out) => assert_eq!(out, s),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(corrupt_number(1881.0, &p, &mut rng), AttrValue::Number(1881.0));
+    }
+
+    #[test]
+    fn heavy_profile_corrupts_often() {
+        let mut rng = rng();
+        let p = CorruptionProfile::heavy();
+        let changed = (0..300)
+            .filter(|_| {
+                !matches!(
+                    corrupt_text("john macdonald portree", &p, &mut rng),
+                    AttrValue::Text(ref t) if t == "john macdonald portree"
+                )
+            })
+            .count();
+        assert!(changed > 100, "only {changed} corrupted");
+    }
+
+    #[test]
+    fn missingness_respects_probability() {
+        let mut rng = rng();
+        let p = CorruptionProfile { missing_prob: 1.0, ..CorruptionProfile::none() };
+        assert_eq!(corrupt_text("anything", &p, &mut rng), AttrValue::Missing);
+        assert_eq!(corrupt_number(5.0, &p, &mut rng), AttrValue::Missing);
+    }
+
+    #[test]
+    fn numeric_jitter_bounded() {
+        let mut rng = rng();
+        let p = CorruptionProfile {
+            numeric_jitter_prob: 1.0,
+            max_jitter: 3.0,
+            ..CorruptionProfile::none()
+        };
+        for _ in 0..100 {
+            match corrupt_number(1900.0, &p, &mut rng) {
+                AttrValue::Number(x) => assert!((x - 1900.0).abs() <= 3.0 && x != 1900.0),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ocr_confusion_only_when_applicable() {
+        let mut rng = rng();
+        assert_eq!(ocr_confusion("xyz", &mut rng), "xyz".to_string());
+        let out = ocr_confusion("mill", &mut rng);
+        assert_ne!(out, "mill");
+    }
+
+    #[test]
+    fn nickname_substitution() {
+        let mut rng = rng();
+        let p = CorruptionProfile { nickname_prob: 1.0, ..CorruptionProfile::none() };
+        match corrupt_text("john macdonald", &p, &mut rng) {
+            AttrValue::Text(t) => assert_eq!(t, "jock macdonald"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_passes_through() {
+        let mut rng = rng();
+        let p = CorruptionProfile::heavy();
+        assert_eq!(corrupt_value(&AttrValue::Missing, &p, &mut rng), AttrValue::Missing);
+    }
+}

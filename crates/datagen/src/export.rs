@@ -1,0 +1,140 @@
+//! CSV export / import of labelled feature data sets.
+//!
+//! The paper's authors released their feature matrices alongside the code;
+//! this module provides the same artefact for the synthetic workloads so
+//! results can be consumed outside Rust (pandas, R) or fed back in.
+//!
+//! Format: a header `f0,f1,...,label`, then one row per record pair with
+//! the similarity values and `M`/`N`.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use transer_common::{Error, FeatureMatrix, Label, LabeledDataset, Result};
+
+/// Write a data set as CSV.
+///
+/// # Errors
+/// Propagates I/O errors as [`Error::TrainingFailed`]-free plain messages
+/// via [`Error::InvalidParameter`] (the workspace has no I/O error
+/// variant; exporting is an edge concern).
+pub fn write_csv<W: Write>(ds: &LabeledDataset, writer: W) -> Result<()> {
+    let io = |e: std::io::Error| Error::InvalidParameter {
+        name: "csv writer",
+        message: e.to_string(),
+    };
+    let mut w = BufWriter::new(writer);
+    let header: Vec<String> = (0..ds.x.cols()).map(|i| format!("f{i}")).collect();
+    writeln!(w, "{},label", header.join(",")).map_err(io)?;
+    for (row, label) in ds.x.iter_rows().zip(&ds.y) {
+        let values: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(w, "{},{label}", values.join(",")).map_err(io)?;
+    }
+    w.flush().map_err(io)
+}
+
+/// Read a data set from CSV produced by [`write_csv`].
+///
+/// # Errors
+/// Returns parse errors with line context.
+pub fn read_csv<R: Read>(name: impl Into<String>, reader: R) -> Result<LabeledDataset> {
+    let err = |line: usize, message: String| Error::InvalidParameter {
+        name: "csv reader",
+        message: format!("line {line}: {message}"),
+    };
+    let mut lines = BufReader::new(reader).lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| err(0, "empty file".into()))?;
+    let header = header.map_err(|e| err(1, e.to_string()))?;
+    let cols = header.split(',').count();
+    if cols < 2 || !header.ends_with("label") {
+        return Err(err(1, format!("unexpected header {header:?}")));
+    }
+    let m = cols - 1;
+
+    let mut x = FeatureMatrix::empty(m);
+    let mut y = Vec::new();
+    let mut buf = vec![0.0; m];
+    for (idx, line) in lines {
+        let line = line.map_err(|e| err(idx + 1, e.to_string()))?;
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        for slot in buf.iter_mut() {
+            let field = fields
+                .next()
+                .ok_or_else(|| err(idx + 1, "too few fields".into()))?;
+            *slot = field
+                .parse()
+                .map_err(|e| err(idx + 1, format!("bad number {field:?}: {e}")))?;
+        }
+        let label = match fields.next() {
+            Some("M") => Label::Match,
+            Some("N") => Label::NonMatch,
+            other => return Err(err(idx + 1, format!("bad label {other:?}"))),
+        };
+        if fields.next().is_some() {
+            return Err(err(idx + 1, "too many fields".into()));
+        }
+        x.push_row(&buf);
+        y.push(label);
+    }
+    LabeledDataset::new(name, x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LabeledDataset {
+        let x = FeatureMatrix::from_vecs(&[
+            vec![1.0, 0.5, 0.25],
+            vec![0.0, 0.125, 1.0],
+        ])
+        .unwrap();
+        LabeledDataset::new("sample", x, vec![Label::Match, Label::NonMatch]).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ds = sample();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("f0,f1,f2,label\n"));
+        assert!(text.contains("1,0.5,0.25,M"));
+        let back = read_csv("sample", buf.as_slice()).unwrap();
+        assert_eq!(back.x, ds.x);
+        assert_eq!(back.y, ds.y);
+    }
+
+    #[test]
+    fn generated_scenario_roundtrips() {
+        let ds = crate::Scenario::DblpAcm.generate(0.02, 9).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let back = read_csv(ds.name.clone(), buf.as_slice()).unwrap();
+        assert_eq!(back.len(), ds.len());
+        assert_eq!(back.y, ds.y);
+        for (a, b) in back.x.as_slice().iter().zip(ds.x.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_with_context() {
+        assert!(read_csv("x", "".as_bytes()).is_err());
+        assert!(read_csv("x", "not,a,header\n".as_bytes()).is_err());
+        let err = read_csv("x", "f0,label\noops,M\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(read_csv("x", "f0,label\n0.5,X\n".as_bytes()).is_err());
+        assert!(read_csv("x", "f0,label\n0.5,M,extra\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let ds = read_csv("x", "f0,label\n0.5,M\n\n0.25,N\n".as_bytes()).unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+}

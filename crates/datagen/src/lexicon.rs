@@ -1,0 +1,209 @@
+//! Word pools for the synthetic generators.
+//!
+//! The pools are deliberately *small*: ER ambiguity comes from value reuse
+//! (every 19th-century Scottish parish had dozens of `john macdonald`s),
+//! and Table 1's ambiguous-vector percentages can only be reproduced when
+//! distinct entities regularly collide on attribute values.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+
+/// Male and female given names common in 19th-century Scottish registers.
+pub const FIRST_NAMES: &[&str] = &[
+    "john", "james", "william", "alexander", "donald", "robert", "angus", "duncan", "hugh",
+    "neil", "archibald", "malcolm", "kenneth", "norman", "murdo", "mary", "margaret", "ann",
+    "catherine", "janet", "christina", "isabella", "flora", "marion", "effie", "jessie",
+    "agnes", "elizabeth", "jane", "helen",
+];
+
+/// Surnames; clan names dominate on the isle, town names are more varied.
+pub const SURNAMES: &[&str] = &[
+    "macdonald", "macleod", "mackinnon", "mackenzie", "macinnes", "maclean", "campbell",
+    "stewart", "robertson", "nicolson", "matheson", "ross", "fraser", "grant", "murray",
+    "ferguson", "beaton", "gillies", "lamont", "shaw", "smith", "brown", "wilson", "thomson",
+    "walker", "young", "paterson", "watson", "morrison", "kerr",
+];
+
+/// Occupations recorded on civil certificates.
+pub const OCCUPATIONS: &[&str] = &[
+    "crofter", "fisherman", "farmer", "weaver", "labourer", "shepherd", "blacksmith", "mason",
+    "carpenter", "tailor", "shoemaker", "merchant", "miner", "carter", "domestic servant",
+    "seaman", "gardener", "baker", "cooper", "slater",
+];
+
+/// Parishes / localities.
+pub const PLACES: &[&str] = &[
+    "portree", "snizort", "duirinish", "bracadale", "strath", "sleat", "kilmuir", "uig",
+    "dunvegan", "broadford", "kilmarnock", "riccarton", "fenwick", "dreghorn", "irvine",
+    "galston", "hurlford", "crosshouse", "darvel", "stewarton",
+];
+
+/// Street fragments for town addresses.
+pub const STREETS: &[&str] = &[
+    "high street", "king street", "queen street", "mill road", "church lane", "harbour road",
+    "main street", "green street", "bank street", "wellington street", "portland road",
+    "union street", "north road", "south vennel", "west shaw street",
+];
+
+/// Research-paper title vocabulary (database/data-mining flavoured).
+pub const TITLE_WORDS: &[&str] = &[
+    "efficient", "scalable", "adaptive", "incremental", "distributed", "parallel", "approximate",
+    "probabilistic", "learning", "mining", "indexing", "matching", "clustering", "query",
+    "processing", "optimization", "databases", "streams", "graphs", "records", "entities",
+    "resolution", "integration", "schema", "similarity", "joins", "views", "transactions",
+    "caching", "retrieval", "semantic", "knowledge", "web", "data", "large", "deep",
+];
+
+/// Publication venues, in both full and abbreviated renditions (index-
+/// aligned: `VENUES_FULL[i]` abbreviates to `VENUES_ABBREV[i]`).
+pub const VENUES_FULL: &[&str] = &[
+    "international conference on management of data",
+    "international conference on very large data bases",
+    "international conference on data engineering",
+    "international conference on extending database technology",
+    "international conference on knowledge discovery and data mining",
+    "conference on information and knowledge management",
+    "transactions on database systems",
+    "transactions on knowledge and data engineering",
+];
+
+/// Abbreviated venue names.
+pub const VENUES_ABBREV: &[&str] =
+    &["sigmod", "vldb", "icde", "edbt", "kdd", "cikm", "tods", "tkde"];
+
+/// Song-title vocabulary.
+pub const SONG_WORDS: &[&str] = &[
+    "love", "night", "heart", "blue", "fire", "rain", "summer", "dancing", "dreams", "road",
+    "home", "light", "shadow", "river", "golden", "broken", "wild", "silent", "midnight",
+    "forever", "lonely", "crazy", "sweet", "little", "last", "first", "lost", "running",
+];
+
+/// Band / artist name fragments.
+pub const ARTIST_WORDS: &[&str] = &[
+    "the", "black", "electric", "velvet", "crystal", "neon", "silver", "royal", "phantom",
+    "echo", "stone", "iron", "paper", "arctic", "cosmic", "sonic", "lunar", "scarlet",
+    "wolves", "pilots", "queens", "kings", "riders", "ghosts", "tigers", "sparrows",
+];
+
+/// Album qualifier words used for re-releases — the engine of Musicbrainz
+/// ambiguity.
+pub const ALBUM_QUALIFIERS: &[&str] =
+    &["remastered", "deluxe edition", "live", "acoustic", "single", "ep", "anthology"];
+
+/// Common nickname pairs `(formal, informal)` for person-name variation.
+pub const NICKNAMES: &[(&str, &str)] = &[
+    ("john", "jock"),
+    ("james", "jamie"),
+    ("william", "willie"),
+    ("alexander", "sandy"),
+    ("robert", "rab"),
+    ("margaret", "maggie"),
+    ("catherine", "kate"),
+    ("christina", "kirsty"),
+    ("isabella", "bella"),
+    ("elizabeth", "betsy"),
+];
+
+/// Pick one entry from a pool.
+pub fn pick<'a>(pool: &[&'a str], rng: &mut StdRng) -> &'a str {
+    pool.choose(rng).expect("non-empty pool")
+}
+
+/// Compose a phrase of `n` distinct words from a pool, space separated.
+pub fn phrase(pool: &[&str], n: usize, rng: &mut StdRng) -> String {
+    let mut words: Vec<&str> = Vec::with_capacity(n);
+    // Rejection-sample distinct words; pools are far larger than n.
+    while words.len() < n.min(pool.len()) {
+        let w = pick(pool, rng);
+        if !words.contains(&w) {
+            words.push(w);
+        }
+    }
+    words.join(" ")
+}
+
+/// The informal variant of a name, if one exists.
+pub fn nickname_of(name: &str) -> Option<&'static str> {
+    NICKNAMES.iter().find(|(formal, _)| *formal == name).map(|(_, nick)| *nick)
+}
+
+/// A deterministic pseudo-word for community `k`, built by compounding two
+/// pool words (`"datagraphs"`, `"bluefire"`).
+///
+/// Real collections do not keep a fixed vocabulary as they grow — larger
+/// corpora have proportionally larger vocabularies, which is what keeps
+/// blocking output linear in the collection size. The generators therefore
+/// partition entities into fixed-size *communities* (sub-fields, scenes,
+/// parish districts) and stamp each with a community word; this function
+/// supplies arbitrarily many distinct such words from a finite base pool.
+pub fn compound_word(pool: &[&str], k: usize) -> String {
+    let n = pool.len();
+    let first = pool[k % n];
+    let second = pool[(k / n + 3 * k + 1) % n];
+    let mut w = String::with_capacity(first.len() + second.len());
+    w.push_str(first);
+    w.push_str(second);
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pools_are_nonempty_and_lowercase() {
+        for pool in [
+            FIRST_NAMES,
+            SURNAMES,
+            OCCUPATIONS,
+            PLACES,
+            STREETS,
+            TITLE_WORDS,
+            VENUES_FULL,
+            VENUES_ABBREV,
+            SONG_WORDS,
+            ARTIST_WORDS,
+            ALBUM_QUALIFIERS,
+        ] {
+            assert!(!pool.is_empty());
+            for w in pool {
+                assert_eq!(*w, w.to_lowercase(), "{w} not lowercase");
+            }
+        }
+    }
+
+    #[test]
+    fn venues_are_aligned() {
+        assert_eq!(VENUES_FULL.len(), VENUES_ABBREV.len());
+    }
+
+    #[test]
+    fn phrase_has_distinct_words() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let p = phrase(TITLE_WORDS, 5, &mut rng);
+            let words: Vec<&str> = p.split(' ').collect();
+            assert_eq!(words.len(), 5);
+            let mut dedup = words.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 5, "duplicate word in {p:?}");
+        }
+    }
+
+    #[test]
+    fn nicknames_resolve() {
+        assert_eq!(nickname_of("john"), Some("jock"));
+        assert_eq!(nickname_of("zebedee"), None);
+    }
+
+    #[test]
+    fn pick_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            assert_eq!(pick(SURNAMES, &mut a), pick(SURNAMES, &mut b));
+        }
+    }
+}

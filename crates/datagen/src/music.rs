@@ -1,0 +1,273 @@
+//! Music generator: the Million Songs (MSD) / Musicbrainz (MB) family.
+//!
+//! Entities are songs with a title, album, artist, duration and year. The
+//! Musicbrainz rendition layers on re-releases: the *same recording*
+//! appears with qualified album names (`... remastered`, `... live`) and
+//! shifted years, while *different* recordings (covers, re-recordings by
+//! the same artist) share title and artist. Together these produce the
+//! 22% ambiguous feature vectors Table 1 reports for MB — the same rounded
+//! vector genuinely carries both labels, as in the paper's
+//! `non e francesca` example.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use transer_blocking::Comparison;
+use transer_common::Record;
+use transer_similarity::Measure;
+
+use crate::corrupt::{corrupt_number, corrupt_text, CorruptionProfile};
+use crate::lexicon::{compound_word, phrase, pick, ALBUM_QUALIFIERS, ARTIST_WORDS, SONG_WORDS};
+
+/// A clean song entity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Song {
+    /// Track title.
+    pub title: String,
+    /// Album name.
+    pub album: String,
+    /// Artist name.
+    pub artist: String,
+    /// Track duration in seconds.
+    pub duration: f64,
+    /// Release year.
+    pub year: f64,
+}
+
+/// Configuration of a music linkage scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MusicConfig {
+    /// Number of distinct song entities.
+    pub entities: usize,
+    /// Fraction of entities present in both databases.
+    pub overlap: f64,
+    /// Probability that an entity is a *cover / re-recording* of an earlier
+    /// song: same title and artist, different album and year — a true
+    /// non-match that collides with the original's feature vector.
+    pub cover_rate: f64,
+    /// Probability that a rendered MB record replaces the album with a
+    /// qualified re-release name and jitters the year.
+    pub rerelease_rate: f64,
+    /// Corruption for the left database.
+    pub left_profile: CorruptionProfile,
+    /// Corruption for the right database.
+    pub right_profile: CorruptionProfile,
+    /// Whether the *right* database exhibits Musicbrainz-style re-releases.
+    pub right_is_mb: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MusicConfig {
+    /// The MSD linkage task (left and right both curated; moderate covers).
+    pub fn msd(entities: usize, seed: u64) -> Self {
+        MusicConfig {
+            entities,
+            overlap: 0.55,
+            cover_rate: 0.10,
+            rerelease_rate: 0.05,
+            left_profile: CorruptionProfile::clean(),
+            right_profile: CorruptionProfile::clean(),
+            right_is_mb: false,
+            seed,
+        }
+    }
+
+    /// The Musicbrainz linkage task: heavy cover/re-release ambiguity.
+    pub fn musicbrainz(entities: usize, seed: u64) -> Self {
+        MusicConfig {
+            entities,
+            overlap: 0.5,
+            cover_rate: 0.35,
+            rerelease_rate: 0.75,
+            left_profile: CorruptionProfile::noisy(),
+            right_profile: CorruptionProfile::noisy(),
+            right_is_mb: true,
+            seed,
+        }
+    }
+}
+
+/// Sample the clean song entities.
+pub fn generate_songs(config: &MusicConfig) -> Vec<Song> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut songs: Vec<Song> = Vec::with_capacity(config.entities);
+    for i in 0..config.entities {
+        if i > 0 && rng.random_bool(config.cover_rate) {
+            // Cover / re-recording: same title & artist, new album & year.
+            let base = songs[rng.random_range(0..i)].clone();
+            songs.push(Song {
+                title: base.title.clone(),
+                album: phrase(SONG_WORDS, 2, &mut rng),
+                artist: base.artist.clone(),
+                duration: base.duration + rng.random_range(-15..=15) as f64,
+                year: base.year + rng.random_range(1..=8) as f64,
+            });
+            continue;
+        }
+        // Music scenes (communities of ~150 songs) get their own compound
+        // scene word in the title and artist, so vocabulary grows with the
+        // catalogue and blocking output stays linear in its size.
+        let scene = compound_word(SONG_WORDS, i / 150);
+        songs.push(Song {
+            title: format!("{} {scene}", phrase(SONG_WORDS, rng.random_range(1..=3), &mut rng)),
+            album: phrase(SONG_WORDS, 2, &mut rng),
+            artist: phrase(ARTIST_WORDS, 2, &mut rng),
+            duration: rng.random_range(120..=420) as f64,
+            year: rng.random_range(1965..=2012) as f64,
+        });
+    }
+    songs
+}
+
+fn render(
+    entity: u64,
+    id: u64,
+    s: &Song,
+    profile: &CorruptionProfile,
+    mb_style: bool,
+    rerelease_rate: f64,
+    rng: &mut StdRng,
+) -> Record {
+    let (album_clean, year_clean) = if mb_style && rng.random_bool(rerelease_rate) {
+        // Re-release: qualified album, later year. Same entity, so this
+        // *match* pair gets a low album/year similarity — the other half of
+        // the ambiguity.
+        (
+            format!("{} {}", s.album, pick(ALBUM_QUALIFIERS, rng)),
+            s.year + rng.random_range(1..=10) as f64,
+        )
+    } else {
+        (s.album.clone(), s.year)
+    };
+    Record::new(
+        id,
+        entity,
+        vec![
+            corrupt_text(&s.title, profile, rng),
+            corrupt_text(&album_clean, profile, rng),
+            corrupt_text(&s.artist, profile, rng),
+            corrupt_number(s.duration, profile, rng),
+            corrupt_number(year_clean, profile, rng),
+        ],
+    )
+}
+
+/// Generate the two databases `(left, right)`.
+pub fn generate(config: &MusicConfig) -> (Vec<Record>, Vec<Record>) {
+    let songs = generate_songs(config);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x50_4E47);
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (e, s) in songs.iter().enumerate() {
+        let entity = e as u64;
+        let in_both = rng.random_bool(config.overlap);
+        let in_left = in_both || rng.random_bool(0.5);
+        if in_left {
+            left.push(render(entity, left.len() as u64, s, &config.left_profile, false, 0.0, &mut rng));
+        }
+        if in_both || !in_left {
+            right.push(render(
+                entity,
+                right.len() as u64,
+                s,
+                &config.right_profile,
+                config.right_is_mb,
+                config.rerelease_rate,
+                &mut rng,
+            ));
+        }
+    }
+    (left, right)
+}
+
+/// The shared feature space of the music family (5 features, as in
+/// Table 1): title/album by token Jaccard, artist by Jaro-Winkler,
+/// duration by a bounded numeric comparator, year by the year comparator.
+pub fn comparison() -> Comparison {
+    Comparison::new(vec![
+        (0, Measure::TokenJaccard),
+        (1, Measure::TokenJaccard),
+        (2, Measure::JaroWinkler),
+        (3, Measure::Numeric(60.0)),
+        (4, Measure::Year),
+    ])
+    .expect("non-empty feature list")
+}
+
+/// Attribute order used by [`generate`]'s records.
+pub fn attribute_names() -> [&'static str; 5] {
+    ["title", "album", "artist", "duration", "year"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn songs_have_expected_shape() {
+        let cfg = MusicConfig::msd(200, 3);
+        let songs = generate_songs(&cfg);
+        assert_eq!(songs.len(), 200);
+        for s in &songs {
+            assert!(!s.title.is_empty() && !s.artist.is_empty());
+            assert!((100.0..450.0).contains(&s.duration));
+        }
+    }
+
+    #[test]
+    fn covers_collide_on_title_and_artist() {
+        let cfg = MusicConfig { cover_rate: 1.0, ..MusicConfig::musicbrainz(30, 5) };
+        let songs = generate_songs(&cfg);
+        let colliding = songs[1..]
+            .iter()
+            .filter(|s| {
+                songs
+                    .iter()
+                    .any(|q| !std::ptr::eq(*s, q) && q.title == s.title && q.artist == s.artist)
+            })
+            .count();
+        assert!(colliding >= 25, "{colliding}");
+    }
+
+    #[test]
+    fn mb_right_side_has_rereleases() {
+        let cfg = MusicConfig::musicbrainz(600, 9);
+        let (_, r) = generate(&cfg);
+        let qualified = r
+            .iter()
+            .filter(|rec| {
+                rec.values[1]
+                    .as_text()
+                    .is_some_and(|a| ALBUM_QUALIFIERS.iter().any(|q| a.contains(q)))
+            })
+            .count();
+        assert!(qualified > r.len() / 10, "only {qualified} of {} qualified", r.len());
+    }
+
+    #[test]
+    fn msd_side_has_no_rereleases() {
+        let cfg = MusicConfig::msd(300, 9);
+        let (l, r) = generate(&cfg);
+        for rec in l.iter().chain(&r) {
+            if let Some(a) = rec.values[1].as_text() {
+                // Album qualifiers only enter via mb_style rendering.
+                assert!(
+                    !ALBUM_QUALIFIERS.iter().any(|q| a.ends_with(q) && a.contains(' ')),
+                    "unexpected qualifier in {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = MusicConfig::musicbrainz(80, 13);
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn comparison_has_five_features() {
+        assert_eq!(comparison().num_features(), 5);
+        assert_eq!(attribute_names().len(), 5);
+    }
+}

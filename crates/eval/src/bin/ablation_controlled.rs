@@ -1,0 +1,21 @@
+//! The Table 4 −SEL collapse, demonstrated at the paper's conflict
+//! intensities with the controllable generator (see EXPERIMENTS.md).
+use transer_eval::{controlled, Options};
+
+fn main() {
+    let opts = Options::from_env();
+    match controlled::conflict_sweep(&opts) {
+        Ok(points) => {
+            println!(
+                "Controlled ablation — SEL advantage vs cross-domain conflict rate (scale {})\n",
+                opts.scale
+            );
+            print!("{}", controlled::render(&points));
+            opts.maybe_write_json(&points);
+        }
+        Err(e) => {
+            eprintln!("ablation_controlled failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerate Figure 7 (parameter sensitivity).
+use transer_eval::{sensitivity, Options};
+
+fn main() {
+    let opts = Options::from_env();
+    match sensitivity::fig7(&opts) {
+        Ok(panels) => {
+            println!("Figure 7 — parameter sensitivity (scale {})\n", opts.scale);
+            for p in &panels {
+                println!("{}", sensitivity::render_series(p.parameter.name(), &p.series));
+            }
+            opts.maybe_write_json(&panels);
+        }
+        Err(e) => {
+            eprintln!("fig7 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

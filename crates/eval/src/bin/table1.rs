@@ -1,0 +1,17 @@
+//! Regenerate Table 1 (data set characteristics).
+use transer_eval::{characteristics, Options};
+
+fn main() {
+    let opts = Options::from_env();
+    match characteristics::table1(&opts) {
+        Ok(rows) => {
+            println!("Table 1 — data set characteristics (scale {}, seed {})\n", opts.scale, opts.seed);
+            print!("{}", characteristics::render(&rows));
+            opts.maybe_write_json(&rows);
+        }
+        Err(e) => {
+            eprintln!("table1 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

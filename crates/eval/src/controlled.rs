@@ -1,0 +1,140 @@
+//! Controlled conflict experiment — the Table 4 mechanism demonstrated at
+//! the paper's conflict intensities.
+//!
+//! The record-realistic generators reach only a few percent of
+//! cross-domain label conflict, so the Table 4 ablation differences stay
+//! small on them (see EXPERIMENTS.md). The paper's data sets carry up to
+//! 64–80% ambiguous/conflicting common vectors; this module reproduces
+//! that regime with the controllable feature-vector generator. A *conflict
+//! band* (a shoulder region between the two modes) is predominantly
+//! non-match in the source but canonically matched in the target — the
+//! MSD-covers vs MB-re-releases situation. Sweeping the band's mass shows
+//! direct transfer (Naive) collapsing with the conflict mass while
+//! TransER's phases neutralise it; the per-variant columns additionally
+//! expose how much of that rescue each phase provides in this
+//! implementation (whose TCL backfill is stronger than the paper's, see
+//! DESIGN.md).
+
+use serde::Serialize;
+use transer_common::Result;
+use transer_core::{TransEr, TransErConfig, Variant};
+use transer_datagen::vectors::{domain_pair, VectorDomainConfig};
+use transer_metrics::evaluate;
+
+use crate::{Cell, Options};
+
+/// Quality of the methods at one conflict level.
+#[derive(Debug, Clone, Serialize)]
+pub struct ConflictPoint {
+    /// Fraction of instances living in the conflict band.
+    pub conflict_mass: f64,
+    /// F* of full TransER.
+    pub full_f_star: f64,
+    /// F* without the SEL phase (GEN + TCL still run).
+    pub without_sel_f_star: f64,
+    /// F* without GEN & TCL (selection + direct classification).
+    pub without_gen_tcl_f_star: f64,
+    /// F* of the Naive baseline (no transfer machinery at all).
+    pub naive_f_star: f64,
+}
+
+/// Sweep the cross-domain conflict rate and measure full vs −SEL quality.
+///
+/// # Errors
+/// Propagates generation and pipeline errors.
+pub fn conflict_sweep(opts: &Options) -> Result<Vec<ConflictPoint>> {
+    let masses = [0.0, 0.1, 0.2, 0.3, 0.4];
+    let mut out = Vec::with_capacity(masses.len());
+    for &conflict_mass in &masses {
+        // The *source* treats the conflict band as coin-flip ambiguous;
+        // the paired target resolves it canonically as matches — the
+        // class-conditional difference `P(Y|X^S) != P(Y|X^T)`.
+        let source_cfg = VectorDomainConfig {
+            n: (2_000.0 * opts.scale.max(0.05)) as usize + 400,
+            m: 4,
+            ambiguity: 0.05,
+            conflict_mass,
+            conflict_ambiguous: true,
+            seed: opts.seed,
+            ..Default::default()
+        };
+        let pair = domain_pair(&source_cfg, 0.02, 0.0, 1_000)?;
+        let mut full = 0.0;
+        let mut without_sel = 0.0;
+        let mut without_gen_tcl = 0.0;
+        let mut naive = 0.0;
+        let classifiers = opts.classifier_set();
+        for (i, &kind) in classifiers.iter().enumerate() {
+            let seed = opts.seed.wrapping_add(i as u64);
+            let run = |variant: Variant| -> Result<f64> {
+                let cfg = TransErConfig { variant, ..Default::default() };
+                let t = TransEr::new(cfg, kind, seed)?;
+                let out = t.fit_predict(&pair.source.x, &pair.source.y, &pair.target.x)?;
+                Ok(evaluate(&out.labels, &pair.target.y).f_star())
+            };
+            full += run(Variant::full())?;
+            without_sel += run(Variant::without_sel())?;
+            without_gen_tcl += run(Variant::without_gen_tcl())?;
+            let mut clf = kind.build(seed);
+            clf.fit(&pair.source.x, &pair.source.y)?;
+            naive += evaluate(&clf.predict(&pair.target.x), &pair.target.y).f_star();
+        }
+        let n = classifiers.len() as f64;
+        out.push(ConflictPoint {
+            conflict_mass,
+            full_f_star: full / n,
+            without_sel_f_star: without_sel / n,
+            without_gen_tcl_f_star: without_gen_tcl / n,
+            naive_f_star: naive / n,
+        });
+    }
+    Ok(out)
+}
+
+/// Render the sweep.
+pub fn render(points: &[ConflictPoint]) -> String {
+    let mut rows = vec![vec![
+        Cell::from("conflict mass"),
+        Cell::from("TransER F*"),
+        Cell::from("without SEL F*"),
+        Cell::from("without GEN&TCL F*"),
+        Cell::from("Naive F*"),
+    ]];
+    for p in points {
+        rows.push(vec![
+            Cell::Num(p.conflict_mass),
+            Cell::Pct(p.full_f_star, 0.0),
+            Cell::Pct(p.without_sel_f_star, 0.0),
+            Cell::Pct(p.without_gen_tcl_f_star, 0.0),
+            Cell::Pct(p.naive_f_star, 0.0),
+        ]);
+    }
+    crate::format_table(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transer_neutralises_conflicts_that_collapse_naive() {
+        let opts = Options { scale: 0.05, quick: true, ..Options::default() };
+        let points = conflict_sweep(&opts).unwrap();
+        assert_eq!(points.len(), 5);
+        // With no conflict everything is comparable.
+        let clean = &points[0];
+        assert!((clean.full_f_star - clean.naive_f_star).abs() < 0.15, "clean: {clean:?}");
+        // Under heavy conflict, direct transfer collapses while the full
+        // framework holds.
+        let conflicted = &points[points.len() - 1];
+        assert!(
+            conflicted.naive_f_star < clean.naive_f_star - 0.2,
+            "naive did not collapse: {conflicted:?}"
+        );
+        assert!(
+            conflicted.full_f_star > conflicted.naive_f_star + 0.15,
+            "full framework should clearly beat naive: {conflicted:?}"
+        );
+        assert!(conflicted.full_f_star > 0.8, "framework held: {conflicted:?}");
+    }
+}

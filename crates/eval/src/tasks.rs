@@ -1,0 +1,255 @@
+//! Task generation and method execution shared by the experiments.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use transer_baselines::{ResourceBudget, RunContext, TaskView, TransferMethod};
+use transer_common::{Label, LabeledDataset, Result};
+use transer_core::{Diagnostics, TransEr, TransErConfig};
+use transer_datagen::ScenarioPair;
+use transer_metrics::{evaluate, MeanStd};
+use transer_ml::ClassifierKind;
+
+/// One directed transfer task with the raw pair texts the deep baselines
+/// embed.
+#[derive(Debug, Clone)]
+pub struct EvalTask {
+    /// `"source -> target"`.
+    pub name: String,
+    /// Labelled source domain.
+    pub source: LabeledDataset,
+    /// Target domain (labels used for evaluation only).
+    pub target: LabeledDataset,
+    /// Raw record-pair text per source row.
+    pub source_texts: Vec<(String, String)>,
+    /// Raw record-pair text per target row.
+    pub target_texts: Vec<(String, String)>,
+}
+
+impl EvalTask {
+    /// Borrowed view for the baselines.
+    pub fn view(&self) -> TaskView<'_> {
+        TaskView {
+            xs: &self.source.x,
+            ys: &self.source.y,
+            xt: &self.target.x,
+            source_texts: Some(&self.source_texts),
+            target_texts: Some(&self.target_texts),
+        }
+    }
+}
+
+/// Generate the eight directed tasks of Table 2 (both directions of the
+/// four scenario pairs), at the given scale.
+///
+/// # Errors
+/// Propagates generation errors.
+pub fn directed_tasks(scale: f64, seed: u64) -> Result<Vec<EvalTask>> {
+    let mut out = Vec::with_capacity(8);
+    for pair in ScenarioPair::ALL {
+        let (a, b) = pair.scenarios();
+        let (da, ta) = a.generate_with_text(scale, seed)?;
+        let (db, tb) = b.generate_with_text(scale, seed)?;
+        out.push(EvalTask {
+            name: format!("{} -> {}", da.name, db.name),
+            source: da.clone(),
+            target: db.clone(),
+            source_texts: ta.clone(),
+            target_texts: tb.clone(),
+        });
+        out.push(EvalTask {
+            name: format!("{} -> {}", db.name, da.name),
+            source: db,
+            target: da,
+            source_texts: tb,
+            target_texts: ta,
+        });
+    }
+    Ok(out)
+}
+
+/// The paper's quality quadruple, as mean ± std over the classifier set.
+#[derive(Debug, Clone, Copy, Serialize, PartialEq)]
+pub struct QualityNumbers {
+    /// Mean / std of precision.
+    pub precision: (f64, f64),
+    /// Mean / std of recall.
+    pub recall: (f64, f64),
+    /// Mean / std of the F* measure.
+    pub f_star: (f64, f64),
+    /// Mean / std of F1.
+    pub f1: (f64, f64),
+}
+
+impl QualityNumbers {
+    /// Aggregate per-classifier outcomes.
+    pub fn from_runs(predictions: &[Vec<Label>], truth: &[Label]) -> Self {
+        let mut p = MeanStd::new();
+        let mut r = MeanStd::new();
+        let mut fs = MeanStd::new();
+        let mut f1 = MeanStd::new();
+        for pred in predictions {
+            let cm = evaluate(pred, truth);
+            p.push(cm.precision());
+            r.push(cm.recall());
+            fs.push(cm.f_star());
+            f1.push(cm.f1());
+        }
+        QualityNumbers {
+            precision: (p.mean(), p.std()),
+            recall: (r.mean(), r.std()),
+            f_star: (fs.mean(), fs.std()),
+            f1: (f1.mean(), f1.std()),
+        }
+    }
+}
+
+/// Outcome of running one method on one task with the full classifier set.
+#[derive(Debug, Clone, Serialize)]
+pub enum MethodOutcome {
+    /// Completed: quality numbers and total runtime in seconds.
+    Ok {
+        /// Aggregated linkage quality.
+        quality: QualityNumbers,
+        /// Total wall-clock seconds across the classifier set.
+        secs: f64,
+    },
+    /// Exceeded the memory budget (`ME` in the paper's tables).
+    MemoryExceeded,
+    /// Exceeded the runtime budget (`TE`).
+    TimeExceeded,
+    /// Failed for another reason (degenerate data); the message is kept.
+    Failed(String),
+}
+
+impl MethodOutcome {
+    /// Table cell text for quality columns, e.g. the F* cell.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, MethodOutcome::Ok { .. })
+    }
+}
+
+/// Run one baseline with every classifier in the set and aggregate.
+pub fn run_baseline(
+    method: &dyn TransferMethod,
+    task: &EvalTask,
+    classifiers: &[ClassifierKind],
+    seed: u64,
+    budget: ResourceBudget,
+) -> MethodOutcome {
+    let mut predictions = Vec::with_capacity(classifiers.len());
+    let started = Instant::now();
+    for (i, &kind) in classifiers.iter().enumerate() {
+        let ctx = RunContext::new(kind, seed.wrapping_add(i as u64), budget);
+        match method.run(&task.view(), &ctx) {
+            Ok(labels) => predictions.push(labels),
+            Err(transer_common::Error::MemoryExceeded { .. }) => {
+                return MethodOutcome::MemoryExceeded
+            }
+            Err(transer_common::Error::TimeExceeded { .. }) => {
+                return MethodOutcome::TimeExceeded
+            }
+            Err(e) => return MethodOutcome::Failed(e.to_string()),
+        }
+    }
+    MethodOutcome::Ok {
+        quality: QualityNumbers::from_runs(&predictions, &task.target.y),
+        secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Run TransER with every classifier in the set and aggregate; also
+/// returns the per-classifier diagnostics.
+pub fn run_transer(
+    config: TransErConfig,
+    task: &EvalTask,
+    classifiers: &[ClassifierKind],
+    seed: u64,
+) -> Result<(QualityNumbers, f64, Vec<Diagnostics>)> {
+    let mut predictions = Vec::with_capacity(classifiers.len());
+    let mut diagnostics = Vec::with_capacity(classifiers.len());
+    let started = Instant::now();
+    for (i, &kind) in classifiers.iter().enumerate() {
+        let transer = TransEr::new(config, kind, seed.wrapping_add(i as u64))?;
+        let out = transer.fit_predict(&task.source.x, &task.source.y, &task.target.x)?;
+        predictions.push(out.labels);
+        diagnostics.push(out.diagnostics);
+    }
+    Ok((
+        QualityNumbers::from_runs(&predictions, &task.target.y),
+        started.elapsed().as_secs_f64(),
+        diagnostics,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transer_baselines::Naive;
+
+    fn tiny_tasks() -> Vec<EvalTask> {
+        directed_tasks(0.02, 3).expect("generation succeeds")
+    }
+
+    #[test]
+    fn eight_directed_tasks() {
+        let tasks = tiny_tasks();
+        assert_eq!(tasks.len(), 8);
+        let names: Vec<&str> = tasks.iter().map(|t| t.name.as_str()).collect();
+        assert!(names.contains(&"DBLP-ACM -> DBLP-Scholar"));
+        assert!(names.contains(&"KIL Bp-Bp -> IOS Bp-Bp"));
+        for t in &tasks {
+            assert_eq!(t.source.len(), t.source_texts.len());
+            assert_eq!(t.target.len(), t.target_texts.len());
+            assert!(t.view().validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn naive_runs_and_aggregates() {
+        let tasks = tiny_tasks();
+        let out = run_baseline(
+            &Naive,
+            &tasks[0],
+            &[ClassifierKind::LogisticRegression, ClassifierKind::DecisionTree],
+            1,
+            ResourceBudget::default(),
+        );
+        match out {
+            MethodOutcome::Ok { quality, secs } => {
+                assert!(secs >= 0.0);
+                assert!((0.0..=1.0).contains(&quality.f_star.0));
+                assert!(quality.f_star.1 >= 0.0);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transer_runs_and_reports_diagnostics() {
+        let tasks = tiny_tasks();
+        let (q, secs, diags) = run_transer(
+            TransErConfig::default(),
+            &tasks[1],
+            &[ClassifierKind::LogisticRegression],
+            1,
+        )
+        .unwrap();
+        assert_eq!(diags.len(), 1);
+        assert!(secs > 0.0);
+        assert!((0.0..=1.0).contains(&q.recall.0));
+    }
+
+    #[test]
+    fn quality_aggregation_matches_hand_computation() {
+        let truth = vec![Label::Match, Label::NonMatch, Label::Match];
+        let runs = vec![
+            vec![Label::Match, Label::NonMatch, Label::Match], // perfect
+            vec![Label::Match, Label::Match, Label::NonMatch], // P=.5 R=.5
+        ];
+        let q = QualityNumbers::from_runs(&runs, &truth);
+        assert!((q.precision.0 - 0.75).abs() < 1e-12);
+        assert!((q.recall.0 - 0.75).abs() < 1e-12);
+        assert!((q.precision.1 - 0.25).abs() < 1e-12);
+    }
+}

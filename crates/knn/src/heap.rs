@@ -1,0 +1,150 @@
+//! A bounded max-heap of candidate neighbours, ordered by squared distance.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One nearest-neighbour candidate: the index of the point in its matrix
+/// and its squared Euclidean distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Row index of the neighbouring point.
+    pub index: usize,
+    /// Squared Euclidean distance to the query point (finite, ≥ 0).
+    pub sq_dist: f64,
+}
+
+impl Eq for Neighbor {}
+
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Feature values are bounded, so distances are finite; ties broken
+        // by index for a deterministic ordering.
+        self.sq_dist
+            .partial_cmp(&other.sq_dist)
+            .unwrap_or(Ordering::Equal)
+            .then(self.index.cmp(&other.index))
+    }
+}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A max-heap that keeps only the `k` smallest-distance neighbours seen.
+#[derive(Debug)]
+pub struct BoundedMaxHeap {
+    heap: BinaryHeap<Neighbor>,
+    capacity: usize,
+}
+
+impl BoundedMaxHeap {
+    /// Create a heap that retains at most `capacity` neighbours.
+    pub fn new(capacity: usize) -> Self {
+        BoundedMaxHeap { heap: BinaryHeap::with_capacity(capacity + 1), capacity }
+    }
+
+    /// Offer a candidate; it is kept iff the heap is not full or the
+    /// candidate beats the current worst retained neighbour.
+    #[inline]
+    pub fn push(&mut self, n: Neighbor) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.heap.len() < self.capacity {
+            self.heap.push(n);
+        } else if let Some(worst) = self.heap.peek() {
+            if n < *worst {
+                self.heap.pop();
+                self.heap.push(n);
+            }
+        }
+    }
+
+    /// Number of retained neighbours.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// True when `capacity` neighbours are retained.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.capacity
+    }
+
+    /// Squared distance of the current worst retained neighbour, or
+    /// `f64::INFINITY` while the heap is not yet full (pruning bound).
+    #[inline]
+    pub fn prune_bound(&self) -> f64 {
+        if self.is_full() {
+            self.heap.peek().map_or(f64::INFINITY, |n| n.sq_dist)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Drain into a vector sorted by ascending distance (ties by index).
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v = self.heap.into_vec();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(index: usize, d: f64) -> Neighbor {
+        Neighbor { index, sq_dist: d }
+    }
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut h = BoundedMaxHeap::new(3);
+        for (i, d) in [5.0, 1.0, 4.0, 2.0, 3.0].iter().enumerate() {
+            h.push(n(i, *d));
+        }
+        let out = h.into_sorted();
+        let dists: Vec<f64> = out.iter().map(|x| x.sq_dist).collect();
+        assert_eq!(dists, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn prune_bound_progression() {
+        let mut h = BoundedMaxHeap::new(2);
+        assert_eq!(h.prune_bound(), f64::INFINITY);
+        h.push(n(0, 9.0));
+        assert_eq!(h.prune_bound(), f64::INFINITY);
+        h.push(n(1, 4.0));
+        assert_eq!(h.prune_bound(), 9.0);
+        h.push(n(2, 1.0));
+        assert_eq!(h.prune_bound(), 4.0);
+        assert!(h.is_full());
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_inert() {
+        let mut h = BoundedMaxHeap::new(0);
+        h.push(n(0, 1.0));
+        assert!(h.is_empty());
+        assert!(h.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let mut h = BoundedMaxHeap::new(2);
+        h.push(n(7, 1.0));
+        h.push(n(3, 1.0));
+        h.push(n(5, 1.0));
+        let out = h.into_sorted();
+        assert_eq!(out.iter().map(|x| x.index).collect::<Vec<_>>(), vec![3, 5]);
+    }
+}

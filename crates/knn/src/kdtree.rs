@@ -1,0 +1,254 @@
+//! A KD-tree (Bentley, 1975) over the rows of a feature matrix.
+//!
+//! Built by recursive median splits on the axis of largest spread, queried
+//! with best-first pruning against a bounded max-heap. Duplicated points —
+//! ubiquitous in ER feature matrices, where many record pairs share a
+//! rounded feature vector — are handled exactly.
+
+use transer_common::{sq_dist, FeatureMatrix};
+
+use crate::heap::{BoundedMaxHeap, Neighbor};
+
+/// Sentinel for "no child".
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    /// Row index of the point stored at this node.
+    point: u32,
+    /// Split axis.
+    axis: u8,
+    left: u32,
+    right: u32,
+}
+
+/// KD-tree index over the rows of a [`FeatureMatrix`].
+///
+/// The tree borrows nothing: it copies the coordinates once at build time,
+/// so it can outlive the matrix it was built from. Row indices reported by
+/// queries refer to the original matrix rows.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    /// Flat copy of the points, row-major.
+    points: Vec<f64>,
+    dim: usize,
+    nodes: Vec<Node>,
+    root: u32,
+}
+
+impl KdTree {
+    /// Build a tree from the rows of `matrix`.
+    ///
+    /// An empty matrix yields an empty tree whose queries return nothing.
+    pub fn build(matrix: &FeatureMatrix) -> Self {
+        let dim = matrix.cols();
+        let n = matrix.rows();
+        let points = matrix.as_slice().to_vec();
+        let mut nodes = Vec::with_capacity(n);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let root = if n == 0 {
+            NONE
+        } else {
+            build_recursive(&points, dim, &mut order, &mut nodes)
+        };
+        KdTree { points, dim, nodes, root }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Dimensionality of the indexed points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    fn coords(&self, point: u32) -> &[f64] {
+        let p = point as usize * self.dim;
+        &self.points[p..p + self.dim]
+    }
+
+    /// The `k` nearest neighbours of `query`, sorted by ascending squared
+    /// distance (ties broken by row index). Fewer than `k` results are
+    /// returned when the tree holds fewer points.
+    ///
+    /// # Panics
+    /// Panics when `query.len() != self.dim()`.
+    pub fn k_nearest(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
+        self.k_nearest_excluding(query, k, None)
+    }
+
+    /// Like [`KdTree::k_nearest`] but ignoring the point at row `exclude` —
+    /// used to query an instance's neighbourhood within its own matrix.
+    pub fn k_nearest_excluding(
+        &self,
+        query: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        let mut heap = BoundedMaxHeap::new(k);
+        if self.root != NONE && k > 0 {
+            self.search(self.root, query, exclude, &mut heap);
+        }
+        heap.into_sorted()
+    }
+
+    fn search(&self, node_id: u32, query: &[f64], exclude: Option<usize>, heap: &mut BoundedMaxHeap) {
+        let node = self.nodes[node_id as usize];
+        let point = node.point as usize;
+        if exclude != Some(point) {
+            heap.push(Neighbor { index: point, sq_dist: sq_dist(query, self.coords(node.point)) });
+        }
+        let axis = node.axis as usize;
+        let delta = query[axis] - self.coords(node.point)[axis];
+        let (near, far) = if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        if near != NONE {
+            self.search(near, query, exclude, heap);
+        }
+        // Visit the far side only if the splitting plane is not farther than
+        // the current k-th best distance. The bound is inclusive so that
+        // equal-distance neighbours with smaller row indices (which win the
+        // deterministic tie-break) are never pruned away.
+        if far != NONE && delta * delta <= heap.prune_bound() {
+            self.search(far, query, exclude, heap);
+        }
+    }
+}
+
+/// Build the subtree for the point indices in `order`, returning its root.
+fn build_recursive(points: &[f64], dim: usize, order: &mut [u32], nodes: &mut Vec<Node>) -> u32 {
+    debug_assert!(!order.is_empty());
+    let axis = widest_axis(points, dim, order);
+    let mid = order.len() / 2;
+    order.select_nth_unstable_by(mid, |&a, &b| {
+        let xa = points[a as usize * dim + axis];
+        let xb = points[b as usize * dim + axis];
+        xa.partial_cmp(&xb).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    let point = order[mid];
+    let id = nodes.len() as u32;
+    nodes.push(Node { point, axis: axis as u8, left: NONE, right: NONE });
+    // Children are built after the node is pushed so ids stay valid.
+    let (left_slice, rest) = order.split_at_mut(mid);
+    let right_slice = &mut rest[1..];
+    let left = if left_slice.is_empty() {
+        NONE
+    } else {
+        build_recursive(points, dim, left_slice, nodes)
+    };
+    let right = if right_slice.is_empty() {
+        NONE
+    } else {
+        build_recursive(points, dim, right_slice, nodes)
+    };
+    nodes[id as usize].left = left;
+    nodes[id as usize].right = right;
+    id
+}
+
+/// Axis with the largest value spread among the given points; splitting on
+/// it keeps the tree balanced for the skewed bi-modal ER distributions.
+fn widest_axis(points: &[f64], dim: usize, order: &[u32]) -> usize {
+    let mut best_axis = 0;
+    let mut best_spread = -1.0;
+    for axis in 0..dim {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &i in order {
+            let v = points[i as usize * dim + axis];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let spread = hi - lo;
+        if spread > best_spread {
+            best_spread = spread;
+            best_axis = axis;
+        }
+    }
+    best_axis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_knn;
+
+    fn grid() -> FeatureMatrix {
+        let mut rows = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                rows.push(vec![i as f64 / 10.0, j as f64 / 10.0]);
+            }
+        }
+        FeatureMatrix::from_vecs(&rows).unwrap()
+    }
+
+    #[test]
+    fn matches_brute_force_on_grid() {
+        let m = grid();
+        let tree = KdTree::build(&m);
+        assert_eq!(tree.len(), 100);
+        for q in [[0.0, 0.0], [0.55, 0.55], [1.0, 0.0], [0.31, 0.87]] {
+            let a = tree.k_nearest(&q, 7);
+            let b = brute_force_knn(&m, &q, 7, None);
+            assert_eq!(a, b, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn exclusion_matches_brute_force() {
+        let m = grid();
+        let tree = KdTree::build(&m);
+        let a = tree.k_nearest_excluding(m.row(42), 5, Some(42));
+        let b = brute_force_knn(&m, m.row(42), 5, Some(42));
+        assert_eq!(a, b);
+        assert!(!a.iter().any(|n| n.index == 42));
+    }
+
+    #[test]
+    fn duplicates_are_all_found() {
+        let m = FeatureMatrix::from_vecs(&[
+            vec![0.5, 0.5],
+            vec![0.5, 0.5],
+            vec![0.5, 0.5],
+            vec![0.9, 0.9],
+        ])
+        .unwrap();
+        let tree = KdTree::build(&m);
+        let nn = tree.k_nearest(&[0.5, 0.5], 3);
+        assert_eq!(nn.iter().map(|n| n.index).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(nn.iter().all(|n| n.sq_dist == 0.0));
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = KdTree::build(&FeatureMatrix::empty(3));
+        assert!(tree.is_empty());
+        assert!(tree.k_nearest(&[0.0, 0.0, 0.0], 5).is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let m = FeatureMatrix::from_vecs(&[vec![0.3, 0.7]]).unwrap();
+        let tree = KdTree::build(&m);
+        let nn = tree.k_nearest(&[0.0, 0.0], 2);
+        assert_eq!(nn.len(), 1);
+        assert_eq!(nn[0].index, 0);
+        assert!(tree.k_nearest_excluding(&[0.0, 0.0], 2, Some(0)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn wrong_query_dim_panics() {
+        let tree = KdTree::build(&grid());
+        tree.k_nearest(&[0.0], 1);
+    }
+}

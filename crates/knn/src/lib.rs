@@ -1,0 +1,23 @@
+//! k-nearest-neighbour search for the SEL phase of TransER.
+//!
+//! The instance selector needs, for every source instance, its `k` nearest
+//! neighbours in the source feature matrix and in the target feature matrix.
+//! The paper assumes a KD-tree (Bentley, 1975) for this, giving
+//! `O(m · n · log n)` construction and `O(log n)` expected query time; this
+//! crate provides that [`KdTree`] plus a [`brute_force_knn`] reference
+//! implementation used for testing and tiny inputs.
+//!
+//! Distances are squared Euclidean throughout — monotone in the Euclidean
+//! distance, so neighbour *ranking* is identical and we skip the square
+//! roots in the hot path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod brute;
+mod heap;
+mod kdtree;
+
+pub use brute::brute_force_knn;
+pub use heap::{BoundedMaxHeap, Neighbor};
+pub use kdtree::KdTree;

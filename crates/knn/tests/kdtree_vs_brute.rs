@@ -1,0 +1,71 @@
+//! Property test: the KD-tree returns exactly the brute-force k-NN answer
+//! on random point clouds, including clouds with heavy duplication like ER
+//! feature matrices.
+
+use proptest::prelude::*;
+use transer_common::FeatureMatrix;
+use transer_knn::{brute_force_knn, KdTree};
+
+fn cloud(dim: usize, max_points: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0..1.0f64, dim..=dim), 1..=max_points)
+}
+
+/// Quantised cloud: coordinates snap to a 0.1 grid, forcing duplicates and
+/// distance ties.
+fn quantised_cloud(dim: usize, max_points: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0u8..=10, dim..=dim), 1..=max_points).prop_map(
+        |rows| {
+            rows.into_iter()
+                .map(|r| r.into_iter().map(|v| v as f64 / 10.0).collect())
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn tree_equals_brute_force(
+        rows in cloud(4, 120),
+        query in prop::collection::vec(0.0..1.0f64, 4..=4),
+        k in 1usize..12,
+    ) {
+        let m = FeatureMatrix::from_vecs(&rows).unwrap();
+        let tree = KdTree::build(&m);
+        prop_assert_eq!(tree.k_nearest(&query, k), brute_force_knn(&m, &query, k, None));
+    }
+
+    #[test]
+    fn tree_equals_brute_force_with_duplicates(
+        rows in quantised_cloud(3, 150),
+        k in 1usize..10,
+    ) {
+        let m = FeatureMatrix::from_vecs(&rows).unwrap();
+        let tree = KdTree::build(&m);
+        // Query from every indexed point, excluding itself, as SEL does.
+        for i in 0..m.rows().min(20) {
+            prop_assert_eq!(
+                tree.k_nearest_excluding(m.row(i), k, Some(i)),
+                brute_force_knn(&m, m.row(i), k, Some(i))
+            );
+        }
+    }
+
+    #[test]
+    fn neighbours_sorted_and_within_bounds(
+        rows in cloud(2, 80),
+        query in prop::collection::vec(0.0..1.0f64, 2..=2),
+        k in 1usize..20,
+    ) {
+        let m = FeatureMatrix::from_vecs(&rows).unwrap();
+        let tree = KdTree::build(&m);
+        let nn = tree.k_nearest(&query, k);
+        prop_assert_eq!(nn.len(), k.min(m.rows()));
+        for w in nn.windows(2) {
+            prop_assert!(w[0].sq_dist <= w[1].sq_dist);
+        }
+        for n in &nn {
+            prop_assert!(n.index < m.rows());
+            prop_assert!(n.sq_dist >= 0.0 && n.sq_dist.is_finite());
+        }
+    }
+}

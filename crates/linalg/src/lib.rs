@@ -1,0 +1,22 @@
+//! Small dense linear algebra substrate for the feature-based transfer
+//! baselines (Coral, TCA) and the LocIT* covariance features.
+//!
+//! ER feature spaces are tiny (the paper's data sets have 4-11 features),
+//! so the covariance-level operations work on matrices of a few dozen
+//! entries; TCA additionally needs eigendecompositions of kernel matrices
+//! over (sub)samples of record pairs, which stay in the hundreds of rows.
+//! A classic cyclic Jacobi eigensolver is accurate and entirely adequate at
+//! these sizes, and keeps the workspace free of native BLAS dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eigen;
+mod matrix;
+mod solve;
+mod stats;
+
+pub use eigen::{jacobi_eigen, Eigen};
+pub use matrix::Mat;
+pub use solve::{inverse, solve};
+pub use stats::{covariance, mean_center, sym_inv_sqrt, sym_sqrt};

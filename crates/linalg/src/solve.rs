@@ -1,0 +1,131 @@
+//! Gaussian elimination with partial pivoting: linear solve and inverse.
+
+use crate::Mat;
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+///
+/// Returns `None` when `A` is (numerically) singular.
+///
+/// # Panics
+/// Panics when `A` is not square or `b.len() != A.rows()`.
+pub fn solve(a: &Mat, b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(a.rows(), a.cols(), "solve requires a square matrix");
+    assert_eq!(b.len(), a.rows(), "rhs length must equal matrix order");
+    let n = a.rows();
+    let mut aug = a.clone();
+    let mut x: Vec<f64> = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                aug[(i, col)]
+                    .abs()
+                    .partial_cmp(&aug[(j, col)].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap();
+        if aug[(pivot_row, col)].abs() < 1e-12 {
+            return None;
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = aug[(col, j)];
+                aug[(col, j)] = aug[(pivot_row, j)];
+                aug[(pivot_row, j)] = tmp;
+            }
+            x.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        for row in (col + 1)..n {
+            let f = aug[(row, col)] / aug[(col, col)];
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                let v = aug[(col, j)];
+                aug[(row, j)] -= f * v;
+            }
+            x[row] -= f * x[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut v = x[col];
+        for j in (col + 1)..n {
+            v -= aug[(col, j)] * x[j];
+        }
+        x[col] = v / aug[(col, col)];
+    }
+    Some(x)
+}
+
+/// Matrix inverse by solving against the identity columns.
+///
+/// Returns `None` when the matrix is (numerically) singular.
+///
+/// # Panics
+/// Panics when the matrix is not square.
+pub fn inverse(a: &Mat) -> Option<Mat> {
+    assert_eq!(a.rows(), a.cols(), "inverse requires a square matrix");
+    let n = a.rows();
+    let mut inv = Mat::zeros(n, n);
+    let mut e = vec![0.0; n];
+    for col in 0..n {
+        e[col] = 1.0;
+        let x = solve(a, &e)?;
+        e[col] = 0.0;
+        for row in 0..n {
+            inv[(row, col)] = x[row];
+        }
+    }
+    Some(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        let a = Mat::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // Zero leading pivot forces a row swap.
+        let a = Mat::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+        assert!(inverse(&a).is_none());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Mat::from_rows(&[
+            vec![4.0, 7.0, 2.0],
+            vec![3.0, 5.0, 1.0],
+            vec![1.0, 1.0, 3.0],
+        ]);
+        let inv = inverse(&a).unwrap();
+        let i = a.matmul(&inv);
+        assert!(i.frobenius_distance(&Mat::identity(3)) < 1e-9);
+        let i2 = inv.matmul(&a);
+        assert!(i2.frobenius_distance(&Mat::identity(3)) < 1e-9);
+    }
+
+    #[test]
+    fn identity_inverse_is_identity() {
+        let inv = inverse(&Mat::identity(4)).unwrap();
+        assert!(inv.frobenius_distance(&Mat::identity(4)) < 1e-12);
+    }
+}

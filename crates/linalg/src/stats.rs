@@ -1,0 +1,145 @@
+//! Covariance statistics over feature matrices and symmetric matrix
+//! functions built on the Jacobi eigendecomposition.
+
+use transer_common::FeatureMatrix;
+
+use crate::{jacobi_eigen, Mat};
+
+/// Sample covariance matrix (`1/(n-1)` normalisation) of the rows of `x`.
+///
+/// With fewer than two rows the covariance is the zero matrix.
+pub fn covariance(x: &FeatureMatrix) -> Mat {
+    let m = x.cols();
+    let n = x.rows();
+    let mut cov = Mat::zeros(m, m);
+    if n < 2 {
+        return cov;
+    }
+    let means = x.column_means().expect("n >= 2 rows");
+    for row in x.iter_rows() {
+        for i in 0..m {
+            let di = row[i] - means[i];
+            for j in i..m {
+                cov[(i, j)] += di * (row[j] - means[j]);
+            }
+        }
+    }
+    let denom = (n - 1) as f64;
+    for i in 0..m {
+        for j in i..m {
+            cov[(i, j)] /= denom;
+            cov[(j, i)] = cov[(i, j)];
+        }
+    }
+    cov
+}
+
+/// Subtract the column means from every row, returning the centred matrix
+/// and the means. An empty matrix is returned unchanged with zero means.
+pub fn mean_center(x: &FeatureMatrix) -> (FeatureMatrix, Vec<f64>) {
+    let means = x.column_means().unwrap_or_else(|| vec![0.0; x.cols()]);
+    let mut out = FeatureMatrix::empty(x.cols());
+    let mut buf = vec![0.0; x.cols()];
+    for row in x.iter_rows() {
+        for ((b, &v), &m) in buf.iter_mut().zip(row).zip(&means) {
+            *b = v - m;
+        }
+        out.push_row(&buf);
+    }
+    (out, means)
+}
+
+/// Symmetric positive semi-definite square root `A^{1/2}`; negative
+/// eigenvalues from numerical noise are floored at zero.
+///
+/// # Panics
+/// Panics when `a` is not symmetric.
+pub fn sym_sqrt(a: &Mat) -> Mat {
+    jacobi_eigen(a).map_values(|l| l.max(0.0).sqrt())
+}
+
+/// Regularised inverse square root `(A + eps·I)^{-1/2}` — the whitening
+/// operator used by Coral. Eigenvalues are floored at `eps` before the
+/// inverse square root, so the result is always finite.
+///
+/// # Panics
+/// Panics when `a` is not symmetric or `eps <= 0`.
+pub fn sym_inv_sqrt(a: &Mat, eps: f64) -> Mat {
+    assert!(eps > 0.0, "eps must be positive");
+    jacobi_eigen(a).map_values(|l| 1.0 / (l.max(0.0) + eps).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covariance_known() {
+        // Two perfectly correlated columns.
+        let x = FeatureMatrix::from_vecs(&[
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+        ])
+        .unwrap();
+        let c = covariance(&x);
+        assert!((c[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((c[(0, 1)] - 1.0).abs() < 1e-12);
+        assert!((c[(1, 1)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_independent_columns() {
+        let x = FeatureMatrix::from_vecs(&[
+            vec![1.0, 0.0],
+            vec![-1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, -1.0],
+        ])
+        .unwrap();
+        let c = covariance(&x);
+        assert!(c[(0, 1)].abs() < 1e-12);
+        assert!(c.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let c = covariance(&FeatureMatrix::empty(3));
+        assert_eq!(c.max_abs(), 0.0);
+        let one = FeatureMatrix::from_vecs(&[vec![1.0, 2.0]]).unwrap();
+        assert_eq!(covariance(&one).max_abs(), 0.0);
+    }
+
+    #[test]
+    fn centering() {
+        let x = FeatureMatrix::from_vecs(&[vec![1.0, 10.0], vec![3.0, 20.0]]).unwrap();
+        let (c, means) = mean_center(&x);
+        assert_eq!(means, vec![2.0, 15.0]);
+        assert_eq!(c.row(0), &[-1.0, -5.0]);
+        assert_eq!(c.row(1), &[1.0, 5.0]);
+        assert!(c.column_means().unwrap().iter().all(|m| m.abs() < 1e-12));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let a = Mat::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let s = sym_sqrt(&a);
+        assert!(s.matmul(&s).frobenius_distance(&a) < 1e-9);
+    }
+
+    #[test]
+    fn inv_sqrt_whitens() {
+        let a = Mat::from_rows(&[vec![4.0, 0.0], vec![0.0, 9.0]]);
+        let w = sym_inv_sqrt(&a, 1e-12);
+        // w a w ≈ I.
+        let white = w.matmul(&a).matmul(&w);
+        assert!(white.frobenius_distance(&Mat::identity(2)) < 1e-5);
+    }
+
+    #[test]
+    fn inv_sqrt_handles_singular() {
+        let a = Mat::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]); // rank 1
+        let w = sym_inv_sqrt(&a, 1e-3);
+        assert!(w.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the linear algebra substrate: eigendecomposition,
+//! solving, covariance.
+
+use proptest::prelude::*;
+use transer_common::FeatureMatrix;
+use transer_linalg::*;
+
+/// Random symmetric matrix built as `B + Bᵀ` from a random `B`.
+fn symmetric(n: usize) -> impl Strategy<Value = Mat> {
+    prop::collection::vec(-1.0..1.0f64, n * n).prop_map(move |data| {
+        let b = Mat::from_vec(data, n, n);
+        b.add(&b.transpose()).scale(0.5)
+    })
+}
+
+/// Random SPD matrix built as `BᵀB + eps·I`.
+fn spd(n: usize) -> impl Strategy<Value = Mat> {
+    prop::collection::vec(-1.0..1.0f64, n * n).prop_map(move |data| {
+        let b = Mat::from_vec(data, n, n);
+        b.transpose().matmul(&b).add(&Mat::identity(n).scale(0.1))
+    })
+}
+
+proptest! {
+    #[test]
+    fn eigen_reconstructs(a in symmetric(5)) {
+        let e = jacobi_eigen(&a);
+        prop_assert!(a.frobenius_distance(&e.reconstruct()) < 1e-8);
+    }
+
+    #[test]
+    fn eigen_trace_preserved(a in symmetric(6)) {
+        let e = jacobi_eigen(&a);
+        let trace: f64 = (0..6).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn eigen_vectors_orthonormal(a in symmetric(4)) {
+        let e = jacobi_eigen(&a);
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        prop_assert!(vtv.frobenius_distance(&Mat::identity(4)) < 1e-8);
+    }
+
+    #[test]
+    fn eigen_values_sorted(a in symmetric(5)) {
+        let e = jacobi_eigen(&a);
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_then_multiply(a in spd(4), b in prop::collection::vec(-1.0..1.0f64, 4)) {
+        let x = solve(&a, &b).expect("SPD is nonsingular");
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-6, "{l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip(a in spd(3)) {
+        let inv = inverse(&a).expect("SPD is nonsingular");
+        prop_assert!(a.matmul(&inv).frobenius_distance(&Mat::identity(3)) < 1e-6);
+    }
+
+    #[test]
+    fn covariance_is_psd(rows in prop::collection::vec(prop::collection::vec(0.0..1.0f64, 3..=3), 2..60)) {
+        let x = FeatureMatrix::from_vecs(&rows).unwrap();
+        let c = covariance(&x);
+        prop_assert!(c.is_symmetric(1e-10));
+        let e = jacobi_eigen(&c);
+        for &l in &e.values {
+            prop_assert!(l > -1e-9, "negative eigenvalue {l}");
+        }
+    }
+
+    #[test]
+    fn sqrt_squares_back(a in spd(4)) {
+        let s = sym_sqrt(&a);
+        prop_assert!(s.matmul(&s).frobenius_distance(&a) < 1e-6);
+    }
+
+    #[test]
+    fn centering_zeroes_means(rows in prop::collection::vec(prop::collection::vec(0.0..1.0f64, 2..=2), 1..40)) {
+        let x = FeatureMatrix::from_vecs(&rows).unwrap();
+        let (c, _) = mean_center(&x);
+        for m in c.column_means().unwrap() {
+            prop_assert!(m.abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Mean ± standard-deviation aggregation, matching how Table 2 averages
+//! linkage quality over the classifier set {SVM, RF, LR, DT}.
+
+/// Online mean and (population) standard deviation accumulator
+/// (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeanStd {
+    n: usize,
+    mean: f64,
+    m2: f64,
+}
+
+impl MeanStd {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate all values from an iterator.
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut s = Self::new();
+        for v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, v: f64) {
+        self.n += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (v - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation; 0 with fewer than two observations.
+    pub fn std(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    /// Format as the paper's `mean ± std` percentage cells, e.g. `92.78 ± 5.13`
+    /// (inputs are fractions in `[0, 1]`).
+    pub fn cell_pct(&self) -> String {
+        format!("{:.2} \u{00b1} {:.2}", self.mean() * 100.0, self.std() * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        let s = MeanStd::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std(), 0.0);
+        let s = MeanStd::from_values([3.0]);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.std(), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = MeanStd::from_values([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formatting() {
+        let s = MeanStd::from_values([0.9, 0.95]);
+        assert_eq!(s.cell_pct(), "92.50 \u{00b1} 2.50");
+    }
+
+    #[test]
+    fn numerically_stable_for_shifted_data() {
+        let base = 1e9;
+        let s = MeanStd::from_values([base + 1.0, base + 2.0, base + 3.0]);
+        assert!((s.mean() - (base + 2.0)).abs() < 1e-3);
+        assert!((s.std() - (2.0f64 / 3.0).sqrt()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,152 @@
+//! Confusion matrices and the derived linkage-quality measures.
+
+use transer_common::Label;
+
+/// Binary confusion matrix for an ER classification outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    /// True matches classified as matches.
+    pub tp: usize,
+    /// True non-matches classified as matches (false matches).
+    pub fp: usize,
+    /// True matches classified as non-matches (false non-matches).
+    pub fn_: usize,
+    /// True non-matches classified as non-matches.
+    pub tn: usize,
+}
+
+impl ConfusionMatrix {
+    /// Tally a confusion matrix from aligned prediction / truth slices.
+    ///
+    /// # Panics
+    /// Panics when the slices have different lengths.
+    pub fn from_labels(predicted: &[Label], truth: &[Label]) -> Self {
+        assert_eq!(predicted.len(), truth.len(), "prediction/truth length mismatch");
+        let mut cm = ConfusionMatrix::default();
+        for (&p, &t) in predicted.iter().zip(truth) {
+            match (p, t) {
+                (Label::Match, Label::Match) => cm.tp += 1,
+                (Label::Match, Label::NonMatch) => cm.fp += 1,
+                (Label::NonMatch, Label::Match) => cm.fn_ += 1,
+                (Label::NonMatch, Label::NonMatch) => cm.tn += 1,
+            }
+        }
+        cm
+    }
+
+    /// Total number of classified pairs.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Precision `TP / (TP + FP)`; 0 when no pair was classified a match.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall `TP / (TP + FN)`; 0 when the ground truth has no matches.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// F1 measure, the harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        ratio(2 * self.tp, 2 * self.tp + self.fp + self.fn_)
+    }
+
+    /// The interpretable `F* = TP / (TP + FP + FN)` measure
+    /// (Hand, Christen & Kirielle, 2021). Related to F1 by
+    /// `F* = F1 / (2 − F1)`.
+    pub fn f_star(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp + self.fn_)
+    }
+
+    /// Accuracy over all four cells. Rarely meaningful for ER (class
+    /// imbalance) but useful in tests.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+}
+
+#[inline]
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Convenience: evaluate predictions against ground truth in one call.
+pub fn evaluate(predicted: &[Label], truth: &[Label]) -> ConfusionMatrix {
+    ConfusionMatrix::from_labels(predicted, truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(bits: &[u8]) -> Vec<Label> {
+        bits.iter().map(|&b| Label::from_bool(b == 1)).collect()
+    }
+
+    #[test]
+    fn tally() {
+        let pred = labels(&[1, 1, 0, 0, 1]);
+        let truth = labels(&[1, 0, 1, 0, 1]);
+        let cm = evaluate(&pred, &truth);
+        assert_eq!(cm, ConfusionMatrix { tp: 2, fp: 1, fn_: 1, tn: 1 });
+        assert_eq!(cm.total(), 5);
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let t = labels(&[1, 0, 1, 0]);
+        let cm = evaluate(&t, &t);
+        assert_eq!(cm.precision(), 1.0);
+        assert_eq!(cm.recall(), 1.0);
+        assert_eq!(cm.f1(), 1.0);
+        assert_eq!(cm.f_star(), 1.0);
+        assert_eq!(cm.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_denominators() {
+        // Never predicts match, truth has no matches.
+        let cm = evaluate(&labels(&[0, 0]), &labels(&[0, 0]));
+        assert_eq!(cm.precision(), 0.0);
+        assert_eq!(cm.recall(), 0.0);
+        assert_eq!(cm.f1(), 0.0);
+        assert_eq!(cm.f_star(), 0.0);
+        assert_eq!(cm.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let cm = ConfusionMatrix { tp: 6, fp: 2, fn_: 2, tn: 10 };
+        assert!((cm.precision() - 0.75).abs() < 1e-12);
+        assert!((cm.recall() - 0.75).abs() < 1e-12);
+        assert!((cm.f1() - 0.75).abs() < 1e-12);
+        assert!((cm.f_star() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fstar_f1_relation() {
+        for cm in [
+            ConfusionMatrix { tp: 5, fp: 3, fn_: 2, tn: 7 },
+            ConfusionMatrix { tp: 1, fp: 9, fn_: 4, tn: 0 },
+            ConfusionMatrix { tp: 100, fp: 1, fn_: 1, tn: 1000 },
+        ] {
+            let f1 = cm.f1();
+            assert!((cm.f_star() - f1 / (2.0 - f1)).abs() < 1e-12);
+            // F* never exceeds F1.
+            assert!(cm.f_star() <= f1 + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        evaluate(&labels(&[1]), &labels(&[1, 0]));
+    }
+}

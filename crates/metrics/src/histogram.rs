@@ -1,0 +1,154 @@
+//! Fixed-width histograms over `[0, 1]` used to reproduce the Fig. 2
+//! similarity distributions.
+
+/// Histogram with equal-width bins over the unit interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width bins over `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics when `bins == 0`.
+    pub fn new(bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        Histogram { counts: vec![0; bins] }
+    }
+
+    /// Build directly from an iterator of values.
+    pub fn from_values(bins: usize, values: impl IntoIterator<Item = f64>) -> Self {
+        let mut h = Histogram::new(bins);
+        for v in values {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Add one value; values are clamped into `[0, 1]`, so `1.0` lands in
+    /// the last bin.
+    pub fn add(&mut self, v: f64) {
+        let v = v.clamp(0.0, 1.0);
+        let bins = self.counts.len();
+        let idx = ((v * bins as f64) as usize).min(bins - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Per-bin relative frequencies; all zeros when empty.
+    pub fn frequencies(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+
+    /// Indices of local maxima (bins strictly larger than both neighbours,
+    /// with boundary bins compared against their single neighbour). Used to
+    /// verify the *bi-modal* shape of ER similarity distributions.
+    pub fn peaks(&self) -> Vec<usize> {
+        let c = &self.counts;
+        let n = c.len();
+        let mut peaks = Vec::new();
+        for i in 0..n {
+            let left = if i == 0 { 0 } else { c[i - 1] };
+            let right = if i + 1 == n { 0 } else { c[i + 1] };
+            if c[i] > 0 && c[i] >= left && c[i] >= right && (c[i] > left || c[i] > right) {
+                peaks.push(i);
+            }
+        }
+        peaks
+    }
+
+    /// Midpoint of bin `i` on the value axis.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        (i as f64 + 0.5) / self.counts.len() as f64
+    }
+
+    /// Render an ASCII bar chart, one bin per line — used by the figure
+    /// binaries for terminal output.
+    pub fn ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat(c * width / max);
+            out.push_str(&format!("{:>5.2} |{bar:<width$}| {c}\n", self.bin_center(i)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning() {
+        let h = Histogram::from_values(4, [0.0, 0.1, 0.3, 0.6, 0.9, 1.0]);
+        assert_eq!(h.counts(), &[2, 1, 1, 2]);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn clamping_out_of_range() {
+        let h = Histogram::from_values(2, [-1.0, 2.0]);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let h = Histogram::from_values(5, (0..100).map(|i| i as f64 / 100.0));
+        let sum: f64 = h.frequencies().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(Histogram::new(3).frequencies(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn bimodal_peaks_detected() {
+        // Two clear modes, as in Fig. 2.
+        let mut h = Histogram::new(10);
+        for _ in 0..50 {
+            h.add(0.15);
+        }
+        for _ in 0..5 {
+            h.add(0.25);
+        }
+        for _ in 0..30 {
+            h.add(0.85);
+        }
+        let peaks = h.peaks();
+        assert_eq!(peaks, vec![1, 8]);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(4);
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-12);
+        assert!((h.bin_center(3) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ascii_render_contains_bars() {
+        let h = Histogram::from_values(2, [0.1, 0.1, 0.9]);
+        let art = h.ascii(10);
+        assert!(art.contains("##########"));
+        assert!(art.lines().count() == 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::new(0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Linkage-quality evaluation measures.
+//!
+//! Following the paper (Section 5.1.4) quality is reported as precision,
+//! recall, F1 and the interpretable `F* = TP / (TP + FP + FN)` measure of
+//! Hand, Christen & Kirielle (2021), which the authors prefer over F1 for
+//! ER. This crate also provides mean±std aggregation (Table 2 averages over
+//! four classifiers) and fixed-width histograms (Fig. 2 similarity
+//! distributions).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agg;
+mod confusion;
+mod histogram;
+
+pub use agg::MeanStd;
+pub use confusion::{evaluate, ConfusionMatrix};
+pub use histogram::Histogram;

@@ -1,0 +1,44 @@
+//! Traditional machine-learning classifiers implemented from scratch.
+//!
+//! The paper classifies record pairs with a set of scikit-learn models —
+//! support vector machine, random forest, logistic regression and decision
+//! tree — and averages their linkage quality (Section 5.1.1). Mature Rust
+//! bindings for these do not exist, so this crate implements them directly:
+//!
+//! * [`LogisticRegression`] — batch gradient descent with L2 regularisation.
+//! * [`DecisionTree`] — CART with weighted Gini impurity.
+//! * [`RandomForest`] — bagged CART trees with per-split feature sampling.
+//! * [`LinearSvm`] — Pegasos-style SGD on the hinge loss, with Platt
+//!   scaling so that [`Classifier::predict_proba`] is calibrated (the GEN
+//!   phase of TransER depends on meaningful confidence scores).
+//! * [`Mlp`] / [`GrlNet`] — small feed-forward networks; `GrlNet` adds the
+//!   gradient-reversal domain-adversarial head used by the DTAL* baseline.
+//!
+//! All classifiers implement the common [`Classifier`] trait and accept
+//! optional per-sample weights (required by the instance-reweighting DR
+//! baseline).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dann;
+mod forest;
+mod logistic;
+mod mlp;
+mod naive_bayes;
+mod sampling;
+mod scaler;
+mod svm;
+mod traits;
+mod tree;
+
+pub use dann::{GrlConfig, GrlNet};
+pub use forest::{RandomForest, RandomForestConfig};
+pub use logistic::{LogisticRegression, LogisticRegressionConfig};
+pub use mlp::{Mlp, MlpConfig};
+pub use naive_bayes::GaussianNaiveBayes;
+pub use sampling::{stratified_fraction, undersample_to_ratio};
+pub use scaler::StandardScaler;
+pub use svm::{LinearSvm, LinearSvmConfig};
+pub use traits::{Classifier, ClassifierKind};
+pub use tree::{DecisionTree, DecisionTreeConfig};

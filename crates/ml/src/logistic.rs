@@ -1,0 +1,197 @@
+//! L2-regularised logistic regression trained by batch gradient descent.
+
+use transer_common::{Error, FeatureMatrix, Label, Result};
+
+use crate::traits::{check_training_input, Classifier};
+
+/// Hyper-parameters for [`LogisticRegression`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogisticRegressionConfig {
+    /// Number of full-batch gradient steps.
+    pub epochs: usize,
+    /// Initial learning rate (decayed as `lr / (1 + t·decay)`).
+    pub learning_rate: f64,
+    /// Learning-rate decay per epoch.
+    pub decay: f64,
+    /// L2 penalty on the weights (not the intercept).
+    pub l2: f64,
+}
+
+impl Default for LogisticRegressionConfig {
+    fn default() -> Self {
+        // ER feature spaces are tiny (4-11 similarity features in [0,1]),
+        // so a few hundred full-batch steps converge reliably.
+        LogisticRegressionConfig { epochs: 800, learning_rate: 2.0, decay: 0.005, l2: 1e-6 }
+    }
+}
+
+/// Logistic regression `P(match | x) = σ(w·x + b)`.
+#[derive(Debug, Clone, Default)]
+pub struct LogisticRegression {
+    config: LogisticRegressionConfig,
+    weights: Vec<f64>,
+    bias: f64,
+    fitted: bool,
+}
+
+impl LogisticRegression {
+    /// Create with explicit hyper-parameters.
+    pub fn new(config: LogisticRegressionConfig) -> Self {
+        LogisticRegression { config, weights: Vec::new(), bias: 0.0, fitted: false }
+    }
+
+    /// Learned weight vector (empty before `fit`).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Learned intercept.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    fn raw_score(&self, row: &[f64]) -> f64 {
+        self.bias + self.weights.iter().zip(row).map(|(w, x)| w * x).sum::<f64>()
+    }
+}
+
+#[inline]
+pub(crate) fn sigmoid(z: f64) -> f64 {
+    // Split on sign for numerical stability at large |z|.
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn name(&self) -> &'static str {
+        "logreg"
+    }
+
+    fn fit_weighted(
+        &mut self,
+        x: &FeatureMatrix,
+        y: &[Label],
+        weights: Option<&[f64]>,
+    ) -> Result<()> {
+        check_training_input(x, y, weights)?;
+        let n = x.rows();
+        let m = x.cols();
+        let w_total: f64 = weights.map_or(n as f64, |w| w.iter().sum());
+        if w_total <= 0.0 {
+            return Err(Error::TrainingFailed("all sample weights are zero".into()));
+        }
+        self.weights = vec![0.0; m];
+        self.bias = 0.0;
+        let mut grad = vec![0.0; m];
+        for epoch in 0..self.config.epochs {
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            let mut grad_b = 0.0;
+            for (i, row) in x.iter_rows().enumerate() {
+                let p = sigmoid(self.raw_score(row));
+                let err = p - y[i].as_f64();
+                let wi = weights.map_or(1.0, |w| w[i]);
+                let e = err * wi;
+                for (g, &xv) in grad.iter_mut().zip(row) {
+                    *g += e * xv;
+                }
+                grad_b += e;
+            }
+            let lr = self.config.learning_rate / (1.0 + epoch as f64 * self.config.decay);
+            for (w, g) in self.weights.iter_mut().zip(&grad) {
+                *w -= lr * (g / w_total + self.config.l2 * *w);
+            }
+            self.bias -= lr * grad_b / w_total;
+        }
+        if self.weights.iter().any(|w| !w.is_finite()) || !self.bias.is_finite() {
+            return Err(Error::TrainingFailed("logistic regression diverged".into()));
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &FeatureMatrix) -> Vec<f64> {
+        assert!(self.fitted, "predict before fit");
+        x.iter_rows().map(|row| sigmoid(self.raw_score(row))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable() -> (FeatureMatrix, Vec<Label>) {
+        // Matches cluster near 1, non-matches near 0 on both features.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            let jitter = (i % 5) as f64 * 0.02;
+            rows.push(vec![0.9 - jitter, 0.85 + jitter / 2.0]);
+            labels.push(Label::Match);
+            rows.push(vec![0.1 + jitter, 0.2 - jitter / 2.0]);
+            labels.push(Label::NonMatch);
+        }
+        (FeatureMatrix::from_vecs(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let (x, y) = separable();
+        let mut clf = LogisticRegression::default();
+        clf.fit(&x, &y).unwrap();
+        let pred = clf.predict(&x);
+        assert_eq!(pred, y);
+        // High-similarity pair should be confidently a match.
+        let p = clf.predict_proba(&FeatureMatrix::from_vecs(&[vec![0.95, 0.95]]).unwrap());
+        assert!(p[0] > 0.9, "{}", p[0]);
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let (x, y) = separable();
+        let mut clf = LogisticRegression::default();
+        clf.fit(&x, &y).unwrap();
+        for p in clf.predict_proba(&x) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn weighted_fit_shifts_boundary() {
+        // Identical ambiguous point labelled both ways; weights decide.
+        let x = FeatureMatrix::from_vecs(&[vec![0.5], vec![0.5]]).unwrap();
+        let y = vec![Label::Match, Label::NonMatch];
+        let mut heavy_match = LogisticRegression::default();
+        heavy_match.fit_weighted(&x, &y, Some(&[10.0, 1.0])).unwrap();
+        let mut heavy_non = LogisticRegression::default();
+        heavy_non.fit_weighted(&x, &y, Some(&[1.0, 10.0])).unwrap();
+        let q = FeatureMatrix::from_vecs(&[vec![0.5]]).unwrap();
+        assert!(heavy_match.predict_proba(&q)[0] > 0.5);
+        assert!(heavy_non.predict_proba(&q)[0] < 0.5);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut clf = LogisticRegression::default();
+        assert!(clf.fit(&FeatureMatrix::empty(2), &[]).is_err());
+        let x = FeatureMatrix::from_vecs(&[vec![0.5]]).unwrap();
+        assert!(clf.fit_weighted(&x, &[Label::Match], Some(&[0.0])).is_err());
+    }
+
+    #[test]
+    fn sigmoid_stability() {
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        let clf = LogisticRegression::default();
+        clf.predict_proba(&FeatureMatrix::from_vecs(&[vec![0.5]]).unwrap());
+    }
+}

@@ -1,0 +1,246 @@
+//! A small feed-forward neural network (multi-layer perceptron) for binary
+//! classification, trained with SGD on the cross-entropy loss.
+//!
+//! This exists to power the deep-learning baselines (DTAL*, DR): the paper
+//! contrasts TransER's traditional classifiers with deep models, so the
+//! reproduction needs a real — if compact — neural network, not a stub.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use transer_common::{Error, FeatureMatrix, Label, Result};
+
+use crate::logistic::sigmoid;
+use crate::traits::{check_training_input, Classifier};
+
+/// One fully connected layer with ReLU or identity activation.
+#[derive(Debug, Clone)]
+pub(crate) struct DenseLayer {
+    /// Row-major `out × in` weight matrix.
+    pub w: Vec<f64>,
+    pub b: Vec<f64>,
+    pub inputs: usize,
+    pub outputs: usize,
+    pub relu: bool,
+}
+
+impl DenseLayer {
+    pub fn new(inputs: usize, outputs: usize, relu: bool, rng: &mut StdRng) -> Self {
+        // He-style initialisation scaled to the fan-in.
+        let scale = (2.0 / inputs.max(1) as f64).sqrt();
+        let w = (0..inputs * outputs).map(|_| rng.random_range(-scale..scale)).collect();
+        DenseLayer { w, b: vec![0.0; outputs], inputs, outputs, relu }
+    }
+
+    /// Forward pass; returns the post-activation output.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.inputs);
+        (0..self.outputs)
+            .map(|o| {
+                let z = self.b[o]
+                    + self.w[o * self.inputs..(o + 1) * self.inputs]
+                        .iter()
+                        .zip(x)
+                        .map(|(w, x)| w * x)
+                        .sum::<f64>();
+                if self.relu {
+                    z.max(0.0)
+                } else {
+                    z
+                }
+            })
+            .collect()
+    }
+
+    /// Backward pass: given the layer input, its forward output and the
+    /// gradient w.r.t. that output, apply an SGD step with rate `lr` and
+    /// return the gradient w.r.t. the input.
+    pub fn backward(&mut self, x: &[f64], out: &[f64], grad_out: &[f64], lr: f64) -> Vec<f64> {
+        let mut grad_in = vec![0.0; self.inputs];
+        for o in 0..self.outputs {
+            // ReLU gate: zero gradient where the unit was inactive.
+            let g = if self.relu && out[o] <= 0.0 { 0.0 } else { grad_out[o] };
+            if g == 0.0 {
+                continue;
+            }
+            let row = &mut self.w[o * self.inputs..(o + 1) * self.inputs];
+            for (i, (w, &xv)) in row.iter_mut().zip(x).enumerate() {
+                grad_in[i] += *w * g;
+                *w -= lr * g * xv;
+            }
+            self.b[o] -= lr * g;
+        }
+        grad_in
+    }
+}
+
+/// Hyper-parameters for [`Mlp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpConfig {
+    /// Hidden layer widths.
+    pub hidden: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Initial learning rate (decayed per epoch).
+    pub learning_rate: f64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig { hidden: vec![16, 8], epochs: 40, learning_rate: 0.05 }
+    }
+}
+
+/// Feed-forward binary classifier: ReLU hidden layers, sigmoid output.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    config: MlpConfig,
+    seed: u64,
+    layers: Vec<DenseLayer>,
+    fitted: bool,
+}
+
+impl Mlp {
+    /// Create with explicit hyper-parameters and RNG seed.
+    pub fn new(config: MlpConfig, seed: u64) -> Self {
+        Mlp { config, seed, layers: Vec::new(), fitted: false }
+    }
+
+    /// Default configuration with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Mlp::new(MlpConfig::default(), seed)
+    }
+
+    fn forward_all(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.to_vec());
+        for layer in &self.layers {
+            let next = layer.forward(acts.last().expect("nonempty"));
+            acts.push(next);
+        }
+        acts
+    }
+
+    fn proba_one(&self, x: &[f64]) -> f64 {
+        let acts = self.forward_all(x);
+        sigmoid(acts.last().expect("nonempty")[0])
+    }
+}
+
+impl Classifier for Mlp {
+    fn name(&self) -> &'static str {
+        "mlp"
+    }
+
+    fn fit_weighted(
+        &mut self,
+        x: &FeatureMatrix,
+        y: &[Label],
+        weights: Option<&[f64]>,
+    ) -> Result<()> {
+        check_training_input(x, y, weights)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut dims = vec![x.cols()];
+        dims.extend_from_slice(&self.config.hidden);
+        dims.push(1);
+        self.layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, d)| DenseLayer::new(d[0], d[1], i + 2 < dims.len(), &mut rng))
+            .collect();
+
+        let mut order: Vec<usize> = (0..x.rows()).collect();
+        for epoch in 0..self.config.epochs {
+            let lr = self.config.learning_rate / (1.0 + 0.05 * epoch as f64);
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let acts = self.forward_all(x.row(i));
+                let p = sigmoid(acts.last().expect("nonempty")[0]);
+                let wi = weights.map_or(1.0, |w| w[i]);
+                // dL/dz for sigmoid + cross-entropy.
+                let mut grad = vec![(p - y[i].as_f64()) * wi];
+                for (l, layer) in self.layers.iter_mut().enumerate().rev() {
+                    grad = layer.backward(&acts[l], &acts[l + 1], &grad, lr);
+                }
+            }
+        }
+        if self.layers.iter().any(|l| l.w.iter().any(|w| !w.is_finite())) {
+            return Err(Error::TrainingFailed("MLP diverged".into()));
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &FeatureMatrix) -> Vec<f64> {
+        assert!(self.fitted, "predict before fit");
+        x.iter_rows().map(|row| self.proba_one(row)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (FeatureMatrix, Vec<Label>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for &(a, b, m) in
+            &[(0.1, 0.1, false), (0.9, 0.9, false), (0.1, 0.9, true), (0.9, 0.1, true)]
+        {
+            for k in 0..10 {
+                let j = k as f64 * 0.005;
+                rows.push(vec![a + j, b - j]);
+                labels.push(Label::from_bool(m));
+            }
+        }
+        (FeatureMatrix::from_vecs(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data();
+        let mut mlp = Mlp::new(
+            MlpConfig { hidden: vec![16], epochs: 300, learning_rate: 0.3 },
+            7,
+        );
+        mlp.fit(&x, &y).unwrap();
+        let acc = mlp.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count() as f64
+            / y.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let (x, y) = xor_data();
+        let mut mlp = Mlp::with_seed(1);
+        mlp.fit(&x, &y).unwrap();
+        for p in mlp.predict_proba(&x) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (x, y) = xor_data();
+        let mut a = Mlp::with_seed(3);
+        let mut b = Mlp::with_seed(3);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+    }
+
+    #[test]
+    fn layer_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = DenseLayer::new(3, 2, true, &mut rng);
+        let out = layer.forward(&[0.1, 0.2, 0.3]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|&v| v >= 0.0), "ReLU output must be non-negative");
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let mut mlp = Mlp::with_seed(0);
+        assert!(mlp.fit(&FeatureMatrix::empty(2), &[]).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Gaussian naive Bayes — a fifth traditional classifier beyond the
+//! paper's averaged set, useful as a fast probabilistic reference and for
+//! ablation experiments on the classifier family.
+
+use transer_common::{Error, FeatureMatrix, Label, Result};
+
+use crate::traits::{check_training_input, Classifier};
+
+/// Per-class feature means and variances under the naive independence
+/// assumption, with Laplace-style variance smoothing.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianNaiveBayes {
+    /// `[non-match, match]` per-feature means.
+    means: [Vec<f64>; 2],
+    /// `[non-match, match]` per-feature variances (smoothed).
+    vars: [Vec<f64>; 2],
+    /// Log class priors `[non-match, match]`.
+    log_priors: [f64; 2],
+    fitted: bool,
+}
+
+/// Variance floor: features in [0,1] can be constant within a class.
+const VAR_FLOOR: f64 = 1e-6;
+
+impl GaussianNaiveBayes {
+    /// Create an unfitted model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn log_likelihood(&self, row: &[f64], class: usize) -> f64 {
+        let mut ll = self.log_priors[class];
+        for ((&x, &mean), &var) in
+            row.iter().zip(&self.means[class]).zip(&self.vars[class])
+        {
+            let d = x - mean;
+            ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + d * d / var);
+        }
+        ll
+    }
+}
+
+impl Classifier for GaussianNaiveBayes {
+    fn name(&self) -> &'static str {
+        "gnb"
+    }
+
+    fn fit_weighted(
+        &mut self,
+        x: &FeatureMatrix,
+        y: &[Label],
+        weights: Option<&[f64]>,
+    ) -> Result<()> {
+        check_training_input(x, y, weights)?;
+        let m = x.cols();
+        let mut sums = [vec![0.0; m], vec![0.0; m]];
+        let mut sq_sums = [vec![0.0; m], vec![0.0; m]];
+        let mut class_w = [0.0f64; 2];
+        for (i, row) in x.iter_rows().enumerate() {
+            let wi = weights.map_or(1.0, |w| w[i]);
+            let c = usize::from(y[i].is_match());
+            class_w[c] += wi;
+            for (f, &v) in row.iter().enumerate() {
+                sums[c][f] += wi * v;
+                sq_sums[c][f] += wi * v * v;
+            }
+        }
+        if class_w[0] <= 0.0 || class_w[1] <= 0.0 {
+            return Err(Error::TrainingFailed(
+                "Gaussian naive Bayes needs weighted mass in both classes".into(),
+            ));
+        }
+        let total = class_w[0] + class_w[1];
+        for c in 0..2 {
+            self.means[c] = sums[c].iter().map(|s| s / class_w[c]).collect();
+            self.vars[c] = sq_sums[c]
+                .iter()
+                .zip(&self.means[c])
+                .map(|(&sq, &mean)| (sq / class_w[c] - mean * mean).max(VAR_FLOOR))
+                .collect();
+            self.log_priors[c] = (class_w[c] / total).ln();
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &FeatureMatrix) -> Vec<f64> {
+        assert!(self.fitted, "predict before fit");
+        x.iter_rows()
+            .map(|row| {
+                let ll0 = self.log_likelihood(row, 0);
+                let ll1 = self.log_likelihood(row, 1);
+                // P(match) via the log-sum-exp-stable ratio.
+                let max = ll0.max(ll1);
+                let e0 = (ll0 - max).exp();
+                let e1 = (ll1 - max).exp();
+                e1 / (e0 + e1)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (FeatureMatrix, Vec<Label>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..25 {
+            let j = (i % 5) as f64 * 0.02;
+            rows.push(vec![0.85 + j, 0.8 - j]);
+            y.push(Label::Match);
+            rows.push(vec![0.15 - j / 2.0, 0.2 + j]);
+            y.push(Label::NonMatch);
+        }
+        (FeatureMatrix::from_vecs(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let (x, y) = blobs();
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&x, &y).unwrap();
+        assert_eq!(nb.predict(&x), y);
+        for p in nb.predict_proba(&x) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn probabilities_reflect_distance_to_means() {
+        let (x, y) = blobs();
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&x, &y).unwrap();
+        let probe =
+            FeatureMatrix::from_vecs(&[vec![0.85, 0.8], vec![0.5, 0.5], vec![0.15, 0.2]]).unwrap();
+        let p = nb.predict_proba(&probe);
+        assert!(p[0] > 0.95);
+        assert!(p[2] < 0.05);
+        // Saturation can flatten the extremes in f64; the ordering only
+        // needs to be non-strict at the saturated ends.
+        assert!(p[0] >= p[1] && p[1] >= p[2], "{p:?}");
+    }
+
+    #[test]
+    fn weights_shift_the_priors() {
+        // Same ambiguous feature, weights decide the prior-dominated call.
+        let x = FeatureMatrix::from_vecs(&[vec![0.5], vec![0.5]]).unwrap();
+        let y = vec![Label::Match, Label::NonMatch];
+        let mut heavy = GaussianNaiveBayes::new();
+        heavy.fit_weighted(&x, &y, Some(&[9.0, 1.0])).unwrap();
+        let q = FeatureMatrix::from_vecs(&[vec![0.5]]).unwrap();
+        assert!(heavy.predict_proba(&q)[0] > 0.5);
+    }
+
+    #[test]
+    fn single_class_rejected() {
+        let x = FeatureMatrix::from_vecs(&[vec![0.5], vec![0.6]]).unwrap();
+        let mut nb = GaussianNaiveBayes::new();
+        assert!(nb.fit(&x, &[Label::Match, Label::Match]).is_err());
+    }
+
+    #[test]
+    fn constant_features_survive_via_variance_floor() {
+        let x = FeatureMatrix::from_vecs(&[vec![1.0, 0.3], vec![1.0, 0.9]]).unwrap();
+        let y = vec![Label::NonMatch, Label::Match];
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&x, &y).unwrap();
+        for p in nb.predict_proba(&x) {
+            assert!(p.is_finite());
+        }
+    }
+}

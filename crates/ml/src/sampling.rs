@@ -1,0 +1,130 @@
+//! Sampling utilities: class-ratio under-sampling (Algorithm 1's
+//! `GetBalancedData`) and stratified sub-sampling (the Fig. 6 labelled-
+//! fraction sweeps).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use transer_common::Label;
+
+/// Under-sample non-matches so that the non-match : match ratio is at most
+/// `ratio` (the paper uses 1:3 match:non-match, i.e. `ratio = 3`). All
+/// matches are kept; returned indices are sorted ascending for determinism.
+///
+/// When there are already fewer than `ratio × matches` non-matches — or no
+/// matches at all — every index is returned unchanged.
+pub fn undersample_to_ratio(y: &[Label], ratio: f64, seed: u64) -> Vec<usize> {
+    assert!(ratio > 0.0, "ratio must be positive");
+    let matches: Vec<usize> = (0..y.len()).filter(|&i| y[i].is_match()).collect();
+    let non_matches: Vec<usize> = (0..y.len()).filter(|&i| !y[i].is_match()).collect();
+    if matches.is_empty() {
+        return (0..y.len()).collect();
+    }
+    let keep_non = ((matches.len() as f64 * ratio).round() as usize).min(non_matches.len());
+    if keep_non == non_matches.len() {
+        return (0..y.len()).collect();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool = non_matches;
+    pool.shuffle(&mut rng);
+    pool.truncate(keep_non);
+    let mut out = matches;
+    out.extend(pool);
+    out.sort_unstable();
+    out
+}
+
+/// Stratified sub-sample: keep `fraction` of each class, at least one
+/// instance per non-empty class. Returned indices are sorted ascending.
+pub fn stratified_fraction(y: &[Label], fraction: f64, seed: u64) -> Vec<usize> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for class in [Label::Match, Label::NonMatch] {
+        let mut idx: Vec<usize> = (0..y.len()).filter(|&i| y[i] == class).collect();
+        if idx.is_empty() {
+            continue;
+        }
+        let keep = ((idx.len() as f64 * fraction).round() as usize).clamp(
+            usize::from(fraction > 0.0),
+            idx.len(),
+        );
+        idx.shuffle(&mut rng);
+        idx.truncate(keep);
+        out.extend(idx);
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(matches: usize, non_matches: usize) -> Vec<Label> {
+        let mut y = vec![Label::Match; matches];
+        y.extend(vec![Label::NonMatch; non_matches]);
+        y
+    }
+
+    #[test]
+    fn undersamples_to_ratio() {
+        let y = labels(10, 100);
+        let kept = undersample_to_ratio(&y, 3.0, 42);
+        let m = kept.iter().filter(|&&i| y[i].is_match()).count();
+        let n = kept.len() - m;
+        assert_eq!(m, 10, "all matches kept");
+        assert_eq!(n, 30, "1:3 ratio");
+        // Sorted + unique.
+        assert!(kept.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn already_balanced_untouched() {
+        let y = labels(10, 20);
+        let kept = undersample_to_ratio(&y, 3.0, 0);
+        assert_eq!(kept.len(), 30);
+    }
+
+    #[test]
+    fn no_matches_returns_everything() {
+        let y = labels(0, 50);
+        assert_eq!(undersample_to_ratio(&y, 3.0, 0).len(), 50);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let y = labels(5, 200);
+        assert_eq!(undersample_to_ratio(&y, 3.0, 7), undersample_to_ratio(&y, 3.0, 7));
+        assert_ne!(undersample_to_ratio(&y, 3.0, 7), undersample_to_ratio(&y, 3.0, 8));
+    }
+
+    #[test]
+    fn stratified_preserves_class_shares() {
+        let y = labels(40, 160);
+        let kept = stratified_fraction(&y, 0.25, 3);
+        let m = kept.iter().filter(|&&i| y[i].is_match()).count();
+        assert_eq!(m, 10);
+        assert_eq!(kept.len() - m, 40);
+    }
+
+    #[test]
+    fn stratified_full_and_empty() {
+        let y = labels(3, 7);
+        assert_eq!(stratified_fraction(&y, 1.0, 0).len(), 10);
+        assert!(stratified_fraction(&y, 0.0, 0).is_empty());
+    }
+
+    #[test]
+    fn stratified_keeps_at_least_one() {
+        let y = labels(1, 1000);
+        let kept = stratified_fraction(&y, 0.01, 0);
+        assert!(kept.iter().any(|&i| y[i].is_match()));
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn zero_ratio_panics() {
+        undersample_to_ratio(&labels(1, 1), 0.0, 0);
+    }
+}

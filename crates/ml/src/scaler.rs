@@ -1,0 +1,133 @@
+//! Standardisation (z-scoring) of feature matrices, needed by the
+//! feature-transformation baselines (TCA, Coral) that assume roughly
+//! centred inputs.
+
+use transer_common::{Error, FeatureMatrix, Result};
+
+/// Per-column standard scaler: `x' = (x − mean) / std`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit means and standard deviations on `x`.
+    ///
+    /// Columns with (near-)zero variance get `std = 1` so that transforming
+    /// never divides by zero.
+    ///
+    /// # Errors
+    /// Returns [`Error::EmptyInput`] when `x` has no rows.
+    pub fn fit(x: &FeatureMatrix) -> Result<Self> {
+        let means = x.column_means().ok_or(Error::EmptyInput("scaler input"))?;
+        let n = x.rows() as f64;
+        let mut vars = vec![0.0; x.cols()];
+        for row in x.iter_rows() {
+            for ((v, &xv), &m) in vars.iter_mut().zip(row).zip(&means) {
+                *v += (xv - m) * (xv - m);
+            }
+        }
+        let stds = vars
+            .iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Ok(StandardScaler { means, stds })
+    }
+
+    /// Apply the fitted transform.
+    ///
+    /// # Panics
+    /// Panics when the column count differs from the fitted matrix.
+    pub fn transform(&self, x: &FeatureMatrix) -> FeatureMatrix {
+        assert_eq!(x.cols(), self.means.len(), "column count mismatch");
+        let mut out = FeatureMatrix::empty(x.cols());
+        let mut buf = vec![0.0; x.cols()];
+        for row in x.iter_rows() {
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = (row[i] - self.means[i]) / self.stds[i];
+            }
+            out.push_row(&buf);
+        }
+        out
+    }
+
+    /// Invert the transform.
+    ///
+    /// # Panics
+    /// Panics when the column count differs from the fitted matrix.
+    pub fn inverse_transform(&self, x: &FeatureMatrix) -> FeatureMatrix {
+        assert_eq!(x.cols(), self.means.len(), "column count mismatch");
+        let mut out = FeatureMatrix::empty(x.cols());
+        let mut buf = vec![0.0; x.cols()];
+        for row in x.iter_rows() {
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = row[i] * self.stds[i] + self.means[i];
+            }
+            out.push_row(&buf);
+        }
+        out
+    }
+
+    /// Fitted column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted column standard deviations.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardises_columns() {
+        let x = FeatureMatrix::from_vecs(&[vec![0.0, 10.0], vec![2.0, 20.0], vec![4.0, 30.0]])
+            .unwrap();
+        let s = StandardScaler::fit(&x).unwrap();
+        let t = s.transform(&x);
+        let means = t.column_means().unwrap();
+        assert!(means.iter().all(|m| m.abs() < 1e-12));
+        // Unit population variance per column.
+        let mut var0 = 0.0;
+        for row in t.iter_rows() {
+            var0 += row[0] * row[0];
+        }
+        assert!((var0 / 3.0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let x = FeatureMatrix::from_vecs(&[vec![0.1, 0.9], vec![0.7, 0.3]]).unwrap();
+        let s = StandardScaler::fit(&x).unwrap();
+        let back = s.inverse_transform(&s.transform(&x));
+        for (a, b) in x.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_column_survives() {
+        let x = FeatureMatrix::from_vecs(&[vec![0.5, 1.0], vec![0.5, 2.0]]).unwrap();
+        let s = StandardScaler::fit(&x).unwrap();
+        let t = s.transform(&x);
+        assert!(t.as_slice().iter().all(|v| v.is_finite()));
+        assert_eq!(t.row(0)[0], 0.0);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(StandardScaler::fit(&FeatureMatrix::empty(2)).is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! Linear support vector machine trained with Pegasos-style SGD on the
+//! hinge loss, followed by Platt scaling so the decision values become
+//! calibrated match probabilities.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use transer_common::{Error, FeatureMatrix, Label, Result};
+
+use crate::logistic::sigmoid;
+use crate::traits::{check_training_input, Classifier};
+
+/// Hyper-parameters for [`LinearSvm`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearSvmConfig {
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Regularisation strength λ of the Pegasos objective.
+    pub lambda: f64,
+    /// Iterations of Newton's method for the Platt sigmoid fit.
+    pub platt_iterations: usize,
+}
+
+impl Default for LinearSvmConfig {
+    fn default() -> Self {
+        LinearSvmConfig { epochs: 60, lambda: 1e-3, platt_iterations: 50 }
+    }
+}
+
+/// Linear SVM `f(x) = w·x + b` with Platt-scaled probabilities
+/// `P(match|x) = σ(A·f(x) + B)`.
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    config: LinearSvmConfig,
+    seed: u64,
+    weights: Vec<f64>,
+    bias: f64,
+    platt_a: f64,
+    platt_b: f64,
+    fitted: bool,
+}
+
+impl LinearSvm {
+    /// Create with explicit hyper-parameters and RNG seed (SGD shuffling).
+    pub fn new(config: LinearSvmConfig, seed: u64) -> Self {
+        LinearSvm {
+            config,
+            seed,
+            weights: Vec::new(),
+            bias: 0.0,
+            platt_a: -1.0,
+            platt_b: 0.0,
+            fitted: false,
+        }
+    }
+
+    /// Default configuration with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        LinearSvm::new(LinearSvmConfig::default(), seed)
+    }
+
+    /// Raw (uncalibrated) decision value for one row.
+    pub fn decision_value(&self, row: &[f64]) -> f64 {
+        self.bias + self.weights.iter().zip(row).map(|(w, x)| w * x).sum::<f64>()
+    }
+
+    /// Fit the Platt sigmoid `σ(A·f + B)` to decision values and targets by
+    /// Newton iterations on the cross-entropy (Platt 1999, with the usual
+    /// smoothed targets).
+    fn fit_platt(&mut self, decisions: &[f64], y: &[Label], w: &[f64]) {
+        let n_pos: f64 = y.iter().zip(w).filter(|(l, _)| l.is_match()).map(|(_, &wi)| wi).sum();
+        let n_neg: f64 = y.iter().zip(w).filter(|(l, _)| !l.is_match()).map(|(_, &wi)| wi).sum();
+        let t_pos = (n_pos + 1.0) / (n_pos + 2.0);
+        let t_neg = 1.0 / (n_neg + 2.0);
+        let targets: Vec<f64> =
+            y.iter().map(|l| if l.is_match() { t_pos } else { t_neg }).collect();
+
+        // Platt's recommended initialisation: neutral slope, prior-ratio
+        // intercept. Starting at a fixed negative slope can strand Newton
+        // in a saturated region with a vanishing Hessian.
+        let mut a = 0.0;
+        let mut b = ((n_neg + 1.0) / (n_pos + 1.0)).ln();
+        for _ in 0..self.config.platt_iterations {
+            let mut g_a = 0.0;
+            let mut g_b = 0.0;
+            let mut h_aa = 1e-12;
+            let mut h_ab = 0.0;
+            let mut h_bb = 1e-12;
+            for ((&f, &t), &wi) in decisions.iter().zip(&targets).zip(w) {
+                let p = sigmoid(a * f + b);
+                let d = wi * (p - t);
+                g_a += d * f;
+                g_b += d;
+                let s = wi * p * (1.0 - p);
+                h_aa += s * f * f;
+                h_ab += s * f;
+                h_bb += s;
+            }
+            // Solve the 2x2 Newton system.
+            let det = h_aa * h_bb - h_ab * h_ab;
+            if det.abs() < 1e-18 {
+                break;
+            }
+            // Damped Newton: clip the step so saturated regions (tiny
+            // Hessian) cannot catapult the parameters away.
+            let da = ((h_bb * g_a - h_ab * g_b) / det).clamp(-5.0, 5.0);
+            let db = ((h_aa * g_b - h_ab * g_a) / det).clamp(-5.0, 5.0);
+            a -= da;
+            b -= db;
+            if da.abs() < 1e-10 && db.abs() < 1e-10 {
+                break;
+            }
+        }
+        self.platt_a = a;
+        self.platt_b = b;
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn name(&self) -> &'static str {
+        "svm"
+    }
+
+    fn fit_weighted(
+        &mut self,
+        x: &FeatureMatrix,
+        y: &[Label],
+        weights: Option<&[f64]>,
+    ) -> Result<()> {
+        check_training_input(x, y, weights)?;
+        let n = x.rows();
+        let m = x.cols();
+        // Balanced class weighting (as sklearn's `class_weight="balanced"`):
+        // without it Pegasos collapses to the majority class on the small,
+        // heavily imbalanced samples ER produces.
+        let n_pos = y.iter().filter(|l| l.is_match()).count().max(1);
+        let n_neg = (n - n_pos.min(n)).max(1);
+        let w_sample: Vec<f64> = (0..n)
+            .map(|i| {
+                let base = weights.map_or(1.0, |w| w[i]);
+                let class = if y[i].is_match() { n_pos } else { n_neg };
+                base * n as f64 / (2.0 * class as f64)
+            })
+            .collect();
+        let mean_w = w_sample.iter().sum::<f64>() / n as f64;
+        if mean_w <= 0.0 {
+            return Err(Error::TrainingFailed("all sample weights are zero".into()));
+        }
+
+        self.weights = vec![0.0; m];
+        self.bias = 0.0;
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Offsetting the Pegasos step counter tames the enormous first
+        // steps (eta = 1/(lambda*t) explodes for small t), which otherwise
+        // park the bias so far out that small samples never recover.
+        let t0 = (5 * n) as u64;
+        let mut t: u64 = t0;
+        for _ in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                t += 1;
+                let eta = 1.0 / (self.config.lambda * t as f64);
+                let row = x.row(i);
+                let yi = if y[i].is_match() { 1.0 } else { -1.0 };
+                let margin = yi * self.decision_value(row);
+                // w <- (1 - eta*lambda) w  [+ eta*y*x when the hinge is active]
+                let shrink = 1.0 - eta * self.config.lambda;
+                for wv in &mut self.weights {
+                    *wv *= shrink;
+                }
+                if margin < 1.0 {
+                    let step = eta * yi * w_sample[i] / mean_w;
+                    for (wv, &xv) in self.weights.iter_mut().zip(row) {
+                        *wv += step * xv;
+                    }
+                    self.bias += step;
+                }
+            }
+        }
+        if self.weights.iter().any(|w| !w.is_finite()) || !self.bias.is_finite() {
+            return Err(Error::TrainingFailed("SVM diverged".into()));
+        }
+
+        let decisions: Vec<f64> = x.iter_rows().map(|r| self.decision_value(r)).collect();
+        self.fit_platt(&decisions, y, &w_sample);
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &FeatureMatrix) -> Vec<f64> {
+        assert!(self.fitted, "predict before fit");
+        x.iter_rows()
+            .map(|row| sigmoid(self.platt_a * self.decision_value(row) + self.platt_b))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    fn blobs(seed: u64, n: usize) -> (FeatureMatrix, Vec<Label>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let j: f64 = rng.random_range(-0.1..0.1);
+            rows.push(vec![0.85 + j, 0.9 + j / 2.0]);
+            labels.push(Label::Match);
+            rows.push(vec![0.15 - j, 0.2 + j]);
+            labels.push(Label::NonMatch);
+        }
+        (FeatureMatrix::from_vecs(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let (x, y) = blobs(11, 50);
+        let mut svm = LinearSvm::with_seed(3);
+        svm.fit(&x, &y).unwrap();
+        assert_eq!(svm.predict(&x), y);
+    }
+
+    #[test]
+    fn platt_probabilities_are_calibrated_ordering() {
+        let (x, y) = blobs(2, 60);
+        let mut svm = LinearSvm::with_seed(5);
+        svm.fit(&x, &y).unwrap();
+        let hi = svm.predict_proba(&FeatureMatrix::from_vecs(&[vec![0.95, 0.95]]).unwrap())[0];
+        let mid = svm.predict_proba(&FeatureMatrix::from_vecs(&[vec![0.5, 0.55]]).unwrap())[0];
+        let lo = svm.predict_proba(&FeatureMatrix::from_vecs(&[vec![0.05, 0.1]]).unwrap())[0];
+        assert!(hi > 0.9, "{hi}");
+        assert!(lo < 0.1, "{lo}");
+        // Monotone in the decision value (non-strict: the Platt sigmoid can
+        // saturate to exactly 0/1 in f64 for well-separated blobs).
+        assert!(hi >= mid && mid >= lo);
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let (x, y) = blobs(8, 40);
+        let mut svm = LinearSvm::with_seed(1);
+        svm.fit(&x, &y).unwrap();
+        for p in svm.predict_proba(&x) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (x, y) = blobs(4, 30);
+        let mut a = LinearSvm::with_seed(7);
+        let mut b = LinearSvm::with_seed(7);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+    }
+
+    #[test]
+    fn weighted_fit_shifts_boundary() {
+        // A contested point at 0.5: upweighting its (match) label must
+        // raise the predicted match probability there relative to
+        // downweighting it.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..6 {
+            rows.push(vec![0.38 + i as f64 * 0.005]);
+            y.push(Label::NonMatch);
+            rows.push(vec![0.62 - i as f64 * 0.005]);
+            y.push(Label::Match);
+        }
+        rows.push(vec![0.5]);
+        y.push(Label::Match);
+        let x = FeatureMatrix::from_vecs(&rows).unwrap();
+        let mut weights = vec![1.0; y.len()];
+        let q = FeatureMatrix::from_vecs(&[vec![0.5]]).unwrap();
+
+        *weights.last_mut().unwrap() = 30.0;
+        let mut heavy = LinearSvm::with_seed(0);
+        heavy.fit_weighted(&x, &y, Some(&weights)).unwrap();
+
+        *weights.last_mut().unwrap() = 0.1;
+        let mut light = LinearSvm::with_seed(0);
+        light.fit_weighted(&x, &y, Some(&weights)).unwrap();
+
+        assert!(
+            heavy.predict_proba(&q)[0] > light.predict_proba(&q)[0],
+            "upweighting the contested match must raise its probability"
+        );
+    }
+
+
+    #[test]
+    fn rejects_empty() {
+        let mut svm = LinearSvm::with_seed(0);
+        assert!(svm.fit(&FeatureMatrix::empty(2), &[]).is_err());
+    }
+}

@@ -1,0 +1,346 @@
+//! CART decision tree with weighted Gini impurity.
+
+use transer_common::{FeatureMatrix, Label, Result};
+
+use crate::traits::{check_training_input, Classifier};
+
+/// Hyper-parameters for [`DecisionTree`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionTreeConfig {
+    /// Maximum tree depth (root has depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum number of samples in each child of a split.
+    pub min_samples_leaf: usize,
+    /// Minimum weighted impurity decrease for a split to be kept.
+    pub min_impurity_decrease: f64,
+}
+
+impl Default for DecisionTreeConfig {
+    fn default() -> Self {
+        DecisionTreeConfig {
+            max_depth: 12,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            min_impurity_decrease: 0.0,
+        }
+    }
+}
+
+const NO_NODE: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+enum Node {
+    Leaf {
+        p_match: f64,
+    },
+    Split {
+        feature: u16,
+        threshold: f64,
+        left: u32,
+        right: u32,
+    },
+}
+
+/// A CART binary classification tree; leaves store the weighted match
+/// fraction, so [`Classifier::predict_proba`] returns empirical leaf
+/// probabilities.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionTree {
+    config: DecisionTreeConfig,
+    nodes: Vec<Node>,
+    root: u32,
+    /// Per-split feature subsampling: when `Some(k)`, each node considers a
+    /// random subset of `k` features. Used by the random forest.
+    pub(crate) feature_subset: Option<usize>,
+    pub(crate) rng_state: u64,
+}
+
+impl DecisionTree {
+    /// Create with explicit hyper-parameters.
+    pub fn new(config: DecisionTreeConfig) -> Self {
+        DecisionTree { config, nodes: Vec::new(), root: NO_NODE, feature_subset: None, rng_state: 0x9e3779b97f4a7c15 }
+    }
+
+    /// Number of nodes in the fitted tree (0 before `fit`).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the fitted tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], id: u32) -> usize {
+            match nodes[id as usize] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, left).max(depth_of(nodes, right))
+                }
+            }
+        }
+        if self.root == NO_NODE {
+            0
+        } else {
+            depth_of(&self.nodes, self.root)
+        }
+    }
+
+    fn leaf_probability(&self, row: &[f64]) -> f64 {
+        let mut id = self.root;
+        loop {
+            match self.nodes[id as usize] {
+                Node::Leaf { p_match } => return p_match,
+                Node::Split { feature, threshold, left, right } => {
+                    id = if row[feature as usize] <= threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// xorshift step for the forest's per-split feature sampling — cheap
+    /// and deterministic under the configured seed.
+    fn next_rand(&mut self) -> u64 {
+        let mut s = self.rng_state;
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        self.rng_state = s;
+        s
+    }
+
+    fn candidate_features(&mut self, m: usize) -> Vec<usize> {
+        match self.feature_subset {
+            Some(k) if k < m => {
+                // Partial Fisher-Yates over the feature indices.
+                let mut idx: Vec<usize> = (0..m).collect();
+                for i in 0..k {
+                    let j = i + (self.next_rand() as usize) % (m - i);
+                    idx.swap(i, j);
+                }
+                idx.truncate(k);
+                idx
+            }
+            _ => (0..m).collect(),
+        }
+    }
+
+    fn build(
+        &mut self,
+        x: &FeatureMatrix,
+        y: &[Label],
+        w: &[f64],
+        indices: &[usize],
+        depth: usize,
+    ) -> u32 {
+        let total_w: f64 = indices.iter().map(|&i| w[i]).sum();
+        let match_w: f64 = indices.iter().filter(|&&i| y[i].is_match()).map(|&i| w[i]).sum();
+        let p_match = if total_w > 0.0 { match_w / total_w } else { 0.5 };
+
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            let id = nodes.len() as u32;
+            nodes.push(Node::Leaf { p_match });
+            id
+        };
+
+        if depth >= self.config.max_depth
+            || indices.len() < self.config.min_samples_split
+            || p_match == 0.0
+            || p_match == 1.0
+            || total_w <= 0.0
+        {
+            return make_leaf(&mut self.nodes);
+        }
+
+        let parent_impurity = gini(p_match);
+        // Best split: primarily the largest impurity decrease; among
+        // (near-)equal decreases, the most balanced split. The balance
+        // tie-break matters for XOR-like structure where every root split
+        // has zero gain — a balanced zero-gain split lets the children
+        // separate the classes, while a degenerate one recurses uselessly.
+        let mut best: Option<(usize, f64, f64, usize)> = None; // (feature, threshold, decrease, balance)
+        let mut column: Vec<(f64, f64, bool)> = Vec::with_capacity(indices.len());
+        for feature in self.candidate_features(x.cols()) {
+            column.clear();
+            column.extend(indices.iter().map(|&i| (x.row(i)[feature], w[i], y[i].is_match())));
+            column.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+            let mut left_w = 0.0;
+            let mut left_match = 0.0;
+            let mut left_n = 0usize;
+            for k in 0..column.len() - 1 {
+                let (v, wi, is_match) = column[k];
+                left_w += wi;
+                if is_match {
+                    left_match += wi;
+                }
+                left_n += 1;
+                let next_v = column[k + 1].0;
+                if next_v <= v {
+                    continue; // no threshold separates equal values
+                }
+                let right_n = column.len() - left_n;
+                if left_n < self.config.min_samples_leaf || right_n < self.config.min_samples_leaf {
+                    continue;
+                }
+                let right_w = total_w - left_w;
+                if left_w <= 0.0 || right_w <= 0.0 {
+                    continue;
+                }
+                let right_match = match_w - left_match;
+                let impurity = (left_w * gini(left_match / left_w)
+                    + right_w * gini(right_match / right_w))
+                    / total_w;
+                let decrease = parent_impurity - impurity;
+                let balance = left_n.min(right_n);
+                const EPS: f64 = 1e-12;
+                if decrease + EPS >= self.config.min_impurity_decrease
+                    && best.is_none_or(|(_, _, d, bal)| {
+                        decrease > d + EPS || ((decrease - d).abs() <= EPS && balance > bal)
+                    })
+                {
+                    best = Some((feature, 0.5 * (v + next_v), decrease, balance));
+                }
+            }
+        }
+
+        let Some((feature, threshold, _, _)) = best else {
+            return make_leaf(&mut self.nodes);
+        };
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| x.row(i)[feature] <= threshold);
+        debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
+
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node::Split { feature: feature as u16, threshold, left: NO_NODE, right: NO_NODE });
+        let left = self.build(x, y, w, &left_idx, depth + 1);
+        let right = self.build(x, y, w, &right_idx, depth + 1);
+        if let Node::Split { left: l, right: r, .. } = &mut self.nodes[id as usize] {
+            *l = left;
+            *r = right;
+        }
+        id
+    }
+}
+
+#[inline]
+fn gini(p: f64) -> f64 {
+    2.0 * p * (1.0 - p)
+}
+
+impl Classifier for DecisionTree {
+    fn name(&self) -> &'static str {
+        "dtree"
+    }
+
+    fn fit_weighted(
+        &mut self,
+        x: &FeatureMatrix,
+        y: &[Label],
+        weights: Option<&[f64]>,
+    ) -> Result<()> {
+        check_training_input(x, y, weights)?;
+        let w: Vec<f64> = match weights {
+            Some(w) => w.to_vec(),
+            None => vec![1.0; y.len()],
+        };
+        self.nodes.clear();
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        self.root = self.build(x, y, &w, &indices, 0);
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &FeatureMatrix) -> Vec<f64> {
+        assert!(self.root != NO_NODE, "predict before fit");
+        x.iter_rows().map(|row| self.leaf_probability(row)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (FeatureMatrix, Vec<Label>) {
+        // XOR — not linearly separable; a depth-2 tree nails it.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for &(a, b, m) in
+            &[(0.1, 0.1, false), (0.9, 0.9, false), (0.1, 0.9, true), (0.9, 0.1, true)]
+        {
+            for k in 0..5 {
+                let j = k as f64 * 0.01;
+                rows.push(vec![a + j, b + j]);
+                labels.push(Label::from_bool(m));
+            }
+        }
+        (FeatureMatrix::from_vecs(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTree::default();
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.predict(&x), y);
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x = FeatureMatrix::from_vecs(&[vec![0.1], vec![0.2], vec![0.3]]).unwrap();
+        let y = vec![Label::Match; 3];
+        let mut t = DecisionTree::default();
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict_proba(&x), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn leaf_probabilities_are_fractions() {
+        // One ambiguous feature value with 3 matches and 1 non-match: the
+        // tree cannot split it, so the leaf stores 0.75.
+        let x = FeatureMatrix::from_vecs(&vec![vec![0.5]; 4]).unwrap();
+        let y = vec![Label::Match, Label::Match, Label::Match, Label::NonMatch];
+        let mut t = DecisionTree::default();
+        t.fit(&x, &y).unwrap();
+        let p = t.predict_proba(&x);
+        assert!((p[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_tilt_ambiguous_leaves() {
+        let x = FeatureMatrix::from_vecs(&[vec![0.5], vec![0.5]]).unwrap();
+        let y = vec![Label::Match, Label::NonMatch];
+        let mut t = DecisionTree::default();
+        t.fit_weighted(&x, &y, Some(&[3.0, 1.0])).unwrap();
+        assert!((t.predict_proba(&x)[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_depth_bounds_tree() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTree::new(DecisionTreeConfig { max_depth: 1, ..Default::default() });
+        t.fit(&x, &y).unwrap();
+        assert!(t.depth() <= 1);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let x = FeatureMatrix::from_vecs(&[vec![0.0], vec![0.3], vec![0.7], vec![1.0]]).unwrap();
+        let y = vec![Label::NonMatch, Label::NonMatch, Label::Match, Label::Match];
+        let mut t = DecisionTree::new(DecisionTreeConfig {
+            min_samples_leaf: 2,
+            ..Default::default()
+        });
+        t.fit(&x, &y).unwrap();
+        // Only the middle split (2|2) is legal.
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.predict(&x), y);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let mut t = DecisionTree::default();
+        assert!(t.fit(&FeatureMatrix::empty(1), &[]).is_err());
+    }
+}

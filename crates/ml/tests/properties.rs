@@ -1,0 +1,125 @@
+//! Property tests on the classifier implementations: probability bounds,
+//! determinism, label/probability consistency and sampling invariants.
+
+use proptest::prelude::*;
+use transer_common::{FeatureMatrix, Label};
+use transer_ml::{stratified_fraction, undersample_to_ratio, ClassifierKind};
+
+/// Random two-cluster training data with jitter; always contains both
+/// classes.
+fn training_data() -> impl Strategy<Value = (FeatureMatrix, Vec<Label>)> {
+    (10usize..40, 2usize..5, 0u64..1_000).prop_map(|(per_class, m, seed)| {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..per_class {
+            rows.push((0..m).map(|_| 0.75 + 0.2 * next()).collect::<Vec<_>>());
+            labels.push(Label::Match);
+            rows.push((0..m).map(|_| 0.05 + 0.2 * next()).collect::<Vec<_>>());
+            labels.push(Label::NonMatch);
+        }
+        (FeatureMatrix::from_vecs(&rows).unwrap(), labels)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn probabilities_bounded_for_all_classifiers((x, y) in training_data()) {
+        for kind in ClassifierKind::PAPER_SET {
+            let mut clf = kind.build(3);
+            clf.fit(&x, &y).unwrap();
+            for p in clf.predict_proba(&x) {
+                prop_assert!((0.0..=1.0).contains(&p), "{}: {p}", kind.name());
+                prop_assert!(p.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn predict_agrees_with_proba_threshold((x, y) in training_data()) {
+        for kind in ClassifierKind::PAPER_SET {
+            let mut clf = kind.build(9);
+            clf.fit(&x, &y).unwrap();
+            let probs = clf.predict_proba(&x);
+            let labels = clf.predict(&x);
+            for (p, l) in probs.iter().zip(&labels) {
+                prop_assert_eq!(*l, Label::from_score(*p), "{}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn confidence_is_max_of_proba((x, y) in training_data()) {
+        let mut clf = ClassifierKind::LogisticRegression.build(1);
+        clf.fit(&x, &y).unwrap();
+        for (label, conf) in clf.predict_confidence(&x) {
+            prop_assert!((0.5..=1.0).contains(&conf));
+            let _ = label;
+        }
+    }
+
+    #[test]
+    fn fitting_is_deterministic((x, y) in training_data()) {
+        for kind in ClassifierKind::PAPER_SET {
+            let run = || {
+                let mut clf = kind.build(7);
+                clf.fit(&x, &y).unwrap();
+                clf.predict_proba(&x)
+            };
+            prop_assert_eq!(run(), run(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn separable_clusters_are_learned((x, y) in training_data()) {
+        for kind in ClassifierKind::PAPER_SET {
+            let mut clf = kind.build(5);
+            clf.fit(&x, &y).unwrap();
+            let correct = clf.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count();
+            let acc = correct as f64 / y.len() as f64;
+            prop_assert!(acc > 0.9, "{}: accuracy {acc}", kind.name());
+        }
+    }
+
+    #[test]
+    fn undersampling_respects_ratio_and_keeps_matches(
+        matches in 1usize..40,
+        non_matches in 0usize..300,
+        ratio in 0.5..8.0f64,
+        seed in 0u64..100,
+    ) {
+        let mut y = vec![Label::Match; matches];
+        y.extend(vec![Label::NonMatch; non_matches]);
+        let kept = undersample_to_ratio(&y, ratio, seed);
+        let kept_m = kept.iter().filter(|&&i| y[i].is_match()).count();
+        let kept_n = kept.len() - kept_m;
+        prop_assert_eq!(kept_m, matches, "all matches kept");
+        let cap = ((matches as f64 * ratio).round() as usize).min(non_matches);
+        prop_assert_eq!(kept_n, cap);
+        // Sorted unique indices.
+        prop_assert!(kept.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn stratified_fraction_is_proportional(
+        matches in 2usize..50,
+        non_matches in 2usize..200,
+        fraction in 0.1..1.0f64,
+        seed in 0u64..100,
+    ) {
+        let mut y = vec![Label::Match; matches];
+        y.extend(vec![Label::NonMatch; non_matches]);
+        let kept = stratified_fraction(&y, fraction, seed);
+        let kept_m = kept.iter().filter(|&&i| y[i].is_match()).count() as f64;
+        let expected = (matches as f64 * fraction).round().max(1.0);
+        prop_assert!((kept_m - expected).abs() < 1.5, "{kept_m} vs {expected}");
+    }
+}

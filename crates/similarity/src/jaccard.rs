@@ -1,0 +1,121 @@
+//! Set-based similarities over tokens and q-grams: Jaccard, Dice, overlap.
+
+use std::collections::HashSet;
+
+use crate::clamp01;
+use crate::qgram::{qgrams, tokens};
+
+fn set_of(items: Vec<String>) -> HashSet<String> {
+    items.into_iter().collect()
+}
+
+fn jaccard_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = (a.len() + b.len()) as f64 - inter;
+    clamp01(inter / union)
+}
+
+fn dice_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    clamp01(2.0 * inter / (a.len() + b.len()) as f64)
+}
+
+/// Jaccard similarity of the whitespace token sets of two strings
+/// (the paper's comparator for non-name textual attributes).
+pub fn jaccard_tokens(a: &str, b: &str) -> f64 {
+    jaccard_sets(&set_of(tokens(a)), &set_of(tokens(b)))
+}
+
+/// Jaccard similarity of the padded character q-gram sets of two strings.
+pub fn jaccard_qgram(a: &str, b: &str, q: usize) -> f64 {
+    jaccard_sets(&set_of(qgrams(a, q)), &set_of(qgrams(b, q)))
+}
+
+/// Dice coefficient of the whitespace token sets.
+pub fn dice_tokens(a: &str, b: &str) -> f64 {
+    dice_sets(&set_of(tokens(a)), &set_of(tokens(b)))
+}
+
+/// Dice coefficient of the padded character q-gram sets.
+pub fn dice_qgram(a: &str, b: &str, q: usize) -> f64 {
+    dice_sets(&set_of(qgrams(a, q)), &set_of(qgrams(b, q)))
+}
+
+/// Overlap coefficient of the whitespace token sets:
+/// `|A ∩ B| / min(|A|, |B|)`. Useful when one value truncates the other
+/// (e.g. abbreviated venue names).
+pub fn overlap_tokens(a: &str, b: &str) -> f64 {
+    let a = set_of(tokens(a));
+    let b = set_of(tokens(b));
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(&b).count() as f64;
+    clamp01(inter / a.len().min(b.len()) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_tokens_basic() {
+        assert_eq!(jaccard_tokens("a b c", "a b c"), 1.0);
+        assert_eq!(jaccard_tokens("a b", "c d"), 0.0);
+        // {a,b,c} vs {b,c,d}: inter 2, union 4.
+        assert!((jaccard_tokens("a b c", "b c d") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_ignores_token_order_and_case() {
+        assert_eq!(jaccard_tokens("deep learning for er", "ER for Deep Learning"), 1.0);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        assert_eq!(jaccard_tokens("", ""), 1.0);
+        assert_eq!(jaccard_tokens("a", ""), 0.0);
+        assert_eq!(dice_tokens("", ""), 1.0);
+        assert_eq!(overlap_tokens("", ""), 1.0);
+        assert_eq!(overlap_tokens("", "a"), 0.0);
+    }
+
+    #[test]
+    fn dice_vs_jaccard_relation() {
+        // dice = 2j/(1+j) >= j for j in [0,1].
+        for (a, b) in [("a b c", "b c d"), ("x y", "y z"), ("p q r s", "p q")] {
+            let j = jaccard_tokens(a, b);
+            let d = dice_tokens(a, b);
+            assert!((d - 2.0 * j / (1.0 + j)).abs() < 1e-12, "{a} / {b}");
+        }
+    }
+
+    #[test]
+    fn overlap_rewards_containment() {
+        assert_eq!(overlap_tokens("very long venue name", "venue name"), 1.0);
+        assert!(overlap_tokens("a b", "a c") > 0.0);
+    }
+
+    #[test]
+    fn qgram_variants() {
+        assert_eq!(jaccard_qgram("abc", "abc", 2), 1.0);
+        assert!(jaccard_qgram("nicholas", "nicolas", 2) > 0.6);
+        assert!(dice_qgram("nicholas", "nicolas", 2) >= jaccard_qgram("nicholas", "nicolas", 2));
+        assert_eq!(jaccard_qgram("", "", 2), 1.0);
+    }
+}

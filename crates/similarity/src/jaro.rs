@@ -1,0 +1,150 @@
+//! Jaro and Jaro-Winkler string similarity.
+//!
+//! Jaro-Winkler is the standard comparator for short personal names in
+//! record linkage (Christen, *Data Matching*, 2012); it rewards strings that
+//! agree on a common prefix, which fits names corrupted by typing or
+//! transcription errors further to the right.
+
+use crate::clamp01;
+
+/// Jaro similarity between two strings in `[0, 1]`.
+///
+/// Defined over the number of matching characters `m` (equal characters no
+/// further apart than half the longer length) and transpositions `t`:
+/// `jaro = (m/|a| + m/|b| + (m - t)/m) / 3`, with `jaro = 1` for two empty
+/// strings and `0` when there are no matching characters.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    jaro_chars(&a, &b)
+}
+
+fn jaro_chars(a: &[char], b: &[char]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    // Characters of `a` that match some unused character of `b` within the
+    // search window, in order of appearance in `a`.
+    let mut a_matches = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                a_matches.push(ca);
+                break;
+            }
+        }
+    }
+    let m = a_matches.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Matched characters of `b` in order of appearance in `b`.
+    let b_matches: Vec<char> =
+        b.iter().zip(&b_used).filter_map(|(&c, &used)| used.then_some(c)).collect();
+    let transpositions =
+        a_matches.iter().zip(&b_matches).filter(|(x, y)| x != y).count() / 2;
+    let m = m as f64;
+    let t = transpositions as f64;
+    clamp01((m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0)
+}
+
+/// Jaro-Winkler similarity with the standard prefix scale `p = 0.1` and
+/// maximum rewarded prefix length 4.
+///
+/// ```
+/// use transer_similarity::jaro_winkler;
+/// assert!((jaro_winkler("martha", "marhta") - 0.9611).abs() < 1e-3);
+/// assert_eq!(jaro_winkler("smith", "smith"), 1.0);
+/// ```
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    jaro_winkler_with(a, b, 0.1, 4)
+}
+
+/// Jaro-Winkler similarity with a configurable prefix scale and maximum
+/// prefix length.
+///
+/// `jw = jaro + ℓ · p · (1 − jaro)` where `ℓ` is the length of the common
+/// prefix capped at `max_prefix`. `prefix_scale` must satisfy
+/// `prefix_scale * max_prefix ≤ 1` for the result to stay in `[0, 1]`;
+/// values are clamped defensively regardless.
+pub fn jaro_winkler_with(a: &str, b: &str, prefix_scale: f64, max_prefix: usize) -> f64 {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    let j = jaro_chars(&av, &bv);
+    let prefix = av
+        .iter()
+        .zip(&bv)
+        .take(max_prefix)
+        .take_while(|(x, y)| x == y)
+        .count();
+    clamp01(j + prefix as f64 * prefix_scale * (1.0 - j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        // Classic record-linkage test pairs.
+        close(jaro("martha", "marhta"), 0.9444);
+        close(jaro("dixon", "dicksonx"), 0.7667);
+        close(jaro("jellyfish", "smellyfish"), 0.8963);
+    }
+
+    #[test]
+    fn jaro_winkler_known_values() {
+        close(jaro_winkler("martha", "marhta"), 0.9611);
+        close(jaro_winkler("dixon", "dicksonx"), 0.8133);
+        close(jaro_winkler("dwayne", "duane"), 0.84);
+    }
+
+    #[test]
+    fn identical_and_disjoint() {
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro_winkler("abc", "abc"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro_winkler("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn empty_strings() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("", "a"), 0.0);
+        assert_eq!(jaro_winkler("", ""), 1.0);
+    }
+
+    #[test]
+    fn winkler_rewards_prefix() {
+        // Same edit distance, but the shared prefix lifts the first pair.
+        let with_prefix = jaro_winkler("jones", "jonas");
+        let no_prefix = jaro_winkler("sjone", "asjon");
+        assert!(with_prefix > no_prefix);
+        assert!(jaro_winkler("martha", "marhta") >= jaro("martha", "marhta"));
+    }
+
+    #[test]
+    fn unicode_handled_per_char() {
+        assert_eq!(jaro("müller", "müller"), 1.0);
+        assert!(jaro("müller", "mueller") > 0.7);
+    }
+
+    #[test]
+    fn single_char() {
+        assert_eq!(jaro("a", "a"), 1.0);
+        assert_eq!(jaro("a", "b"), 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Longest common subsequence similarity.
+
+use crate::clamp01;
+
+/// Length of the longest common subsequence of two strings (over chars).
+pub fn lcs_len(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let mut prev = vec![0usize; short.len() + 1];
+    let mut curr = vec![0usize; short.len() + 1];
+    for &cl in long.iter() {
+        for (j, &cs) in short.iter().enumerate() {
+            curr[j + 1] = if cl == cs { prev[j] + 1 } else { prev[j + 1].max(curr[j]) };
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// LCS length normalised by the longer string length: `lcs / max(|a|, |b|)`,
+/// with `1.0` for two empty strings.
+pub fn lcs_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let longest = la.max(lb);
+    if longest == 0 {
+        return 1.0;
+    }
+    clamp01(lcs_len(a, b) as f64 / longest as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(lcs_len("abcde", "ace"), 3);
+        assert_eq!(lcs_len("abc", "abc"), 3);
+        assert_eq!(lcs_len("abc", "def"), 0);
+        assert_eq!(lcs_len("", "abc"), 0);
+        assert_eq!(lcs_len("aggtab", "gxtxayb"), 4);
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(lcs_similarity("", ""), 1.0);
+        assert_eq!(lcs_similarity("abc", "abc"), 1.0);
+        assert_eq!(lcs_similarity("abc", "xyz"), 0.0);
+        assert!((lcs_similarity("abcde", "ace") - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("abcde", "ace"), ("aggtab", "gxtxayb")] {
+            assert_eq!(lcs_len(a, b), lcs_len(b, a));
+        }
+    }
+}

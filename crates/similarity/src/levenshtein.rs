@@ -1,0 +1,123 @@
+//! Levenshtein and Damerau-Levenshtein (optimal string alignment) edit
+//! distances plus their normalised similarities.
+
+use crate::clamp01;
+
+/// Levenshtein edit distance (insertions, deletions, substitutions) between
+/// two strings, computed over chars with the classic two-row dynamic
+/// programme in `O(|a|·|b|)` time and `O(min(|a|,|b|))` space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    // Keep the inner dimension the shorter string to minimise the rows.
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr = vec![0usize; short.len() + 1];
+    for (i, &cl) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cs) in short.iter().enumerate() {
+            let cost = usize::from(cl != cs);
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Damerau-Levenshtein distance in its *optimal string alignment* variant:
+/// like Levenshtein but adjacent transpositions count as one edit (each
+/// substring may be edited at most once).
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Full DP matrix; attribute values in ER are short strings, so the
+    // quadratic memory is negligible and the code stays obvious.
+    let cols = b.len() + 1;
+    let mut d = vec![0usize; (a.len() + 1) * cols];
+    for (j, cell) in d[..cols].iter_mut().enumerate() {
+        *cell = j;
+    }
+    for i in 1..=a.len() {
+        d[i * cols] = i;
+        for j in 1..=b.len() {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (d[(i - 1) * cols + j] + 1)
+                .min(d[i * cols + j - 1] + 1)
+                .min(d[(i - 1) * cols + j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(d[(i - 2) * cols + j - 2] + 1);
+            }
+            d[i * cols + j] = best;
+        }
+    }
+    d[a.len() * cols + b.len()]
+}
+
+/// Levenshtein distance normalised into a similarity:
+/// `1 − d / max(|a|, |b|)`, with `1.0` for two empty strings.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let longest = la.max(lb);
+    if longest == 0 {
+        return 1.0;
+    }
+    clamp01(1.0 - levenshtein(a, b) as f64 / longest as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("gumbo", "gambol"), 2);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+    }
+
+    #[test]
+    fn damerau_counts_transpositions_once() {
+        assert_eq!(levenshtein("ca", "ac"), 2);
+        assert_eq!(damerau_levenshtein("ca", "ac"), 1);
+        assert_eq!(damerau_levenshtein("smtih", "smith"), 1);
+        assert_eq!(damerau_levenshtein("kitten", "sitting"), 3);
+        assert_eq!(damerau_levenshtein("", ""), 0);
+        assert_eq!(damerau_levenshtein("abc", ""), 3);
+    }
+
+    #[test]
+    fn osa_variant_property() {
+        // The OSA variant famously gives 3 here (true Damerau gives 2).
+        assert_eq!(damerau_levenshtein("ca", "abc"), 3);
+    }
+
+    #[test]
+    fn similarity_normalisation() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("kitten", "sitting");
+        assert!((s - (1.0 - 3.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("kitten", "sitting"), ("abc", ""), ("martha", "marhta")] {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+            assert_eq!(damerau_levenshtein(a, b), damerau_levenshtein(b, a));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Similarity comparators for the record-pair comparison step of an ER
+//! pipeline.
+//!
+//! Every function in this crate maps a pair of values to a similarity score
+//! in `[0, 1]`, where `1` means identical and `0` means maximally different.
+//! The paper's experimental setup uses Jaro-Winkler for names and Jaccard
+//! for other textual strings, plus bounded numeric comparators for years;
+//! this crate additionally provides the comparators commonly found in ER
+//! toolkits (Levenshtein, Dice, overlap, longest common subsequence,
+//! Monge-Elkan, Soundex) so that feature spaces can be configured freely.
+//!
+//! All string functions operate on `char`s, so multi-byte UTF-8 is handled
+//! correctly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod jaccard;
+mod jaro;
+mod lcs;
+mod levenshtein;
+mod monge_elkan;
+mod numeric;
+mod qgram;
+mod soundex;
+
+pub use config::{similarity_for, Measure};
+pub use jaccard::{dice_qgram, dice_tokens, jaccard_qgram, jaccard_tokens, overlap_tokens};
+pub use jaro::{jaro, jaro_winkler, jaro_winkler_with};
+pub use lcs::{lcs_len, lcs_similarity};
+pub use levenshtein::{damerau_levenshtein, levenshtein, levenshtein_similarity};
+pub use monge_elkan::monge_elkan;
+pub use numeric::{numeric_similarity, year_similarity};
+pub use qgram::{qgram_multiset, qgrams, tokens};
+pub use soundex::{soundex, soundex_similarity};
+
+/// Exact string equality as a similarity: 1.0 when equal, else 0.0.
+#[inline]
+pub fn exact(a: &str, b: &str) -> f64 {
+    if a == b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Clamp a score into `[0, 1]`, guarding against floating-point drift.
+#[inline]
+pub(crate) fn clamp01(x: f64) -> f64 {
+    x.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_is_binary() {
+        assert_eq!(exact("ab", "ab"), 1.0);
+        assert_eq!(exact("ab", "ba"), 0.0);
+        assert_eq!(exact("", ""), 1.0);
+    }
+}

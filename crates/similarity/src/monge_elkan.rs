@@ -1,0 +1,72 @@
+//! Monge-Elkan hybrid similarity: token-level averaging over a
+//! character-level inner comparator.
+
+use crate::clamp01;
+use crate::qgram::tokens;
+
+/// Monge-Elkan similarity: for every token of `a`, take the best inner
+/// similarity against any token of `b`, and average.
+///
+/// Note the measure is asymmetric by definition; symmetrise with
+/// `0.5 * (me(a,b) + me(b,a))` if required. The inner comparator is usually
+/// [`crate::jaro_winkler`].
+pub fn monge_elkan<F>(a: &str, b: &str, inner: F) -> f64
+where
+    F: Fn(&str, &str) -> f64,
+{
+    let ta = tokens(a);
+    let tb = tokens(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = ta
+        .iter()
+        .map(|x| tb.iter().map(|y| inner(x, y)).fold(0.0f64, f64::max))
+        .sum();
+    clamp01(total / ta.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaro_winkler;
+
+    #[test]
+    fn identical_token_bags() {
+        assert_eq!(monge_elkan("peter christen", "peter christen", jaro_winkler), 1.0);
+        // Token order must not matter for a perfect score.
+        assert_eq!(monge_elkan("christen peter", "peter christen", jaro_winkler), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let s = monge_elkan("peter a christen", "peter christen", jaro_winkler);
+        assert!(s > 0.6 && s < 1.0, "{s}");
+    }
+
+    #[test]
+    fn empty_conventions() {
+        assert_eq!(monge_elkan("", "", jaro_winkler), 1.0);
+        assert_eq!(monge_elkan("a", "", jaro_winkler), 0.0);
+        assert_eq!(monge_elkan("", "a", jaro_winkler), 0.0);
+    }
+
+    #[test]
+    fn asymmetry_is_expected() {
+        // Every token of the short string is contained in the long one, but
+        // not vice versa, so me(short, long) >= me(long, short).
+        let ab = monge_elkan("smith", "smith jones brown", jaro_winkler);
+        let ba = monge_elkan("smith jones brown", "smith", jaro_winkler);
+        assert!(ab >= ba);
+        assert_eq!(ab, 1.0);
+    }
+
+    #[test]
+    fn robust_to_typos_in_tokens() {
+        let s = monge_elkan("jon smyth", "john smith", jaro_winkler);
+        assert!(s > 0.8, "{s}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Bounded numeric comparators for numbers and calendar years.
+
+use crate::clamp01;
+
+/// Linear numeric similarity: `1 − |a − b| / max_diff`, floored at 0.
+///
+/// `max_diff` is the absolute difference at (and beyond) which two values
+/// are considered completely dissimilar; it must be positive.
+pub fn numeric_similarity(a: f64, b: f64, max_diff: f64) -> f64 {
+    assert!(max_diff > 0.0, "max_diff must be positive");
+    if !a.is_finite() || !b.is_finite() {
+        return 0.0;
+    }
+    clamp01(1.0 - (a - b).abs() / max_diff)
+}
+
+/// Year similarity with the tolerance the paper's feature vectors exhibit:
+/// identical years score 1.0, one year apart 0.9, and the score decays
+/// linearly to 0 at a 10-year difference.
+pub fn year_similarity(a: f64, b: f64) -> f64 {
+    numeric_similarity(a, b, 10.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_decay() {
+        assert_eq!(numeric_similarity(5.0, 5.0, 10.0), 1.0);
+        assert!((numeric_similarity(5.0, 10.0, 10.0) - 0.5).abs() < 1e-12);
+        assert_eq!(numeric_similarity(0.0, 20.0, 10.0), 0.0);
+        assert_eq!(numeric_similarity(0.0, 200.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn year_tolerance_matches_paper_example() {
+        // The Musicbrainz example vector has 0.9 for years one apart.
+        assert!((year_similarity(1970.0, 1971.0) - 0.9).abs() < 1e-12);
+        assert_eq!(year_similarity(1996.0, 1996.0), 1.0);
+        assert_eq!(year_similarity(1900.0, 2000.0), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(numeric_similarity(3.0, 8.0, 10.0), numeric_similarity(8.0, 3.0, 10.0));
+    }
+
+    #[test]
+    fn non_finite_scores_zero() {
+        assert_eq!(numeric_similarity(f64::NAN, 1.0, 10.0), 0.0);
+        assert_eq!(numeric_similarity(1.0, f64::INFINITY, 10.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_diff")]
+    fn zero_max_diff_panics() {
+        numeric_similarity(1.0, 2.0, 0.0);
+    }
+}

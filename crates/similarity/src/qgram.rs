@@ -1,0 +1,91 @@
+//! Tokenisation helpers: whitespace tokens and character q-grams.
+
+use std::collections::HashMap;
+
+/// Split a string into lower-cased whitespace-separated tokens, stripping
+/// any character that is neither alphanumeric nor one of `'`/`-` (which are
+/// meaningful inside names such as `o'brien` or `smith-jones`).
+pub fn tokens(s: &str) -> Vec<String> {
+    s.split_whitespace()
+        .map(|w| {
+            w.chars()
+                .filter(|c| c.is_alphanumeric() || *c == '\'' || *c == '-')
+                .flat_map(|c| c.to_lowercase())
+                .collect::<String>()
+        })
+        .filter(|w| !w.is_empty())
+        .collect()
+}
+
+/// The distinct character q-grams of a string, with `q - 1` padding
+/// characters (`#`) added on both ends so that string boundaries contribute
+/// grams too.
+///
+/// Returns an empty set for an empty string, and the padded grams otherwise.
+pub fn qgrams(s: &str, q: usize) -> Vec<String> {
+    let mut grams = qgram_multiset(s, q).into_keys().collect::<Vec<_>>();
+    grams.sort_unstable();
+    grams
+}
+
+/// The character q-grams of a string with multiplicities (padded as in
+/// [`qgrams`]).
+pub fn qgram_multiset(s: &str, q: usize) -> HashMap<String, usize> {
+    let mut out = HashMap::new();
+    if s.is_empty() || q == 0 {
+        return out;
+    }
+    let pad = q.saturating_sub(1);
+    let mut chars: Vec<char> = Vec::with_capacity(s.chars().count() + 2 * pad);
+    chars.extend(std::iter::repeat_n('#', pad));
+    chars.extend(s.chars().flat_map(|c| c.to_lowercase()));
+    chars.extend(std::iter::repeat_n('#', pad));
+    if chars.len() < q {
+        return out;
+    }
+    for window in chars.windows(q) {
+        *out.entry(window.iter().collect::<String>()).or_insert(0) += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_strip_punctuation_and_case() {
+        assert_eq!(tokens("The  Quick, Brown fox!"), ["the", "quick", "brown", "fox"]);
+        assert_eq!(tokens("O'Brien Smith-Jones"), ["o'brien", "smith-jones"]);
+        assert!(tokens("  ,,  !! ").is_empty());
+        assert!(tokens("").is_empty());
+    }
+
+    #[test]
+    fn bigram_padding() {
+        let g = qgrams("ab", 2);
+        assert_eq!(g, ["#a", "ab", "b#"]);
+    }
+
+    #[test]
+    fn qgram_multiset_counts() {
+        let m = qgram_multiset("aaa", 2);
+        // #a aa aa a# -> aa has multiplicity 2.
+        assert_eq!(m.get("aa"), Some(&2));
+        assert_eq!(m.get("#a"), Some(&1));
+        assert_eq!(m.get("a#"), Some(&1));
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        assert!(qgrams("", 2).is_empty());
+        assert!(qgrams("abc", 0).is_empty());
+        // q = 1 means no padding: unigrams only.
+        assert_eq!(qgrams("aba", 1), ["a", "b"]);
+    }
+
+    #[test]
+    fn grams_are_lowercased() {
+        assert_eq!(qgrams("AB", 2), qgrams("ab", 2));
+    }
+}

@@ -1,0 +1,98 @@
+//! Soundex phonetic encoding, useful for person names whose spelling varies
+//! while the pronunciation stays stable (`smith` / `smyth`).
+
+/// The 4-character American Soundex code of a string (`letter + 3 digits`),
+/// or an empty string when the input contains no ASCII letter.
+pub fn soundex(s: &str) -> String {
+    let letters: Vec<char> =
+        s.chars().filter(|c| c.is_ascii_alphabetic()).map(|c| c.to_ascii_uppercase()).collect();
+    let Some(&first) = letters.first() else {
+        return String::new();
+    };
+
+    fn code(c: char) -> Option<u8> {
+        match c {
+            'B' | 'F' | 'P' | 'V' => Some(1),
+            'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => Some(2),
+            'D' | 'T' => Some(3),
+            'L' => Some(4),
+            'M' | 'N' => Some(5),
+            'R' => Some(6),
+            _ => None, // vowels + H, W, Y
+        }
+    }
+
+    let mut out = String::with_capacity(4);
+    out.push(first);
+    let mut last = code(first);
+    for &c in &letters[1..] {
+        let d = code(c);
+        match d {
+            Some(d) => {
+                // H and W do not reset the previous code; vowels do.
+                if last != Some(d) {
+                    out.push(char::from(b'0' + d));
+                    if out.len() == 4 {
+                        return out;
+                    }
+                }
+                last = Some(d);
+            }
+            None => {
+                if c != 'H' && c != 'W' {
+                    last = None;
+                }
+            }
+        }
+    }
+    while out.len() < 4 {
+        out.push('0');
+    }
+    out
+}
+
+/// Similarity induced by Soundex: 1.0 when the codes agree, else 0.0; two
+/// unencodable strings also score 1.0.
+pub fn soundex_similarity(a: &str, b: &str) -> f64 {
+    if soundex(a) == soundex(b) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_codes() {
+        assert_eq!(soundex("Robert"), "R163");
+        assert_eq!(soundex("Rupert"), "R163");
+        assert_eq!(soundex("Ashcraft"), "A261");
+        assert_eq!(soundex("Ashcroft"), "A261");
+        assert_eq!(soundex("Tymczak"), "T522");
+        assert_eq!(soundex("Pfister"), "P236");
+        assert_eq!(soundex("Honeyman"), "H555");
+    }
+
+    #[test]
+    fn smith_variants_collide() {
+        assert_eq!(soundex("smith"), soundex("smyth"));
+        assert_eq!(soundex_similarity("smith", "smyth"), 1.0);
+        assert_eq!(soundex_similarity("smith", "jones"), 0.0);
+    }
+
+    #[test]
+    fn short_and_empty_inputs() {
+        assert_eq!(soundex("A"), "A000");
+        assert_eq!(soundex(""), "");
+        assert_eq!(soundex("123"), "");
+        assert_eq!(soundex_similarity("", ""), 1.0);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(soundex("ROBERT"), soundex("robert"));
+    }
+}

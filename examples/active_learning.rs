@@ -1,0 +1,69 @@
+//! The paper's future-work directions, implemented: pick the best of
+//! several candidate source domains, then close the remaining quality gap
+//! with a few rounds of uncertainty-sampled oracle queries
+//! (active learning on top of the semi-supervised pipeline).
+//!
+//! ```text
+//! cargo run --release --example active_learning
+//! ```
+
+use transer::prelude::*;
+
+fn main() {
+    // Target: the noisy Musicbrainz linkage task.
+    let music = ScenarioPair::Music.domain_pair(0.08, 42).expect("generation");
+    let target = &music.target;
+
+    // Candidate sources: the aligned MSD task and a mismatched
+    // bibliographic task is impossible (different feature space), so we
+    // offer MSD plus a weaker, sub-sampled version of itself.
+    let strong = &music.source;
+    let weak = strong.select(&(0..strong.len() / 8).collect::<Vec<_>>());
+    let config = TransErConfig::default();
+    let candidates: Vec<(&FeatureMatrix, &[Label])> =
+        vec![(&weak.x, &weak.y), (&strong.x, &strong.y)];
+    let ranked = rank_sources(&candidates, &target.x, &config).expect("ranking");
+    println!("source ranking (best first):");
+    for s in &ranked {
+        println!(
+            "  candidate {}: yield {:.2}, mean sim_l {:.2}, score {:.3}",
+            s.source_index, s.selection_yield, s.mean_structural_similarity, s.score
+        );
+    }
+    let best = ranked[0].source_index;
+    println!("picked candidate {best} (the full MSD source)\n");
+
+    // Baseline transfer from the chosen source.
+    let transer = TransEr::new(config, ClassifierKind::LogisticRegression, 7).expect("config");
+    let base = transer
+        .fit_predict(candidates[best].0, candidates[best].1, &target.x)
+        .expect("pipeline");
+    let cm = evaluate(&base.labels, &target.y);
+    println!("transfer only:        F*={:.3} (P={:.2} R={:.2})", cm.f_star(), cm.precision(), cm.recall());
+
+    // Active learning: 4 rounds x 25 oracle labels, answered from the
+    // held-out ground truth (a human in a real deployment).
+    let history = active_transfer(
+        config,
+        ClassifierKind::LogisticRegression,
+        7,
+        candidates[best].0,
+        candidates[best].1,
+        &target.x,
+        4,
+        25,
+        |i| target.y[i],
+    )
+    .expect("active loop");
+    for (round, state) in history.iter().enumerate() {
+        let cm = evaluate(&state.labels, &target.y);
+        println!(
+            "after round {} ({:>3} labels): F*={:.3} (P={:.2} R={:.2})",
+            round + 1,
+            state.labelled.len(),
+            cm.f_star(),
+            cm.precision(),
+            cm.recall()
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Run TransER against all six baselines of the paper on one transfer
+//! task, under the same resource budget that produces the paper's ME/TE
+//! outcomes.
+//!
+//! ```text
+//! cargo run --release --example compare_baselines [scale]
+//! ```
+
+use transer::eval::{directed_tasks, run_baseline, run_transer, MethodOutcome};
+use transer::prelude::*;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let classifiers = vec![ClassifierKind::LogisticRegression, ClassifierKind::RandomForest];
+    let budget = ResourceBudget { max_memory_bytes: 512 << 20, max_secs: 300.0 };
+
+    let tasks = directed_tasks(scale, 42).expect("workload generation");
+    let task = tasks
+        .into_iter()
+        .find(|t| t.name == "MSD -> MB")
+        .expect("the music task exists");
+    println!(
+        "task: {} ({} -> {} pairs), classifiers {:?}, budget {} MiB / {:.0}s\n",
+        task.name,
+        task.source.len(),
+        task.target.len(),
+        classifiers.iter().map(|c| c.name()).collect::<Vec<_>>(),
+        budget.max_memory_bytes >> 20,
+        budget.max_secs,
+    );
+
+    let (q, secs, _) = run_transer(TransErConfig::default(), &task, &classifiers, 42)
+        .expect("TransER completes");
+    println!(
+        "{:<8} F*={:.1}±{:.1}%  P={:.1}% R={:.1}%  ({secs:.1}s)",
+        "TransER",
+        q.f_star.0 * 100.0,
+        q.f_star.1 * 100.0,
+        q.precision.0 * 100.0,
+        q.recall.0 * 100.0
+    );
+
+    for method in all_baselines() {
+        match run_baseline(method.as_ref(), &task, &classifiers, 42, budget) {
+            MethodOutcome::Ok { quality, secs } => println!(
+                "{:<8} F*={:.1}±{:.1}%  P={:.1}% R={:.1}%  ({secs:.1}s)",
+                method.name(),
+                quality.f_star.0 * 100.0,
+                quality.f_star.1 * 100.0,
+                quality.precision.0 * 100.0,
+                quality.recall.0 * 100.0
+            ),
+            MethodOutcome::MemoryExceeded => {
+                println!("{:<8} ME (memory budget exceeded, as in the paper)", method.name());
+            }
+            MethodOutcome::TimeExceeded => {
+                println!("{:<8} TE (time budget exceeded, as in the paper)", method.name());
+            }
+            MethodOutcome::Failed(e) => println!("{:<8} failed: {e}", method.name()),
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Integration tests for the ablation variants (Table 4 semantics).
+
+use transer::core::select_instances;
+use transer::prelude::*;
+
+fn pair() -> DomainPair {
+    ScenarioPair::BpDp.domain_pair(0.04, 13).expect("generation")
+}
+
+#[test]
+fn without_sel_transfers_the_whole_source() {
+    let dp = pair();
+    let cfg = TransErConfig { variant: Variant::without_sel(), ..Default::default() };
+    let t = TransEr::new(cfg, ClassifierKind::LogisticRegression, 1).expect("config");
+    let out = t.fit_predict(&dp.source.x, &dp.source.y, &dp.target.x).expect("pipeline");
+    assert_eq!(out.diagnostics.selected_count, dp.source.len());
+}
+
+#[test]
+fn dropping_a_filter_can_only_grow_the_selection() {
+    let dp = pair();
+    let full = TransErConfig::default();
+    let no_c = TransErConfig { variant: Variant::without_sim_c(), ..full };
+    let no_l = TransErConfig { variant: Variant::without_sim_l(), ..full };
+    let count = |cfg: &TransErConfig| {
+        select_instances(&dp.source.x, &dp.source.y, &dp.target.x, cfg)
+            .expect("selection")
+            .indices
+            .len()
+    };
+    let base = count(&full);
+    assert!(count(&no_c) >= base, "removing sim_c must not shrink selection");
+    assert!(count(&no_l) >= base, "removing sim_l must not shrink selection");
+}
+
+#[test]
+fn sim_v_can_only_shrink_the_selection() {
+    let dp = pair();
+    let full = TransErConfig::default();
+    let with_v = TransErConfig { variant: Variant::with_sim_v(), ..full };
+    let select = |cfg: &TransErConfig| {
+        select_instances(&dp.source.x, &dp.source.y, &dp.target.x, cfg)
+            .expect("selection")
+            .indices
+    };
+    let base = select(&full);
+    let v = select(&with_v);
+    assert!(v.len() <= base.len());
+    for i in &v {
+        assert!(base.contains(i), "sim_v selection must be a subset");
+    }
+}
+
+#[test]
+fn without_gen_tcl_produces_no_pseudo_labels() {
+    let dp = pair();
+    let cfg = TransErConfig { variant: Variant::without_gen_tcl(), ..Default::default() };
+    let t = TransEr::new(cfg, ClassifierKind::LogisticRegression, 1).expect("config");
+    let out = t.fit_predict(&dp.source.x, &dp.source.y, &dp.target.x).expect("pipeline");
+    assert!(out.pseudo.is_none());
+    assert_eq!(out.labels.len(), dp.target.len());
+}
+
+#[test]
+fn all_variants_complete_on_all_paper_classifiers() {
+    let dp = pair();
+    for (name, variant) in Variant::ablation_suite() {
+        for kind in ClassifierKind::PAPER_SET {
+            let cfg = TransErConfig { variant, ..Default::default() };
+            let t = TransEr::new(cfg, kind, 2).expect("config");
+            let out = t
+                .fit_predict(&dp.source.x, &dp.source.y, &dp.target.x)
+                .unwrap_or_else(|e| panic!("{name} [{}]: {e}", kind.name()));
+            assert_eq!(out.labels.len(), dp.target.len(), "{name}");
+        }
+    }
+}

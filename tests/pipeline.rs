@@ -1,0 +1,114 @@
+//! End-to-end integration tests: records → blocking → comparison →
+//! transfer → evaluation, across every scenario family.
+
+use transer::prelude::*;
+
+const SCALE: f64 = 0.03;
+
+#[test]
+fn every_scenario_supports_the_full_pipeline() {
+    for scenario in Scenario::ALL {
+        let ds = scenario
+            .generate(SCALE, 11)
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name()));
+        assert!(!ds.is_empty(), "{} generated nothing", scenario.name());
+        assert_eq!(ds.x.cols(), scenario.num_features());
+        // Every feature is a similarity in [0, 1].
+        for row in ds.x.iter_rows() {
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v), "{}: feature {v}", scenario.name());
+            }
+        }
+        // Matches exist but are a minority-to-moderate share; at tiny
+        // scales the smallest scenario keeps few non-match candidates, so
+        // the bound is loose (the harness verifies real imbalance at the
+        // experiment scales).
+        assert!(ds.num_matches() > 0, "{} has no matches", scenario.name());
+        assert!(ds.match_rate() < 0.7, "{} match rate {}", scenario.name(), ds.match_rate());
+    }
+}
+
+#[test]
+fn transer_runs_on_every_directed_pair_with_every_classifier() {
+    for pair in ScenarioPair::ALL {
+        for dp in pair.both_directions(SCALE, 5).expect("generation") {
+            for kind in ClassifierKind::PAPER_SET {
+                let t = TransEr::new(TransErConfig::default(), kind, 9).expect("config");
+                let out = t
+                    .fit_predict(&dp.source.x, &dp.source.y, &dp.target.x)
+                    .unwrap_or_else(|e| panic!("{} [{}]: {e}", dp.label(), kind.name()));
+                assert_eq!(out.labels.len(), dp.target.len());
+                let cm = evaluate(&out.labels, &dp.target.y);
+                // Sanity floor: the pipeline must be far better than random
+                // on its own workloads.
+                assert!(
+                    cm.f_star() > 0.05,
+                    "{} [{}]: F* {} collapsed",
+                    dp.label(),
+                    kind.name(),
+                    cm.f_star()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn transer_is_deterministic_end_to_end() {
+    let dp = ScenarioPair::Music.domain_pair(SCALE, 3).expect("generation");
+    let run = || {
+        let t = TransEr::new(TransErConfig::default(), ClassifierKind::RandomForest, 17)
+            .expect("config");
+        t.fit_predict(&dp.source.x, &dp.source.y, &dp.target.x).expect("pipeline").labels
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn transer_beats_naive_on_the_music_task() {
+    // The paper's signature result: MSD -> MB, where the target's match
+    // cluster sits at depressed similarities and the source-trained model
+    // under-predicts matches.
+    let dp = ScenarioPair::Music.domain_pair(0.1, 42).expect("generation");
+    let mut transer_f = MeanStd::new();
+    let mut naive_f = MeanStd::new();
+    for kind in [ClassifierKind::LogisticRegression, ClassifierKind::RandomForest] {
+        let t = TransEr::new(TransErConfig::default(), kind, 7).expect("config");
+        let out = t.fit_predict(&dp.source.x, &dp.source.y, &dp.target.x).expect("pipeline");
+        transer_f.push(evaluate(&out.labels, &dp.target.y).f_star());
+        let mut naive = kind.build(7);
+        naive.fit(&dp.source.x, &dp.source.y).expect("fit");
+        naive_f.push(evaluate(&naive.predict(&dp.target.x), &dp.target.y).f_star());
+    }
+    assert!(
+        transer_f.mean() > naive_f.mean() - 0.02,
+        "TransER {} should not trail Naive {}",
+        transer_f.mean(),
+        naive_f.mean()
+    );
+}
+
+#[test]
+fn selection_drops_instances_and_fallbacks_work() {
+    let dp = ScenarioPair::BpDp.domain_pair(SCALE, 21).expect("generation");
+    let t = TransEr::new(TransErConfig::default(), ClassifierKind::LogisticRegression, 1)
+        .expect("config");
+    let out = t.fit_predict(&dp.source.x, &dp.source.y, &dp.target.x).expect("pipeline");
+    let d = out.diagnostics;
+    assert_eq!(d.source_count, dp.source.len());
+    assert!(d.selected_count <= d.source_count);
+
+    // Impossible thresholds must degrade gracefully, never panic.
+    let strict = TransErConfig { t_c: 1.0, t_l: 1.0, t_p: 1.0, ..Default::default() };
+    let t = TransEr::new(strict, ClassifierKind::LogisticRegression, 1).expect("config");
+    let out = t.fit_predict(&dp.source.x, &dp.source.y, &dp.target.x).expect("pipeline");
+    assert_eq!(out.labels.len(), dp.target.len());
+}
+
+#[test]
+fn reversed_pairs_swap_roles_exactly() {
+    let dp = ScenarioPair::Bibliographic.domain_pair(SCALE, 2).expect("generation");
+    let rev = dp.reversed();
+    assert_eq!(dp.source, rev.target);
+    assert_eq!(dp.target, rev.source);
+}

@@ -1,0 +1,96 @@
+//! Cross-crate property tests on the TransER pipeline over the
+//! controllable feature-vector generator.
+
+use proptest::prelude::*;
+use transer::core::select_instances;
+use transer::datagen::vectors::{domain_pair, VectorDomainConfig};
+use transer::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = VectorDomainConfig> {
+    (
+        100usize..400,
+        2usize..6,
+        0.15..0.4f64,
+        0.0..0.15f64,
+        0u64..1000,
+    )
+        .prop_map(|(n, m, match_rate, ambiguity, seed)| VectorDomainConfig {
+            n,
+            m,
+            match_rate,
+            ambiguity,
+            seed,
+            ..Default::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn selection_is_a_sorted_subset_honouring_thresholds(cfg in config_strategy()) {
+        let pair = domain_pair(&cfg, 0.05, 0.05, 200).expect("generation");
+        let tc = TransErConfig::default();
+        let sel = select_instances(&pair.source.x, &pair.source.y, &pair.target.x, &tc)
+            .expect("selection");
+        prop_assert_eq!(sel.scores.len(), pair.source.len());
+        // Indices sorted, in range, and exactly the threshold-passing set.
+        let mut prev = None;
+        for &i in &sel.indices {
+            prop_assert!(i < pair.source.len());
+            if let Some(p) = prev {
+                prop_assert!(i > p);
+            }
+            prev = Some(i);
+        }
+        for (i, s) in sel.scores.iter().enumerate() {
+            let should_keep = s.sim_c >= tc.t_c && s.sim_l >= tc.t_l;
+            prop_assert_eq!(sel.indices.contains(&i), should_keep, "instance {}", i);
+            prop_assert!((0.0..=1.0).contains(&s.sim_c));
+            prop_assert!((0.0..=1.0).contains(&s.sim_l));
+        }
+    }
+
+    #[test]
+    fn pipeline_output_is_total_and_deterministic(cfg in config_strategy()) {
+        let pair = domain_pair(&cfg, 0.03, 0.02, 150).expect("generation");
+        let t = TransEr::new(TransErConfig::default(), ClassifierKind::LogisticRegression, 5)
+            .expect("config");
+        let a = t.fit_predict(&pair.source.x, &pair.source.y, &pair.target.x).expect("run");
+        let b = t.fit_predict(&pair.source.x, &pair.source.y, &pair.target.x).expect("run");
+        prop_assert_eq!(a.labels.len(), pair.target.len());
+        prop_assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn confusion_matrix_is_consistent(cfg in config_strategy()) {
+        let pair = domain_pair(&cfg, 0.02, 0.0, 120).expect("generation");
+        let t = TransEr::new(TransErConfig::default(), ClassifierKind::DecisionTree, 5)
+            .expect("config");
+        let out = t.fit_predict(&pair.source.x, &pair.source.y, &pair.target.x).expect("run");
+        let cm = evaluate(&out.labels, &pair.target.y);
+        prop_assert_eq!(cm.total(), pair.target.len());
+        let f1 = cm.f1();
+        prop_assert!((cm.f_star() - f1 / (2.0 - f1)).abs() < 1e-9);
+        prop_assert!(cm.f_star() <= cm.precision().max(1e-12) + 1e-9 || cm.tp == 0);
+    }
+
+    #[test]
+    fn easy_separable_domains_are_solved(seed in 0u64..500) {
+        // With no ambiguity, no flips, and no shift, TransER must recover
+        // the generating rule almost perfectly.
+        let cfg = VectorDomainConfig {
+            n: 300,
+            ambiguity: 0.0,
+            flip_rate: 0.0,
+            seed,
+            ..Default::default()
+        };
+        let pair = domain_pair(&cfg, 0.0, 0.0, 200).expect("generation");
+        let t = TransEr::new(TransErConfig::default(), ClassifierKind::LogisticRegression, 1)
+            .expect("config");
+        let out = t.fit_predict(&pair.source.x, &pair.source.y, &pair.target.x).expect("run");
+        let cm = evaluate(&out.labels, &pair.target.y);
+        prop_assert!(cm.f_star() > 0.9, "F* {} on a trivial task", cm.f_star());
+    }
+}
