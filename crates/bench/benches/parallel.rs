@@ -1,0 +1,81 @@
+//! Sequential-vs-parallel benchmarks for the `transer-parallel` pool wired
+//! into the hot paths: feature comparison, SEL instance scoring and random
+//! forest training. Each workload runs at 1, 2 and N workers (N = the
+//! machine's available parallelism) so the speedup curve is visible in one
+//! report; results are bit-identical across worker counts by construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use transer_bench::{biblio_pair, BENCH_SEED};
+use transer_blocking::MinHashLsh;
+use transer_core::{select_instances_with_pool, TransErConfig};
+use transer_datagen::Scenario;
+use transer_ml::{Classifier, RandomForest};
+use transer_parallel::Pool;
+
+fn worker_counts() -> Vec<usize> {
+    let n = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let mut counts = vec![1, 2, n];
+    counts.dedup();
+    counts
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let scenario = Scenario::DblpAcm;
+    let entities = 400;
+    let (left, right) = transer_datagen::biblio::generate(
+        &transer_datagen::biblio::BiblioConfig::dblp_acm(entities, BENCH_SEED),
+    );
+    let blocker = MinHashLsh::new(scenario.lsh_config());
+    let pairs =
+        blocker.candidate_pairs_masked(&left, &right, Some(scenario.blocking_attrs()));
+    let comparison = scenario.comparison();
+
+    let mut g = c.benchmark_group("parallel");
+    g.sample_size(10);
+    for workers in worker_counts() {
+        let pool = Pool::new(workers);
+        g.bench_function(format!("compare/{}pairs/t{workers}", pairs.len()), |b| {
+            b.iter(|| {
+                comparison.compare_pairs_with_pool(
+                    black_box(&left),
+                    black_box(&right),
+                    black_box(&pairs),
+                    &pool,
+                )
+            })
+        });
+    }
+
+    let pair = biblio_pair();
+    let config = TransErConfig::default();
+    for workers in worker_counts() {
+        let pool = Pool::new(workers);
+        g.bench_function(format!("sel/{}rows/t{workers}", pair.source.x.rows()), |b| {
+            b.iter(|| {
+                select_instances_with_pool(
+                    black_box(&pair.source.x),
+                    black_box(&pair.source.y),
+                    black_box(&pair.target.x),
+                    &config,
+                    &pool,
+                )
+                .unwrap()
+            })
+        });
+    }
+
+    for workers in worker_counts() {
+        g.bench_function(format!("forest_fit/{}rows/t{workers}", pair.source.x.rows()), |b| {
+            b.iter(|| {
+                let mut rf = RandomForest::with_seed(BENCH_SEED).with_threads(workers);
+                rf.fit(black_box(&pair.source.x), black_box(&pair.source.y)).unwrap();
+                rf
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -2,9 +2,15 @@
 //! feature vectors and ground-truth labels.
 
 use transer_common::{AttrValue, Error, FeatureMatrix, Label, LabeledDataset, Record, Result};
-use transer_similarity::Measure;
+use transer_parallel::Pool;
+use transer_similarity::{Measure, PreparedText};
 
 use crate::CandidatePair;
+
+/// Candidate pairs per parallel work unit in [`Comparison::compare_pairs`]:
+/// small enough to rebalance ragged comparison costs, large enough that
+/// dispatch overhead vanishes against the per-pair similarity work.
+const PAIR_CHUNK: usize = 256;
 
 /// Declares the feature space: which similarity [`Measure`] applies to
 /// which attribute index. Sharing one `Comparison` between the source and
@@ -49,28 +55,75 @@ impl Comparison {
     /// The feature vector `x_ij` of one record pair. Missing values yield
     /// similarity 0 (nothing to agree on).
     pub fn feature_vector(&self, a: &Record, b: &Record) -> Vec<f64> {
-        self.features
-            .iter()
-            .map(|&(attr, measure)| compare_values(measure, &a.values[attr], &b.values[attr]))
-            .collect()
+        let mut out = vec![0.0; self.num_features()];
+        self.feature_vector_into(a, b, &mut out);
+        out
+    }
+
+    /// Write the feature vector of one record pair into `out` without
+    /// allocating — the form the batched matrix path uses.
+    ///
+    /// # Panics
+    /// Panics when `out.len() != self.num_features()`.
+    pub fn feature_vector_into(&self, a: &Record, b: &Record, out: &mut [f64]) {
+        assert_eq!(out.len(), self.num_features(), "feature buffer length");
+        for (slot, &(attr, measure)) in out.iter_mut().zip(&self.features) {
+            *slot = compare_values(measure, &a.values[attr], &b.values[attr]);
+        }
+    }
+
+    /// Precompute, per record, the per-feature state every pair comparison
+    /// needs (token sets, q-gram sets, parsed numbers, …) — tokenising each
+    /// record once instead of once per candidate pair.
+    fn prepare_records(&self, records: &[Record], pool: &Pool) -> Vec<Vec<PreparedValue>> {
+        pool.par_map(records, |record| {
+            self.features
+                .iter()
+                .map(|&(attr, measure)| PreparedValue::new(measure, &record.values[attr]))
+                .collect()
+        })
     }
 
     /// Compare all candidate pairs between two databases, producing the
     /// feature matrix and ground-truth labels (from the records' entity
-    /// identifiers).
+    /// identifiers). Runs on the global [`Pool`] (`TRANSER_THREADS`);
+    /// results are bit-identical for every worker count.
     pub fn compare_pairs(
         &self,
         left: &[Record],
         right: &[Record],
         pairs: &[CandidatePair],
     ) -> (FeatureMatrix, Vec<Label>) {
-        let mut x = FeatureMatrix::empty(self.num_features());
-        let mut y = Vec::with_capacity(pairs.len());
-        for &(i, j) in pairs {
-            let (a, b) = (&left[i], &right[j]);
-            x.push_row(&self.feature_vector(a, b));
-            y.push(Label::from_bool(a.entity == b.entity));
-        }
+        self.compare_pairs_with_pool(left, right, pairs, &Pool::global())
+    }
+
+    /// [`Comparison::compare_pairs`] on an explicit [`Pool`] — the hook the
+    /// determinism tests and benchmarks use to pin the worker count.
+    pub fn compare_pairs_with_pool(
+        &self,
+        left: &[Record],
+        right: &[Record],
+        pairs: &[CandidatePair],
+        pool: &Pool,
+    ) -> (FeatureMatrix, Vec<Label>) {
+        let m = self.num_features();
+        let prepared_left = self.prepare_records(left, pool);
+        let prepared_right = self.prepare_records(right, pool);
+        let data: Vec<f64> = pool.par_chunks(pairs, PAIR_CHUNK, |_, chunk| {
+            let mut rows = Vec::with_capacity(chunk.len() * m);
+            for &(i, j) in chunk {
+                for (f, &(_, measure)) in self.features.iter().enumerate() {
+                    rows.push(prepared_pair(measure, &prepared_left[i][f], &prepared_right[j][f]));
+                }
+            }
+            rows
+        });
+        let x = FeatureMatrix::from_rows(data, pairs.len(), m)
+            .expect("comparison rows are rectangular by construction");
+        let y = pairs
+            .iter()
+            .map(|&(i, j)| Label::from_bool(left[i].entity == right[j].entity))
+            .collect();
         (x, y)
     }
 
@@ -98,6 +151,52 @@ fn compare_values(measure: Measure, a: &AttrValue, b: &AttrValue) -> f64 {
         (AttrValue::Number(x), AttrValue::Number(y)) => measure.number(*x, *y),
         (AttrValue::Text(x), AttrValue::Number(y)) => measure.text(x, &y.to_string()),
         (AttrValue::Number(x), AttrValue::Text(y)) => measure.text(&x.to_string(), y),
+        _ => 0.0, // at least one side missing
+    }
+}
+
+/// One record attribute prepared for a specific feature column.
+#[derive(Debug, Clone)]
+enum PreparedValue {
+    Missing,
+    /// Textual value with the measure's per-value work hoisted out.
+    Text(PreparedText),
+    /// Numeric value: the raw number for measures with a native numeric
+    /// path, plus the prepared decimal rendering for the text fallbacks
+    /// and Text/Number cross comparisons.
+    Number { raw: f64, text: PreparedText },
+}
+
+impl PreparedValue {
+    fn new(measure: Measure, value: &AttrValue) -> Self {
+        match value {
+            AttrValue::Text(s) => PreparedValue::Text(measure.prepare(s)),
+            AttrValue::Number(x) => {
+                PreparedValue::Number { raw: *x, text: measure.prepare(&x.to_string()) }
+            }
+            AttrValue::Missing => PreparedValue::Missing,
+        }
+    }
+}
+
+/// [`compare_values`] over prepared inputs — bit-identical by construction:
+/// every arm reduces to the same similarity call on the same data (the
+/// `number_native` split mirrors [`Measure::number`]'s dispatch, and the
+/// text fallback there operates on exactly the renderings cached in
+/// [`PreparedValue::Number`]).
+fn prepared_pair(measure: Measure, a: &PreparedValue, b: &PreparedValue) -> f64 {
+    use PreparedValue as P;
+    match (a, b) {
+        (P::Text(x), P::Text(y)) => measure.prepared(x, y),
+        (P::Number { raw: x, text: tx }, P::Number { raw: y, text: ty }) => {
+            if measure.number_native() {
+                measure.number(*x, *y)
+            } else {
+                measure.prepared(tx, ty)
+            }
+        }
+        (P::Text(x), P::Number { text: y, .. }) => measure.prepared(x, y),
+        (P::Number { text: x, .. }, P::Text(y)) => measure.prepared(x, y),
         _ => 0.0, // at least one side missing
     }
 }
@@ -158,5 +257,93 @@ mod tests {
     #[test]
     fn empty_feature_space_rejected() {
         assert!(Comparison::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn feature_vector_into_matches_allocating_form() {
+        let a = rec(0, 1, "deep entity matching", 2018.0);
+        let b = rec(1, 1, "deep matching", 2019.0);
+        let c = cmp();
+        let mut buf = vec![9.9; c.num_features()];
+        c.feature_vector_into(&a, &b, &mut buf);
+        assert_eq!(buf, c.feature_vector(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature buffer length")]
+    fn feature_vector_into_checks_length() {
+        let a = rec(0, 1, "x", 1.0);
+        cmp().feature_vector_into(&a, &a, &mut [0.0]);
+    }
+
+    /// The prepared matrix path must equal the per-pair `feature_vector`
+    /// path bit-for-bit, for every measure and every Text/Number/Missing
+    /// value combination.
+    #[test]
+    fn prepared_path_matches_feature_vector_exactly() {
+        let measures = [
+            Measure::Jaro,
+            Measure::JaroWinkler,
+            Measure::Levenshtein,
+            Measure::TokenJaccard,
+            Measure::QgramJaccard(2),
+            Measure::TokenDice,
+            Measure::QgramDice(3),
+            Measure::TokenOverlap,
+            Measure::Lcs,
+            Measure::MongeElkanJw,
+            Measure::Soundex,
+            Measure::Exact,
+            Measure::Numeric(5.0),
+            Measure::Year,
+        ];
+        let values = [
+            AttrValue::Text("deep entity matching".into()),
+            AttrValue::Text("1999".into()),
+            AttrValue::Text(String::new()),
+            AttrValue::Number(1999.0),
+            AttrValue::Number(1999.5),
+            AttrValue::Missing,
+        ];
+        // One record per value; a comparison applying every measure to it.
+        let comparison =
+            Comparison::new(measures.iter().map(|&m| (0, m)).collect()).unwrap();
+        let records: Vec<Record> =
+            values.iter().enumerate().map(|(i, v)| Record::new(i as u64, 0, vec![v.clone()])).collect();
+        let pairs: Vec<CandidatePair> = (0..records.len())
+            .flat_map(|i| (0..records.len()).map(move |j| (i, j)))
+            .collect();
+        for workers in [1, 4] {
+            let (x, _) = comparison.compare_pairs_with_pool(
+                &records,
+                &records,
+                &pairs,
+                &transer_parallel::Pool::new(workers),
+            );
+            for (row, &(i, j)) in pairs.iter().enumerate() {
+                let direct = comparison.feature_vector(&records[i], &records[j]);
+                for (f, (got, want)) in x.row(row).iter().zip(&direct).enumerate() {
+                    assert!(
+                        got.to_bits() == want.to_bits(),
+                        "workers={workers} {:?} on rows ({i}, {j}): {got} != {want}",
+                        measures[f],
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_compare_is_deterministic() {
+        let left: Vec<Record> = (0..40)
+            .map(|i| rec(i, i, &format!("record number {i} with some title text"), 1950.0 + i as f64))
+            .collect();
+        let right = left.clone();
+        let pairs: Vec<CandidatePair> =
+            (0..40).flat_map(|i| (0..40).map(move |j| (i as usize, j as usize))).collect();
+        let c = cmp();
+        let seq = c.compare_pairs_with_pool(&left, &right, &pairs, &transer_parallel::Pool::new(1));
+        let par = c.compare_pairs_with_pool(&left, &right, &pairs, &transer_parallel::Pool::new(4));
+        assert_eq!(seq, par);
     }
 }

@@ -15,9 +15,14 @@ use std::hash::{Hash, Hasher};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use transer_common::Record;
+use transer_parallel::Pool;
 
 use crate::tokenize::token_hashes_masked;
 use crate::CandidatePair;
+
+/// Right-hand records per parallel probe unit in
+/// [`MinHashLsh::candidate_pairs_masked`].
+const PROBE_CHUNK: usize = 128;
 
 /// Configuration of the MinHash LSH blocker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +111,25 @@ impl MinHashLsh {
             .collect()
     }
 
+    /// Tokenise, sign and band every record in parallel; `None` marks
+    /// records with empty token sets (which never block). Output is in
+    /// record order, so downstream bucket insertion stays deterministic.
+    fn all_band_keys(
+        &self,
+        records: &[Record],
+        attrs: Option<&[usize]>,
+        pool: &Pool,
+    ) -> Vec<Option<Vec<u64>>> {
+        pool.par_map(records, |rec| {
+            let hashes = token_hashes_masked(rec, attrs);
+            if hashes.is_empty() {
+                None
+            } else {
+                Some(self.band_keys(&self.signature(&hashes)))
+            }
+        })
+    }
+
     /// Candidate pairs for linking two databases: indices `(i, j)` with `i`
     /// into `left` and `j` into `right`, deduplicated and sorted.
     pub fn candidate_pairs(&self, left: &[Record], right: &[Record]) -> Vec<CandidatePair> {
@@ -114,55 +138,63 @@ impl MinHashLsh {
 
     /// Like [`MinHashLsh::candidate_pairs`] but blocking only on the given
     /// attribute indices (`None` = all attributes) — see
-    /// [`crate::record_tokens_masked`].
+    /// [`crate::record_tokens_masked`]. Signature computation and bucket
+    /// probing run on the global [`Pool`] (`TRANSER_THREADS`); the sorted,
+    /// deduplicated output is identical for every worker count.
     pub fn candidate_pairs_masked(
         &self,
         left: &[Record],
         right: &[Record],
         attrs: Option<&[usize]>,
     ) -> Vec<CandidatePair> {
+        self.candidate_pairs_masked_with_pool(left, right, attrs, &Pool::global())
+    }
+
+    /// [`MinHashLsh::candidate_pairs_masked`] on an explicit [`Pool`].
+    pub fn candidate_pairs_masked_with_pool(
+        &self,
+        left: &[Record],
+        right: &[Record],
+        attrs: Option<&[usize]>,
+        pool: &Pool,
+    ) -> Vec<CandidatePair> {
         // Bucket the left records per band, then probe with the right.
         let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
-        for (i, rec) in left.iter().enumerate() {
-            let hashes = token_hashes_masked(rec, attrs);
-            if hashes.is_empty() {
-                continue;
-            }
-            for key in self.band_keys(&self.signature(&hashes)) {
+        for (i, keys) in self.all_band_keys(left, attrs, pool).iter().enumerate() {
+            for &key in keys.iter().flatten() {
                 buckets.entry(key).or_default().push(i as u32);
             }
         }
         let cap = if self.config.max_bucket == 0 { usize::MAX } else { self.config.max_bucket };
-        let mut pairs = Vec::new();
-        for (j, rec) in right.iter().enumerate() {
-            let hashes = token_hashes_masked(rec, attrs);
-            if hashes.is_empty() {
-                continue;
-            }
-            for key in self.band_keys(&self.signature(&hashes)) {
-                if let Some(lefts) = buckets.get(&key) {
-                    if lefts.len() > cap {
-                        continue;
+        let right_keys = self.all_band_keys(right, attrs, pool);
+        let mut pairs: Vec<CandidatePair> =
+            pool.par_chunks(&right_keys, PROBE_CHUNK, |start, chunk| {
+                let mut local = Vec::new();
+                for (k, keys) in chunk.iter().enumerate() {
+                    let j = start + k;
+                    for &key in keys.iter().flatten() {
+                        if let Some(lefts) = buckets.get(&key) {
+                            if lefts.len() > cap {
+                                continue;
+                            }
+                            local.extend(lefts.iter().map(|&i| (i as usize, j)));
+                        }
                     }
-                    pairs.extend(lefts.iter().map(|&i| (i as usize, j)));
                 }
-            }
-        }
+                local
+            });
         pairs.sort_unstable();
         pairs.dedup();
         pairs
     }
 
     /// Candidate pairs for deduplication within one database: `(i, j)` with
-    /// `i < j`, deduplicated and sorted.
+    /// `i < j`, deduplicated and sorted. Signature computation runs on the
+    /// global [`Pool`].
     pub fn candidate_pairs_dedup(&self, records: &[Record]) -> Vec<CandidatePair> {
         let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
-        for (i, rec) in records.iter().enumerate() {
-            let hashes = token_hashes_masked(rec, None);
-            if hashes.is_empty() {
-                continue;
-            }
-            for key in self.band_keys(&self.signature(&hashes)) {
+        for (i, keys) in self.all_band_keys(records, None, &Pool::global()).iter().enumerate() {
+            for &key in keys.iter().flatten() {
                 buckets.entry(key).or_default().push(i as u32);
             }
         }
@@ -265,5 +297,29 @@ mod tests {
     #[should_panic(expected = "bands must divide")]
     fn invalid_banding_panics() {
         MinHashLsh::new(MinHashLshConfig { num_hashes: 10, bands: 3, seed: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn parallel_blocking_is_deterministic() {
+        let titles = [
+            "a fast algorithm for record linkage",
+            "record linkage at scale",
+            "the beatles abbey road",
+            "entity resolution with transfer learning",
+            "transfer learning for entity resolution",
+        ];
+        let left: Vec<Record> = (0..200)
+            .map(|i| rec(i, i % 7, &format!("{} volume {}", titles[i as usize % 5], i % 13)))
+            .collect();
+        let right: Vec<Record> = (0..200)
+            .map(|i| rec(i, i % 7, &format!("{} volume {}", titles[i as usize % 5], i % 11)))
+            .collect();
+        let b = blocker();
+        let seq =
+            b.candidate_pairs_masked_with_pool(&left, &right, None, &transer_parallel::Pool::new(1));
+        let par =
+            b.candidate_pairs_masked_with_pool(&left, &right, None, &transer_parallel::Pool::new(4));
+        assert!(!seq.is_empty());
+        assert_eq!(seq, par);
     }
 }

@@ -19,6 +19,7 @@
 use transer_common::{Error, FeatureMatrix, Label, Result};
 use transer_knn::KdTree;
 use transer_linalg::covariance;
+use transer_parallel::Pool;
 
 use crate::config::TransErConfig;
 use crate::decay::exp_decay_5;
@@ -56,6 +57,10 @@ impl SelectionResult {
 /// Run the SEL phase: score every source instance and keep those clearing
 /// the enabled thresholds (lines 1–9 of Algorithm 1).
 ///
+/// Per-instance scoring (two k-NN queries plus centroid / covariance work
+/// per source row) runs on the global [`Pool`] (`TRANSER_THREADS`); the
+/// result is bit-identical for every worker count.
+///
 /// # Errors
 /// Returns an error for empty inputs, mismatched shapes or an invalid
 /// configuration.
@@ -64,6 +69,21 @@ pub fn select_instances(
     ys: &[Label],
     xt: &FeatureMatrix,
     config: &TransErConfig,
+) -> Result<SelectionResult> {
+    select_instances_with_pool(xs, ys, xt, config, &Pool::global())
+}
+
+/// [`select_instances`] on an explicit [`Pool`] — the hook the determinism
+/// tests and benchmarks use to pin the worker count.
+///
+/// # Errors
+/// As for [`select_instances`].
+pub fn select_instances_with_pool(
+    xs: &FeatureMatrix,
+    ys: &[Label],
+    xt: &FeatureMatrix,
+    config: &TransErConfig,
+    pool: &Pool,
 ) -> Result<SelectionResult> {
     config.validate()?;
     if xs.rows() == 0 {
@@ -93,9 +113,9 @@ pub fn select_instances(
     let target_tree = KdTree::build(xt);
 
     let variant = config.variant;
-    let mut indices = Vec::new();
-    let mut scores = Vec::with_capacity(xs.rows());
-    for (i, row) in xs.iter_rows().enumerate() {
+    let row_indices: Vec<usize> = (0..xs.rows()).collect();
+    let scored: Vec<(InstanceScores, bool)> = pool.par_map(&row_indices, |&i| {
+        let row = xs.row(i);
         // Neighbourhoods N_x^S (excluding the instance itself) and N_x^T.
         let ns = source_tree.k_nearest_excluding(row, k, Some(i));
         let nt = target_tree.k_nearest(row, k);
@@ -133,10 +153,16 @@ pub fn select_instances(
         let keep = (!variant.use_sim_c || sim_c >= config.t_c)
             && (!variant.use_sim_l || sim_l >= config.t_l)
             && (!variant.use_sim_v || sim_v >= config.t_v);
+        (InstanceScores { sim_c, sim_l, sim_v }, keep)
+    });
+
+    let mut indices = Vec::new();
+    let mut scores = Vec::with_capacity(xs.rows());
+    for (i, (instance_scores, keep)) in scored.into_iter().enumerate() {
         if keep {
             indices.push(i);
         }
-        scores.push(InstanceScores { sim_c, sim_l, sim_v });
+        scores.push(instance_scores);
     }
     Ok(SelectionResult { indices, scores })
 }
@@ -290,6 +316,23 @@ mod tests {
         assert_eq!(xu.rows(), sel.indices.len());
         assert_eq!(yu.len(), sel.indices.len());
         assert_eq!(xu.row(0), xs.row(sel.indices[0]));
+    }
+
+    #[test]
+    fn parallel_selection_is_bit_identical_to_sequential() {
+        let (xs, ys, xt) = fixture();
+        let mut cfg = config(5);
+        cfg.variant.use_sim_v = true; // exercise every score path
+        let seq = select_instances_with_pool(&xs, &ys, &xt, &cfg, &Pool::new(1)).unwrap();
+        for workers in [2, 4, 16] {
+            let par = select_instances_with_pool(&xs, &ys, &xt, &cfg, &Pool::new(workers)).unwrap();
+            assert_eq!(seq.indices, par.indices, "workers={workers}");
+            for (a, b) in seq.scores.iter().zip(&par.scores) {
+                assert_eq!(a.sim_c.to_bits(), b.sim_c.to_bits(), "workers={workers}");
+                assert_eq!(a.sim_l.to_bits(), b.sim_l.to_bits(), "workers={workers}");
+                assert_eq!(a.sim_v.to_bits(), b.sim_v.to_bits(), "workers={workers}");
+            }
+        }
     }
 
     #[test]

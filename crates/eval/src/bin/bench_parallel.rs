@@ -1,0 +1,32 @@
+//! Measure sequential-vs-parallel wall clock for the hot paths and record
+//! `results/BENCH_parallel.json`. Accepts the shared eval flags plus
+//! `--threads <n>` (default: the global pool, i.e. `TRANSER_THREADS` or
+//! the machine's available parallelism).
+
+use transer_eval::{scaling, Options};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options::parse(args.iter().cloned());
+    if opts.json.is_none() {
+        opts.json = Some("results/BENCH_parallel.json".to_string());
+    }
+    let threads = args
+        .windows(2)
+        .find(|w| w[0] == "--threads")
+        .and_then(|w| w[1].parse().ok());
+    match scaling::thread_scaling(&opts, threads) {
+        Ok(report) => {
+            println!(
+                "Thread scaling — sequential vs parallel hot paths (scale {}, {} core(s) available)\n",
+                opts.scale, report.available_parallelism
+            );
+            print!("{}", scaling::render(&report.rows));
+            opts.maybe_write_json(&report);
+        }
+        Err(e) => {
+            eprintln!("bench_parallel failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

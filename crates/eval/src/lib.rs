@@ -30,6 +30,7 @@ pub mod decay_fig;
 pub mod distribution;
 pub mod quality;
 pub mod runtime;
+pub mod scaling;
 pub mod sensitivity;
 
 mod options;

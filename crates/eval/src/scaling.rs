@@ -1,0 +1,188 @@
+//! Thread-scaling measurements for the parallel hot paths.
+//!
+//! Not a paper artefact: this experiment validates the `transer-parallel`
+//! wiring by timing each hot path (feature comparison, MinHash blocking,
+//! SEL instance scoring, random forest training) sequentially and on N
+//! workers, and reporting the speedup. Results are bit-identical across
+//! worker counts by construction, so the speedup is the whole story.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use transer_blocking::MinHashLsh;
+use transer_common::Result;
+use transer_core::{select_instances_with_pool, TransErConfig};
+use transer_datagen::{Scenario, ScenarioPair};
+use transer_ml::{Classifier, RandomForest};
+use transer_parallel::Pool;
+
+use crate::{Cell, Options};
+
+/// Timing repetitions per workload; the minimum is reported to damp
+/// scheduler noise.
+const REPS: usize = 3;
+
+/// The scaling rows plus the host context needed to interpret them: on a
+/// single-core machine the expected speedup is ~1× (the pool degrades to
+/// time-slicing), so the measurement is only meaningful together with
+/// `available_parallelism`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingReport {
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub available_parallelism: usize,
+    /// Entity-count multiplier the workloads were generated at.
+    pub scale: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Per-workload timings.
+    pub rows: Vec<ScalingRow>,
+}
+
+/// Sequential-vs-parallel timing of one hot path.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingRow {
+    /// Hot-path name (`compare`, `minhash`, `sel`, `forest_fit`).
+    pub workload: String,
+    /// Work-item count (pairs, records, rows or trees × rows).
+    pub items: usize,
+    /// Worker count of the parallel run.
+    pub threads: usize,
+    /// Best-of-[`REPS`] sequential wall-clock seconds.
+    pub secs_seq: f64,
+    /// Best-of-[`REPS`] parallel wall-clock seconds.
+    pub secs_par: f64,
+    /// `secs_seq / secs_par`.
+    pub speedup: f64,
+}
+
+fn time_best<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn row(workload: &str, items: usize, threads: usize, secs_seq: f64, secs_par: f64) -> ScalingRow {
+    ScalingRow {
+        workload: workload.to_string(),
+        items,
+        threads,
+        secs_seq,
+        secs_par,
+        speedup: secs_seq / secs_par,
+    }
+}
+
+/// Measure all four parallel hot paths at `threads` workers (defaulting to
+/// the global pool's worker count) against their sequential runs.
+///
+/// # Errors
+/// Propagates workload generation and selection errors.
+pub fn thread_scaling(opts: &Options, threads: Option<usize>) -> Result<ScalingReport> {
+    let threads = threads.unwrap_or_else(|| Pool::global().workers());
+    let seq = Pool::sequential();
+    let par = Pool::new(threads);
+    let mut rows = Vec::new();
+
+    // Feature comparison + MinHash blocking over raw records.
+    let scenario = Scenario::DblpAcm;
+    let entities = ((scenario.base_entities() as f64 * opts.scale) as usize).max(40);
+    let (left, right) = transer_datagen::biblio::generate(
+        &transer_datagen::biblio::BiblioConfig::dblp_acm(entities, opts.seed),
+    );
+    let blocker = MinHashLsh::new(scenario.lsh_config());
+    let attrs = Some(scenario.blocking_attrs());
+    let secs_seq = time_best(|| {
+        blocker.candidate_pairs_masked_with_pool(&left, &right, attrs, &seq);
+    });
+    let secs_par = time_best(|| {
+        blocker.candidate_pairs_masked_with_pool(&left, &right, attrs, &par);
+    });
+    rows.push(row("minhash", left.len() + right.len(), threads, secs_seq, secs_par));
+
+    let pairs = blocker.candidate_pairs_masked_with_pool(&left, &right, attrs, &par);
+    let comparison = scenario.comparison();
+    let secs_seq =
+        time_best(|| drop(comparison.compare_pairs_with_pool(&left, &right, &pairs, &seq)));
+    let secs_par =
+        time_best(|| drop(comparison.compare_pairs_with_pool(&left, &right, &pairs, &par)));
+    rows.push(row("compare", pairs.len(), threads, secs_seq, secs_par));
+
+    // SEL scoring + forest training over the bibliographic transfer task.
+    let pair = ScenarioPair::Bibliographic.domain_pair(opts.scale, opts.seed)?;
+    let config = TransErConfig::default();
+    let secs_seq = time_best(|| {
+        select_instances_with_pool(&pair.source.x, &pair.source.y, &pair.target.x, &config, &seq)
+            .expect("selection");
+    });
+    let secs_par = time_best(|| {
+        select_instances_with_pool(&pair.source.x, &pair.source.y, &pair.target.x, &config, &par)
+            .expect("selection");
+    });
+    rows.push(row("sel", pair.source.x.rows(), threads, secs_seq, secs_par));
+
+    let secs_seq = time_best(|| {
+        let mut rf = RandomForest::with_seed(opts.seed).with_threads(1);
+        rf.fit(&pair.source.x, &pair.source.y).expect("forest fit");
+    });
+    let secs_par = time_best(|| {
+        let mut rf = RandomForest::with_seed(opts.seed).with_threads(threads);
+        rf.fit(&pair.source.x, &pair.source.y).expect("forest fit");
+    });
+    rows.push(row("forest_fit", pair.source.x.rows(), threads, secs_seq, secs_par));
+
+    Ok(ScalingReport {
+        available_parallelism: std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get),
+        scale: opts.scale,
+        seed: opts.seed,
+        rows,
+    })
+}
+
+/// Render the scaling rows as an aligned text table.
+pub fn render(rows: &[ScalingRow]) -> String {
+    let mut table = vec![vec![
+        Cell::from("Workload"),
+        Cell::from("Items"),
+        Cell::from("Threads"),
+        Cell::from("Seq s"),
+        Cell::from("Par s"),
+        Cell::from("Speedup"),
+    ]];
+    for r in rows {
+        table.push(vec![
+            Cell::from(r.workload.clone()),
+            Cell::Num(r.items as f64),
+            Cell::Num(r.threads as f64),
+            Cell::Num(r.secs_seq),
+            Cell::Num(r.secs_par),
+            Cell::Num(r.speedup),
+        ]);
+    }
+    crate::format_table(&table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scaling_smoke() {
+        let opts = Options { scale: 0.02, ..Options::default() };
+        let report = thread_scaling(&opts, Some(2)).unwrap();
+        assert!(report.available_parallelism >= 1);
+        assert_eq!(report.rows.len(), 4);
+        for r in &report.rows {
+            assert!(r.items > 0, "{} items", r.workload);
+            assert!(r.secs_seq > 0.0 && r.secs_par > 0.0);
+            assert!(r.speedup.is_finite());
+            assert_eq!(r.threads, 2);
+        }
+        let text = render(&report.rows);
+        assert!(text.contains("Speedup"));
+    }
+}

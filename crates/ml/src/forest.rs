@@ -3,6 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use transer_common::{FeatureMatrix, Label, Result};
+use transer_parallel::Pool;
 
 use crate::traits::{check_training_input, Classifier};
 use crate::tree::{DecisionTree, DecisionTreeConfig};
@@ -35,12 +36,14 @@ pub struct RandomForest {
     config: RandomForestConfig,
     seed: u64,
     trees: Vec<DecisionTree>,
+    /// Explicit worker-count override; `None` = the global pool.
+    workers: Option<usize>,
 }
 
 impl RandomForest {
     /// Create with explicit hyper-parameters and RNG seed.
     pub fn new(config: RandomForestConfig, seed: u64) -> Self {
-        RandomForest { config, seed, trees: Vec::new() }
+        RandomForest { config, seed, trees: Vec::new(), workers: None }
     }
 
     /// Default configuration with the given seed.
@@ -48,9 +51,31 @@ impl RandomForest {
         RandomForest::new(RandomForestConfig::default(), seed)
     }
 
+    /// Pin the worker count for training and prediction instead of using
+    /// the global [`Pool`] (`TRANSER_THREADS`). Results are bit-identical
+    /// for every worker count; this only controls resource usage.
+    pub fn with_threads(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
     /// Number of fitted trees.
     pub fn tree_count(&self) -> usize {
         self.trees.len()
+    }
+
+    fn pool(&self) -> Pool {
+        self.workers.map_or_else(Pool::global, Pool::new)
+    }
+
+    /// The bootstrap-sampling seed of tree `t`: splitmix-style spreading of
+    /// the forest seed, decorrelated (different odd constant) from the
+    /// per-tree feature-subset stream derived in `fit_weighted`. Deriving
+    /// per-tree seeds — instead of threading one sequential RNG through the
+    /// bagging loop — is what makes parallel training bit-identical to
+    /// sequential.
+    fn bootstrap_seed(&self, t: usize) -> u64 {
+        self.seed ^ (t as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F)
     }
 }
 
@@ -69,9 +94,6 @@ impl Classifier for RandomForest {
         let n = x.rows();
         let m = x.cols();
         let max_features = self.config.max_features.unwrap_or((m as f64).sqrt().ceil() as usize);
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        self.trees.clear();
-        self.trees.reserve(self.config.n_trees);
 
         // Bootstrap weights: each tree draws n samples with replacement; we
         // encode the draw as per-sample multiplicities folded into the
@@ -80,38 +102,58 @@ impl Classifier for RandomForest {
             Some(w) => w.to_vec(),
             None => vec![1.0; n],
         };
-        let mut counts = vec![0u32; n];
-        for t in 0..self.config.n_trees {
-            counts.iter_mut().for_each(|c| *c = 0);
-            for _ in 0..n {
-                counts[rng.random_range(0..n)] += 1;
-            }
-            let bag: Vec<usize> = (0..n).filter(|&i| counts[i] > 0).collect();
-            if bag.is_empty() {
-                continue;
-            }
-            let bag_x = x.select_rows(&bag);
-            let bag_y: Vec<Label> = bag.iter().map(|&i| y[i]).collect();
-            let bag_w: Vec<f64> = bag.iter().map(|&i| base[i] * counts[i] as f64).collect();
 
-            let mut tree = DecisionTree::new(self.config.tree);
-            tree.feature_subset = Some(max_features);
-            tree.rng_state = self
-                .seed
-                .wrapping_mul(0x9e3779b97f4a7c15)
-                .wrapping_add(t as u64 + 1)
-                | 1;
-            tree.fit_weighted(&bag_x, &bag_y, Some(&bag_w))?;
-            self.trees.push(tree);
+        // Each tree is independent given its two derived seeds (bootstrap
+        // draw + feature-subset stream), so training parallelises with no
+        // sequencing between trees; collected in index order.
+        let indices: Vec<usize> = (0..self.config.n_trees).collect();
+        let fitted: Vec<Result<Option<DecisionTree>>> =
+            self.pool().par_map_init(&indices, || vec![0u32; n], |counts, _, &t| {
+                let mut rng = StdRng::seed_from_u64(self.bootstrap_seed(t));
+                counts.iter_mut().for_each(|c| *c = 0);
+                for _ in 0..n {
+                    counts[rng.random_range(0..n)] += 1;
+                }
+                let bag: Vec<usize> = (0..n).filter(|&i| counts[i] > 0).collect();
+                if bag.is_empty() {
+                    return Ok(None);
+                }
+                let bag_x = x.select_rows(&bag);
+                let bag_y: Vec<Label> = bag.iter().map(|&i| y[i]).collect();
+                let bag_w: Vec<f64> =
+                    bag.iter().map(|&i| base[i] * counts[i] as f64).collect();
+
+                let mut tree = DecisionTree::new(self.config.tree);
+                tree.feature_subset = Some(max_features);
+                tree.rng_state = self
+                    .seed
+                    .wrapping_mul(0x9e3779b97f4a7c15)
+                    .wrapping_add(t as u64 + 1)
+                    | 1;
+                tree.fit_weighted(&bag_x, &bag_y, Some(&bag_w))?;
+                Ok(Some(tree))
+            });
+
+        self.trees.clear();
+        self.trees.reserve(self.config.n_trees);
+        for tree in fitted {
+            if let Some(tree) = tree? {
+                self.trees.push(tree);
+            }
         }
         Ok(())
     }
 
     fn predict_proba(&self, x: &FeatureMatrix) -> Vec<f64> {
         assert!(!self.trees.is_empty(), "predict before fit");
+        // Trees vote independently; the fold over per-tree outputs stays
+        // sequential in tree order so the float sums are bit-identical for
+        // every worker count.
+        let per_tree: Vec<Vec<f64>> =
+            self.pool().par_map(&self.trees, |tree| tree.predict_proba(x));
         let mut probs = vec![0.0; x.rows()];
-        for tree in &self.trees {
-            for (acc, p) in probs.iter_mut().zip(tree.predict_proba(x)) {
+        for tree_probs in &per_tree {
+            for (acc, p) in probs.iter_mut().zip(tree_probs) {
                 *acc += p;
             }
         }
@@ -192,6 +234,31 @@ mod tests {
         ])
         .unwrap();
         assert_ne!(a.predict_proba(&probes), b.predict_proba(&probes));
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_sequential() {
+        let (x, y) = noisy_blobs(11);
+        let probes = FeatureMatrix::from_vecs(&[
+            vec![0.5, 0.5, 0.5],
+            vec![0.45, 0.55, 0.2],
+            vec![0.55, 0.45, 0.8],
+            vec![0.85, 0.8, 0.1],
+            vec![0.2, 0.25, 0.9],
+        ])
+        .unwrap();
+        let mut seq = RandomForest::with_seed(17).with_threads(1);
+        seq.fit(&x, &y).unwrap();
+        let expected = seq.predict_proba(&probes);
+        for workers in [2, 4, 16] {
+            let mut par = RandomForest::with_seed(17).with_threads(workers);
+            par.fit(&x, &y).unwrap();
+            assert_eq!(par.tree_count(), seq.tree_count());
+            let got = par.predict_proba(&probes);
+            for (a, b) in expected.iter().zip(&got) {
+                assert_eq!(a.to_bits(), b.to_bits(), "workers={workers}");
+            }
+        }
     }
 
     #[test]

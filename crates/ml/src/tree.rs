@@ -198,7 +198,12 @@ impl DecisionTree {
                         decrease > d + EPS || ((decrease - d).abs() <= EPS && balance > bal)
                     })
                 {
-                    best = Some((feature, 0.5 * (v + next_v), decrease, balance));
+                    // The midpoint can round up to exactly `next_v` when the
+                    // two values are adjacent floats; fall back to `v` so the
+                    // `<= threshold` partition always separates both sides.
+                    let mid = 0.5 * (v + next_v);
+                    let threshold = if mid < next_v { mid } else { v };
+                    best = Some((feature, threshold, decrease, balance));
                 }
             }
         }

@@ -1,0 +1,354 @@
+//! A from-scratch, deterministic, std-only parallel executor for the
+//! workspace's hot paths (pair comparison, SEL k-NN scoring, forest
+//! training, MinHash signatures).
+//!
+//! # Design
+//!
+//! A [`Pool`] is a *worker-count policy*, not a set of persistent threads:
+//! every parallel call spawns scoped workers via [`std::thread::scope`] and
+//! joins them before returning, so borrowed inputs need no `'static`
+//! lifetimes, no `unsafe`, and no shutdown protocol. Workers claim batches
+//! of contiguous indices from an atomic cursor (dynamic load balancing for
+//! ragged workloads like tree training) and each batch's results carry
+//! their starting index, so the final merge reassembles the output **in
+//! input order regardless of scheduling**. Combined with pure per-item
+//! closures this makes every primitive bit-identical to its sequential
+//! counterpart — the property the determinism tests across the workspace
+//! pin down.
+//!
+//! # Worker count
+//!
+//! [`Pool::global`] reads the `TRANSER_THREADS` environment variable once
+//! per process: unset, `0` or unparseable values mean
+//! [`std::thread::available_parallelism`]. `TRANSER_THREADS=1` disables
+//! threading entirely (the sequential fast path runs on the calling
+//! thread), which is how the experiment harness reproduces the paper's
+//! single-threaded runtimes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable selecting the global worker count.
+pub const THREADS_ENV: &str = "TRANSER_THREADS";
+
+/// A deterministic parallel executor with a fixed worker count.
+///
+/// Cheap to create and copy; threads only exist for the duration of a
+/// single `par_*` call. All primitives return results in input order and
+/// are bit-identical to their sequential equivalents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    workers: usize,
+}
+
+fn global_workers() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        match std::env::var(THREADS_ENV).ok().and_then(|v| v.trim().parse::<usize>().ok()) {
+            Some(n) if n > 0 => n,
+            _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    })
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::global()
+    }
+}
+
+impl Pool {
+    /// A pool with an explicit worker count (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        Pool { workers: workers.max(1) }
+    }
+
+    /// The process-wide pool: worker count from `TRANSER_THREADS`, or
+    /// [`std::thread::available_parallelism`] when unset. The variable is
+    /// read once; later changes do not affect the global pool.
+    pub fn global() -> Self {
+        Pool { workers: global_workers() }
+    }
+
+    /// A single-worker pool: every primitive runs sequentially on the
+    /// calling thread.
+    pub fn sequential() -> Self {
+        Pool { workers: 1 }
+    }
+
+    /// Number of workers this pool uses.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Map `f` over `items`, in parallel, preserving input order.
+    ///
+    /// Equivalent to `items.iter().map(f).collect()` — including the exact
+    /// output order — for any pure `f`.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.dispatch(items.len(), |start, end, out| {
+            out.extend(items[start..end].iter().map(&f));
+        })
+    }
+
+    /// Indexed map with per-worker scratch state: `init` runs once per
+    /// worker (per batch on the sequential path it runs once in total) and
+    /// `f` receives the scratch, the item's index and the item.
+    ///
+    /// The scratch must not influence results across items (use it for
+    /// reusable buffers, not accumulators) — determinism requires
+    /// `f(&mut fresh_state, i, item)` to equal `f(&mut reused_state, i,
+    /// item)`.
+    pub fn par_map_init<T, R, S, I, F>(&self, items: &[T], init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        if self.workers == 1 || items.len() <= 1 {
+            let mut state = init();
+            return items.iter().enumerate().map(|(i, t)| f(&mut state, i, t)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let batch = batch_size(items.len(), self.workers);
+        let spawn = self.workers.min(items.len().div_ceil(batch));
+        let mut segments: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..spawn)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut state = init();
+                        let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(batch, Ordering::Relaxed);
+                            if start >= items.len() {
+                                return local;
+                            }
+                            let end = (start + batch).min(items.len());
+                            let out: Vec<R> = items[start..end]
+                                .iter()
+                                .enumerate()
+                                .map(|(k, t)| f(&mut state, start + k, t))
+                                .collect();
+                            local.push((start, out));
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+        });
+        merge_segments(&mut segments, items.len())
+    }
+
+    /// Process `items` in contiguous chunks of (at most) `chunk` elements,
+    /// in parallel. `f` receives each chunk's starting index and slice and
+    /// returns that chunk's output; the chunk outputs are concatenated in
+    /// chunk order.
+    ///
+    /// Equivalent to `items.chunks(chunk).flat_map(..)` sequentially.
+    ///
+    /// # Panics
+    /// Panics when `chunk` is 0.
+    pub fn par_chunks<T, R, F>(&self, items: &[T], chunk: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> Vec<R> + Sync,
+    {
+        assert!(chunk > 0, "chunk size must be positive");
+        if self.workers == 1 || items.len() <= chunk {
+            let mut out = Vec::new();
+            for start in (0..items.len()).step_by(chunk) {
+                let end = (start + chunk).min(items.len());
+                out.extend(f(start, &items[start..end]));
+            }
+            return out;
+        }
+        let cursor = AtomicUsize::new(0);
+        let n_chunks = items.len().div_ceil(chunk);
+        let spawn = self.workers.min(n_chunks);
+        let mut segments: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..spawn)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= items.len() {
+                                return local;
+                            }
+                            let end = (start + chunk).min(items.len());
+                            local.push((start, f(start, &items[start..end])));
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+        });
+        // Chunk outputs may have arbitrary lengths, so concatenate by
+        // ascending start index rather than through `merge_segments` (which
+        // checks the one-output-per-item invariant).
+        segments.sort_unstable_by_key(|&(start, _)| start);
+        segments.into_iter().flat_map(|(_, v)| v).collect()
+    }
+
+    /// Shared batched driver for [`Pool::par_map`]: `fill(start, end,
+    /// &mut out)` appends the results for `items[start..end]`.
+    fn dispatch<R, F>(&self, n: usize, fill: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, usize, &mut Vec<R>) + Sync,
+    {
+        if self.workers == 1 || n <= 1 {
+            let mut out = Vec::with_capacity(n);
+            fill(0, n, &mut out);
+            return out;
+        }
+        let cursor = AtomicUsize::new(0);
+        let batch = batch_size(n, self.workers);
+        let spawn = self.workers.min(n.div_ceil(batch));
+        let mut segments: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..spawn)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(batch, Ordering::Relaxed);
+                            if start >= n {
+                                return local;
+                            }
+                            let end = (start + batch).min(n);
+                            let mut out = Vec::with_capacity(end - start);
+                            fill(start, end, &mut out);
+                            local.push((start, out));
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+        });
+        merge_segments(&mut segments, n)
+    }
+}
+
+/// Batch size targeting ~4 batches per worker, so stragglers rebalance
+/// without paying per-item dispatch overhead.
+fn batch_size(n: usize, workers: usize) -> usize {
+    n.div_ceil(workers * 4).max(1)
+}
+
+/// Reassemble per-batch outputs into input order.
+fn merge_segments<R>(segments: &mut Vec<(usize, Vec<R>)>, n: usize) -> Vec<R> {
+    segments.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(n);
+    for (start, seg) in segments.drain(..) {
+        debug_assert_eq!(start, out.len(), "batch merge out of order");
+        out.extend(seg);
+    }
+    assert_eq!(out.len(), n, "parallel map lost or duplicated items");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let got = Pool::new(workers).par_map(&items, |x| x * x + 1);
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = Pool::new(4);
+        assert!(pool.par_map(&[] as &[u8], |x| *x).is_empty());
+        assert_eq!(pool.par_map(&[5u8], |x| *x * 2), vec![10]);
+        assert!(pool.par_chunks(&[] as &[u8], 3, |_, c| c.to_vec()).is_empty());
+        let none: Vec<u8> = pool.par_map_init(&[], Vec::<u8>::new, |_, _, x: &u8| *x);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn par_map_init_sees_correct_indices() {
+        let items: Vec<i32> = (0..503).map(|i| i * 3).collect();
+        for workers in [1, 4] {
+            let got = Pool::new(workers).par_map_init(
+                &items,
+                || 0usize, // scratch: counts items this worker handled
+                |seen, i, x| {
+                    *seen += 1;
+                    (i, *x)
+                },
+            );
+            let expect: Vec<(usize, i32)> = items.iter().copied().enumerate().collect();
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_concatenates_in_order() {
+        let items: Vec<u32> = (0..257).collect();
+        let expect: Vec<u32> = items.iter().map(|x| x + 7).collect();
+        for (workers, chunk) in [(1, 10), (4, 1), (4, 10), (4, 300), (7, 13)] {
+            let got = Pool::new(workers)
+                .par_chunks(&items, chunk, |_, c| c.iter().map(|x| x + 7).collect());
+            assert_eq!(got, expect, "workers={workers} chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_passes_chunk_starts() {
+        let items = [0u8; 95];
+        let starts = Pool::new(3).par_chunks(&items, 20, |start, c| vec![(start, c.len())]);
+        assert_eq!(starts, vec![(0, 20), (20, 20), (40, 20), (60, 20), (80, 15)]);
+    }
+
+    #[test]
+    fn variable_length_chunk_outputs() {
+        // Chunks may expand or filter; concatenation must stay in order.
+        let items: Vec<usize> = (0..100).collect();
+        let got = Pool::new(4).par_chunks(&items, 7, |_, c| {
+            c.iter().filter(|&&x| x % 2 == 0).copied().collect()
+        });
+        let expect: Vec<usize> = (0..100).filter(|x| x % 2 == 0).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn workers_clamped_and_queried() {
+        assert_eq!(Pool::new(0).workers(), 1);
+        assert_eq!(Pool::new(5).workers(), 5);
+        assert_eq!(Pool::sequential().workers(), 1);
+        assert!(Pool::global().workers() >= 1);
+        assert_eq!(Pool::default(), Pool::global());
+    }
+
+    #[test]
+    fn ragged_workloads_balance() {
+        // Item cost varies by orders of magnitude; results must still be
+        // exact and ordered.
+        let items: Vec<u64> = (0..64).map(|i| if i % 8 == 0 { 200_000 } else { 10 }).collect();
+        let busy = |n: &u64| (0..*n).fold(0u64, |a, x| a.wrapping_add(x * x));
+        let seq: Vec<u64> = items.iter().map(busy).collect();
+        assert_eq!(Pool::new(4).par_map(&items, busy), seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_panics() {
+        Pool::new(2).par_chunks(&[1u8], 0, |_, c| c.to_vec());
+    }
+}

@@ -1,0 +1,55 @@
+//! Property: every parallel primitive is exactly equivalent to its
+//! sequential counterpart — same values, same order — for arbitrary
+//! inputs (including empty and single-element) and worker counts.
+
+use proptest::prelude::*;
+use transer_parallel::Pool;
+
+proptest! {
+    #[test]
+    fn par_map_equals_map(v in prop::collection::vec(any::<i64>(), 0..60), workers in 1usize..9) {
+        let f = |x: &i64| x.wrapping_mul(31).wrapping_add(7);
+        let seq: Vec<i64> = v.iter().map(f).collect();
+        prop_assert_eq!(Pool::new(workers).par_map(&v, f), seq);
+    }
+
+    #[test]
+    fn par_map_init_equals_indexed_map(
+        v in prop::collection::vec(any::<u32>(), 0..60),
+        workers in 1usize..9,
+    ) {
+        // Scratch buffer reuse must not leak between items.
+        let got = Pool::new(workers).par_map_init(
+            &v,
+            || Vec::<u8>::with_capacity(8),
+            |buf, i, x| {
+                buf.clear();
+                buf.extend(x.to_le_bytes());
+                (i as u64) ^ u64::from(buf.iter().map(|&b| u32::from(b)).sum::<u32>())
+            },
+        );
+        let seq: Vec<u64> = v
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (i as u64) ^ u64::from(x.to_le_bytes().iter().map(|&b| u32::from(b)).sum::<u32>()))
+            .collect();
+        prop_assert_eq!(got, seq);
+    }
+
+    #[test]
+    fn par_chunks_equals_chunked_flat_map(
+        v in prop::collection::vec(any::<i64>(), 0..60),
+        workers in 1usize..9,
+        chunk in 1usize..12,
+    ) {
+        let f = |start: usize, c: &[i64]| -> Vec<i64> {
+            c.iter().enumerate().map(|(k, x)| x.wrapping_add((start + k) as i64)).collect()
+        };
+        let mut seq = Vec::new();
+        for start in (0..v.len()).step_by(chunk) {
+            let end = (start + chunk).min(v.len());
+            seq.extend(f(start, &v[start..end]));
+        }
+        prop_assert_eq!(Pool::new(workers).par_chunks(&v, chunk, f), seq);
+    }
+}

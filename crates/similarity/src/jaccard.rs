@@ -9,7 +9,21 @@ fn set_of(items: Vec<String>) -> HashSet<String> {
     items.into_iter().collect()
 }
 
-fn jaccard_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+/// The whitespace token set of a string (the sets [`jaccard_tokens`] and
+/// friends operate on) — exposed so callers can tokenise once per record
+/// and reuse the set across many pairs.
+pub fn token_set(s: &str) -> HashSet<String> {
+    set_of(tokens(s))
+}
+
+/// The padded character q-gram set of a string; see [`token_set`].
+pub fn qgram_set(s: &str, q: usize) -> HashSet<String> {
+    set_of(qgrams(s, q))
+}
+
+/// Jaccard similarity of two prepared sets; `jaccard_tokens(a, b)` equals
+/// `jaccard_sets(&token_set(a), &token_set(b))` exactly.
+pub fn jaccard_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -21,7 +35,8 @@ fn jaccard_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
     clamp01(inter / union)
 }
 
-fn dice_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+/// Dice coefficient of two prepared sets; see [`jaccard_sets`].
+pub fn dice_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -57,15 +72,18 @@ pub fn dice_qgram(a: &str, b: &str, q: usize) -> f64 {
 /// `|A ∩ B| / min(|A|, |B|)`. Useful when one value truncates the other
 /// (e.g. abbreviated venue names).
 pub fn overlap_tokens(a: &str, b: &str) -> f64 {
-    let a = set_of(tokens(a));
-    let b = set_of(tokens(b));
+    overlap_sets(&token_set(a), &token_set(b))
+}
+
+/// Overlap coefficient of two prepared sets; see [`jaccard_sets`].
+pub fn overlap_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    let inter = a.intersection(&b).count() as f64;
+    let inter = a.intersection(b).count() as f64;
     clamp01(inter / a.len().min(b.len()) as f64)
 }
 

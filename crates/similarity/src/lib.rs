@@ -22,15 +22,20 @@ mod lcs;
 mod levenshtein;
 mod monge_elkan;
 mod numeric;
+mod prepared;
 mod qgram;
 mod soundex;
 
 pub use config::{similarity_for, Measure};
-pub use jaccard::{dice_qgram, dice_tokens, jaccard_qgram, jaccard_tokens, overlap_tokens};
+pub use jaccard::{
+    dice_qgram, dice_sets, dice_tokens, jaccard_qgram, jaccard_sets, jaccard_tokens, overlap_sets,
+    overlap_tokens, qgram_set, token_set,
+};
 pub use jaro::{jaro, jaro_winkler, jaro_winkler_with};
 pub use lcs::{lcs_len, lcs_similarity};
 pub use levenshtein::{damerau_levenshtein, levenshtein, levenshtein_similarity};
-pub use monge_elkan::monge_elkan;
+pub use monge_elkan::{monge_elkan, monge_elkan_tokens};
+pub use prepared::PreparedText;
 pub use numeric::{numeric_similarity, year_similarity};
 pub use qgram::{qgram_multiset, qgrams, tokens};
 pub use soundex::{soundex, soundex_similarity};

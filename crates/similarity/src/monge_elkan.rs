@@ -14,8 +14,15 @@ pub fn monge_elkan<F>(a: &str, b: &str, inner: F) -> f64
 where
     F: Fn(&str, &str) -> f64,
 {
-    let ta = tokens(a);
-    let tb = tokens(b);
+    monge_elkan_tokens(&tokens(a), &tokens(b), inner)
+}
+
+/// [`monge_elkan`] over already-tokenised inputs — exposed so callers can
+/// tokenise each value once and reuse the token lists across many pairs.
+pub fn monge_elkan_tokens<F>(ta: &[String], tb: &[String], inner: F) -> f64
+where
+    F: Fn(&str, &str) -> f64,
+{
     if ta.is_empty() && tb.is_empty() {
         return 1.0;
     }

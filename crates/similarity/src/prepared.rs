@@ -1,0 +1,191 @@
+//! Per-value precomputation for the record-pair comparison hot path.
+//!
+//! Applying a [`Measure`] to a record pair repeats work that depends only
+//! on *one* side: tokenising, building q-gram sets, Soundex encoding,
+//! numeric parsing. A value compared against `k` candidates pays that cost
+//! `k` times. [`Measure::prepare`] hoists the per-value work into a
+//! [`PreparedText`], and [`Measure::prepared`] consumes two prepared
+//! values — producing **bit-identical** scores to [`Measure::text`], which
+//! the tests below pin down measure by measure.
+
+use std::collections::HashSet;
+
+use crate::jaccard::{dice_sets, jaccard_sets, overlap_sets, qgram_set, token_set};
+use crate::monge_elkan::monge_elkan_tokens;
+use crate::qgram::tokens;
+use crate::{
+    jaro, jaro_winkler, lcs_similarity, levenshtein_similarity, numeric_similarity, soundex,
+    year_similarity, Measure,
+};
+
+/// A textual value with the measure-specific per-value work already done.
+///
+/// Produced by [`Measure::prepare`]; only meaningful when consumed by the
+/// *same* measure's [`Measure::prepared`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PreparedText {
+    /// The raw string — character-level measures (Jaro, Jaro-Winkler,
+    /// Levenshtein, LCS, Exact) have no useful per-value precomputation.
+    Raw(String),
+    /// Whitespace token set (TokenJaccard / TokenDice / TokenOverlap).
+    TokenSet(HashSet<String>),
+    /// Padded character q-gram set (QgramJaccard / QgramDice).
+    QgramSet(HashSet<String>),
+    /// Token list in order (Monge-Elkan).
+    TokenList(Vec<String>),
+    /// Soundex code.
+    SoundexCode(String),
+    /// Parsed numeric value (Numeric / Year); `None` when unparseable.
+    Parsed(Option<f64>),
+}
+
+impl Measure {
+    /// Precompute the per-value state of this measure for `s`, so that
+    /// [`Measure::prepared`] can score pairs without re-tokenising.
+    pub fn prepare(&self, s: &str) -> PreparedText {
+        match *self {
+            Measure::TokenJaccard | Measure::TokenDice | Measure::TokenOverlap => {
+                PreparedText::TokenSet(token_set(s))
+            }
+            Measure::QgramJaccard(q) | Measure::QgramDice(q) => {
+                PreparedText::QgramSet(qgram_set(s, q))
+            }
+            Measure::MongeElkanJw => PreparedText::TokenList(tokens(s)),
+            Measure::Soundex => PreparedText::SoundexCode(soundex(s)),
+            Measure::Numeric(_) | Measure::Year => PreparedText::Parsed(s.trim().parse().ok()),
+            Measure::Jaro
+            | Measure::JaroWinkler
+            | Measure::Levenshtein
+            | Measure::Lcs
+            | Measure::Exact => PreparedText::Raw(s.to_string()),
+        }
+    }
+
+    /// Score two values prepared by **this** measure's [`Measure::prepare`].
+    /// Exactly equal (bit-for-bit) to `self.text(a, b)` on the original
+    /// strings.
+    ///
+    /// # Panics
+    /// Panics when either argument was prepared by a different measure
+    /// family (mismatched [`PreparedText`] variant).
+    pub fn prepared(&self, a: &PreparedText, b: &PreparedText) -> f64 {
+        use PreparedText as P;
+        match (*self, a, b) {
+            (Measure::Jaro, P::Raw(x), P::Raw(y)) => jaro(x, y),
+            (Measure::JaroWinkler, P::Raw(x), P::Raw(y)) => jaro_winkler(x, y),
+            (Measure::Levenshtein, P::Raw(x), P::Raw(y)) => levenshtein_similarity(x, y),
+            (Measure::Lcs, P::Raw(x), P::Raw(y)) => lcs_similarity(x, y),
+            (Measure::Exact, P::Raw(x), P::Raw(y)) => {
+                if x == y {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            (Measure::TokenJaccard, P::TokenSet(x), P::TokenSet(y)) => jaccard_sets(x, y),
+            (Measure::TokenDice, P::TokenSet(x), P::TokenSet(y)) => dice_sets(x, y),
+            (Measure::TokenOverlap, P::TokenSet(x), P::TokenSet(y)) => overlap_sets(x, y),
+            (Measure::QgramJaccard(_), P::QgramSet(x), P::QgramSet(y)) => jaccard_sets(x, y),
+            (Measure::QgramDice(_), P::QgramSet(x), P::QgramSet(y)) => dice_sets(x, y),
+            (Measure::MongeElkanJw, P::TokenList(x), P::TokenList(y)) => {
+                0.5 * (monge_elkan_tokens(x, y, jaro_winkler)
+                    + monge_elkan_tokens(y, x, jaro_winkler))
+            }
+            (Measure::Soundex, P::SoundexCode(x), P::SoundexCode(y)) => {
+                if x == y {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            (Measure::Numeric(max_diff), P::Parsed(x), P::Parsed(y)) => match (x, y) {
+                (Some(x), Some(y)) => numeric_similarity(*x, *y, max_diff),
+                _ => 0.0,
+            },
+            (Measure::Year, P::Parsed(x), P::Parsed(y)) => match (x, y) {
+                (Some(x), Some(y)) => year_similarity(*x, *y),
+                _ => 0.0,
+            },
+            (m, a, b) => panic!("prepared values {a:?} / {b:?} do not fit measure {m:?}"),
+        }
+    }
+
+    /// Whether [`Measure::number`] consumes numeric values natively rather
+    /// than falling back to [`Measure::text`] on their decimal renderings.
+    pub fn number_native(&self) -> bool {
+        matches!(self, Measure::Numeric(_) | Measure::Year | Measure::Exact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Measure; 14] = [
+        Measure::Jaro,
+        Measure::JaroWinkler,
+        Measure::Levenshtein,
+        Measure::TokenJaccard,
+        Measure::QgramJaccard(2),
+        Measure::TokenDice,
+        Measure::QgramDice(3),
+        Measure::TokenOverlap,
+        Measure::Lcs,
+        Measure::MongeElkanJw,
+        Measure::Soundex,
+        Measure::Exact,
+        Measure::Numeric(5.0),
+        Measure::Year,
+    ];
+
+    const SAMPLES: [&str; 10] = [
+        "",
+        "a",
+        "deep entity matching",
+        "Deep  Entity-Matching!",
+        "o'brien smith-jones",
+        "1999",
+        " 2003 ",
+        "not a number",
+        "наука о данных",
+        "1999.5",
+    ];
+
+    #[test]
+    fn prepared_equals_text_bit_for_bit() {
+        for m in ALL {
+            for a in SAMPLES {
+                for b in SAMPLES {
+                    let direct = m.text(a, b);
+                    let via = m.prepared(&m.prepare(a), &m.prepare(b));
+                    assert!(
+                        direct.to_bits() == via.to_bits(),
+                        "{m:?} on ({a:?}, {b:?}): direct {direct} != prepared {via}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn number_native_matches_number_dispatch() {
+        // Non-native measures must agree with text() on renderings — the
+        // contract compare layers rely on when caching renderings.
+        for m in ALL {
+            let (a, b) = (1999.0, 2003.5);
+            if !m.number_native() {
+                assert_eq!(m.number(a, b), m.text(&a.to_string(), &b.to_string()), "{m:?}");
+            }
+        }
+        assert!(Measure::Year.number_native());
+        assert!(Measure::Exact.number_native());
+        assert!(!Measure::TokenJaccard.number_native());
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit measure")]
+    fn variant_mismatch_is_loud() {
+        let p = Measure::TokenJaccard.prepare("a b");
+        Measure::Jaro.prepared(&p, &p);
+    }
+}

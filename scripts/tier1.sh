@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build + full test suite, then clippy with warnings
+# denied. Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,239 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal wall-clock benchmarking harness exposing the
+//! criterion API surface its benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`], `bench_function`, `bench_with_input`,
+//! `sample_size`, [`BenchmarkId`], [`Bencher::iter`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Each benchmark is calibrated so one sample costs roughly
+//! [`TARGET_SAMPLE_NANOS`], then `sample_size` samples are timed and the
+//! minimum / median / maximum per-iteration times are printed in a
+//! criterion-like format. There is no statistical analysis, HTML report
+//! or saved baseline — this harness exists so `cargo bench` produces
+//! honest relative numbers offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Target wall-clock cost of one measurement sample, in nanoseconds.
+pub const TARGET_SAMPLE_NANOS: u64 = 5_000_000;
+
+/// Re-export of [`std::hint::black_box`], which real criterion also
+/// provides at its root.
+pub use std::hint::black_box;
+
+/// The benchmark manager handed to `criterion_group!` target functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== group: {name}");
+        BenchmarkGroup { _criterion: self, group: name, sample_size: 20 }
+    }
+
+    /// Benchmark a closure under `id` (no group).
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), 20, &mut f);
+        self
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.group, id);
+        run_benchmark(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmark a closure receiving `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.group, id);
+        run_benchmark(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing is already done per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `name` at parameter `param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId { name: name.into(), param: param.to_string() }
+    }
+
+    /// Identifier carrying only a parameter rendering.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId { name: String::new(), param: param.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.name.is_empty() {
+            write!(f, "{}", self.param)
+        } else {
+            write!(f, "{}/{}", self.name, self.param)
+        }
+    }
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the code
+/// under test.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed_nanos: u128,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_nanos = start.elapsed().as_nanos();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
+    // Calibration: start from one iteration and grow until a sample is
+    // expensive enough to time reliably.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher { iters, elapsed_nanos: 0 };
+        f(&mut b);
+        if b.elapsed_nanos >= u128::from(TARGET_SAMPLE_NANOS) || iters >= 1 << 30 {
+            break;
+        }
+        // Aim straight for the target based on the observed cost.
+        let per_iter = (b.elapsed_nanos / u128::from(iters)).max(1);
+        let needed = (u128::from(TARGET_SAMPLE_NANOS) / per_iter).max(1) as u64;
+        if needed <= iters {
+            break;
+        }
+        iters = needed.min(iters.saturating_mul(100)).min(1 << 30);
+    }
+
+    let mut per_iter_nanos: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher { iters, elapsed_nanos: 0 };
+            f(&mut b);
+            b.elapsed_nanos as f64 / iters as f64
+        })
+        .collect();
+    per_iter_nanos.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter_nanos[0];
+    let med = per_iter_nanos[per_iter_nanos.len() / 2];
+    let max = per_iter_nanos[per_iter_nanos.len() - 1];
+    eprintln!(
+        "{label:<60} time: [{} {} {}]  ({iters} iters x {samples} samples)",
+        fmt_nanos(min),
+        fmt_nanos(med),
+        fmt_nanos(max),
+    );
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declare a group of benchmark target functions, mirroring criterion's
+/// simple form: `criterion_group!(benches, bench_a, bench_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, mirroring criterion:
+/// `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_smoke() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+        c.bench_function("free", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn id_renders_name_and_param() {
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

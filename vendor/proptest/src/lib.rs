@@ -1,0 +1,679 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a small property-testing engine covering the API surface its
+//! test suites use:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(...)]` header),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * [`strategy::Strategy`] with `prop_map`,
+//! * range strategies over integers and floats, tuple strategies,
+//!   [`collection::vec`], [`any`], and regex-literal string strategies
+//!   (character classes, groups and `{m,n}` repetition — the subset the
+//!   suites use),
+//! * [`test_runner::ProptestConfig`] with `with_cases` and the
+//!   `PROPTEST_CASES` environment variable.
+//!
+//! Differences from real proptest: cases are generated from a
+//! deterministic per-test seed (hash of the test name), and failing
+//! cases are reported **without shrinking** — the panic message carries
+//! the exact failing inputs instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Test configuration, RNG and case-level error types.
+
+    use std::hash::{DefaultHasher, Hash, Hasher};
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(32);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// The deterministic generator driving strategy sampling.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// A generator seeded from the test's name, so every run of the
+        /// suite replays the same cases.
+        pub fn for_test(name: &str) -> Self {
+            let mut h = DefaultHasher::new();
+            name.hash(&mut h);
+            TestRng(StdRng::seed_from_u64(h.finish() ^ 0x70_72_6f_70))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Failure of a single generated case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property does not hold for these inputs.
+        Fail(String),
+        /// The inputs were rejected (e.g. by a filter); not a failure.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Construct a failure with the given message.
+        pub fn fail(msg: impl std::fmt::Display) -> Self {
+            TestCaseError::Fail(msg.to_string())
+        }
+
+        /// Construct a rejection with the given message.
+        pub fn reject(msg: impl std::fmt::Display) -> Self {
+            TestCaseError::Reject(msg.to_string())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Per-case result type produced by property bodies.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    use rand::RngExt;
+
+    use crate::string::generate_regex;
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategies behind references generate like the referent, which
+    /// lets the `proptest!` macro sample without consuming.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// String literals act as regex-subset generators, as in real
+    /// proptest: `"[a-z]{2,8}( [a-z]{2,8}){0,3}"`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_regex(self, rng)
+        }
+    }
+
+    /// Owned-string form of the regex-subset generator.
+    impl Strategy for String {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_regex(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9);
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point for whole-domain strategies.
+
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    use rand::{Random, RngExt};
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy generating uniformly over the whole domain of `T`.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> std::fmt::Debug for Any<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "any::<{}>()", std::any::type_name::<T>())
+        }
+    }
+
+    impl<T: Random + Debug> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.random()
+        }
+    }
+
+    /// A whole-domain strategy for `T`, e.g. `any::<u64>()`.
+    pub fn any<T: Random + Debug>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: [`vec`].
+
+    use std::ops::{Range, RangeInclusive};
+
+    use rand::RngExt;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive size interval for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors of `element` values with lengths in `size`
+    /// (a fixed `usize`, a `Range` or a `RangeInclusive`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.random_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! Generation from the regex subset used in string-literal strategies.
+
+    use rand::RngExt;
+
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Node {
+        Literal(char),
+        Class(Vec<char>),
+        Group(Vec<(Node, Rep)>),
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    struct Rep {
+        lo: u32,
+        hi: u32,
+    }
+
+    /// Generate one string matching `pattern`, a subset of regex syntax:
+    /// literal characters, escaped literals, `[...]` character classes
+    /// with ranges, `(...)` groups, and `{n}` / `{m,n}` / `?` / `*` / `+`
+    /// repetition (`*`/`+` are capped at 8 repeats).
+    ///
+    /// # Panics
+    /// Panics on syntax outside the supported subset, so unsupported
+    /// patterns fail loudly rather than silently generating garbage.
+    pub fn generate_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let mut chars = pattern.chars().peekable();
+        let seq = parse_seq(&mut chars, pattern);
+        assert!(
+            chars.next().is_none(),
+            "proptest stub: unbalanced ')' in regex {pattern:?}"
+        );
+        let mut out = String::new();
+        gen_seq(&seq, rng, &mut out);
+        out
+    }
+
+    type CharIter<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+    fn parse_seq(chars: &mut CharIter<'_>, pattern: &str) -> Vec<(Node, Rep)> {
+        let mut seq = Vec::new();
+        while let Some(&c) = chars.peek() {
+            if c == ')' {
+                break;
+            }
+            chars.next();
+            let node = match c {
+                '[' => parse_class(chars, pattern),
+                '(' => {
+                    let inner = parse_seq(chars, pattern);
+                    match chars.next() {
+                        Some(')') => Node::Group(inner),
+                        _ => panic!("proptest stub: unterminated group in regex {pattern:?}"),
+                    }
+                }
+                '\\' => Node::Literal(
+                    chars
+                        .next()
+                        .unwrap_or_else(|| panic!("proptest stub: trailing '\\' in {pattern:?}")),
+                ),
+                '.' | '|' | '^' | '$' => {
+                    panic!("proptest stub: unsupported regex construct {c:?} in {pattern:?}")
+                }
+                lit => Node::Literal(lit),
+            };
+            let rep = parse_rep(chars, pattern);
+            seq.push((node, rep));
+        }
+        seq
+    }
+
+    fn parse_class(chars: &mut CharIter<'_>, pattern: &str) -> Node {
+        let mut members = Vec::new();
+        loop {
+            let c = chars
+                .next()
+                .unwrap_or_else(|| panic!("proptest stub: unterminated class in {pattern:?}"));
+            match c {
+                ']' => break,
+                '\\' => members.push(chars.next().unwrap_or_else(|| {
+                    panic!("proptest stub: trailing '\\' in class in {pattern:?}")
+                })),
+                lo => {
+                    if chars.peek() == Some(&'-') {
+                        // Lookahead: `-` is a range only when not last.
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        match ahead.peek() {
+                            Some(&hi) if hi != ']' => {
+                                chars.next();
+                                chars.next();
+                                assert!(
+                                    lo <= hi,
+                                    "proptest stub: inverted range {lo}-{hi} in {pattern:?}"
+                                );
+                                members.extend(lo..=hi);
+                            }
+                            _ => members.push(lo),
+                        }
+                    } else {
+                        members.push(lo);
+                    }
+                }
+            }
+        }
+        assert!(!members.is_empty(), "proptest stub: empty class in {pattern:?}");
+        Node::Class(members)
+    }
+
+    fn parse_rep(chars: &mut CharIter<'_>, pattern: &str) -> Rep {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        let (lo, hi) = match spec.split_once(',') {
+                            Some((a, b)) => (
+                                a.trim().parse().unwrap_or_else(|_| {
+                                    panic!("proptest stub: bad repeat {spec:?} in {pattern:?}")
+                                }),
+                                b.trim().parse().unwrap_or_else(|_| {
+                                    panic!("proptest stub: bad repeat {spec:?} in {pattern:?}")
+                                }),
+                            ),
+                            None => {
+                                let n = spec.trim().parse().unwrap_or_else(|_| {
+                                    panic!("proptest stub: bad repeat {spec:?} in {pattern:?}")
+                                });
+                                (n, n)
+                            }
+                        };
+                        assert!(lo <= hi, "proptest stub: inverted repeat in {pattern:?}");
+                        return Rep { lo, hi };
+                    }
+                    spec.push(c);
+                }
+                panic!("proptest stub: unterminated repeat in {pattern:?}")
+            }
+            Some('?') => {
+                chars.next();
+                Rep { lo: 0, hi: 1 }
+            }
+            Some('*') => {
+                chars.next();
+                Rep { lo: 0, hi: 8 }
+            }
+            Some('+') => {
+                chars.next();
+                Rep { lo: 1, hi: 8 }
+            }
+            _ => Rep { lo: 1, hi: 1 },
+        }
+    }
+
+    fn gen_seq(seq: &[(Node, Rep)], rng: &mut TestRng, out: &mut String) {
+        for (node, rep) in seq {
+            let n = rng.random_range(rep.lo..=rep.hi);
+            for _ in 0..n {
+                match node {
+                    Node::Literal(c) => out.push(*c),
+                    Node::Class(members) => {
+                        out.push(members[rng.random_range(0..members.len())])
+                    }
+                    Node::Group(inner) => gen_seq(inner, rng, out),
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property-test module needs, mirroring
+/// `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` namespace alias used as `prop::collection::vec(...)`.
+    pub mod prop {
+        pub use crate::{collection, string};
+    }
+}
+
+/// Define property tests. Supports the same shape as real proptest:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u64..100, s in "[a-z]{1,8}") { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..__cfg.cases {
+                    let __vals = ($(
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng),
+                    )*);
+                    let __repr = ::std::format!("{:?}", __vals);
+                    let ($($pat,)*) = __vals;
+                    let __result: $crate::test_runner::TestCaseResult =
+                        (|| -> $crate::test_runner::TestCaseResult {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __result {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => {
+                            ::std::panic!(
+                                "proptest case #{} of {} failed: {}\n  inputs: {}",
+                                __case, stringify!($name), __msg, __repr
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property body; failure reports the
+/// generated inputs instead of panicking immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assert_eq failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assert_eq failed: {:?} != {:?}: {}", l, r,
+            ::std::format!($($fmt)*));
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assert_ne failed: both {:?}", l);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = TestRng::for_test("regex");
+        for _ in 0..200 {
+            let w = crate::string::generate_regex("[a-z]{2,8}( [a-z]{2,8}){0,3}", &mut rng);
+            let parts: Vec<&str> = w.split(' ').collect();
+            assert!((1..=4).contains(&parts.len()), "{w:?}");
+            for p in parts {
+                assert!((2..=8).contains(&p.len()), "{w:?}");
+                assert!(p.chars().all(|c| c.is_ascii_lowercase()), "{w:?}");
+            }
+            let v = crate::string::generate_regex("[a-z '\\-]{0,24}", &mut rng);
+            assert!(v.len() <= 24);
+            assert!(v.chars().all(|c| c.is_ascii_lowercase() || " '-".contains(c)), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = TestRng::for_test("vec");
+        let s = prop::collection::vec(0.0..1.0f64, 2..5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+        let fixed = prop::collection::vec(0u8..10, 7usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 7);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_end_to_end(x in 0u64..100, (a, b) in (0u8..10, 0u8..10), w in "[a-z]{1,4}") {
+            prop_assert!(x < 100);
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(!w.is_empty() && w.len() <= 4);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(w.len(), 0usize);
+        }
+
+        #[test]
+        fn prop_map_composes(v in prop::collection::vec(0u8..=10, 1..6)
+            .prop_map(|v| v.into_iter().map(|x| x as f64 / 10.0).collect::<Vec<_>>())) {
+            prop_assert!(v.iter().all(|x| (0.0..=1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case #")]
+    // The nested proptest! expansion defines a #[test] fn that is only
+    // callable from here, which is the point of the test.
+    #[allow(unnameable_test_items)]
+    fn failures_report_inputs() {
+        proptest! {
+            #[test]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,272 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` against the vendored `serde` stub's
+//! `to_value` data model. The macro parses the item's token stream by hand
+//! (no `syn`/`quote` — the build environment has no crates.io access) and
+//! supports what this workspace derives on:
+//!
+//! * structs with named fields, tuple structs and unit structs;
+//! * enums with unit, newtype, tuple and struct variants (externally
+//!   tagged, like real serde's default representation).
+//!
+//! Generic items and `#[serde(...)]` attributes are intentionally
+//! unsupported and panic at expansion time so misuse is loud.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (the vendored stub's trait) for an item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic items are not supported (deriving on `{name}`)");
+    }
+
+    let body = match kind.as_str() {
+        "struct" => derive_struct(&name, &tokens[i..]),
+        "enum" => derive_enum(&name, &tokens[i..]),
+        other => panic!("serde stub derive: cannot derive Serialize for `{other}`"),
+    };
+
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    );
+    out.parse().expect("serde stub derive: generated impl failed to parse")
+}
+
+fn derive_struct(_name: &str, rest: &[TokenTree]) -> String {
+    match rest.first() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(g.stream());
+            if fields.is_empty() {
+                return "::serde::Value::Object(::std::vec::Vec::new())".to_string();
+            }
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = count_tuple_fields(g.stream());
+            match n {
+                0 => "::serde::Value::Null".to_string(),
+                // Newtype structs serialise transparently, as in real serde.
+                1 => "::serde::Serialize::to_value(&self.0)".to_string(),
+                _ => {
+                    let items: Vec<String> = (0..n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                }
+            }
+        }
+        // Unit struct (`struct X;`).
+        _ => "::serde::Value::Null".to_string(),
+    }
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn derive_enum(name: &str, rest: &[TokenTree]) -> String {
+    let body = match rest.first() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde stub derive: malformed enum `{name}`: {other:?}"),
+    };
+    let variants = parse_variants(body);
+    if variants.is_empty() {
+        return "match *self {}".to_string();
+    }
+    let mut arms = Vec::new();
+    for (vname, shape) in &variants {
+        let arm = match shape {
+            VariantShape::Unit => format!(
+                "{name}::{vname} => \
+                 ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+            ),
+            VariantShape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                };
+                format!(
+                    "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{vname}\"), {inner})]),",
+                    binds.join(", ")
+                )
+            }
+            VariantShape::Struct(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value({f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{vname}\"), \
+                     ::serde::Value::Object(::std::vec![{}]))]),",
+                    fields.join(", "),
+                    entries.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!("match self {{ {} }}", arms.join("\n"))
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+            other => panic!("serde stub derive: malformed attribute: {other:?}"),
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+/// Skip a type (or discriminant expression) until a top-level comma,
+/// tracking `<`/`>` nesting so commas inside generics don't split fields.
+fn skip_until_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stub derive: expected `:` after `{field}`, found {other:?}"),
+        }
+        skip_until_top_level_comma(&tokens, &mut i);
+        fields.push(field);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_until_top_level_comma(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant and/or the separating comma.
+        skip_until_top_level_comma(&tokens, &mut i);
+        variants.push((vname, shape));
+    }
+    variants
+}

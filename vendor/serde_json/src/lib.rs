@@ -1,0 +1,219 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the vendored `serde` stub's [`serde::Value`] tree as JSON text.
+//! Covers the workspace's usage: [`to_string`] and [`to_string_pretty`]
+//! (two-space indentation, `": "` separators, like real `serde_json`).
+//! Non-finite floats render as `null`, matching `serde_json::Value`'s
+//! behaviour rather than erroring.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Serialize, Value};
+
+/// Serialisation error. The stub's renderer is total, so this is never
+/// actually produced, but the type keeps call sites source-compatible
+/// with real `serde_json`.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON serialisation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialise `value` as compact JSON.
+///
+/// # Errors
+/// Never fails in the stub; the `Result` mirrors real `serde_json`.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialise `value` as pretty-printed JSON (two-space indentation).
+///
+/// # Errors
+/// Never fails in the stub; the `Result` mirrors real `serde_json`.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<&str>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, v, d| {
+            write_value(o, v, indent, d)
+        }),
+        Value::Object(fields) => {
+            write_seq(out, fields.iter(), indent, depth, ('{', '}'), |o, (k, v), d| {
+                write_string(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, v, indent, d);
+            })
+        }
+    }
+}
+
+fn write_seq<I, F>(
+    out: &mut String,
+    items: I,
+    indent: Option<&str>,
+    depth: usize,
+    delims: (char, char),
+    mut write_item: F,
+) where
+    I: ExactSizeIterator,
+    F: FnMut(&mut String, I::Item, usize),
+{
+    out.push(delims.0);
+    if items.len() == 0 {
+        out.push(delims.1);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(pad) = indent {
+            out.push('\n');
+            for _ in 0..=depth {
+                out.push_str(pad);
+            }
+        }
+        write_item(out, item, depth + 1);
+    }
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(pad);
+        }
+    }
+    out.push(delims.1);
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // Match serde_json's convention that floats always carry a decimal
+    // point or exponent, so integral floats round-trip as floats.
+    let s = f.to_string();
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        assert_eq!(to_string(&vec![1u8, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(to_string(&(1u8, "a")).unwrap(), "[1,\"a\"]");
+        assert_eq!(to_string(&Some(2.5f64)).unwrap(), "2.5");
+        assert_eq!(to_string(&None::<f64>).unwrap(), "null");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(to_string("a\"b\\c\nd").unwrap(), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(to_string("\u{1}").unwrap(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn pretty_rendering() {
+        let v = serde::Value::Object(vec![
+            ("a".into(), serde::Value::UInt(1)),
+            ("b".into(), serde::Value::Array(vec![serde::Value::Bool(true)])),
+        ]);
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}"
+        );
+        assert_eq!(to_string_pretty(&Vec::<u8>::new()).unwrap(), "[]");
+    }
+
+    #[derive(serde::Serialize)]
+    struct Demo {
+        name: String,
+        score: (f64, f64),
+        tags: Vec<String>,
+        note: Option<String>,
+    }
+
+    #[derive(serde::Serialize)]
+    enum Outcome {
+        Ok { quality: f64, secs: f64 },
+        MemoryExceeded,
+        Failed(String),
+        Pair(u8, u8),
+    }
+
+    #[test]
+    fn derived_struct() {
+        let d = Demo {
+            name: "x".into(),
+            score: (0.5, 0.1),
+            tags: vec!["a".into()],
+            note: None,
+        };
+        assert_eq!(
+            to_string(&d).unwrap(),
+            "{\"name\":\"x\",\"score\":[0.5,0.1],\"tags\":[\"a\"],\"note\":null}"
+        );
+    }
+
+    #[test]
+    fn derived_enum() {
+        assert_eq!(
+            to_string(&Outcome::Ok { quality: 1.0, secs: 2.0 }).unwrap(),
+            "{\"Ok\":{\"quality\":1.0,\"secs\":2.0}}"
+        );
+        assert_eq!(to_string(&Outcome::MemoryExceeded).unwrap(), "\"MemoryExceeded\"");
+        assert_eq!(to_string(&Outcome::Failed("e".into())).unwrap(), "{\"Failed\":\"e\"}");
+        assert_eq!(to_string(&Outcome::Pair(1, 2)).unwrap(), "{\"Pair\":[1,2]}");
+    }
+}
