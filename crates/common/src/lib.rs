@@ -7,6 +7,8 @@
 //! * [`FeatureMatrix`] holds the similarity feature vectors produced by the
 //!   record-pair comparison step; each row is one candidate record pair and
 //!   each column one attribute similarity in `[0, 1]`.
+//! * [`RowInterning`] deduplicates the rows of a [`FeatureMatrix`] — the
+//!   substrate of the duplicate-aware k-NN engine in `transer-knn`.
 //! * [`Label`] is the binary match / non-match class label.
 //! * [`LabeledDataset`] and [`DomainPair`] bundle feature matrices with
 //!   (ground-truth) labels for the source and target domains of a transfer
@@ -22,11 +24,13 @@
 mod dataset;
 mod error;
 mod features;
+mod intern;
 mod label;
 mod record;
 
 pub use dataset::{DomainPair, LabeledDataset};
 pub use error::{Error, Result};
 pub use features::{sq_dist, FeatureMatrix};
+pub use intern::RowInterning;
 pub use label::{count_matches, Label};
 pub use record::{AttrType, AttrValue, Record, RecordId, Schema};

@@ -63,6 +63,10 @@ pub use config::{TransErConfig, Variant};
 pub use multi_source::{best_source, rank_sources, SourceScore};
 pub use pipeline::{Diagnostics, TransEr, TransErOutput};
 pub use pseudo::{generate_pseudo_labels, PseudoLabels};
-pub use selector::{select_instances, select_instances_with_pool, InstanceScores, SelectionResult};
+pub use selector::{
+    select_instances, select_instances_per_row_with_pool, select_instances_with_backend,
+    select_instances_with_pool, InstanceScores, SelectionResult,
+};
+pub use transer_knn::IndexKind;
 pub use semi::{SemiSupervisedTransEr, TargetLabel};
 pub use target::{train_target_classifier, TargetPhaseOutput};

@@ -15,14 +15,34 @@
 //!
 //! An instance is transferred when every enabled score clears its
 //! threshold.
+//!
+//! # The duplicate-aware fast path
+//!
+//! ER feature matrices are massively duplicated — many record pairs share
+//! a rounded similarity vector — so the default path interns the source
+//! and target rows ([`RowInterning`](transer_common::RowInterning)) and
+//! does all k-NN and
+//! centroid/covariance work once per *unique* source row on a
+//! [`DedupKnn`] engine, broadcasting scores to the duplicates. The
+//! neighbour order of a duplicated matrix is fully determined by the
+//! unique rows, their multiplicities and the original row indices, so the
+//! scores are **bit-identical** to the straightforward per-row path
+//! (retained as [`select_instances_per_row_with_pool`] and pinned by
+//! tests) at every worker count and for both index backends.
 
 use transer_common::{Error, FeatureMatrix, Label, Result};
-use transer_knn::KdTree;
-use transer_linalg::covariance;
+use transer_knn::{DedupKnn, IndexKind, Neighbor};
+use transer_linalg::{covariance, Mat};
 use transer_parallel::Pool;
 
-use crate::config::TransErConfig;
+use crate::config::{TransErConfig, Variant};
 use crate::decay::exp_decay_5;
+
+/// Unique source rows scored per parallel work item: fixed, so chunk
+/// boundaries — and thus floating-point results — never depend on the
+/// worker count, and large enough for the blocked kernel to amortise each
+/// point block across the panel.
+const PANEL: usize = 32;
 
 /// The per-instance similarity scores computed by the selector.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,9 +77,10 @@ impl SelectionResult {
 /// Run the SEL phase: score every source instance and keep those clearing
 /// the enabled thresholds (lines 1–9 of Algorithm 1).
 ///
-/// Per-instance scoring (two k-NN queries plus centroid / covariance work
-/// per source row) runs on the global [`Pool`] (`TRANSER_THREADS`); the
-/// result is bit-identical for every worker count.
+/// Scoring runs per *unique* source row on the duplicate-aware engine and
+/// on the global [`Pool`] (`TRANSER_THREADS`); the k-NN backend follows
+/// `TRANSER_KNN_INDEX` (default: chosen per matrix shape). The result is
+/// bit-identical for every worker count and backend.
 ///
 /// # Errors
 /// Returns an error for empty inputs, mismatched shapes or an invalid
@@ -85,32 +106,230 @@ pub fn select_instances_with_pool(
     config: &TransErConfig,
     pool: &Pool,
 ) -> Result<SelectionResult> {
-    config.validate()?;
-    if xs.rows() == 0 {
-        return Err(Error::EmptyInput("source instances"));
-    }
-    if xt.rows() == 0 {
-        return Err(Error::EmptyInput("target instances"));
-    }
-    if xs.rows() != ys.len() {
-        return Err(Error::DimensionMismatch {
-            what: "source rows vs labels",
-            left: xs.rows(),
-            right: ys.len(),
-        });
-    }
-    if xs.cols() != xt.cols() {
-        return Err(Error::DimensionMismatch {
-            what: "source vs target feature columns",
-            left: xs.cols(),
-            right: xt.cols(),
-        });
-    }
+    select_instances_with_backend(xs, ys, xt, config, pool, IndexKind::from_env())
+}
 
+/// [`select_instances_with_pool`] with an explicit k-NN backend — the hook
+/// benchmarks use to compare backends within one process.
+///
+/// # Errors
+/// As for [`select_instances`].
+pub fn select_instances_with_backend(
+    xs: &FeatureMatrix,
+    ys: &[Label],
+    xt: &FeatureMatrix,
+    config: &TransErConfig,
+    pool: &Pool,
+    kind: IndexKind,
+) -> Result<SelectionResult> {
+    validate(xs, ys, xt, config)?;
+    let k = config.k;
+    let source = DedupKnn::build(xs, kind);
+    let target = DedupKnn::build(xt, kind);
+    let interning = source.interning();
+
+    let unique_ids: Vec<u32> = (0..interning.unique_rows() as u32).collect();
+    let groups: Vec<Vec<(u32, InstanceScores, bool)>> =
+        pool.par_chunks(&unique_ids, PANEL, |_, chunk| {
+            let queries: Vec<&[f64]> =
+                chunk.iter().map(|&u| interning.unique().row(u as usize)).collect();
+            // Budget k + 1: after dropping the instance itself from the
+            // expanded order, k neighbours are still covered.
+            let src = source.k_nearest_unique_panel(&queries, k + 1);
+            let tgt = target.k_nearest_unique_panel(&queries, k);
+            chunk
+                .iter()
+                .zip(src.iter().zip(&tgt))
+                .map(|(&u, (sw, tw))| score_group(u as usize, sw, tw, xs, ys, xt, &source, &target, config))
+                .collect()
+        });
+
+    let n = xs.rows();
+    let mut scores = vec![InstanceScores { sim_c: 0.0, sim_l: 0.0, sim_v: 0.0 }; n];
+    let mut keep = vec![false; n];
+    for group in &groups {
+        for &(i, s, kept) in group {
+            scores[i as usize] = s;
+            keep[i as usize] = kept;
+        }
+    }
+    let indices = keep.iter().enumerate().filter_map(|(i, &kept)| kept.then_some(i)).collect();
+    Ok(SelectionResult { indices, scores })
+}
+
+/// Score every member of unique source row `u` from the group's weighted
+/// neighbour queries (`weighted_src` at budget `k + 1`, `weighted_tgt` at
+/// budget `k`, both over unique rows).
+///
+/// Let `P` be the first `min(k + 1, n)` entries of the full neighbour
+/// order of the original matrix (obtained by expanding `weighted_src`).
+/// Every member `i` of the group is at squared distance exactly `+0.0`
+/// from the query (its own row), so its per-row neighbourhood is
+///
+/// * `P \ {i}` when `i ∈ P`, and
+/// * `P[..k]` when `i ∉ P` (then `|P| = k + 1` and `i` sits beyond it in
+///   the order, so removing it does not disturb the prefix).
+///
+/// In the common *clean* case — every zero-distance entry of `P` belongs
+/// to this group, hence is bitwise equal to the query — the row-value
+/// sequence of `P \ {i}` equals that of `P[1..]` for every member in `P`:
+/// the leading zero-distance entries all hold the same bits, so removing
+/// any one of them leaves the same value sequence. Centroids and
+/// covariances (functions of the value sequence) are therefore computed
+/// once per variant, and `sim_c` reduces to label counting over `P`. The
+/// rare non-clean case (a row numerically equal but not bitwise equal to
+/// the query, e.g. `0.0` vs `-0.0`, inside the zero prefix) falls back to
+/// exact per-member scoring from `P` — still without re-querying.
+#[allow(clippy::too_many_arguments)]
+fn score_group(
+    u: usize,
+    weighted_src: &[Neighbor],
+    weighted_tgt: &[Neighbor],
+    xs: &FeatureMatrix,
+    ys: &[Label],
+    xt: &FeatureMatrix,
+    source: &DedupKnn,
+    target: &DedupKnn,
+    config: &TransErConfig,
+) -> Vec<(u32, InstanceScores, bool)> {
     let k = config.k;
     let m = xs.cols() as f64;
-    let source_tree = KdTree::build(xs);
-    let target_tree = KdTree::build(xt);
+    let variant = config.variant;
+    let interning = source.interning();
+    let members = interning.members(u);
+    let row = interning.unique().row(u);
+
+    let p = source.expand_to_original(weighted_src, k + 1, None);
+    let nt = target.expand_to_original(weighted_tgt, k, None);
+
+    // Target-side quantities, shared by the whole group.
+    let ct = (!nt.is_empty()).then(|| centroid(xt, &nt, row));
+    let cov_t = (variant.use_sim_v && !nt.is_empty())
+        .then(|| covariance(&xt.select_rows(&nt.iter().map(|n| n.index).collect::<Vec<_>>())));
+
+    let zero_count = p.iter().take_while(|n| n.sq_dist == 0.0).count();
+    let clean = p[..zero_count].iter().all(|n| interning.to_unique()[n.index] as usize == u);
+
+    let mut out = Vec::with_capacity(members.len());
+    if clean {
+        let p_len = p.len();
+        let k_prefix = k.min(p_len);
+        let matches_full = p.iter().filter(|n| ys[n.index] == Label::Match).count();
+        let matches_prefix = p[..k_prefix].iter().filter(|n| ys[n.index] == Label::Match).count();
+        // Members inside `P` share the value sequence of `P[1..]`; members
+        // beyond it share `P[..k]`. Compute each variant's structural
+        // scores at most once.
+        let inside = (zero_count > 0)
+            .then(|| shared_scores(&p[1..], ct.as_deref(), cov_t.as_ref(), xs, row, m, variant));
+        let beyond = (zero_count < members.len())
+            .then(|| shared_scores(&p[..k_prefix], ct.as_deref(), cov_t.as_ref(), xs, row, m, variant));
+        for (j, &i) in members.iter().enumerate() {
+            let i = i as usize;
+            let (ns_len, same, shared) = if j < zero_count {
+                let same_full =
+                    if ys[i] == Label::Match { matches_full } else { p_len - matches_full };
+                // `i` itself is in `P` and trivially shares its own label.
+                (p_len - 1, same_full - 1, inside.as_ref().expect("member in P"))
+            } else {
+                let same =
+                    if ys[i] == Label::Match { matches_prefix } else { k_prefix - matches_prefix };
+                (k_prefix, same, beyond.as_ref().expect("member beyond P"))
+            };
+            let sim_c = if ns_len == 0 { 1.0 } else { same as f64 / ns_len as f64 };
+            out.push(assemble(i, sim_c, shared, config));
+        }
+    } else {
+        for &i in members {
+            let i = i as usize;
+            let ns: Vec<Neighbor> = match p.iter().position(|n| n.index == i) {
+                Some(pos) => {
+                    let mut v = p.clone();
+                    v.remove(pos);
+                    v
+                }
+                None => p[..k.min(p.len())].to_vec(),
+            };
+            let same = ns.iter().filter(|n| ys[n.index] == ys[i]).count();
+            let sim_c = if ns.is_empty() { 1.0 } else { same as f64 / ns.len() as f64 };
+            let shared = shared_scores(&ns, ct.as_deref(), cov_t.as_ref(), xs, row, m, variant);
+            out.push(assemble(i, sim_c, &shared, config));
+        }
+    }
+    out
+}
+
+/// The structural scores determined by a neighbourhood's value sequence:
+/// `sim_l` from the centroid distance, `sim_v` from the covariance
+/// distance (1.0 when disabled or undefined).
+struct SharedScores {
+    sim_l: f64,
+    sim_v: f64,
+}
+
+fn shared_scores(
+    ns: &[Neighbor],
+    ct: Option<&[f64]>,
+    cov_t: Option<&Mat>,
+    xs: &FeatureMatrix,
+    row: &[f64],
+    m: f64,
+    variant: Variant,
+) -> SharedScores {
+    // Eq. (2): decayed, normalised centroid distance; 0.0 when the target
+    // neighbourhood is empty.
+    let sim_l = match ct {
+        None => 0.0,
+        Some(ct) => {
+            let cs = centroid(xs, ns, row);
+            let dist: f64 = cs.iter().zip(ct).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+            exp_decay_5(dist / m.sqrt())
+        }
+    };
+    // Optional LocIT covariance similarity for the + sim_v ablation.
+    let sim_v = match cov_t {
+        Some(cov_t) if variant.use_sim_v && !ns.is_empty() => {
+            let cov_s = covariance(&xs.select_rows(&ns.iter().map(|n| n.index).collect::<Vec<_>>()));
+            exp_decay_5(cov_s.frobenius_distance(cov_t) / m)
+        }
+        _ => 1.0,
+    };
+    SharedScores { sim_l, sim_v }
+}
+
+/// Apply the thresholds of every enabled score (line 6 of Algorithm 1).
+fn assemble(
+    i: usize,
+    sim_c: f64,
+    shared: &SharedScores,
+    config: &TransErConfig,
+) -> (u32, InstanceScores, bool) {
+    let variant = config.variant;
+    let keep = (!variant.use_sim_c || sim_c >= config.t_c)
+        && (!variant.use_sim_l || shared.sim_l >= config.t_l)
+        && (!variant.use_sim_v || shared.sim_v >= config.t_v);
+    (i as u32, InstanceScores { sim_c, sim_l: shared.sim_l, sim_v: shared.sim_v }, keep)
+}
+
+/// The straightforward per-row SEL path: two KD-tree queries plus
+/// centroid / covariance work for every source row, with no interning or
+/// memoization. Kept as the reference implementation the duplicate-aware
+/// path is pinned against (bit-for-bit) by the equivalence tests, and as
+/// the baseline of the `bench_sel` benchmark.
+///
+/// # Errors
+/// As for [`select_instances`].
+pub fn select_instances_per_row_with_pool(
+    xs: &FeatureMatrix,
+    ys: &[Label],
+    xt: &FeatureMatrix,
+    config: &TransErConfig,
+    pool: &Pool,
+) -> Result<SelectionResult> {
+    validate(xs, ys, xt, config)?;
+    let k = config.k;
+    let m = xs.cols() as f64;
+    let source_tree = transer_knn::KdTree::build(xs);
+    let target_tree = transer_knn::KdTree::build(xt);
 
     let variant = config.variant;
     let row_indices: Vec<usize> = (0..xs.rows()).collect();
@@ -167,11 +386,41 @@ pub fn select_instances_with_pool(
     Ok(SelectionResult { indices, scores })
 }
 
+fn validate(
+    xs: &FeatureMatrix,
+    ys: &[Label],
+    xt: &FeatureMatrix,
+    config: &TransErConfig,
+) -> Result<()> {
+    config.validate()?;
+    if xs.rows() == 0 {
+        return Err(Error::EmptyInput("source instances"));
+    }
+    if xt.rows() == 0 {
+        return Err(Error::EmptyInput("target instances"));
+    }
+    if xs.rows() != ys.len() {
+        return Err(Error::DimensionMismatch {
+            what: "source rows vs labels",
+            left: xs.rows(),
+            right: ys.len(),
+        });
+    }
+    if xs.cols() != xt.cols() {
+        return Err(Error::DimensionMismatch {
+            what: "source vs target feature columns",
+            left: xs.cols(),
+            right: xt.cols(),
+        });
+    }
+    Ok(())
+}
+
 /// Mean of the neighbourhood rows; falls back to the instance itself when
 /// the neighbourhood is empty (single-row matrices).
 fn centroid(
     x: &FeatureMatrix,
-    neighbours: &[transer_knn::Neighbor],
+    neighbours: &[Neighbor],
     fallback: &[f64],
 ) -> Vec<f64> {
     if neighbours.is_empty() {
@@ -224,8 +473,53 @@ mod tests {
         )
     }
 
+    /// A duplicate-heavy fixture: every source row repeated several times
+    /// (with mixed labels at the contested prototype) and a duplicated
+    /// target.
+    fn duplicated_fixture() -> (FeatureMatrix, Vec<Label>, FeatureMatrix) {
+        let protos = [
+            (vec![0.9, 0.9], Label::Match),
+            (vec![0.1, 0.1], Label::NonMatch),
+            (vec![0.5, 0.5], Label::Match),
+            (vec![0.5, 0.5], Label::NonMatch),
+            (vec![0.7, 0.3], Label::Match),
+        ];
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for rep in 0..8 {
+            for (row, label) in &protos {
+                // Skip some entries so multiplicities differ per prototype.
+                if rep % ((xs.len() % 3) + 1) == 0 || rep < 4 {
+                    xs.push(row.clone());
+                    ys.push(*label);
+                }
+            }
+        }
+        let mut xt = Vec::new();
+        for _ in 0..6 {
+            xt.push(vec![0.88, 0.91]);
+            xt.push(vec![0.12, 0.09]);
+            xt.push(vec![0.52, 0.48]);
+        }
+        (
+            FeatureMatrix::from_vecs(&xs).unwrap(),
+            ys,
+            FeatureMatrix::from_vecs(&xt).unwrap(),
+        )
+    }
+
     fn config(k: usize) -> TransErConfig {
         TransErConfig { k, ..Default::default() }
+    }
+
+    fn assert_bit_identical(a: &SelectionResult, b: &SelectionResult, what: &str) {
+        assert_eq!(a.indices, b.indices, "{what}: indices differ");
+        assert_eq!(a.scores.len(), b.scores.len(), "{what}: score count differs");
+        for (i, (x, y)) in a.scores.iter().zip(&b.scores).enumerate() {
+            assert_eq!(x.sim_c.to_bits(), y.sim_c.to_bits(), "{what}: sim_c row {i}");
+            assert_eq!(x.sim_l.to_bits(), y.sim_l.to_bits(), "{what}: sim_l row {i}");
+            assert_eq!(x.sim_v.to_bits(), y.sim_v.to_bits(), "{what}: sim_v row {i}");
+        }
     }
 
     #[test]
@@ -326,12 +620,73 @@ mod tests {
         let seq = select_instances_with_pool(&xs, &ys, &xt, &cfg, &Pool::new(1)).unwrap();
         for workers in [2, 4, 16] {
             let par = select_instances_with_pool(&xs, &ys, &xt, &cfg, &Pool::new(workers)).unwrap();
-            assert_eq!(seq.indices, par.indices, "workers={workers}");
-            for (a, b) in seq.scores.iter().zip(&par.scores) {
-                assert_eq!(a.sim_c.to_bits(), b.sim_c.to_bits(), "workers={workers}");
-                assert_eq!(a.sim_l.to_bits(), b.sim_l.to_bits(), "workers={workers}");
-                assert_eq!(a.sim_v.to_bits(), b.sim_v.to_bits(), "workers={workers}");
+            assert_bit_identical(&seq, &par, &format!("workers={workers}"));
+        }
+    }
+
+    #[test]
+    fn dedup_path_is_bit_identical_to_per_row_path() {
+        for (name, (xs, ys, xt)) in
+            [("clusters", fixture()), ("duplicated", duplicated_fixture())]
+        {
+            for k in [1, 3, 5] {
+                let mut cfg = config(k);
+                cfg.variant.use_sim_v = true;
+                let reference =
+                    select_instances_per_row_with_pool(&xs, &ys, &xt, &cfg, &Pool::new(1)).unwrap();
+                for kind in [IndexKind::KdTree, IndexKind::Blocked, IndexKind::Auto] {
+                    for workers in [1, 4] {
+                        let fast = select_instances_with_backend(
+                            &xs,
+                            &ys,
+                            &xt,
+                            &cfg,
+                            &Pool::new(workers),
+                            kind,
+                        )
+                        .unwrap();
+                        assert_bit_identical(
+                            &reference,
+                            &fast,
+                            &format!("{name} k={k} kind={kind:?} workers={workers}"),
+                        );
+                    }
+                }
             }
+        }
+    }
+
+    #[test]
+    fn signed_zero_duplicates_fall_back_exactly() {
+        // 0.0 and -0.0 rows are numerically identical but intern into
+        // different groups: the non-clean fallback must still match the
+        // per-row path bit for bit.
+        let xs = FeatureMatrix::from_vecs(&[
+            vec![0.0, 0.5],
+            vec![-0.0, 0.5],
+            vec![0.0, 0.5],
+            vec![-0.0, 0.5],
+            vec![0.3, 0.4],
+            vec![0.9, 0.9],
+        ])
+        .unwrap();
+        let ys = vec![
+            Label::Match,
+            Label::NonMatch,
+            Label::Match,
+            Label::Match,
+            Label::NonMatch,
+            Label::Match,
+        ];
+        let xt = FeatureMatrix::from_vecs(&[vec![0.1, 0.5], vec![0.8, 0.85], vec![-0.0, 0.5]])
+            .unwrap();
+        let mut cfg = config(3);
+        cfg.variant.use_sim_v = true;
+        let reference = select_instances_per_row_with_pool(&xs, &ys, &xt, &cfg, &Pool::new(1)).unwrap();
+        for kind in [IndexKind::KdTree, IndexKind::Blocked] {
+            let fast =
+                select_instances_with_backend(&xs, &ys, &xt, &cfg, &Pool::new(2), kind).unwrap();
+            assert_bit_identical(&reference, &fast, &format!("kind={kind:?}"));
         }
     }
 

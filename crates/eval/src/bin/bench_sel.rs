@@ -1,0 +1,44 @@
+//! Benchmark the SEL phase: per-row reference path vs the duplicate-aware
+//! adaptive k-NN engine, per dataset and worker count, recording
+//! `results/BENCH_sel.json`. Accepts the shared eval flags plus
+//! `--threads <n>` (default: the global pool, i.e. `TRANSER_THREADS` or
+//! the machine's available parallelism).
+
+use transer_eval::{sel_bench, Options};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options::parse(args.iter().cloned());
+    if opts.json.is_none() {
+        opts.json = Some("results/BENCH_sel.json".to_string());
+    }
+    let threads = args
+        .windows(2)
+        .find(|w| w[0] == "--threads")
+        .and_then(|w| w[1].parse().ok());
+    match sel_bench::sel_benchmark(&opts, threads) {
+        Ok(report) => {
+            println!(
+                "SEL benchmark — per-row path vs duplicate-aware engine (scale {}, k {}, {} core(s) available)",
+                report.scale, report.k, report.available_parallelism
+            );
+            for d in &report.datasets {
+                println!(
+                    "\n{}: {} source rows ({} unique, dedup {:.2}×), {} target rows ({} unique)\n",
+                    d.name,
+                    d.source_rows,
+                    d.source_unique_rows,
+                    d.source_dedup_ratio,
+                    d.target_rows,
+                    d.target_unique_rows,
+                );
+                print!("{}", sel_bench::render(d));
+            }
+            opts.maybe_write_json(&report);
+        }
+        Err(e) => {
+            eprintln!("bench_sel failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -31,6 +31,7 @@ pub mod distribution;
 pub mod quality;
 pub mod runtime;
 pub mod scaling;
+pub mod sel_bench;
 pub mod sensitivity;
 
 mod options;

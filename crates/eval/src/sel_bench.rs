@@ -1,0 +1,303 @@
+//! SEL wall-time benchmark: per-row reference path vs the duplicate-aware
+//! adaptive k-NN engine.
+//!
+//! Not a paper artefact: this experiment quantifies the row-interning +
+//! weighted-query + blocked-kernel rewrite of the instance selector. For
+//! each dataset it reports the dedup ratio of the source/target feature
+//! matrices and the best-of-[`REPS`] SEL wall time of every backend
+//! (`per_row`, `dedup_kdtree`, `dedup_blocked`, `dedup_auto`) at 1 worker
+//! and at N workers. All backends produce bit-identical selections — the
+//! benchmark asserts this before timing — so the speedup is the whole
+//! story.
+//!
+//! The duplicate-heavy case is the bibliographic pair with features
+//! rounded to 1 decimal and the matrices tiled: rounded similarity values
+//! live on a bounded grid, so at real candidate-set sizes the number of
+//! *distinct* rows saturates while the row count keeps growing — tiling
+//! reproduces that regime at benchmark scale, which is exactly the regime
+//! the engine targets.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use transer_common::{FeatureMatrix, Label, Result, RowInterning};
+use transer_core::{
+    select_instances_per_row_with_pool, select_instances_with_backend, IndexKind, SelectionResult,
+    TransErConfig,
+};
+use transer_datagen::ScenarioPair;
+use transer_parallel::Pool;
+
+use crate::{Cell, Options};
+
+/// Timing repetitions per workload; the minimum is reported to damp
+/// scheduler noise.
+const REPS: usize = 3;
+
+/// The full benchmark result written to `results/BENCH_sel.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct SelBenchReport {
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub available_parallelism: usize,
+    /// Entity-count multiplier the workloads were generated at.
+    pub scale: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Neighbourhood size used by SEL.
+    pub k: usize,
+    /// One entry per dataset.
+    pub datasets: Vec<SelBenchDataset>,
+}
+
+/// Shape and timings of one dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct SelBenchDataset {
+    /// Dataset name.
+    pub name: String,
+    /// Source rows.
+    pub source_rows: usize,
+    /// Distinct source rows.
+    pub source_unique_rows: usize,
+    /// Target rows.
+    pub target_rows: usize,
+    /// Distinct target rows.
+    pub target_unique_rows: usize,
+    /// `source_rows / source_unique_rows`.
+    pub source_dedup_ratio: f64,
+    /// Per-backend, per-thread-count timings.
+    pub rows: Vec<SelBenchRow>,
+}
+
+/// One timed SEL run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SelBenchRow {
+    /// Backend (`per_row`, `dedup_kdtree`, `dedup_blocked`, `dedup_auto`).
+    pub backend: String,
+    /// Worker count.
+    pub threads: usize,
+    /// Best-of-[`REPS`] wall-clock seconds.
+    pub secs: f64,
+    /// `per_row` seconds at the same worker count divided by `secs`.
+    pub speedup_vs_per_row: f64,
+}
+
+fn time_best<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Round every feature to `digits` decimals — the duplicate-heavy regime:
+/// rounded similarity values collapse the matrix to few distinct rows.
+pub fn round_features(m: &FeatureMatrix, digits: u32) -> FeatureMatrix {
+    let scale = 10f64.powi(digits as i32);
+    let rows: Vec<Vec<f64>> =
+        m.iter_rows().map(|r| r.iter().map(|v| (v * scale).round() / scale).collect()).collect();
+    FeatureMatrix::from_vecs(&rows).expect("rounded matrix keeps its shape")
+}
+
+/// Repeat the rows of a matrix (and, when given, its labels) `times`
+/// times. Models large candidate sets, where the distinct rounded feature
+/// vectors saturate while the row count keeps growing linearly.
+pub fn tile_rows(
+    m: &FeatureMatrix,
+    labels: Option<&[Label]>,
+    times: usize,
+) -> (FeatureMatrix, Vec<Label>) {
+    let mut rows = Vec::with_capacity(m.rows() * times);
+    let mut ys = Vec::new();
+    for _ in 0..times {
+        rows.extend(m.iter_rows().map(<[f64]>::to_vec));
+        if let Some(labels) = labels {
+            ys.extend_from_slice(labels);
+        }
+    }
+    (FeatureMatrix::from_vecs(&rows).expect("tiled matrix keeps its shape"), ys)
+}
+
+fn assert_identical(a: &SelectionResult, b: &SelectionResult, what: &str) {
+    assert_eq!(a.indices, b.indices, "{what}: selection differs from per_row path");
+    for (x, y) in a.scores.iter().zip(&b.scores) {
+        assert_eq!(x.sim_c.to_bits(), y.sim_c.to_bits(), "{what}: sim_c differs");
+        assert_eq!(x.sim_l.to_bits(), y.sim_l.to_bits(), "{what}: sim_l differs");
+        assert_eq!(x.sim_v.to_bits(), y.sim_v.to_bits(), "{what}: sim_v differs");
+    }
+}
+
+fn bench_dataset(
+    name: &str,
+    xs: &FeatureMatrix,
+    ys: &[Label],
+    xt: &FeatureMatrix,
+    config: &TransErConfig,
+    threads: usize,
+) -> SelBenchDataset {
+    let source_interning = RowInterning::of(xs);
+    let target_interning = RowInterning::of(xt);
+    let backends: [(&str, Option<IndexKind>); 4] = [
+        ("per_row", None),
+        ("dedup_kdtree", Some(IndexKind::KdTree)),
+        ("dedup_blocked", Some(IndexKind::Blocked)),
+        ("dedup_auto", Some(IndexKind::Auto)),
+    ];
+
+    // Correctness gate before any timing: every engine backend must match
+    // the reference selection bit for bit.
+    let reference =
+        select_instances_per_row_with_pool(xs, ys, xt, config, &Pool::sequential()).expect("sel");
+    for (bname, kind) in backends.iter().filter_map(|(n, k)| k.map(|k| (n, k))) {
+        let got = select_instances_with_backend(xs, ys, xt, config, &Pool::sequential(), kind)
+            .expect("sel");
+        assert_identical(&reference, &got, &format!("{name}/{bname}"));
+    }
+
+    let mut rows = Vec::new();
+    for threads in [1, threads] {
+        let pool = Pool::new(threads);
+        let mut per_row_secs = f64::NAN;
+        for (bname, kind) in backends {
+            let secs = match kind {
+                None => time_best(|| {
+                    select_instances_per_row_with_pool(xs, ys, xt, config, &pool).expect("sel");
+                }),
+                Some(kind) => time_best(|| {
+                    select_instances_with_backend(xs, ys, xt, config, &pool, kind).expect("sel");
+                }),
+            };
+            if kind.is_none() {
+                per_row_secs = secs;
+            }
+            rows.push(SelBenchRow {
+                backend: bname.to_string(),
+                threads,
+                secs,
+                speedup_vs_per_row: per_row_secs / secs,
+            });
+        }
+    }
+
+    SelBenchDataset {
+        name: name.to_string(),
+        source_rows: source_interning.original_rows(),
+        source_unique_rows: source_interning.unique_rows(),
+        target_rows: target_interning.original_rows(),
+        target_unique_rows: target_interning.unique_rows(),
+        source_dedup_ratio: source_interning.dedup_ratio(),
+        rows,
+    }
+}
+
+/// Run the SEL benchmark over the bibliographic pair, the music pair and
+/// the duplicate-heavy rounded+tiled bibliographic pair, at 1 worker and
+/// at `threads` workers (default: the global pool's count).
+///
+/// # Errors
+/// Propagates workload generation errors.
+pub fn sel_benchmark(opts: &Options, threads: Option<usize>) -> Result<SelBenchReport> {
+    let threads = threads.unwrap_or_else(|| Pool::global().workers());
+    let config = TransErConfig::default();
+    let mut datasets = Vec::new();
+
+    let biblio = ScenarioPair::Bibliographic.domain_pair(opts.scale, opts.seed)?;
+    datasets.push(bench_dataset(
+        "bibliographic",
+        &biblio.source.x,
+        &biblio.source.y,
+        &biblio.target.x,
+        &config,
+        threads,
+    ));
+
+    let music = ScenarioPair::Music.domain_pair(opts.scale, opts.seed)?;
+    datasets.push(bench_dataset(
+        "music",
+        &music.source.x,
+        &music.source.y,
+        &music.target.x,
+        &config,
+        threads,
+    ));
+
+    // Duplicate-heavy: the bibliographic features rounded to 1 decimal
+    // and tiled 8×, the saturated-grid regime of real candidate sets.
+    let (xs, ys) = tile_rows(&round_features(&biblio.source.x, 1), Some(&biblio.source.y), 8);
+    let (xt, _) = tile_rows(&round_features(&biblio.target.x, 1), None, 8);
+    datasets.push(bench_dataset("bibliographic-rounded1-x8", &xs, &ys, &xt, &config, threads));
+
+    Ok(SelBenchReport {
+        available_parallelism: std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get),
+        scale: opts.scale,
+        seed: opts.seed,
+        k: config.k,
+        datasets,
+    })
+}
+
+/// Render one dataset's rows as an aligned text table.
+pub fn render(d: &SelBenchDataset) -> String {
+    let mut table = vec![vec![
+        Cell::from("Backend"),
+        Cell::from("Threads"),
+        Cell::from("Secs"),
+        Cell::from("vs per_row"),
+    ]];
+    for r in &d.rows {
+        table.push(vec![
+            Cell::from(r.backend.clone()),
+            Cell::Num(r.threads as f64),
+            Cell::Num(r.secs),
+            Cell::Num(r.speedup_vs_per_row),
+        ]);
+    }
+    crate::format_table(&table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounding_creates_duplicates() {
+        let m = FeatureMatrix::from_vecs(&[vec![0.123, 0.456], vec![0.1201, 0.4599]]).unwrap();
+        let r = round_features(&m, 2);
+        assert_eq!(r.row(0), &[0.12, 0.46]);
+        assert_eq!(r.row(0), r.row(1));
+    }
+
+    #[test]
+    fn tiling_repeats_rows_and_labels() {
+        let m = FeatureMatrix::from_vecs(&[vec![0.1], vec![0.2]]).unwrap();
+        let labels = [Label::Match, Label::NonMatch];
+        let (t, ys) = tile_rows(&m, Some(&labels), 3);
+        assert_eq!(t.rows(), 6);
+        assert_eq!(t.row(4), m.row(0));
+        assert_eq!(ys, [labels[0], labels[1]].repeat(3));
+        let (_, empty) = tile_rows(&m, None, 2);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn quick_sel_bench_smoke() {
+        let opts = Options { scale: 0.02, ..Options::default() };
+        let report = sel_benchmark(&opts, Some(2)).unwrap();
+        assert_eq!(report.datasets.len(), 3);
+        for d in &report.datasets {
+            assert!(d.source_rows >= d.source_unique_rows);
+            assert!(d.source_dedup_ratio >= 1.0);
+            // 4 backends × 2 thread counts.
+            assert_eq!(d.rows.len(), 8);
+            for r in &d.rows {
+                assert!(r.secs > 0.0 && r.speedup_vs_per_row.is_finite(), "{}", r.backend);
+            }
+            assert!(render(d).contains("per_row"));
+        }
+        // The rounded dataset is the duplicate-heavy one.
+        let rounded = &report.datasets[2];
+        assert!(rounded.source_dedup_ratio > report.datasets[0].source_dedup_ratio);
+    }
+}

@@ -1,0 +1,222 @@
+//! Backend selection: KD-tree vs blocked brute force.
+//!
+//! KD-trees win when the tree can actually prune — many rows, low
+//! dimensionality. For small matrices the build cost dominates, and in
+//! high dimensions the curse of dimensionality makes the search visit
+//! nearly every leaf while paying pointer-chasing overhead the blocked
+//! kernel doesn't have. [`AdaptiveIndex`] picks per-matrix from
+//! `(n_unique, dim)`; the choice can be forced per-process with the
+//! `TRANSER_KNN_INDEX` environment variable (`kdtree`, `blocked`, or
+//! `auto`), mirroring the `TRANSER_THREADS` convention in
+//! `transer-parallel`.
+//!
+//! Both backends produce bit-identical results (same neighbours, same
+//! squared distances, same tie-break order), so the choice affects wall
+//! time only — determinism does not depend on it.
+
+use std::sync::OnceLock;
+
+use transer_common::FeatureMatrix;
+
+use crate::blocked::BlockedBruteForce;
+use crate::heap::Neighbor;
+use crate::kdtree::KdTree;
+
+/// Which k-NN backend to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Always the KD-tree.
+    KdTree,
+    /// Always the blocked brute-force kernel.
+    Blocked,
+    /// Pick per matrix from `(rows, dim)`.
+    Auto,
+}
+
+impl IndexKind {
+    /// Parse a `TRANSER_KNN_INDEX`-style value. Unrecognised or empty
+    /// values fall back to [`IndexKind::Auto`].
+    pub fn parse(s: &str) -> IndexKind {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "kdtree" | "kd-tree" | "kd" => IndexKind::KdTree,
+            "blocked" | "brute" | "bruteforce" => IndexKind::Blocked,
+            _ => IndexKind::Auto,
+        }
+    }
+
+    /// The process-wide kind from the `TRANSER_KNN_INDEX` environment
+    /// variable, read once (like `TRANSER_THREADS`); unset or
+    /// unrecognised means [`IndexKind::Auto`].
+    pub fn from_env() -> IndexKind {
+        static KIND: OnceLock<IndexKind> = OnceLock::new();
+        *KIND.get_or_init(|| {
+            std::env::var("TRANSER_KNN_INDEX").map(|v| IndexKind::parse(&v)).unwrap_or(IndexKind::Auto)
+        })
+    }
+
+    /// Resolve `Auto` for a concrete matrix shape.
+    fn resolve(self, rows: usize, dim: usize) -> IndexKind {
+        match self {
+            IndexKind::Auto => {
+                // Measured on the SEL workloads (`bench_sel`): for the
+                // low-dimensional ER feature matrices the KD-tree wins
+                // from a few hundred rows down to well under 100, so the
+                // blocked kernel is only the default for tiny matrices
+                // (where nothing matters) and for high dimensions, where
+                // pruning stops working and its streaming dot products
+                // win.
+                if rows <= 64 || dim > 16 {
+                    IndexKind::Blocked
+                } else {
+                    IndexKind::KdTree
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// A k-NN index whose backend was chosen per matrix by [`IndexKind`].
+///
+/// Exposes the common query surface of [`KdTree`] and
+/// [`BlockedBruteForce`]; results are bit-identical across backends.
+#[derive(Debug, Clone)]
+pub enum AdaptiveIndex {
+    /// KD-tree backend.
+    KdTree(KdTree),
+    /// Blocked brute-force backend.
+    Blocked(BlockedBruteForce),
+}
+
+impl AdaptiveIndex {
+    /// Build an index over `matrix` with the backend chosen by `kind`
+    /// (resolving [`IndexKind::Auto`] from the matrix shape).
+    pub fn build(matrix: &FeatureMatrix, kind: IndexKind) -> Self {
+        match kind.resolve(matrix.rows(), matrix.cols()) {
+            IndexKind::KdTree => AdaptiveIndex::KdTree(KdTree::build(matrix)),
+            _ => AdaptiveIndex::Blocked(BlockedBruteForce::build(matrix)),
+        }
+    }
+
+    /// Build with the process-wide kind from `TRANSER_KNN_INDEX`.
+    pub fn build_from_env(matrix: &FeatureMatrix) -> Self {
+        Self::build(matrix, IndexKind::from_env())
+    }
+
+    /// Which backend was chosen.
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            AdaptiveIndex::KdTree(_) => "kdtree",
+            AdaptiveIndex::Blocked(_) => "blocked",
+        }
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        match self {
+            AdaptiveIndex::KdTree(t) => t.len(),
+            AdaptiveIndex::Blocked(b) => b.len(),
+        }
+    }
+
+    /// True when the index holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// See [`KdTree::k_nearest`].
+    pub fn k_nearest(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
+        match self {
+            AdaptiveIndex::KdTree(t) => t.k_nearest(query, k),
+            AdaptiveIndex::Blocked(b) => b.k_nearest(query, k),
+        }
+    }
+
+    /// See [`KdTree::k_nearest_excluding`].
+    pub fn k_nearest_excluding(&self, query: &[f64], k: usize, exclude: Option<usize>) -> Vec<Neighbor> {
+        match self {
+            AdaptiveIndex::KdTree(t) => t.k_nearest_excluding(query, k, exclude),
+            AdaptiveIndex::Blocked(b) => b.k_nearest_excluding(query, k, exclude),
+        }
+    }
+
+    /// See [`KdTree::k_nearest_weighted`].
+    pub fn k_nearest_weighted(&self, query: &[f64], weights: &[u32], k: usize) -> Vec<Neighbor> {
+        match self {
+            AdaptiveIndex::KdTree(t) => t.k_nearest_weighted(query, weights, k),
+            AdaptiveIndex::Blocked(b) => b.k_nearest_weighted(query, weights, k),
+        }
+    }
+
+    /// A panel of weighted queries. On the blocked backend the whole panel
+    /// shares each point block
+    /// ([`BlockedBruteForce::k_nearest_weighted_panel`]); on the KD-tree
+    /// the queries simply run one by one. Results are identical to mapping
+    /// [`AdaptiveIndex::k_nearest_weighted`] over the panel.
+    pub fn k_nearest_weighted_panel(
+        &self,
+        queries: &[&[f64]],
+        weights: &[u32],
+        k: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        match self {
+            AdaptiveIndex::KdTree(t) => {
+                queries.iter().map(|q| t.k_nearest_weighted(q, weights, k)).collect()
+            }
+            AdaptiveIndex::Blocked(b) => b.k_nearest_weighted_panel(queries, weights, k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_recognises_backends() {
+        assert_eq!(IndexKind::parse("kdtree"), IndexKind::KdTree);
+        assert_eq!(IndexKind::parse(" KD-Tree "), IndexKind::KdTree);
+        assert_eq!(IndexKind::parse("blocked"), IndexKind::Blocked);
+        assert_eq!(IndexKind::parse("brute"), IndexKind::Blocked);
+        assert_eq!(IndexKind::parse("auto"), IndexKind::Auto);
+        assert_eq!(IndexKind::parse("nonsense"), IndexKind::Auto);
+        assert_eq!(IndexKind::parse(""), IndexKind::Auto);
+    }
+
+    #[test]
+    fn auto_resolution_heuristic() {
+        // Tiny n → blocked regardless of dim.
+        assert_eq!(IndexKind::Auto.resolve(50, 4), IndexKind::Blocked);
+        // Moderate-to-large n, low dim → KD-tree.
+        assert_eq!(IndexKind::Auto.resolve(300, 4), IndexKind::KdTree);
+        assert_eq!(IndexKind::Auto.resolve(10_000, 4), IndexKind::KdTree);
+        // Large n, high dim → blocked.
+        assert_eq!(IndexKind::Auto.resolve(10_000, 32), IndexKind::Blocked);
+        // Forced kinds resolve to themselves.
+        assert_eq!(IndexKind::KdTree.resolve(10, 100), IndexKind::KdTree);
+        assert_eq!(IndexKind::Blocked.resolve(1_000_000, 2), IndexKind::Blocked);
+    }
+
+    #[test]
+    fn backends_agree_on_queries() {
+        let rows: Vec<Vec<f64>> =
+            (0..50).map(|i| vec![(i % 7) as f64 / 7.0, (i % 11) as f64 / 11.0]).collect();
+        let m = FeatureMatrix::from_vecs(&rows).unwrap();
+        let kd = AdaptiveIndex::build(&m, IndexKind::KdTree);
+        let bl = AdaptiveIndex::build(&m, IndexKind::Blocked);
+        assert_eq!(kd.backend_name(), "kdtree");
+        assert_eq!(bl.backend_name(), "blocked");
+        assert_eq!(kd.len(), bl.len());
+        let weights = vec![1u32; m.rows()];
+        for q in [[0.3, 0.3], [0.0, 1.0]] {
+            assert_eq!(kd.k_nearest(&q, 5), bl.k_nearest(&q, 5));
+            assert_eq!(kd.k_nearest_excluding(&q, 5, Some(3)), bl.k_nearest_excluding(&q, 5, Some(3)));
+            assert_eq!(kd.k_nearest_weighted(&q, &weights, 5), bl.k_nearest_weighted(&q, &weights, 5));
+        }
+        let qs: Vec<&[f64]> = (0..8).map(|i| m.row(i)).collect();
+        assert_eq!(
+            kd.k_nearest_weighted_panel(&qs, &weights, 5),
+            bl.k_nearest_weighted_panel(&qs, &weights, 5)
+        );
+    }
+}

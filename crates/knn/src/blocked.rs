@@ -1,0 +1,333 @@
+//! Cache-blocked brute-force k-NN with precomputed squared norms.
+//!
+//! The kernel evaluates panels of queries against blocks of indexed rows
+//! using the expansion `‖a − b‖² = ‖a‖² − 2·a·b + ‖b‖²`: the row norms are
+//! computed once at build time, so the inner loop is a plain dot product
+//! over a point block that stays hot in cache across the whole query
+//! panel.
+//!
+//! The expansion is not bitwise equal to the forward sum `Σ (aᵢ − bᵢ)²`,
+//! so using it naively would break the workspace-wide determinism
+//! contract. The kernel therefore treats the expanded value as a *screen*:
+//! it tracks every row whose screened distance lands within a rigorous
+//! floating-point error band of the current selection boundary, recomputes
+//! the **exact** forward distance for those candidates only, and performs
+//! the final (weighted) selection on exact distances. The result — indices,
+//! squared distances and tie-break order — is bit-identical to
+//! [`brute_force_knn`](crate::brute_force_knn) / [`KdTree`](crate::KdTree),
+//! which the `index_equivalence` proptests pin down.
+
+use transer_common::{sq_dist, FeatureMatrix};
+
+use crate::heap::{Neighbor, WeightedHeap};
+
+/// Rows per point block: 256 rows × 8 dims × 8 bytes = 16 KiB, safely
+/// inside L1/L2 while a query panel iterates over it.
+const POINT_BLOCK: usize = 256;
+
+/// Brute-force index over the rows of a [`FeatureMatrix`]: a flat copy of
+/// the points plus their precomputed squared norms.
+#[derive(Debug, Clone)]
+pub struct BlockedBruteForce {
+    points: Vec<f64>,
+    dim: usize,
+    rows: usize,
+    sq_norms: Vec<f64>,
+}
+
+/// Per-query selection state while streaming over point blocks.
+struct QueryState {
+    /// Weighted selection over *screened* distances — only its boundary
+    /// (`prune_bound`) is used.
+    screen: WeightedHeap,
+    /// Rows whose screened distance was within the error band of the
+    /// boundary when they were seen: `(row, screened distance)`.
+    candidates: Vec<(u32, f64)>,
+    /// Compaction threshold for `candidates`, doubled when ties genuinely
+    /// accumulate.
+    cap: usize,
+    /// Squared norm of the query.
+    nq: f64,
+}
+
+impl BlockedBruteForce {
+    /// Build the index by copying the rows and computing their norms.
+    pub fn build(matrix: &FeatureMatrix) -> Self {
+        let rows = matrix.rows();
+        let dim = matrix.cols();
+        let points = matrix.as_slice().to_vec();
+        let sq_norms = (0..rows).map(|i| sq_norm(matrix.row(i))).collect();
+        BlockedBruteForce { points, dim, rows, sq_norms }
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the index holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Dimensionality of the indexed rows.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[f64] {
+        &self.points[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The `k` nearest rows to `query`, ascending `(sq_dist, index)` — the
+    /// same contract as [`KdTree::k_nearest`](crate::KdTree::k_nearest).
+    ///
+    /// # Panics
+    /// Panics when `query.len() != self.dim()`.
+    pub fn k_nearest(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
+        self.k_nearest_excluding(query, k, None)
+    }
+
+    /// Like [`BlockedBruteForce::k_nearest`] but ignoring row `exclude`.
+    pub fn k_nearest_excluding(
+        &self,
+        query: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Vec<Neighbor> {
+        let mut nn =
+            self.panel(&[query], None, k, exclude).pop().expect("one result per query");
+        nn.truncate(k);
+        nn
+    }
+
+    /// Duplicate-aware single query; same contract as
+    /// [`KdTree::k_nearest_weighted`](crate::KdTree::k_nearest_weighted).
+    ///
+    /// # Panics
+    /// Panics when `query.len() != self.dim()` or
+    /// `weights.len() != self.len()`.
+    pub fn k_nearest_weighted(&self, query: &[f64], weights: &[u32], k: usize) -> Vec<Neighbor> {
+        self.panel(&[query], Some(weights), k, None).pop().expect("one result per query")
+    }
+
+    /// Duplicate-aware panel query: all of `queries` against the whole
+    /// index in one blocked sweep. Equivalent to mapping
+    /// [`BlockedBruteForce::k_nearest_weighted`] over the panel, but each
+    /// point block is loaded once for the entire panel.
+    pub fn k_nearest_weighted_panel(
+        &self,
+        queries: &[&[f64]],
+        weights: &[u32],
+        k: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        self.panel(queries, Some(weights), k, None)
+    }
+
+    /// Shared blocked kernel. `weights` of `None` means unit weights;
+    /// `exclude` skips one indexed row (used by self-neighbourhood
+    /// queries).
+    fn panel(
+        &self,
+        queries: &[&[f64]],
+        weights: Option<&[u32]>,
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Vec<Vec<Neighbor>> {
+        for q in queries {
+            assert_eq!(q.len(), self.dim, "query dimensionality mismatch");
+        }
+        if let Some(w) = weights {
+            assert_eq!(w.len(), self.rows, "one weight per indexed row");
+        }
+        if k == 0 || self.rows == 0 {
+            return vec![Vec::new(); queries.len()];
+        }
+        // Screening error bound: `‖a‖² − 2a·b + ‖b‖²` and the forward sum
+        // are each dim-term accumulations, so their difference is bounded
+        // by ~(dim + 3)·ε times the magnitudes involved. The constant is
+        // deliberately generous — the band only admits a few extra exact
+        // recomputations, never a wrong result.
+        let band_scale = 8.0 * (self.dim as f64 + 4.0) * f64::EPSILON;
+        let mut states: Vec<QueryState> = queries
+            .iter()
+            .map(|q| QueryState {
+                screen: WeightedHeap::new(k),
+                candidates: Vec::new(),
+                cap: (4 * k).max(64),
+                nq: sq_norm(q),
+            })
+            .collect();
+
+        let mut block_start = 0;
+        while block_start < self.rows {
+            let block_end = (block_start + POINT_BLOCK).min(self.rows);
+            for (q, state) in queries.iter().zip(&mut states) {
+                let bound = |s: &QueryState| s.screen.prune_bound();
+                for i in block_start..block_end {
+                    if exclude == Some(i) {
+                        continue;
+                    }
+                    let np = self.sq_norms[i];
+                    let dot = dot(q, self.row(i));
+                    let screened = (state.nq - 2.0 * dot + np).max(0.0);
+                    let band = band_scale * (state.nq + np + 1.0);
+                    // Keep every row that could still beat (or tie) the
+                    // boundary once distances are exact: screened and exact
+                    // k-th boundaries differ by at most one band each.
+                    if screened <= bound(state) + 2.0 * band {
+                        let w = weights.map_or(1, |w| w[i] as usize);
+                        state.screen.push(i, screened, w);
+                        state.candidates.push((i as u32, screened));
+                        if state.candidates.len() >= state.cap {
+                            self.compact(state, band_scale);
+                        }
+                    }
+                }
+            }
+            block_start = block_end;
+        }
+
+        states
+            .iter_mut()
+            .zip(queries)
+            .map(|(state, q)| {
+                let bound = state.screen.prune_bound();
+                let mut exact = WeightedHeap::new(k);
+                for &(i, screened) in &state.candidates {
+                    let i = i as usize;
+                    let band = band_scale * (state.nq + self.sq_norms[i] + 1.0);
+                    if screened <= bound + 2.0 * band {
+                        let w = weights.map_or(1, |w| w[i] as usize);
+                        exact.push(i, sq_dist(q, self.row(i)), w);
+                    }
+                }
+                exact.into_sorted()
+            })
+            .collect()
+    }
+
+    /// Drop candidates that have fallen strictly outside the (banded)
+    /// boundary; if nearly everything survives — genuine ties — grow the
+    /// threshold instead of compacting on every push.
+    fn compact(&self, state: &mut QueryState, band_scale: f64) {
+        let bound = state.screen.prune_bound();
+        let nq = state.nq;
+        let norms = &self.sq_norms;
+        state.candidates.retain(|&(i, screened)| {
+            screened <= bound + 2.0 * band_scale * (nq + norms[i as usize] + 1.0)
+        });
+        if state.candidates.len() * 2 > state.cap {
+            state.cap *= 2;
+        }
+    }
+}
+
+#[inline]
+fn sq_norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum()
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_knn;
+
+    fn points() -> FeatureMatrix {
+        FeatureMatrix::from_vecs(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![0.5, 0.5],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_reference_brute_force() {
+        let m = points();
+        let idx = BlockedBruteForce::build(&m);
+        assert_eq!(idx.len(), 5);
+        assert_eq!(idx.dim(), 2);
+        for q in [[0.1, 0.1], [0.55, 0.5], [1.0, 1.0]] {
+            for k in [1, 3, 10] {
+                assert_eq!(idx.k_nearest(&q, k), brute_force_knn(&m, &q, k, None), "q={q:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn exclusion_skips_row() {
+        let m = points();
+        let idx = BlockedBruteForce::build(&m);
+        let nn = idx.k_nearest_excluding(m.row(0), 2, Some(0));
+        assert_eq!(nn, brute_force_knn(&m, m.row(0), 2, Some(0)));
+        assert!(!nn.iter().any(|n| n.index == 0));
+    }
+
+    #[test]
+    fn k_zero_and_empty_index() {
+        let m = points();
+        let idx = BlockedBruteForce::build(&m);
+        assert!(idx.k_nearest(&[0.0, 0.0], 0).is_empty());
+        let empty = BlockedBruteForce::build(&FeatureMatrix::empty(3));
+        assert!(empty.is_empty());
+        assert!(empty.k_nearest(&[0.0, 0.0, 0.0], 4).is_empty());
+    }
+
+    #[test]
+    fn weighted_query_counts_multiplicities() {
+        // Unique rows with weights [3, 1, 1]: a budget of 3 is covered by
+        // the nearest row alone.
+        let m = FeatureMatrix::from_vecs(&[vec![0.5, 0.5], vec![0.9, 0.9], vec![0.1, 0.1]]).unwrap();
+        let idx = BlockedBruteForce::build(&m);
+        let nn = idx.k_nearest_weighted(&[0.5, 0.5], &[3, 1, 1], 3);
+        assert_eq!(nn.len(), 1);
+        assert_eq!(nn[0].index, 0);
+        assert_eq!(nn[0].sq_dist, 0.0);
+        // Budget 4 needs the next distance class too — rows 1 and 2 are
+        // equidistant from the query, so the boundary class keeps both.
+        let nn = idx.k_nearest_weighted(&[0.5, 0.5], &[3, 1, 1], 4);
+        assert_eq!(nn.iter().map(|n| n.index).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn panel_equals_single_queries() {
+        let m = points();
+        let idx = BlockedBruteForce::build(&m);
+        let weights = vec![1u32; m.rows()];
+        let q0 = [0.2, 0.3];
+        let q1 = [0.9, 0.1];
+        let panel = idx.k_nearest_weighted_panel(&[&q0, &q1], &weights, 3);
+        assert_eq!(panel[0], idx.k_nearest_weighted(&q0, &weights, 3));
+        assert_eq!(panel[1], idx.k_nearest_weighted(&q1, &weights, 3));
+    }
+
+    #[test]
+    fn heavy_ties_compact_without_losing_candidates() {
+        // 1000 rows, all at one of two distances from the query: the
+        // candidate buffer must keep every boundary tie.
+        let rows: Vec<Vec<f64>> =
+            (0..1000).map(|i| if i % 2 == 0 { vec![0.0, 1.0] } else { vec![1.0, 0.0] }).collect();
+        let m = FeatureMatrix::from_vecs(&rows).unwrap();
+        let idx = BlockedBruteForce::build(&m);
+        let nn = idx.k_nearest(&[0.0, 0.0], 7);
+        assert_eq!(nn, brute_force_knn(&m, &[0.0, 0.0], 7, None));
+        assert_eq!(nn.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn wrong_query_dim_panics() {
+        let idx = BlockedBruteForce::build(&points());
+        idx.k_nearest(&[0.0], 1);
+    }
+}

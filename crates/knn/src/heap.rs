@@ -1,7 +1,9 @@
-//! A bounded max-heap of candidate neighbours, ordered by squared distance.
+//! Bounded neighbour-candidate containers, ordered by squared distance:
+//! the classic max-heap retaining the `k` best, and a weighted variant for
+//! duplicate-aware queries where a candidate counts as `weight` hits.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// One nearest-neighbour candidate: the index of the point in its matrix
 /// and its squared Euclidean distance to the query.
@@ -97,6 +99,115 @@ impl BoundedMaxHeap {
     }
 }
 
+/// The weighted analogue of [`BoundedMaxHeap`] used by the duplicate-aware
+/// queries: each candidate row carries a multiplicity `weight` and counts
+/// as that many hits towards the budget `k`.
+///
+/// The structure retains the shortest prefix of *distance classes* (groups
+/// of candidates with bitwise-equal squared distance) whose cumulative
+/// weight reaches the budget — **including every candidate of the boundary
+/// class**, so callers can resolve original-row tie-breaks exactly as a
+/// query against the duplicated matrix would. The retained weight may
+/// therefore exceed the budget; truncation happens during expansion.
+///
+/// Distances must be finite and non-negative (squared Euclidean), which
+/// makes their IEEE-754 bit patterns order-isomorphic to their values —
+/// the classes live in a [`BTreeMap`] keyed by those bits.
+#[derive(Debug)]
+pub struct WeightedHeap {
+    classes: BTreeMap<u64, WeightClass>,
+    total: usize,
+    budget: usize,
+}
+
+#[derive(Debug)]
+struct WeightClass {
+    weight: usize,
+    items: Vec<u32>,
+}
+
+impl WeightedHeap {
+    /// A heap that retains distance classes until their cumulative weight
+    /// covers `budget`.
+    pub fn new(budget: usize) -> Self {
+        WeightedHeap { classes: BTreeMap::new(), total: 0, budget }
+    }
+
+    /// Offer candidate row `index` at `sq_dist` with multiplicity `weight`.
+    ///
+    /// Rows must be offered at most once per query; `weight == 0` and
+    /// `budget == 0` candidates are ignored.
+    #[inline]
+    pub fn push(&mut self, index: usize, sq_dist: f64, weight: usize) {
+        debug_assert!(sq_dist >= 0.0 && sq_dist.is_finite(), "invalid distance {sq_dist}");
+        if self.budget == 0 || weight == 0 {
+            return;
+        }
+        let bits = sq_dist.to_bits();
+        if self.total >= self.budget {
+            // Full: a candidate strictly beyond the boundary class cannot
+            // contribute (the prefix without it already covers the budget).
+            if let Some((&last, _)) = self.classes.last_key_value() {
+                if bits > last {
+                    return;
+                }
+            }
+        }
+        let class = self.classes.entry(bits).or_insert(WeightClass { weight: 0, items: Vec::new() });
+        class.weight += weight;
+        class.items.push(index as u32);
+        self.total += weight;
+        // Trim classes that are no longer needed to cover the budget. The
+        // boundary class itself is always kept whole.
+        while let Some(entry) = self.classes.last_entry() {
+            let w = entry.get().weight;
+            if self.total - w >= self.budget {
+                entry.remove();
+                self.total -= w;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Cumulative weight of the retained candidates.
+    #[inline]
+    pub fn total_weight(&self) -> usize {
+        self.total
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Squared distance of the farthest retained class once the budget is
+    /// covered, `f64::INFINITY` before — the KD-tree pruning bound. The
+    /// bound is meant for *inclusive* pruning (`<=`) so boundary ties are
+    /// never cut away.
+    #[inline]
+    pub fn prune_bound(&self) -> f64 {
+        if self.total >= self.budget {
+            self.classes.last_key_value().map_or(f64::INFINITY, |(&bits, _)| f64::from_bits(bits))
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Drain into a vector sorted by ascending distance, ties by row index
+    /// — the same order as [`BoundedMaxHeap::into_sorted`], but covering
+    /// the full boundary class instead of stopping at `k` rows.
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        for (bits, mut class) in self.classes {
+            class.items.sort_unstable();
+            let sq_dist = f64::from_bits(bits);
+            out.extend(class.items.into_iter().map(|i| Neighbor { index: i as usize, sq_dist }));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +257,91 @@ mod tests {
         h.push(n(5, 1.0));
         let out = h.into_sorted();
         assert_eq!(out.iter().map(|x| x.index).collect::<Vec<_>>(), vec![3, 5]);
+    }
+
+    #[test]
+    fn is_empty_transitions_and_zero_capacity_guards() {
+        let mut h = BoundedMaxHeap::new(2);
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        h.push(n(1, 0.5));
+        assert!(!h.is_empty());
+
+        // Capacity 0 stays inert through every accessor.
+        let mut z = BoundedMaxHeap::new(0);
+        assert!(z.is_empty());
+        assert!(z.is_full());
+        assert_eq!(z.prune_bound(), f64::INFINITY);
+        z.push(n(0, 0.0));
+        z.push(n(1, 1.0));
+        assert!(z.is_empty());
+        assert_eq!(z.len(), 0);
+        assert!(z.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn equal_distance_neighbours_pop_in_row_order() {
+        // All candidates at the same distance: the retained set and its
+        // output order must be the smallest row indices, ascending.
+        let mut h = BoundedMaxHeap::new(3);
+        for idx in [9, 2, 14, 0, 7, 5] {
+            h.push(n(idx, 2.25));
+        }
+        let out = h.into_sorted();
+        assert_eq!(out.iter().map(|x| x.index).collect::<Vec<_>>(), vec![0, 2, 5]);
+        assert!(out.iter().all(|x| x.sq_dist == 2.25));
+    }
+
+    #[test]
+    fn weighted_heap_counts_multiplicity_towards_budget() {
+        let mut h = WeightedHeap::new(5);
+        assert!(h.is_empty());
+        assert_eq!(h.prune_bound(), f64::INFINITY);
+        h.push(0, 1.0, 3);
+        assert_eq!(h.prune_bound(), f64::INFINITY); // 3 < 5
+        h.push(1, 2.0, 4);
+        assert_eq!(h.prune_bound(), 2.0); // 7 >= 5
+        // Farther candidate is rejected outright.
+        h.push(2, 3.0, 10);
+        assert_eq!(h.total_weight(), 7);
+        // A closer candidate makes the 2.0 class unnecessary.
+        h.push(3, 0.5, 2);
+        assert_eq!(h.prune_bound(), 1.0);
+        assert_eq!(h.total_weight(), 5);
+        let out = h.into_sorted();
+        assert_eq!(out.iter().map(|x| x.index).collect::<Vec<_>>(), vec![3, 0]);
+    }
+
+    #[test]
+    fn weighted_heap_keeps_boundary_class_whole() {
+        let mut h = WeightedHeap::new(2);
+        h.push(4, 1.0, 1);
+        h.push(1, 1.0, 1);
+        h.push(9, 1.0, 5);
+        // All three share the boundary distance: none may be trimmed, and
+        // the output resolves ties by row index.
+        assert_eq!(h.total_weight(), 7);
+        let out = h.into_sorted();
+        assert_eq!(out.iter().map(|x| x.index).collect::<Vec<_>>(), vec![1, 4, 9]);
+        // A strictly closer class covering the budget evicts the whole
+        // boundary class at once.
+        let mut h = WeightedHeap::new(2);
+        h.push(4, 1.0, 1);
+        h.push(9, 1.0, 1);
+        h.push(0, 0.25, 2);
+        let out = h.into_sorted();
+        assert_eq!(out.iter().map(|x| x.index).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn weighted_heap_zero_budget_and_zero_weight_are_inert() {
+        let mut h = WeightedHeap::new(0);
+        h.push(0, 1.0, 3);
+        assert!(h.is_empty());
+        assert!(h.into_sorted().is_empty());
+        let mut h = WeightedHeap::new(3);
+        h.push(0, 1.0, 0);
+        assert!(h.is_empty());
+        assert_eq!(h.total_weight(), 0);
     }
 }

@@ -7,7 +7,7 @@
 
 use transer_common::{sq_dist, FeatureMatrix};
 
-use crate::heap::{BoundedMaxHeap, Neighbor};
+use crate::heap::{BoundedMaxHeap, Neighbor, WeightedHeap};
 
 /// Sentinel for "no child".
 const NONE: u32 = u32::MAX;
@@ -46,10 +46,13 @@ impl KdTree {
         let points = matrix.as_slice().to_vec();
         let mut nodes = Vec::with_capacity(n);
         let mut order: Vec<u32> = (0..n as u32).collect();
+        // Scratch for the per-node spread computation, reused down the
+        // whole recursion instead of being recomputed axis-by-axis.
+        let mut bounds = vec![0.0; 2 * dim];
         let root = if n == 0 {
             NONE
         } else {
-            build_recursive(&points, dim, &mut order, &mut nodes)
+            build_recursive(&points, dim, &mut order, &mut nodes, &mut bounds)
         };
         KdTree { points, dim, nodes, root }
     }
@@ -121,12 +124,67 @@ impl KdTree {
             self.search(far, query, exclude, heap);
         }
     }
+
+    /// Duplicate-aware query: the indexed rows are *unique* feature rows
+    /// and `weights[i]` is the multiplicity of row `i` in the original
+    /// (duplicated) matrix; a neighbour counts as `weights[i]` hits toward
+    /// the budget `k`.
+    ///
+    /// Returns the shortest prefix of distance classes whose cumulative
+    /// weight covers `k`, with the boundary class complete, sorted by
+    /// `(sq_dist, row index)` — see [`WeightedHeap`]. Expanding every row
+    /// `i` of the result into `weights[i]` duplicates and truncating at
+    /// `k` reproduces exactly what [`KdTree::k_nearest`] over the
+    /// duplicated matrix would return.
+    ///
+    /// # Panics
+    /// Panics when `query.len() != self.dim()` or
+    /// `weights.len() != self.len()`.
+    pub fn k_nearest_weighted(&self, query: &[f64], weights: &[u32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        assert_eq!(weights.len(), self.len(), "one weight per indexed row");
+        let mut heap = WeightedHeap::new(k);
+        if self.root != NONE && k > 0 {
+            self.search_weighted(self.root, query, weights, &mut heap);
+        }
+        heap.into_sorted()
+    }
+
+    fn search_weighted(
+        &self,
+        node_id: u32,
+        query: &[f64],
+        weights: &[u32],
+        heap: &mut WeightedHeap,
+    ) {
+        let node = self.nodes[node_id as usize];
+        let point = node.point as usize;
+        heap.push(point, sq_dist(query, self.coords(node.point)), weights[point] as usize);
+        let axis = node.axis as usize;
+        let delta = query[axis] - self.coords(node.point)[axis];
+        let (near, far) = if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        if near != NONE {
+            self.search_weighted(near, query, weights, heap);
+        }
+        // Inclusive bound, as in `search`: the weighted heap keeps whole
+        // distance classes, so boundary ties must never be pruned.
+        if far != NONE && delta * delta <= heap.prune_bound() {
+            self.search_weighted(far, query, weights, heap);
+        }
+    }
 }
 
 /// Build the subtree for the point indices in `order`, returning its root.
-fn build_recursive(points: &[f64], dim: usize, order: &mut [u32], nodes: &mut Vec<Node>) -> u32 {
+/// `bounds` is shared scratch (`2 * dim` values) for the spread pass.
+fn build_recursive(
+    points: &[f64],
+    dim: usize,
+    order: &mut [u32],
+    nodes: &mut Vec<Node>,
+    bounds: &mut [f64],
+) -> u32 {
     debug_assert!(!order.is_empty());
-    let axis = widest_axis(points, dim, order);
+    let axis = widest_axis(points, dim, order, bounds);
     let mid = order.len() / 2;
     order.select_nth_unstable_by(mid, |&a, &b| {
         let xa = points[a as usize * dim + axis];
@@ -142,12 +200,12 @@ fn build_recursive(points: &[f64], dim: usize, order: &mut [u32], nodes: &mut Ve
     let left = if left_slice.is_empty() {
         NONE
     } else {
-        build_recursive(points, dim, left_slice, nodes)
+        build_recursive(points, dim, left_slice, nodes, bounds)
     };
     let right = if right_slice.is_empty() {
         NONE
     } else {
-        build_recursive(points, dim, right_slice, nodes)
+        build_recursive(points, dim, right_slice, nodes, bounds)
     };
     nodes[id as usize].left = left;
     nodes[id as usize].right = right;
@@ -156,18 +214,27 @@ fn build_recursive(points: &[f64], dim: usize, order: &mut [u32], nodes: &mut Ve
 
 /// Axis with the largest value spread among the given points; splitting on
 /// it keeps the tree balanced for the skewed bi-modal ER distributions.
-fn widest_axis(points: &[f64], dim: usize, order: &[u32]) -> usize {
+///
+/// All axes are accumulated in a single contiguous pass over the node's
+/// rows (scratch `bounds` holds `dim` minima followed by `dim` maxima)
+/// rather than one strided pass per axis — same min/max sequence per axis,
+/// so the chosen axis is bit-identical, but the build no longer rescans
+/// each point `dim` times per tree level.
+fn widest_axis(points: &[f64], dim: usize, order: &[u32], bounds: &mut [f64]) -> usize {
+    let (lo, hi) = bounds.split_at_mut(dim);
+    lo.fill(f64::INFINITY);
+    hi.fill(f64::NEG_INFINITY);
+    for &i in order {
+        let row = &points[i as usize * dim..(i as usize + 1) * dim];
+        for (axis, &v) in row.iter().enumerate() {
+            lo[axis] = lo[axis].min(v);
+            hi[axis] = hi[axis].max(v);
+        }
+    }
     let mut best_axis = 0;
     let mut best_spread = -1.0;
     for axis in 0..dim {
-        let mut lo = f64::INFINITY;
-        let mut hi = f64::NEG_INFINITY;
-        for &i in order {
-            let v = points[i as usize * dim + axis];
-            lo = lo.min(v);
-            hi = hi.max(v);
-        }
-        let spread = hi - lo;
+        let spread = hi[axis] - lo[axis];
         if spread > best_spread {
             best_spread = spread;
             best_axis = axis;

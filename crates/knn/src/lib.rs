@@ -7,6 +7,18 @@
 //! crate provides that [`KdTree`] plus a [`brute_force_knn`] reference
 //! implementation used for testing and tiny inputs.
 //!
+//! On top of the plain indexes sits the duplicate-aware engine:
+//!
+//! * [`BlockedBruteForce`] — a cache-blocked kernel using precomputed
+//!   squared norms and the `‖a−b‖² = ‖a‖² − 2a·b + ‖b‖²` expansion as a
+//!   screen, with exact recomputation on the boundary band so results stay
+//!   bit-identical to [`KdTree`];
+//! * [`AdaptiveIndex`] / [`IndexKind`] — per-matrix backend choice from
+//!   `(rows, dim)`, overridable with `TRANSER_KNN_INDEX`;
+//! * [`DedupKnn`] — interns duplicated rows (`RowInterning` from
+//!   `transer-common`), queries unique rows with multiplicity weights, and
+//!   expands results back to original row indices.
+//!
 //! Distances are squared Euclidean throughout — monotone in the Euclidean
 //! distance, so neighbour *ranking* is identical and we skip the square
 //! roots in the hot path.
@@ -14,10 +26,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adaptive;
+mod blocked;
 mod brute;
+mod engine;
 mod heap;
 mod kdtree;
 
+pub use adaptive::{AdaptiveIndex, IndexKind};
+pub use blocked::BlockedBruteForce;
 pub use brute::brute_force_knn;
-pub use heap::{BoundedMaxHeap, Neighbor};
+pub use engine::DedupKnn;
+pub use heap::{BoundedMaxHeap, Neighbor, WeightedHeap};
 pub use kdtree::KdTree;

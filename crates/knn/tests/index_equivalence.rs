@@ -1,0 +1,164 @@
+//! Property tests pinning the bit-identity contract of the k-NN backends:
+//! [`KdTree`], the blocked brute-force kernel and the reference
+//! [`brute_force_knn`] must return the *same* neighbours, squared
+//! distances and tie-break order on any input — including the
+//! heavy-duplicate quantised clouds typical of ER feature matrices — and
+//! the duplicate-aware [`DedupKnn`] engine must reproduce plain queries
+//! over the original (duplicated) matrix exactly.
+
+use proptest::prelude::*;
+use transer_common::{FeatureMatrix, RowInterning};
+use transer_knn::{brute_force_knn, BlockedBruteForce, DedupKnn, IndexKind, KdTree};
+
+fn cloud(dim: usize, max_points: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0..1.0f64, dim..=dim), 1..=max_points)
+}
+
+/// Quantised cloud: coordinates snap to a 0.1 grid, forcing duplicates and
+/// distance ties.
+fn quantised_cloud(dim: usize, max_points: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0u8..=10, dim..=dim), 1..=max_points).prop_map(
+        |rows| {
+            rows.into_iter()
+                .map(|r| r.into_iter().map(|v| v as f64 / 10.0).collect())
+                .collect()
+        },
+    )
+}
+
+/// Expand a weighted (unique-row) neighbour list into original-row
+/// neighbours by brute force, mirroring what a plain query over the
+/// duplicated matrix returns — the reference for the weighted-query
+/// contract.
+fn reference_weighted(m: &FeatureMatrix, query: &[f64], k: usize) -> Vec<(usize, u64)> {
+    let it = RowInterning::of(m);
+    // Plain brute force over the *original* matrix, then collapse each
+    // entry to its unique row, keeping whole distance classes.
+    let full = brute_force_knn(m, query, m.rows(), None);
+    let mut out: Vec<(usize, u64)> = Vec::new();
+    let mut weight = 0usize;
+    let mut i = 0;
+    while i < full.len() && weight < k {
+        let bits = full[i].sq_dist.to_bits();
+        let mut class: Vec<usize> = Vec::new();
+        while i < full.len() && full[i].sq_dist.to_bits() == bits {
+            let u = it.to_unique()[full[i].index] as usize;
+            if !class.contains(&u) {
+                class.push(u);
+            }
+            weight += 1;
+            i += 1;
+        }
+        class.sort_unstable();
+        out.extend(class.into_iter().map(|u| (u, bits)));
+    }
+    out
+}
+
+proptest! {
+    /// KdTree ≡ BlockedBruteForce ≡ brute force: same neighbour sets,
+    /// same squared-distance bits, same tie-break order.
+    #[test]
+    fn all_backends_bitwise_agree(
+        rows in cloud(4, 120),
+        query in prop::collection::vec(0.0..1.0f64, 4..=4),
+        k in 1usize..12,
+    ) {
+        let m = FeatureMatrix::from_vecs(&rows).unwrap();
+        let tree = KdTree::build(&m);
+        let blocked = BlockedBruteForce::build(&m);
+        let reference = brute_force_knn(&m, &query, k, None);
+        let a = tree.k_nearest(&query, k);
+        let b = blocked.k_nearest(&query, k);
+        prop_assert_eq!(a.len(), reference.len());
+        prop_assert_eq!(b.len(), reference.len());
+        for (got, want) in a.iter().chain(b.iter()).zip(reference.iter().chain(reference.iter())) {
+            prop_assert_eq!(got.index, want.index);
+            prop_assert_eq!(got.sq_dist.to_bits(), want.sq_dist.to_bits());
+        }
+    }
+
+    /// The same agreement on heavy-duplicate matrices, excluding the query
+    /// row itself as SEL does.
+    #[test]
+    fn backends_agree_on_duplicates_with_exclusion(
+        rows in quantised_cloud(3, 150),
+        k in 1usize..10,
+    ) {
+        let m = FeatureMatrix::from_vecs(&rows).unwrap();
+        let tree = KdTree::build(&m);
+        let blocked = BlockedBruteForce::build(&m);
+        for i in 0..m.rows().min(15) {
+            let reference = brute_force_knn(&m, m.row(i), k, Some(i));
+            prop_assert_eq!(&tree.k_nearest_excluding(m.row(i), k, Some(i)), &reference);
+            prop_assert_eq!(&blocked.k_nearest_excluding(m.row(i), k, Some(i)), &reference);
+        }
+    }
+
+    /// Weighted queries over the interned rows return exactly the distance
+    /// classes a plain query over the duplicated matrix covers, on both
+    /// backends.
+    #[test]
+    fn weighted_queries_match_expanded_reference(
+        rows in quantised_cloud(3, 120),
+        k in 1usize..10,
+    ) {
+        let m = FeatureMatrix::from_vecs(&rows).unwrap();
+        let it = RowInterning::of(&m);
+        let weights = it.multiplicities();
+        let tree = KdTree::build(it.unique());
+        let blocked = BlockedBruteForce::build(it.unique());
+        for i in 0..m.rows().min(10) {
+            let query = m.row(i);
+            let want = reference_weighted(&m, query, k);
+            for nn in [tree.k_nearest_weighted(query, &weights, k),
+                       blocked.k_nearest_weighted(query, &weights, k)] {
+                let got: Vec<(usize, u64)> =
+                    nn.iter().map(|n| (n.index, n.sq_dist.to_bits())).collect();
+                prop_assert_eq!(&got, &want);
+            }
+        }
+    }
+
+    /// The full engine: DedupKnn over the duplicated matrix reproduces the
+    /// plain brute-force answer — with and without self-exclusion — for
+    /// every backend.
+    #[test]
+    fn dedup_engine_equals_brute_force_over_original(
+        rows in quantised_cloud(2, 140),
+        k in 1usize..8,
+    ) {
+        let m = FeatureMatrix::from_vecs(&rows).unwrap();
+        for kind in [IndexKind::KdTree, IndexKind::Blocked, IndexKind::Auto] {
+            let engine = DedupKnn::build(&m, kind);
+            for i in 0..m.rows().min(10) {
+                let query = m.row(i);
+                prop_assert_eq!(
+                    &engine.k_nearest(query, k),
+                    &brute_force_knn(&m, query, k, None)
+                );
+                prop_assert_eq!(
+                    &engine.k_nearest_excluding(query, k, i),
+                    &brute_force_knn(&m, query, k, Some(i))
+                );
+            }
+        }
+    }
+
+    /// Panel queries are elementwise identical to single queries.
+    #[test]
+    fn panel_queries_match_single_queries(
+        rows in quantised_cloud(3, 100),
+        k in 1usize..8,
+    ) {
+        let m = FeatureMatrix::from_vecs(&rows).unwrap();
+        let it = RowInterning::of(&m);
+        let weights = it.multiplicities();
+        let blocked = BlockedBruteForce::build(it.unique());
+        let queries: Vec<&[f64]> = (0..m.rows().min(12)).map(|i| m.row(i)).collect();
+        let panel = blocked.k_nearest_weighted_panel(&queries, &weights, k);
+        for (q, got) in queries.iter().zip(&panel) {
+            prop_assert_eq!(got, &blocked.k_nearest_weighted(q, &weights, k));
+        }
+    }
+}

@@ -6,4 +6,5 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+cargo bench --no-run
 cargo clippy --workspace --all-targets -- -D warnings
