@@ -36,7 +36,11 @@ impl DeepRanker {
     /// k-NN density-ratio weights for the source instances: the ratio of
     /// the k-th-neighbour-distance-based density estimates under the
     /// target and source samples.
-    fn density_ratio_weights(&self, es: &transer_common::FeatureMatrix, et: &transer_common::FeatureMatrix) -> Vec<f64> {
+    fn density_ratio_weights(
+        &self,
+        es: &transer_common::FeatureMatrix,
+        et: &transer_common::FeatureMatrix,
+    ) -> Vec<f64> {
         let source_tree = KdTree::build(es);
         let target_tree = KdTree::build(et);
         let k = self.k.min(es.rows().saturating_sub(1)).max(1);
@@ -55,7 +59,7 @@ impl DeepRanker {
                     .sqrt();
                 // Density ∝ 1 / r^d; the ratio collapses to (ds/dt)^d, and
                 // using the plain ratio keeps the weights well-conditioned.
-                
+
                 if dt <= 1e-12 {
                     self.clip
                 } else if !ds.is_finite() {

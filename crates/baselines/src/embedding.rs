@@ -102,8 +102,7 @@ impl HashedEmbedder {
             }
             None => {
                 for row in features.iter_rows() {
-                    let rendered: Vec<String> =
-                        row.iter().map(|v| format!("{v:.2}")).collect();
+                    let rendered: Vec<String> = row.iter().map(|v| format!("{v:.2}")).collect();
                     let text = rendered.join(" ");
                     out.push_row(&self.embed_pair(&text, &text));
                 }
@@ -161,10 +160,8 @@ mod tests {
     fn embed_side_with_and_without_text() {
         let e = emb();
         let x = FeatureMatrix::from_vecs(&[vec![0.9, 0.8], vec![0.1, 0.2]]).unwrap();
-        let texts = vec![
-            ("a b".to_string(), "a b".to_string()),
-            ("c d".to_string(), "e f".to_string()),
-        ];
+        let texts =
+            vec![("a b".to_string(), "a b".to_string()), ("c d".to_string(), "e f".to_string())];
         let with = e.embed_side(Some(&texts), &x);
         assert_eq!(with.rows(), 2);
         assert_eq!(with.cols(), 64);

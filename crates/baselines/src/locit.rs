@@ -85,6 +85,7 @@ impl TransferMethod for LocItStar {
             let theirs: Vec<usize> = nn2.iter().map(|n| n.index).collect();
             feats.push_row(&pair_features(xt, &own, xt, &theirs));
             labels.push(Label::Match); // "transferable"
+
             // Negative: vs a far instance's neighbourhood (deterministic
             // pick spread over the data).
             let far = (i + xt.rows() / 2) % xt.rows();

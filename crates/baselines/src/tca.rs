@@ -199,12 +199,7 @@ mod tests {
             xt.push(vec![0.2 - j / 2.0, 0.25 + j]);
             yt.push(Label::NonMatch);
         }
-        (
-            FeatureMatrix::from_vecs(&xs).unwrap(),
-            ys,
-            FeatureMatrix::from_vecs(&xt).unwrap(),
-            yt,
-        )
+        (FeatureMatrix::from_vecs(&xs).unwrap(), ys, FeatureMatrix::from_vecs(&xt).unwrap(), yt)
     }
 
     #[test]
@@ -231,11 +226,7 @@ mod tests {
 
     #[test]
     fn gram_schmidt_orthonormalises() {
-        let a = Mat::from_rows(&[
-            vec![1.0, 1.0],
-            vec![1.0, 0.0],
-            vec![0.0, 2.0],
-        ]);
+        let a = Mat::from_rows(&[vec![1.0, 1.0], vec![1.0, 0.0], vec![0.0, 2.0]]);
         let q = gram_schmidt(a).unwrap();
         let qtq = q.transpose().matmul(&q);
         assert!(qtq.frobenius_distance(&Mat::identity(2)) < 1e-10);

@@ -16,7 +16,9 @@ fn bench_blocking(c: &mut Criterion) {
     g.bench_function("signature/record", |b| b.iter(|| blocker.signature(black_box(&hashes))));
     g.sample_size(20);
     g.bench_function("lsh_candidates/1k_x_1k", |b| {
-        b.iter(|| blocker.candidate_pairs_masked(black_box(&left), black_box(&right), Some(&[0, 1])))
+        b.iter(|| {
+            blocker.candidate_pairs_masked(black_box(&left), black_box(&right), Some(&[0, 1]))
+        })
     });
     g.finish();
 }

@@ -27,8 +27,7 @@ fn bench_parallel(c: &mut Criterion) {
         &transer_datagen::biblio::BiblioConfig::dblp_acm(entities, BENCH_SEED),
     );
     let blocker = MinHashLsh::new(scenario.lsh_config());
-    let pairs =
-        blocker.candidate_pairs_masked(&left, &right, Some(scenario.blocking_attrs()));
+    let pairs = blocker.candidate_pairs_masked(&left, &right, Some(scenario.blocking_attrs()));
     let comparison = scenario.comparison();
 
     let mut g = c.benchmark_group("parallel");

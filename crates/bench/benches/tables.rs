@@ -39,7 +39,8 @@ fn bench_tables(c: &mut Criterion) {
 
     g.bench_function("table3/naive_runtime_row", |b| {
         b.iter(|| {
-            let ctx = RunContext::new(ClassifierKind::LogisticRegression, 7, ResourceBudget::default());
+            let ctx =
+                RunContext::new(ClassifierKind::LogisticRegression, 7, ResourceBudget::default());
             Naive.run(black_box(&task.view()), &ctx).unwrap()
         })
     });

@@ -26,7 +26,5 @@ pub fn biblio_pair() -> DomainPair {
 
 /// The music transfer task at bench scale.
 pub fn music_pair() -> DomainPair {
-    ScenarioPair::Music
-        .domain_pair(BENCH_SCALE, BENCH_SEED)
-        .expect("bench workload generation")
+    ScenarioPair::Music.domain_pair(BENCH_SCALE, BENCH_SEED).expect("bench workload generation")
 }

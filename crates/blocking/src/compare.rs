@@ -164,7 +164,10 @@ enum PreparedValue {
     /// Numeric value: the raw number for measures with a native numeric
     /// path, plus the prepared decimal rendering for the text fallbacks
     /// and Text/Number cross comparisons.
-    Number { raw: f64, text: PreparedText },
+    Number {
+        raw: f64,
+        text: PreparedText,
+    },
 }
 
 impl PreparedValue {
@@ -238,7 +241,8 @@ mod tests {
 
     #[test]
     fn mixed_text_number_compares_textually() {
-        let a = Record::new(0, 1, vec![AttrValue::Text("x".into()), AttrValue::Text("1999".into())]);
+        let a =
+            Record::new(0, 1, vec![AttrValue::Text("x".into()), AttrValue::Text("1999".into())]);
         let b = rec(1, 1, "x", 1999.0);
         let v = cmp().feature_vector(&a, &b);
         assert_eq!(v[1], 1.0);
@@ -306,13 +310,14 @@ mod tests {
             AttrValue::Missing,
         ];
         // One record per value; a comparison applying every measure to it.
-        let comparison =
-            Comparison::new(measures.iter().map(|&m| (0, m)).collect()).unwrap();
-        let records: Vec<Record> =
-            values.iter().enumerate().map(|(i, v)| Record::new(i as u64, 0, vec![v.clone()])).collect();
-        let pairs: Vec<CandidatePair> = (0..records.len())
-            .flat_map(|i| (0..records.len()).map(move |j| (i, j)))
+        let comparison = Comparison::new(measures.iter().map(|&m| (0, m)).collect()).unwrap();
+        let records: Vec<Record> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| Record::new(i as u64, 0, vec![v.clone()]))
             .collect();
+        let pairs: Vec<CandidatePair> =
+            (0..records.len()).flat_map(|i| (0..records.len()).map(move |j| (i, j))).collect();
         for workers in [1, 4] {
             let (x, _) = comparison.compare_pairs_with_pool(
                 &records,
@@ -336,7 +341,9 @@ mod tests {
     #[test]
     fn parallel_compare_is_deterministic() {
         let left: Vec<Record> = (0..40)
-            .map(|i| rec(i, i, &format!("record number {i} with some title text"), 1950.0 + i as f64))
+            .map(|i| {
+                rec(i, i, &format!("record number {i} with some title text"), 1950.0 + i as f64)
+            })
             .collect();
         let right = left.clone();
         let pairs: Vec<CandidatePair> =

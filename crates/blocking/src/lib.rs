@@ -25,8 +25,8 @@ mod standard;
 mod tokenize;
 
 pub use compare::Comparison;
-pub use resolution::{one_to_one_matching, transitive_clusters};
 pub use minhash::{MinHashLsh, MinHashLshConfig};
+pub use resolution::{one_to_one_matching, transitive_clusters};
 pub use sorted::SortedNeighbourhood;
 pub use standard::StandardBlocking;
 pub use tokenize::{record_tokens, record_tokens_masked, token_hashes, token_hashes_masked};

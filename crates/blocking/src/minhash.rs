@@ -64,11 +64,7 @@ impl MinHashLsh {
     /// Panics when `bands` does not divide `num_hashes`, or either is zero.
     pub fn new(config: MinHashLshConfig) -> Self {
         assert!(config.num_hashes > 0 && config.bands > 0, "hashes and bands must be positive");
-        assert_eq!(
-            config.num_hashes % config.bands,
-            0,
-            "bands must divide num_hashes"
-        );
+        assert_eq!(config.num_hashes % config.bands, 0, "bands must divide num_hashes");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let coeffs = (0..config.num_hashes)
             .map(|_| (rng.random::<u64>() | 1, rng.random::<u64>()))
@@ -283,7 +279,12 @@ mod tests {
 
     #[test]
     fn signature_similarity_tracks_jaccard() {
-        let b = MinHashLsh::new(MinHashLshConfig { num_hashes: 256, bands: 32, seed: 7, ..Default::default() });
+        let b = MinHashLsh::new(MinHashLshConfig {
+            num_hashes: 256,
+            bands: 32,
+            seed: 7,
+            ..Default::default()
+        });
         let s1: Vec<u64> = (0..100).collect();
         let s2: Vec<u64> = (20..120).collect(); // Jaccard = 80/120 ≈ 0.667
         let sig1 = b.signature(&s1);
@@ -296,7 +297,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "bands must divide")]
     fn invalid_banding_panics() {
-        MinHashLsh::new(MinHashLshConfig { num_hashes: 10, bands: 3, seed: 0, ..Default::default() });
+        MinHashLsh::new(MinHashLshConfig {
+            num_hashes: 10,
+            bands: 3,
+            seed: 0,
+            ..Default::default()
+        });
     }
 
     #[test]
@@ -315,10 +321,18 @@ mod tests {
             .map(|i| rec(i, i % 7, &format!("{} volume {}", titles[i as usize % 5], i % 11)))
             .collect();
         let b = blocker();
-        let seq =
-            b.candidate_pairs_masked_with_pool(&left, &right, None, &transer_parallel::Pool::new(1));
-        let par =
-            b.candidate_pairs_masked_with_pool(&left, &right, None, &transer_parallel::Pool::new(4));
+        let seq = b.candidate_pairs_masked_with_pool(
+            &left,
+            &right,
+            None,
+            &transer_parallel::Pool::new(1),
+        );
+        let par = b.candidate_pairs_masked_with_pool(
+            &left,
+            &right,
+            None,
+            &transer_parallel::Pool::new(4),
+        );
         assert!(!seq.is_empty());
         assert_eq!(seq, par);
     }

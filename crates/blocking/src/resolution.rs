@@ -77,8 +77,7 @@ pub fn transitive_clusters(
     for x in 0..n as u32 {
         by_root.entry(uf.find(x)).or_default().push(x as usize);
     }
-    let mut clusters: Vec<Vec<usize>> =
-        by_root.into_values().filter(|c| c.len() > 1).collect();
+    let mut clusters: Vec<Vec<usize>> = by_root.into_values().filter(|c| c.len() > 1).collect();
     for c in &mut clusters {
         c.sort_unstable();
     }
@@ -99,8 +98,7 @@ pub fn one_to_one_matching(
 ) -> Vec<CandidatePair> {
     assert_eq!(pairs.len(), labels.len(), "pairs/labels length mismatch");
     assert_eq!(pairs.len(), scores.len(), "pairs/scores length mismatch");
-    let mut order: Vec<usize> =
-        (0..pairs.len()).filter(|&k| labels[k].is_match()).collect();
+    let mut order: Vec<usize> = (0..pairs.len()).filter(|&k| labels[k].is_match()).collect();
     order.sort_by(|&a, &b| {
         scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
     });

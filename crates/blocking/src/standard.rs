@@ -80,10 +80,7 @@ mod tests {
     }
 
     fn surname_soundex(r: &Record) -> Vec<String> {
-        r.values[0]
-            .as_text()
-            .map(|s| vec![soundex(s)])
-            .unwrap_or_default()
+        r.values[0].as_text().map(|s| vec![soundex(s)]).unwrap_or_default()
     }
 
     #[test]

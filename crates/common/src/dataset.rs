@@ -116,8 +116,10 @@ mod tests {
     use super::*;
 
     fn ds(name: &str, rows: &[(f64, Label)]) -> LabeledDataset {
-        let x = FeatureMatrix::from_vecs(&rows.iter().map(|(v, _)| vec![*v, 1.0 - *v]).collect::<Vec<_>>())
-            .unwrap();
+        let x = FeatureMatrix::from_vecs(
+            &rows.iter().map(|(v, _)| vec![*v, 1.0 - *v]).collect::<Vec<_>>(),
+        )
+        .unwrap();
         let y = rows.iter().map(|(_, l)| *l).collect();
         LabeledDataset::new(name, x, y).unwrap()
     }
@@ -150,9 +152,12 @@ mod tests {
         let r = p.reversed();
         assert_eq!(r.label(), "B -> A");
 
-        let narrow =
-            LabeledDataset::new("C", FeatureMatrix::from_vecs(&[vec![0.5]]).unwrap(), vec![Label::Match])
-                .unwrap();
+        let narrow = LabeledDataset::new(
+            "C",
+            FeatureMatrix::from_vecs(&[vec![0.5]]).unwrap(),
+            vec![Label::Match],
+        )
+        .unwrap();
         assert!(DomainPair::new(a, narrow).is_err());
     }
 }

@@ -64,7 +64,10 @@ impl fmt::Display for Error {
                 write!(f, "memory exceeded: needs {required} B, budget {budget} B (ME)")
             }
             Error::TimeExceeded { elapsed_secs, budget_secs } => {
-                write!(f, "time exceeded: {elapsed_secs:.1}s elapsed, budget {budget_secs:.1}s (TE)")
+                write!(
+                    f,
+                    "time exceeded: {elapsed_secs:.1}s elapsed, budget {budget_secs:.1}s (TE)"
+                )
             }
             Error::TrainingFailed(msg) => write!(f, "training failed: {msg}"),
         }
@@ -97,9 +100,7 @@ mod tests {
     #[test]
     fn resource_exceeded_classification() {
         assert!(Error::MemoryExceeded { required: 10, budget: 5 }.is_resource_exceeded());
-        assert!(
-            Error::TimeExceeded { elapsed_secs: 10.0, budget_secs: 5.0 }.is_resource_exceeded()
-        );
+        assert!(Error::TimeExceeded { elapsed_secs: 10.0, budget_secs: 5.0 }.is_resource_exceeded());
         assert!(!Error::EmptyInput("x").is_resource_exceeded());
     }
 }

@@ -9,6 +9,10 @@
 //!   each column one attribute similarity in `[0, 1]`.
 //! * [`RowInterning`] deduplicates the rows of a [`FeatureMatrix`] — the
 //!   substrate of the duplicate-aware k-NN engine in `transer-knn`.
+//! * [`ColMajorMatrix`] is the column-major training view of a
+//!   [`FeatureMatrix`] — the substrate of the presorted tree engine in
+//!   `transer-ml` — built by a cache-blocked transpose
+//!   ([`transpose_blocked`]) shared with `transer-linalg`.
 //! * [`Label`] is the binary match / non-match class label.
 //! * [`LabeledDataset`] and [`DomainPair`] bundle feature matrices with
 //!   (ground-truth) labels for the source and target domains of a transfer
@@ -21,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod colmajor;
 mod dataset;
 mod error;
 mod features;
@@ -28,6 +33,7 @@ mod intern;
 mod label;
 mod record;
 
+pub use colmajor::{transpose_blocked, ColMajorMatrix};
 pub use dataset::{DomainPair, LabeledDataset};
 pub use error::{Error, Result};
 pub use features::{sq_dist, FeatureMatrix};

@@ -38,8 +38,7 @@ pub fn suggest_queries(
     }
     let out = TransEr::new(config, classifier, seed)?.fit_predict(xs, ys, xt)?;
     let pseudo = out.pseudo.ok_or(Error::EmptyInput("pseudo labels (GEN/TCL ablated?)"))?;
-    let mut candidates: Vec<usize> =
-        (0..xt.rows()).filter(|i| !exclude.contains(i)).collect();
+    let mut candidates: Vec<usize> = (0..xt.rows()).filter(|i| !exclude.contains(i)).collect();
     candidates.sort_by(|&a, &b| {
         pseudo.confidences[a]
             .partial_cmp(&pseudo.confidences[b])
@@ -85,8 +84,7 @@ pub fn active_transfer(
     let mut history = Vec::with_capacity(rounds);
     for _ in 0..rounds {
         let exclude: Vec<usize> = labelled.iter().map(|&(i, _)| i).collect();
-        let queries =
-            suggest_queries(config, classifier, seed, xs, ys, xt, &exclude, per_round)?;
+        let queries = suggest_queries(config, classifier, seed, xs, ys, xt, &exclude, per_round)?;
         if queries.is_empty() {
             break;
         }
@@ -118,12 +116,7 @@ mod tests {
             xt.push(vec![0.14 + j, 0.2 - j]);
             yt.push(Label::NonMatch);
         }
-        (
-            FeatureMatrix::from_vecs(&xs).unwrap(),
-            ys,
-            FeatureMatrix::from_vecs(&xt).unwrap(),
-            yt,
-        )
+        (FeatureMatrix::from_vecs(&xs).unwrap(), ys, FeatureMatrix::from_vecs(&xt).unwrap(), yt)
     }
 
     fn cfg() -> TransErConfig {
@@ -133,17 +126,9 @@ mod tests {
     #[test]
     fn queries_target_the_uncertain_region() {
         let (xs, ys, xt, _) = shifted_task();
-        let q = suggest_queries(
-            cfg(),
-            ClassifierKind::LogisticRegression,
-            1,
-            &xs,
-            &ys,
-            &xt,
-            &[],
-            5,
-        )
-        .unwrap();
+        let q =
+            suggest_queries(cfg(), ClassifierKind::LogisticRegression, 1, &xs, &ys, &xt, &[], 5)
+                .unwrap();
         assert_eq!(q.len(), 5);
         // The uncertain instances are the shifted matches (even indices).
         let shifted_hits = q.iter().filter(|&&i| i % 2 == 0).count();
@@ -153,16 +138,18 @@ mod tests {
     #[test]
     fn exclusion_is_respected_and_deterministic() {
         let (xs, ys, xt, _) = shifted_task();
-        let first = suggest_queries(cfg(), ClassifierKind::LogisticRegression, 1, &xs, &ys, &xt, &[], 3)
-            .unwrap();
+        let first =
+            suggest_queries(cfg(), ClassifierKind::LogisticRegression, 1, &xs, &ys, &xt, &[], 3)
+                .unwrap();
         let second =
             suggest_queries(cfg(), ClassifierKind::LogisticRegression, 1, &xs, &ys, &xt, &first, 3)
                 .unwrap();
         for i in &second {
             assert!(!first.contains(i));
         }
-        let again = suggest_queries(cfg(), ClassifierKind::LogisticRegression, 1, &xs, &ys, &xt, &[], 3)
-            .unwrap();
+        let again =
+            suggest_queries(cfg(), ClassifierKind::LogisticRegression, 1, &xs, &ys, &xt, &[], 3)
+                .unwrap();
         assert_eq!(first, again);
     }
 

@@ -137,7 +137,8 @@ impl TransErConfig {
                 message: "neighbourhood size must be at least 1".into(),
             });
         }
-        for (name, v) in [("t_c", self.t_c), ("t_l", self.t_l), ("t_p", self.t_p), ("t_v", self.t_v)]
+        for (name, v) in
+            [("t_c", self.t_c), ("t_l", self.t_l), ("t_p", self.t_p), ("t_v", self.t_v)]
         {
             if !(0.0..=1.0).contains(&v) || !v.is_finite() {
                 return Err(Error::InvalidParameter {

@@ -48,9 +48,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod decay;
 mod active;
 mod config;
+pub mod decay;
 mod multi_source;
 mod pipeline;
 mod pseudo;
@@ -67,6 +67,6 @@ pub use selector::{
     select_instances, select_instances_per_row_with_pool, select_instances_with_backend,
     select_instances_with_pool, InstanceScores, SelectionResult,
 };
-pub use transer_knn::IndexKind;
 pub use semi::{SemiSupervisedTransEr, TargetLabel};
 pub use target::{train_target_classifier, TargetPhaseOutput};
+pub use transer_knn::IndexKind;

@@ -132,8 +132,7 @@ mod tests {
         let xs = FeatureMatrix::from_vecs(&rows).unwrap();
         let (xt, _) = domain(0.5, 20);
         let config = TransErConfig { k: 5, ..Default::default() };
-        let scores =
-            rank_sources(&[(&xs, ys.as_slice())], &xt, &config).unwrap();
+        let scores = rank_sources(&[(&xs, ys.as_slice())], &xt, &config).unwrap();
         assert_eq!(scores[0].score, 0.0);
     }
 

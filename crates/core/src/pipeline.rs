@@ -5,7 +5,7 @@
 use std::time::Instant;
 
 use transer_common::{FeatureMatrix, Label, Result};
-use transer_ml::{Classifier, ClassifierKind};
+use transer_ml::{Classifier, ClassifierKind, TreeEngine};
 
 use crate::config::TransErConfig;
 use crate::pseudo::{generate_pseudo_labels, PseudoLabels};
@@ -65,6 +65,7 @@ pub struct TransEr {
     config: TransErConfig,
     classifier: ClassifierKind,
     seed: u64,
+    tree_engine: TreeEngine,
 }
 
 impl TransEr {
@@ -75,7 +76,16 @@ impl TransEr {
     /// configuration is invalid.
     pub fn new(config: TransErConfig, classifier: ClassifierKind, seed: u64) -> Result<Self> {
         config.validate()?;
-        Ok(TransEr { config, classifier, seed })
+        Ok(TransEr { config, classifier, seed, tree_engine: TreeEngine::from_env() })
+    }
+
+    /// Pin the decision-tree training engine for the tree-based classifier
+    /// kinds instead of reading `TRANSER_TREE_ENGINE`. The engines produce
+    /// bit-identical classifiers, so pipeline outputs do not depend on this
+    /// choice — it exists for benchmarks and equivalence tests.
+    pub fn with_tree_engine(mut self, engine: TreeEngine) -> Self {
+        self.tree_engine = engine;
+        self
     }
 
     /// The active configuration.
@@ -139,7 +149,7 @@ impl TransEr {
             // Ablation "without GEN & TCL": classify the target with a
             // model trained directly on the transferred instances.
             let started = Instant::now();
-            let mut clf = self.classifier.build(self.seed);
+            let mut clf = self.classifier.build_with_engine(self.seed, self.tree_engine);
             clf.fit(&xu, &yu)?;
             let labels = clf.predict(xt);
             diag.gen_secs = started.elapsed().as_secs_f64();
@@ -148,13 +158,15 @@ impl TransEr {
 
         // Phase (ii): GEN.
         let started = Instant::now();
-        let mut cu: Box<dyn Classifier> = self.classifier.build(self.seed);
+        let mut cu: Box<dyn Classifier> =
+            self.classifier.build_with_engine(self.seed, self.tree_engine);
         let pseudo = generate_pseudo_labels(cu.as_mut(), &xu, &yu, xt)?;
         diag.gen_secs = started.elapsed().as_secs_f64();
 
         // Phase (iii): TCL.
         let started = Instant::now();
-        let mut cv: Box<dyn Classifier> = self.classifier.build(self.seed.wrapping_add(1));
+        let mut cv: Box<dyn Classifier> =
+            self.classifier.build_with_engine(self.seed.wrapping_add(1), self.tree_engine);
         let output = match train_target_classifier(
             cv.as_mut(),
             xt,
@@ -218,12 +230,7 @@ mod tests {
             xt.push(vec![0.16 + j, 0.14 - j / 2.0]);
             yt.push(Label::NonMatch);
         }
-        (
-            FeatureMatrix::from_vecs(&xs).unwrap(),
-            ys,
-            FeatureMatrix::from_vecs(&xt).unwrap(),
-            yt,
-        )
+        (FeatureMatrix::from_vecs(&xs).unwrap(), ys, FeatureMatrix::from_vecs(&xt).unwrap(), yt)
     }
 
     fn run(config: TransErConfig) -> (TransErOutput, Vec<Label>) {
@@ -259,11 +266,7 @@ mod tests {
 
     #[test]
     fn without_gen_tcl_variant() {
-        let cfg = TransErConfig {
-            k: 5,
-            variant: Variant::without_gen_tcl(),
-            ..Default::default()
-        };
+        let cfg = TransErConfig { k: 5, variant: Variant::without_gen_tcl(), ..Default::default() };
         let (out, yt) = run(cfg);
         assert!(out.pseudo.is_none());
         assert_eq!(out.diagnostics.candidate_count, 0);
@@ -316,12 +319,8 @@ mod tests {
 
     #[test]
     fn invalid_config_rejected_at_construction() {
-        assert!(TransEr::new(
-            TransErConfig { k: 0, ..Default::default() },
-            ClassifierKind::Svm,
-            0
-        )
-        .is_err());
+        assert!(TransEr::new(TransErConfig { k: 0, ..Default::default() }, ClassifierKind::Svm, 0)
+            .is_err());
     }
 
     #[test]

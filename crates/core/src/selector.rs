@@ -140,7 +140,9 @@ pub fn select_instances_with_backend(
             chunk
                 .iter()
                 .zip(src.iter().zip(&tgt))
-                .map(|(&u, (sw, tw))| score_group(u as usize, sw, tw, xs, ys, xt, &source, &target, config))
+                .map(|(&u, (sw, tw))| {
+                    score_group(u as usize, sw, tw, xs, ys, xt, &source, &target, config)
+                })
                 .collect()
         });
 
@@ -221,8 +223,9 @@ fn score_group(
         // scores at most once.
         let inside = (zero_count > 0)
             .then(|| shared_scores(&p[1..], ct.as_deref(), cov_t.as_ref(), xs, row, m, variant));
-        let beyond = (zero_count < members.len())
-            .then(|| shared_scores(&p[..k_prefix], ct.as_deref(), cov_t.as_ref(), xs, row, m, variant));
+        let beyond = (zero_count < members.len()).then(|| {
+            shared_scores(&p[..k_prefix], ct.as_deref(), cov_t.as_ref(), xs, row, m, variant)
+        });
         for (j, &i) in members.iter().enumerate() {
             let i = i as usize;
             let (ns_len, same, shared) = if j < zero_count {
@@ -288,7 +291,8 @@ fn shared_scores(
     // Optional LocIT covariance similarity for the + sim_v ablation.
     let sim_v = match cov_t {
         Some(cov_t) if variant.use_sim_v && !ns.is_empty() => {
-            let cov_s = covariance(&xs.select_rows(&ns.iter().map(|n| n.index).collect::<Vec<_>>()));
+            let cov_s =
+                covariance(&xs.select_rows(&ns.iter().map(|n| n.index).collect::<Vec<_>>()));
             exp_decay_5(cov_s.frobenius_distance(cov_t) / m)
         }
         _ => 1.0,
@@ -351,19 +355,16 @@ pub fn select_instances_per_row_with_pool(
         } else {
             let cs = centroid(xs, &ns, row);
             let ct = centroid(xt, &nt, row);
-            let dist: f64 = cs
-                .iter()
-                .zip(&ct)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f64>()
-                .sqrt();
+            let dist: f64 = cs.iter().zip(&ct).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
             exp_decay_5(dist / m.sqrt())
         };
 
         // Optional LocIT covariance similarity for the + sim_v ablation.
         let sim_v = if variant.use_sim_v && !ns.is_empty() && !nt.is_empty() {
-            let cov_s = covariance(&xs.select_rows(&ns.iter().map(|n| n.index).collect::<Vec<_>>()));
-            let cov_t = covariance(&xt.select_rows(&nt.iter().map(|n| n.index).collect::<Vec<_>>()));
+            let cov_s =
+                covariance(&xs.select_rows(&ns.iter().map(|n| n.index).collect::<Vec<_>>()));
+            let cov_t =
+                covariance(&xt.select_rows(&nt.iter().map(|n| n.index).collect::<Vec<_>>()));
             exp_decay_5(cov_s.frobenius_distance(&cov_t) / m)
         } else {
             1.0
@@ -418,11 +419,7 @@ fn validate(
 
 /// Mean of the neighbourhood rows; falls back to the instance itself when
 /// the neighbourhood is empty (single-row matrices).
-fn centroid(
-    x: &FeatureMatrix,
-    neighbours: &[Neighbor],
-    fallback: &[f64],
-) -> Vec<f64> {
+fn centroid(x: &FeatureMatrix, neighbours: &[Neighbor], fallback: &[f64]) -> Vec<f64> {
     if neighbours.is_empty() {
         return fallback.to_vec();
     }
@@ -466,11 +463,7 @@ mod tests {
             xt.push(vec![0.88 + j, 0.91 - j]);
             xt.push(vec![0.12 + j, 0.09 - j]);
         }
-        (
-            FeatureMatrix::from_vecs(&xs).unwrap(),
-            ys,
-            FeatureMatrix::from_vecs(&xt).unwrap(),
-        )
+        (FeatureMatrix::from_vecs(&xs).unwrap(), ys, FeatureMatrix::from_vecs(&xt).unwrap())
     }
 
     /// A duplicate-heavy fixture: every source row repeated several times
@@ -501,11 +494,7 @@ mod tests {
             xt.push(vec![0.12, 0.09]);
             xt.push(vec![0.52, 0.48]);
         }
-        (
-            FeatureMatrix::from_vecs(&xs).unwrap(),
-            ys,
-            FeatureMatrix::from_vecs(&xt).unwrap(),
-        )
+        (FeatureMatrix::from_vecs(&xs).unwrap(), ys, FeatureMatrix::from_vecs(&xt).unwrap())
     }
 
     fn config(k: usize) -> TransErConfig {
@@ -550,9 +539,10 @@ mod tests {
     fn structurally_absent_regions_have_low_sim_l() {
         let (xs, ys, _) = fixture();
         // Target far away from every source instance.
-        let far =
-            FeatureMatrix::from_vecs(&(0..10).map(|i| vec![0.0, 0.9 + i as f64 * 0.01]).collect::<Vec<_>>())
-                .unwrap();
+        let far = FeatureMatrix::from_vecs(
+            &(0..10).map(|i| vec![0.0, 0.9 + i as f64 * 0.01]).collect::<Vec<_>>(),
+        )
+        .unwrap();
         let sel = select_instances(&xs, &ys, &far, &config(5)).unwrap();
         // Match-cluster instances at (0.9,0.9) are far from the target
         // cloud near (0.0,0.95): sim_l must be small.
@@ -626,8 +616,7 @@ mod tests {
 
     #[test]
     fn dedup_path_is_bit_identical_to_per_row_path() {
-        for (name, (xs, ys, xt)) in
-            [("clusters", fixture()), ("duplicated", duplicated_fixture())]
+        for (name, (xs, ys, xt)) in [("clusters", fixture()), ("duplicated", duplicated_fixture())]
         {
             for k in [1, 3, 5] {
                 let mut cfg = config(k);
@@ -678,11 +667,12 @@ mod tests {
             Label::NonMatch,
             Label::Match,
         ];
-        let xt = FeatureMatrix::from_vecs(&[vec![0.1, 0.5], vec![0.8, 0.85], vec![-0.0, 0.5]])
-            .unwrap();
+        let xt =
+            FeatureMatrix::from_vecs(&[vec![0.1, 0.5], vec![0.8, 0.85], vec![-0.0, 0.5]]).unwrap();
         let mut cfg = config(3);
         cfg.variant.use_sim_v = true;
-        let reference = select_instances_per_row_with_pool(&xs, &ys, &xt, &cfg, &Pool::new(1)).unwrap();
+        let reference =
+            select_instances_per_row_with_pool(&xs, &ys, &xt, &cfg, &Pool::new(1)).unwrap();
         for kind in [IndexKind::KdTree, IndexKind::Blocked] {
             let fast =
                 select_instances_with_backend(&xs, &ys, &xt, &cfg, &Pool::new(2), kind).unwrap();

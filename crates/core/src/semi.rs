@@ -64,8 +64,7 @@ impl SemiSupervisedTransEr {
             }
         }
         if target_labels.is_empty() {
-            return TransEr::new(self.config, self.classifier, self.seed)?
-                .fit_predict(xs, ys, xt);
+            return TransEr::new(self.config, self.classifier, self.seed)?.fit_predict(xs, ys, xt);
         }
 
         let mut diag = Diagnostics { source_count: xs.rows(), ..Default::default() };
@@ -140,12 +139,7 @@ mod tests {
             xt.push(vec![0.12 + j, 0.18 - j]);
             yt.push(Label::NonMatch);
         }
-        (
-            FeatureMatrix::from_vecs(&xs).unwrap(),
-            ys,
-            FeatureMatrix::from_vecs(&xt).unwrap(),
-            yt,
-        )
+        (FeatureMatrix::from_vecs(&xs).unwrap(), ys, FeatureMatrix::from_vecs(&xt).unwrap(), yt)
     }
 
     #[test]
@@ -167,8 +161,7 @@ mod tests {
         let semi = SemiSupervisedTransEr::new(cfg, ClassifierKind::LogisticRegression, 3).unwrap();
         // Reveal a handful of target labels, biased towards matches (the
         // class the shifted boundary misses).
-        let revealed: Vec<TargetLabel> =
-            (0..10).map(|i| (i * 2, yt[i * 2])).collect();
+        let revealed: Vec<TargetLabel> = (0..10).map(|i| (i * 2, yt[i * 2])).collect();
         let out = semi.fit_predict(&xs, &ys, &xt, &revealed).unwrap();
         for &(i, l) in &revealed {
             assert_eq!(out.labels[i], l, "revealed label must be kept");

@@ -128,18 +128,14 @@ mod tests {
             labels.push(Label::Match);
             conf.push(0.6);
         }
-        (
-            FeatureMatrix::from_vecs(&rows).unwrap(),
-            PseudoLabels { labels, confidences: conf },
-        )
+        (FeatureMatrix::from_vecs(&rows).unwrap(), PseudoLabels { labels, confidences: conf })
     }
 
     #[test]
     fn balances_and_classifies() {
         let (xt, pseudo) = fixture();
         let mut clf = ClassifierKind::LogisticRegression.build(0);
-        let out =
-            train_target_classifier(clf.as_mut(), &xt, &pseudo, 0.99, 3.0, 42).unwrap();
+        let out = train_target_classifier(clf.as_mut(), &xt, &pseudo, 0.99, 3.0, 42).unwrap();
         // 70 high-confidence instances plus the 5 uncertain matches
         // backfilled to reach the per-class minimum.
         assert_eq!(out.candidate_count, 75);
@@ -164,10 +160,8 @@ mod tests {
         // When the pseudo labels contain no matches at all, even the
         // backfill cannot help and TCL must signal the fallback.
         let xt = FeatureMatrix::from_vecs(&[vec![0.1], vec![0.2], vec![0.9]]).unwrap();
-        let pseudo = PseudoLabels {
-            labels: vec![Label::NonMatch; 3],
-            confidences: vec![0.999, 0.999, 0.6],
-        };
+        let pseudo =
+            PseudoLabels { labels: vec![Label::NonMatch; 3], confidences: vec![0.999, 0.999, 0.6] };
         let mut clf = ClassifierKind::LogisticRegression.build(0);
         let err = train_target_classifier(clf.as_mut(), &xt, &pseudo, 0.99, 3.0, 0);
         assert!(matches!(err, Err(Error::TrainingFailed(_))));

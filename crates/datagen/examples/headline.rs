@@ -21,15 +21,26 @@ fn main() {
                 let t = TransEr::new(TransErConfig::default(), kind, 7).unwrap();
                 let out = t.fit_predict(&dp.source.x, &dp.source.y, &dp.target.x).unwrap();
                 let cm = evaluate(&out.labels, &dp.target.y);
-                tf.push(cm.f_star()); tr.push(cm.recall()); tp.push(cm.precision());
+                tf.push(cm.f_star());
+                tr.push(cm.recall());
+                tp.push(cm.precision());
                 let mut clf = kind.build(7);
                 clf.fit(&dp.source.x, &dp.source.y).unwrap();
                 let cm = evaluate(&clf.predict(&dp.target.x), &dp.target.y);
-                nf.push(cm.f_star()); nr.push(cm.recall()); np.push(cm.precision());
+                nf.push(cm.f_star());
+                nr.push(cm.recall());
+                np.push(cm.precision());
             }
-            println!("{:<26} TransER F*={:.1} P={:.1} R={:.1} | Naive F*={:.1} P={:.1} R={:.1}",
-                dp.label(), tf.mean()*100.0, tp.mean()*100.0, tr.mean()*100.0,
-                nf.mean()*100.0, np.mean()*100.0, nr.mean()*100.0);
+            println!(
+                "{:<26} TransER F*={:.1} P={:.1} R={:.1} | Naive F*={:.1} P={:.1} R={:.1}",
+                dp.label(),
+                tf.mean() * 100.0,
+                tp.mean() * 100.0,
+                tr.mean() * 100.0,
+                nf.mean() * 100.0,
+                np.mean() * 100.0,
+                nr.mean() * 100.0
+            );
         }
     }
 }

@@ -17,9 +17,19 @@ fn main() {
         let mut keys: HashMap<Vec<i64>, (usize, usize)> = HashMap::new();
         for i in 0..n {
             let e = keys.entry(d.x.row_key(i, 2)).or_default();
-            if d.y[i].is_match() { e.0 += 1 } else { e.1 += 1 }
+            if d.y[i].is_match() {
+                e.0 += 1
+            } else {
+                e.1 += 1
+            }
         }
-        let amb: usize = keys.values().filter(|(a,b)| *a>0 && *b>0).map(|(a,b)| a+b).sum();
-        println!("{:<14} pairs={:<8} M%={:.1} amb%={:.1}", s.name(), n, 100.0*m as f64/n as f64, 100.0*amb as f64/n as f64);
+        let amb: usize = keys.values().filter(|(a, b)| *a > 0 && *b > 0).map(|(a, b)| a + b).sum();
+        println!(
+            "{:<14} pairs={:<8} M%={:.1} amb%={:.1}",
+            s.name(),
+            n,
+            100.0 * m as f64 / n as f64,
+            100.0 * amb as f64 / n as f64
+        );
     }
 }

@@ -185,14 +185,7 @@ pub fn generate(config: &BiblioConfig) -> (Vec<Record>, Vec<Record>) {
         let in_both = rng.random_bool(config.overlap);
         let in_left = in_both || rng.random_bool(0.5);
         if in_left {
-            left.push(render(
-                entity,
-                left.len() as u64,
-                p,
-                &config.left_profile,
-                false,
-                &mut rng,
-            ));
+            left.push(render(entity, left.len() as u64, p, &config.left_profile, false, &mut rng));
         }
         if in_both || !in_left {
             right.push(render(
@@ -281,18 +274,10 @@ mod tests {
     fn scholar_right_side_is_messier() {
         let cfg = BiblioConfig::dblp_scholar(400, 5);
         let (_, r) = generate(&cfg);
-        let missing = r
-            .iter()
-            .flat_map(|rec| &rec.values)
-            .filter(|v| v.is_missing())
-            .count();
+        let missing = r.iter().flat_map(|rec| &rec.values).filter(|v| v.is_missing()).count();
         let abbrevs = r
             .iter()
-            .filter(|rec| {
-                rec.values[2]
-                    .as_text()
-                    .is_some_and(|v| VENUES_ABBREV.contains(&v))
-            })
+            .filter(|rec| rec.values[2].as_text().is_some_and(|v| VENUES_ABBREV.contains(&v)))
             .count();
         assert!(missing > 0, "heavy profile should drop values");
         assert!(abbrevs > r.len() / 4, "scholar style should abbreviate venues");

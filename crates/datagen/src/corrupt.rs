@@ -108,8 +108,8 @@ const OCR_CONFUSIONS: &[(&str, &str)] =
     &[("m", "rn"), ("w", "vv"), ("l", "1"), ("o", "0"), ("s", "5"), ("cl", "d"), ("nn", "m")];
 
 const ALPHABET: &[char] = &[
-    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
-    's', 't', 'u', 'v', 'w', 'x', 'y', 'z',
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's',
+    't', 'u', 'v', 'w', 'x', 'y', 'z',
 ];
 
 /// Apply one random character edit (insert / delete / substitute /

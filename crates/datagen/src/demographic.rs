@@ -208,9 +208,8 @@ pub fn generate_couples(config: &DemographicConfig) -> Vec<Couple> {
                 mother_maiden: maiden_clan.surname.clone(),
                 parish: clan.parish.clone(),
                 street: clan.streets[rng.random_range(0..clan.streets.len())].clone(),
-                father_occupation: clan.occupations
-                    [rng.random_range(0..clan.occupations.len())]
-                .clone(),
+                father_occupation: clan.occupations[rng.random_range(0..clan.occupations.len())]
+                    .clone(),
                 mother_occupation: pick(OCCUPATIONS, &mut rng).to_string(),
                 marriage_year,
                 first_event_year: marriage_year + rng.random_range(1..=5) as f64,
@@ -358,10 +357,8 @@ mod tests {
     fn couples_reuse_names_on_the_isle() {
         let ios = DemographicConfig::ios(LinkKind::BpDp, 400, 3);
         let couples = generate_couples(&ios);
-        let distinct: HashSet<(String, String)> = couples
-            .iter()
-            .map(|c| (c.father_first.clone(), c.father_last.clone()))
-            .collect();
+        let distinct: HashSet<(String, String)> =
+            couples.iter().map(|c| (c.father_first.clone(), c.father_last.clone())).collect();
         // 400 couples drawn from a grid of 20 first names x at most 8 clan
         // surnames: massive reuse (at least 240 couples repeat a name).
         assert!(distinct.len() <= 20 * 8, "{} distinct father names", distinct.len());

@@ -18,10 +18,8 @@ use transer_common::{Error, FeatureMatrix, Label, LabeledDataset, Result};
 /// via [`Error::InvalidParameter`] (the workspace has no I/O error
 /// variant; exporting is an edge concern).
 pub fn write_csv<W: Write>(ds: &LabeledDataset, writer: W) -> Result<()> {
-    let io = |e: std::io::Error| Error::InvalidParameter {
-        name: "csv writer",
-        message: e.to_string(),
-    };
+    let io =
+        |e: std::io::Error| Error::InvalidParameter { name: "csv writer", message: e.to_string() };
     let mut w = BufWriter::new(writer);
     let header: Vec<String> = (0..ds.x.cols()).map(|i| format!("f{i}")).collect();
     writeln!(w, "{},label", header.join(",")).map_err(io)?;
@@ -42,9 +40,7 @@ pub fn read_csv<R: Read>(name: impl Into<String>, reader: R) -> Result<LabeledDa
         message: format!("line {line}: {message}"),
     };
     let mut lines = BufReader::new(reader).lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| err(0, "empty file".into()))?;
+    let (_, header) = lines.next().ok_or_else(|| err(0, "empty file".into()))?;
     let header = header.map_err(|e| err(1, e.to_string()))?;
     let cols = header.split(',').count();
     if cols < 2 || !header.ends_with("label") {
@@ -62,12 +58,9 @@ pub fn read_csv<R: Read>(name: impl Into<String>, reader: R) -> Result<LabeledDa
         }
         let mut fields = line.split(',');
         for slot in buf.iter_mut() {
-            let field = fields
-                .next()
-                .ok_or_else(|| err(idx + 1, "too few fields".into()))?;
-            *slot = field
-                .parse()
-                .map_err(|e| err(idx + 1, format!("bad number {field:?}: {e}")))?;
+            let field = fields.next().ok_or_else(|| err(idx + 1, "too few fields".into()))?;
+            *slot =
+                field.parse().map_err(|e| err(idx + 1, format!("bad number {field:?}: {e}")))?;
         }
         let label = match fields.next() {
             Some("M") => Label::Match,
@@ -88,11 +81,7 @@ mod tests {
     use super::*;
 
     fn sample() -> LabeledDataset {
-        let x = FeatureMatrix::from_vecs(&[
-            vec![1.0, 0.5, 0.25],
-            vec![0.0, 0.125, 1.0],
-        ])
-        .unwrap();
+        let x = FeatureMatrix::from_vecs(&[vec![1.0, 0.5, 0.25], vec![0.0, 0.125, 1.0]]).unwrap();
         LabeledDataset::new("sample", x, vec![Label::Match, Label::NonMatch]).unwrap()
     }
 

@@ -10,48 +10,177 @@ use rand::seq::IndexedRandom;
 
 /// Male and female given names common in 19th-century Scottish registers.
 pub const FIRST_NAMES: &[&str] = &[
-    "john", "james", "william", "alexander", "donald", "robert", "angus", "duncan", "hugh",
-    "neil", "archibald", "malcolm", "kenneth", "norman", "murdo", "mary", "margaret", "ann",
-    "catherine", "janet", "christina", "isabella", "flora", "marion", "effie", "jessie",
-    "agnes", "elizabeth", "jane", "helen",
+    "john",
+    "james",
+    "william",
+    "alexander",
+    "donald",
+    "robert",
+    "angus",
+    "duncan",
+    "hugh",
+    "neil",
+    "archibald",
+    "malcolm",
+    "kenneth",
+    "norman",
+    "murdo",
+    "mary",
+    "margaret",
+    "ann",
+    "catherine",
+    "janet",
+    "christina",
+    "isabella",
+    "flora",
+    "marion",
+    "effie",
+    "jessie",
+    "agnes",
+    "elizabeth",
+    "jane",
+    "helen",
 ];
 
 /// Surnames; clan names dominate on the isle, town names are more varied.
 pub const SURNAMES: &[&str] = &[
-    "macdonald", "macleod", "mackinnon", "mackenzie", "macinnes", "maclean", "campbell",
-    "stewart", "robertson", "nicolson", "matheson", "ross", "fraser", "grant", "murray",
-    "ferguson", "beaton", "gillies", "lamont", "shaw", "smith", "brown", "wilson", "thomson",
-    "walker", "young", "paterson", "watson", "morrison", "kerr",
+    "macdonald",
+    "macleod",
+    "mackinnon",
+    "mackenzie",
+    "macinnes",
+    "maclean",
+    "campbell",
+    "stewart",
+    "robertson",
+    "nicolson",
+    "matheson",
+    "ross",
+    "fraser",
+    "grant",
+    "murray",
+    "ferguson",
+    "beaton",
+    "gillies",
+    "lamont",
+    "shaw",
+    "smith",
+    "brown",
+    "wilson",
+    "thomson",
+    "walker",
+    "young",
+    "paterson",
+    "watson",
+    "morrison",
+    "kerr",
 ];
 
 /// Occupations recorded on civil certificates.
 pub const OCCUPATIONS: &[&str] = &[
-    "crofter", "fisherman", "farmer", "weaver", "labourer", "shepherd", "blacksmith", "mason",
-    "carpenter", "tailor", "shoemaker", "merchant", "miner", "carter", "domestic servant",
-    "seaman", "gardener", "baker", "cooper", "slater",
+    "crofter",
+    "fisherman",
+    "farmer",
+    "weaver",
+    "labourer",
+    "shepherd",
+    "blacksmith",
+    "mason",
+    "carpenter",
+    "tailor",
+    "shoemaker",
+    "merchant",
+    "miner",
+    "carter",
+    "domestic servant",
+    "seaman",
+    "gardener",
+    "baker",
+    "cooper",
+    "slater",
 ];
 
 /// Parishes / localities.
 pub const PLACES: &[&str] = &[
-    "portree", "snizort", "duirinish", "bracadale", "strath", "sleat", "kilmuir", "uig",
-    "dunvegan", "broadford", "kilmarnock", "riccarton", "fenwick", "dreghorn", "irvine",
-    "galston", "hurlford", "crosshouse", "darvel", "stewarton",
+    "portree",
+    "snizort",
+    "duirinish",
+    "bracadale",
+    "strath",
+    "sleat",
+    "kilmuir",
+    "uig",
+    "dunvegan",
+    "broadford",
+    "kilmarnock",
+    "riccarton",
+    "fenwick",
+    "dreghorn",
+    "irvine",
+    "galston",
+    "hurlford",
+    "crosshouse",
+    "darvel",
+    "stewarton",
 ];
 
 /// Street fragments for town addresses.
 pub const STREETS: &[&str] = &[
-    "high street", "king street", "queen street", "mill road", "church lane", "harbour road",
-    "main street", "green street", "bank street", "wellington street", "portland road",
-    "union street", "north road", "south vennel", "west shaw street",
+    "high street",
+    "king street",
+    "queen street",
+    "mill road",
+    "church lane",
+    "harbour road",
+    "main street",
+    "green street",
+    "bank street",
+    "wellington street",
+    "portland road",
+    "union street",
+    "north road",
+    "south vennel",
+    "west shaw street",
 ];
 
 /// Research-paper title vocabulary (database/data-mining flavoured).
 pub const TITLE_WORDS: &[&str] = &[
-    "efficient", "scalable", "adaptive", "incremental", "distributed", "parallel", "approximate",
-    "probabilistic", "learning", "mining", "indexing", "matching", "clustering", "query",
-    "processing", "optimization", "databases", "streams", "graphs", "records", "entities",
-    "resolution", "integration", "schema", "similarity", "joins", "views", "transactions",
-    "caching", "retrieval", "semantic", "knowledge", "web", "data", "large", "deep",
+    "efficient",
+    "scalable",
+    "adaptive",
+    "incremental",
+    "distributed",
+    "parallel",
+    "approximate",
+    "probabilistic",
+    "learning",
+    "mining",
+    "indexing",
+    "matching",
+    "clustering",
+    "query",
+    "processing",
+    "optimization",
+    "databases",
+    "streams",
+    "graphs",
+    "records",
+    "entities",
+    "resolution",
+    "integration",
+    "schema",
+    "similarity",
+    "joins",
+    "views",
+    "transactions",
+    "caching",
+    "retrieval",
+    "semantic",
+    "knowledge",
+    "web",
+    "data",
+    "large",
+    "deep",
 ];
 
 /// Publication venues, in both full and abbreviated renditions (index-
@@ -80,9 +209,9 @@ pub const SONG_WORDS: &[&str] = &[
 
 /// Band / artist name fragments.
 pub const ARTIST_WORDS: &[&str] = &[
-    "the", "black", "electric", "velvet", "crystal", "neon", "silver", "royal", "phantom",
-    "echo", "stone", "iron", "paper", "arctic", "cosmic", "sonic", "lunar", "scarlet",
-    "wolves", "pilots", "queens", "kings", "riders", "ghosts", "tigers", "sparrows",
+    "the", "black", "electric", "velvet", "crystal", "neon", "silver", "royal", "phantom", "echo",
+    "stone", "iron", "paper", "arctic", "cosmic", "sonic", "lunar", "scarlet", "wolves", "pilots",
+    "queens", "kings", "riders", "ghosts", "tigers", "sparrows",
 ];
 
 /// Album qualifier words used for re-releases — the engine of Musicbrainz

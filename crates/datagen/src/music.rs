@@ -163,7 +163,15 @@ pub fn generate(config: &MusicConfig) -> (Vec<Record>, Vec<Record>) {
         let in_both = rng.random_bool(config.overlap);
         let in_left = in_both || rng.random_bool(0.5);
         if in_left {
-            left.push(render(entity, left.len() as u64, s, &config.left_profile, false, 0.0, &mut rng));
+            left.push(render(
+                entity,
+                left.len() as u64,
+                s,
+                &config.left_profile,
+                false,
+                0.0,
+                &mut rng,
+            ));
         }
         if in_both || !in_left {
             right.push(render(

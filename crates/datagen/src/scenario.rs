@@ -106,7 +106,9 @@ impl Scenario {
             Scenario::DblpAcm | Scenario::DblpScholar | Scenario::Msd | Scenario::Musicbrainz => {
                 MinHashLshConfig { num_hashes: 32, bands: 8, max_bucket: 60, ..Default::default() }
             }
-            _ => MinHashLshConfig { num_hashes: 32, bands: 4, max_bucket: 40, ..Default::default() },
+            _ => {
+                MinHashLshConfig { num_hashes: 32, bands: 4, max_bucket: 40, ..Default::default() }
+            }
         }
     }
 
@@ -149,9 +151,7 @@ impl Scenario {
         let seed = seed ^ (self as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
         let (left, right) = match self {
             Scenario::DblpAcm => biblio::generate(&BiblioConfig::dblp_acm(entities, seed)),
-            Scenario::DblpScholar => {
-                biblio::generate(&BiblioConfig::dblp_scholar(entities, seed))
-            }
+            Scenario::DblpScholar => biblio::generate(&BiblioConfig::dblp_scholar(entities, seed)),
             Scenario::Msd => music::generate(&MusicConfig::msd(entities, seed)),
             Scenario::Musicbrainz => music::generate(&MusicConfig::musicbrainz(entities, seed)),
             Scenario::IosBpDp => {
@@ -170,13 +170,9 @@ impl Scenario {
         let blocker = MinHashLsh::new(self.lsh_config());
         let pairs = blocker.candidate_pairs_masked(&left, &right, Some(self.blocking_attrs()));
         let dataset = self.comparison().compare_to_dataset(self.name(), &left, &right, &pairs)?;
-        let render = |r: &Record| {
-            r.values.iter().map(ToString::to_string).collect::<Vec<_>>().join(" ")
-        };
-        let texts = pairs
-            .iter()
-            .map(|&(i, j)| (render(&left[i]), render(&right[j])))
-            .collect();
+        let render =
+            |r: &Record| r.values.iter().map(ToString::to_string).collect::<Vec<_>>().join(" ");
+        let texts = pairs.iter().map(|&(i, j)| (render(&left[i]), render(&right[j]))).collect();
         Ok((dataset, texts))
     }
 }
@@ -197,12 +193,8 @@ pub enum ScenarioPair {
 
 impl ScenarioPair {
     /// All four pairs.
-    pub const ALL: [ScenarioPair; 4] = [
-        ScenarioPair::Bibliographic,
-        ScenarioPair::Music,
-        ScenarioPair::BpDp,
-        ScenarioPair::BpBp,
-    ];
+    pub const ALL: [ScenarioPair; 4] =
+        [ScenarioPair::Bibliographic, ScenarioPair::Music, ScenarioPair::BpDp, ScenarioPair::BpBp];
 
     /// The pair's two scenarios in the paper's (first listed → second)
     /// order.

@@ -219,9 +219,7 @@ mod tests {
         let shifted = VectorDomainConfig { shift: 0.1, ..base };
         let a = generate("a", &base).unwrap();
         let b = generate("b", &shifted).unwrap();
-        let mean = |d: &LabeledDataset| {
-            d.x.row_means().iter().sum::<f64>() / d.len() as f64
-        };
+        let mean = |d: &LabeledDataset| d.x.row_means().iter().sum::<f64>() / d.len() as f64;
         assert!(mean(&b) > mean(&a) + 0.05);
     }
 

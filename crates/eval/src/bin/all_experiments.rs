@@ -1,7 +1,7 @@
 //! Run every table and figure in sequence (the full reproduction).
 use transer_eval::{
-    ablation, characteristics, controlled, decay_fig, distribution, quality, runtime,
-    sensitivity, Options,
+    ablation, characteristics, controlled, decay_fig, distribution, quality, runtime, sensitivity,
+    Options,
 };
 
 fn main() {
@@ -15,9 +15,8 @@ fn main() {
     };
     run("Table 1", &mut || characteristics::table1(&opts).map(|r| characteristics::render(&r)));
     run("Figure 2", &mut || {
-        distribution::fig2(&opts).map(|s| {
-            s.iter().map(distribution::render).collect::<Vec<_>>().join("\n")
-        })
+        distribution::fig2(&opts)
+            .map(|s| s.iter().map(distribution::render).collect::<Vec<_>>().join("\n"))
     });
     run("Figure 5", &mut || Ok(decay_fig::render(&decay_fig::fig5(20))));
     run("Table 2", &mut || quality::table2(&opts).map(|t| quality::render(&t)));

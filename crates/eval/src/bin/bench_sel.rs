@@ -12,10 +12,7 @@ fn main() {
     if opts.json.is_none() {
         opts.json = Some("results/BENCH_sel.json".to_string());
     }
-    let threads = args
-        .windows(2)
-        .find(|w| w[0] == "--threads")
-        .and_then(|w| w[1].parse().ok());
+    let threads = args.windows(2).find(|w| w[0] == "--threads").and_then(|w| w[1].parse().ok());
     match sel_bench::sel_benchmark(&opts, threads) {
         Ok(report) => {
             println!(

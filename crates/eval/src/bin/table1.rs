@@ -5,7 +5,10 @@ fn main() {
     let opts = Options::from_env();
     match characteristics::table1(&opts) {
         Ok(rows) => {
-            println!("Table 1 — data set characteristics (scale {}, seed {})\n", opts.scale, opts.seed);
+            println!(
+                "Table 1 — data set characteristics (scale {}, seed {})\n",
+                opts.scale, opts.seed
+            );
             print!("{}", characteristics::render(&rows));
             opts.maybe_write_json(&rows);
         }

@@ -5,7 +5,10 @@ fn main() {
     let opts = Options::from_env();
     match runtime::table3(&opts) {
         Ok(rows) => {
-            println!("Table 3 — feature matrix sizes and runtimes in seconds (scale {})\n", opts.scale);
+            println!(
+                "Table 3 — feature matrix sizes and runtimes in seconds (scale {})\n",
+                opts.scale
+            );
             print!("{}", runtime::render(&rows));
             opts.maybe_write_json(&rows);
         }

@@ -190,10 +190,8 @@ mod tests {
     use transer_common::{FeatureMatrix, Label};
 
     fn ds(rows: &[(f64, Label)]) -> LabeledDataset {
-        let x = FeatureMatrix::from_vecs(
-            &rows.iter().map(|(v, _)| vec![*v]).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let x = FeatureMatrix::from_vecs(&rows.iter().map(|(v, _)| vec![*v]).collect::<Vec<_>>())
+            .unwrap();
         LabeledDataset::new("t", x, rows.iter().map(|(_, l)| *l).collect()).unwrap()
     }
 
@@ -217,8 +215,8 @@ mod tests {
     #[test]
     fn common_vector_classification() {
         let a = ds(&[
-            (0.9, Label::Match),    // common, same class
-            (0.5, Label::Match),    // common, diff class
+            (0.9, Label::Match), // common, same class
+            (0.5, Label::Match), // common, diff class
             (0.3, Label::Match),
             (0.3, Label::NonMatch), // ambiguous in a, common
             (0.7, Label::Match),    // not common
@@ -242,10 +240,7 @@ mod tests {
         let rows = table1(&opts).unwrap();
         assert_eq!(rows.len(), 4);
         // Feature-space widths follow the paper: 4, 5, 8, 11.
-        assert_eq!(
-            rows.iter().map(|r| r.a.num_features).collect::<Vec<_>>(),
-            vec![4, 5, 8, 11]
-        );
+        assert_eq!(rows.iter().map(|r| r.a.num_features).collect::<Vec<_>>(), vec![4, 5, 8, 11]);
         let text = render(&rows);
         assert!(text.contains("DBLP-ACM"));
         assert!(text.contains("KIL Bp-Bp"));

@@ -28,6 +28,7 @@ pub mod characteristics;
 pub mod controlled;
 pub mod decay_fig;
 pub mod distribution;
+pub mod forest_bench;
 pub mod quality;
 pub mod runtime;
 pub mod scaling;
@@ -40,4 +41,6 @@ mod tasks;
 
 pub use options::Options;
 pub use report::{format_table, Cell};
-pub use tasks::{directed_tasks, run_baseline, run_transer, EvalTask, MethodOutcome, QualityNumbers};
+pub use tasks::{
+    directed_tasks, run_baseline, run_transer, EvalTask, MethodOutcome, QualityNumbers,
+};

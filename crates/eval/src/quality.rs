@@ -53,8 +53,10 @@ pub fn table2(opts: &Options) -> transer_common::Result<Table2> {
 
     // Per-method averages over completed tasks (mean of per-task means;
     // std across tasks).
-    let method_names: Vec<String> =
-        rows.first().map(|r| r.methods.iter().map(|(n, _)| n.clone()).collect()).unwrap_or_default();
+    let method_names: Vec<String> = rows
+        .first()
+        .map(|r| r.methods.iter().map(|(n, _)| n.clone()).collect())
+        .unwrap_or_default();
     let mut averages = Vec::new();
     for name in method_names {
         let mut p = MeanStd::new();
@@ -121,10 +123,8 @@ pub fn render(t: &Table2) -> String {
         }
     }
     for (mi, mn) in metric_names.iter().enumerate() {
-        let mut line = vec![
-            if mi == 0 { Cell::from("Averages") } else { Cell::Empty },
-            Cell::from(*mn),
-        ];
+        let mut line =
+            vec![if mi == 0 { Cell::from("Averages") } else { Cell::Empty }, Cell::from(*mn)];
         for (_, q) in &t.averages {
             let (m, s) = match mi {
                 0 => q.precision,

@@ -34,8 +34,7 @@ pub fn table3(opts: &Options) -> transer_common::Result<Vec<Table3Row>> {
     let mut rows = Vec::new();
     for task in &tasks {
         let mut runtimes = Vec::new();
-        let (_, secs, _) =
-            run_transer(TransErConfig::default(), task, &classifiers, opts.seed)?;
+        let (_, secs, _) = run_transer(TransErConfig::default(), task, &classifiers, opts.seed)?;
         runtimes.push(("TransER".to_string(), Some(secs)));
         for baseline in &baselines {
             let outcome =

@@ -55,7 +55,11 @@ pub fn fig6(opts: &Options) -> Result<Vec<SensitivitySeries>> {
                 run_transer(TransErConfig::default(), &reduced, &classifiers, opts.seed)?;
             quality.push(q);
         }
-        out.push(SensitivitySeries { task: task.name.clone(), values: fractions.to_vec(), quality });
+        out.push(SensitivitySeries {
+            task: task.name.clone(),
+            values: fractions.to_vec(),
+            quality,
+        });
     }
     Ok(out)
 }
@@ -134,8 +138,7 @@ pub fn fig7(opts: &Options) -> Result<Vec<Fig7Panel>> {
         for task in &tasks {
             let mut quality = Vec::new();
             for &v in &values {
-                let (q, _, _) =
-                    run_transer(parameter.config(v), task, &classifiers, opts.seed)?;
+                let (q, _, _) = run_transer(parameter.config(v), task, &classifiers, opts.seed)?;
                 quality.push(q);
             }
             series.push(SensitivitySeries {

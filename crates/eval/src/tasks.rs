@@ -146,9 +146,7 @@ pub fn run_baseline(
             Err(transer_common::Error::MemoryExceeded { .. }) => {
                 return MethodOutcome::MemoryExceeded
             }
-            Err(transer_common::Error::TimeExceeded { .. }) => {
-                return MethodOutcome::TimeExceeded
-            }
+            Err(transer_common::Error::TimeExceeded { .. }) => return MethodOutcome::TimeExceeded,
             Err(e) => return MethodOutcome::Failed(e.to_string()),
         }
     }

@@ -1,0 +1,45 @@
+//! Acceptance test for the presorted tree engine at pipeline level: the
+//! full TransER run (SEL → GEN → TCL) with the tree-based classifiers
+//! must produce the same labels and bit-identical pseudo-label
+//! confidences whichever engine trains the trees — i.e. the seed
+//! behaviour is preserved end to end.
+
+use transer_core::{TransEr, TransErConfig};
+use transer_datagen::ScenarioPair;
+use transer_ml::{ClassifierKind, TreeEngine};
+
+#[test]
+fn pipeline_outputs_identical_across_tree_engines() {
+    const SCALE: f64 = 0.03;
+    const SEED: u64 = 42;
+
+    for scenario in [ScenarioPair::Bibliographic, ScenarioPair::Music] {
+        let pair = scenario.domain_pair(SCALE, SEED).unwrap();
+        for kind in [ClassifierKind::RandomForest, ClassifierKind::DecisionTree] {
+            let run = |engine: TreeEngine| {
+                TransEr::new(TransErConfig::default(), kind, SEED)
+                    .unwrap()
+                    .with_tree_engine(engine)
+                    .fit_predict(&pair.source.x, &pair.source.y, &pair.target.x)
+                    .unwrap()
+            };
+            let reference = run(TreeEngine::Reference);
+            let presorted = run(TreeEngine::Presorted);
+            let what = format!("{scenario:?}/{}", kind.name());
+            assert_eq!(reference.labels, presorted.labels, "{what}: final labels differ");
+            let (ref_pseudo, pre_pseudo) =
+                (reference.pseudo.expect("pseudo kept"), presorted.pseudo.expect("pseudo kept"));
+            assert_eq!(ref_pseudo.labels, pre_pseudo.labels, "{what}: pseudo labels differ");
+            assert_eq!(
+                ref_pseudo.confidences.len(),
+                pre_pseudo.confidences.len(),
+                "{what}: confidence count differs"
+            );
+            for (i, (a, b)) in
+                ref_pseudo.confidences.iter().zip(&pre_pseudo.confidences).enumerate()
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "{what}: confidence row {i}");
+            }
+        }
+    }
+}

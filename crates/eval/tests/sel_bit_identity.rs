@@ -25,8 +25,7 @@ fn assert_bit_identical(a: &SelectionResult, b: &SelectionResult, what: &str) {
 fn check_dataset(name: &str, xs: &FeatureMatrix, ys: &[Label], xt: &FeatureMatrix) {
     let mut config = TransErConfig::default();
     config.variant.use_sim_v = true; // exercise every score path
-    let reference =
-        select_instances_per_row_with_pool(xs, ys, xt, &config, &Pool::new(1)).unwrap();
+    let reference = select_instances_per_row_with_pool(xs, ys, xt, &config, &Pool::new(1)).unwrap();
     for kind in [IndexKind::KdTree, IndexKind::Blocked, IndexKind::Auto] {
         for workers in [1, 4] {
             let fast =

@@ -50,7 +50,9 @@ impl IndexKind {
     pub fn from_env() -> IndexKind {
         static KIND: OnceLock<IndexKind> = OnceLock::new();
         *KIND.get_or_init(|| {
-            std::env::var("TRANSER_KNN_INDEX").map(|v| IndexKind::parse(&v)).unwrap_or(IndexKind::Auto)
+            std::env::var("TRANSER_KNN_INDEX")
+                .map(|v| IndexKind::parse(&v))
+                .unwrap_or(IndexKind::Auto)
         })
     }
 
@@ -133,7 +135,12 @@ impl AdaptiveIndex {
     }
 
     /// See [`KdTree::k_nearest_excluding`].
-    pub fn k_nearest_excluding(&self, query: &[f64], k: usize, exclude: Option<usize>) -> Vec<Neighbor> {
+    pub fn k_nearest_excluding(
+        &self,
+        query: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Vec<Neighbor> {
         match self {
             AdaptiveIndex::KdTree(t) => t.k_nearest_excluding(query, k, exclude),
             AdaptiveIndex::Blocked(b) => b.k_nearest_excluding(query, k, exclude),
@@ -210,8 +217,14 @@ mod tests {
         let weights = vec![1u32; m.rows()];
         for q in [[0.3, 0.3], [0.0, 1.0]] {
             assert_eq!(kd.k_nearest(&q, 5), bl.k_nearest(&q, 5));
-            assert_eq!(kd.k_nearest_excluding(&q, 5, Some(3)), bl.k_nearest_excluding(&q, 5, Some(3)));
-            assert_eq!(kd.k_nearest_weighted(&q, &weights, 5), bl.k_nearest_weighted(&q, &weights, 5));
+            assert_eq!(
+                kd.k_nearest_excluding(&q, 5, Some(3)),
+                bl.k_nearest_excluding(&q, 5, Some(3))
+            );
+            assert_eq!(
+                kd.k_nearest_weighted(&q, &weights, 5),
+                bl.k_nearest_weighted(&q, &weights, 5)
+            );
         }
         let qs: Vec<&[f64]> = (0..8).map(|i| m.row(i)).collect();
         assert_eq!(

@@ -96,8 +96,7 @@ impl BlockedBruteForce {
         k: usize,
         exclude: Option<usize>,
     ) -> Vec<Neighbor> {
-        let mut nn =
-            self.panel(&[query], None, k, exclude).pop().expect("one result per query");
+        let mut nn = self.panel(&[query], None, k, exclude).pop().expect("one result per query");
         nn.truncate(k);
         nn
     }
@@ -287,7 +286,8 @@ mod tests {
     fn weighted_query_counts_multiplicities() {
         // Unique rows with weights [3, 1, 1]: a budget of 3 is covered by
         // the nearest row alone.
-        let m = FeatureMatrix::from_vecs(&[vec![0.5, 0.5], vec![0.9, 0.9], vec![0.1, 0.1]]).unwrap();
+        let m =
+            FeatureMatrix::from_vecs(&[vec![0.5, 0.5], vec![0.9, 0.9], vec![0.1, 0.1]]).unwrap();
         let idx = BlockedBruteForce::build(&m);
         let nn = idx.k_nearest_weighted(&[0.5, 0.5], &[3, 1, 1], 3);
         assert_eq!(nn.len(), 1);

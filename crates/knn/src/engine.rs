@@ -150,8 +150,7 @@ mod tests {
 
     fn duplicated() -> FeatureMatrix {
         // 12 rows, 4 unique, multiplicities [4, 3, 3, 2].
-        let protos =
-            [vec![0.5, 0.5], vec![0.1, 0.9], vec![0.9, 0.1], vec![0.3, 0.3]];
+        let protos = [vec![0.5, 0.5], vec![0.1, 0.9], vec![0.9, 0.1], vec![0.3, 0.3]];
         let pattern = [0usize, 1, 0, 2, 1, 3, 0, 2, 1, 3, 0, 2];
         FeatureMatrix::from_vecs(&pattern.iter().map(|&p| protos[p].clone()).collect::<Vec<_>>())
             .unwrap()

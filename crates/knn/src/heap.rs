@@ -153,7 +153,8 @@ impl WeightedHeap {
                 }
             }
         }
-        let class = self.classes.entry(bits).or_insert(WeightClass { weight: 0, items: Vec::new() });
+        let class =
+            self.classes.entry(bits).or_insert(WeightClass { weight: 0, items: Vec::new() });
         class.weight += weight;
         class.items.push(index as u32);
         self.total += weight;
@@ -301,6 +302,7 @@ mod tests {
         assert_eq!(h.prune_bound(), f64::INFINITY); // 3 < 5
         h.push(1, 2.0, 4);
         assert_eq!(h.prune_bound(), 2.0); // 7 >= 5
+
         // Farther candidate is rejected outright.
         h.push(2, 3.0, 10);
         assert_eq!(h.total_weight(), 7);

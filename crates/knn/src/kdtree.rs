@@ -104,7 +104,13 @@ impl KdTree {
         heap.into_sorted()
     }
 
-    fn search(&self, node_id: u32, query: &[f64], exclude: Option<usize>, heap: &mut BoundedMaxHeap) {
+    fn search(
+        &self,
+        node_id: u32,
+        query: &[f64],
+        exclude: Option<usize>,
+        heap: &mut BoundedMaxHeap,
+    ) {
         let node = self.nodes[node_id as usize];
         let point = node.point as usize;
         if exclude != Some(point) {
@@ -112,7 +118,8 @@ impl KdTree {
         }
         let axis = node.axis as usize;
         let delta = query[axis] - self.coords(node.point)[axis];
-        let (near, far) = if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        let (near, far) =
+            if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
         if near != NONE {
             self.search(near, query, exclude, heap);
         }
@@ -162,7 +169,8 @@ impl KdTree {
         heap.push(point, sq_dist(query, self.coords(node.point)), weights[point] as usize);
         let axis = node.axis as usize;
         let delta = query[axis] - self.coords(node.point)[axis];
-        let (near, far) = if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        let (near, far) =
+            if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
         if near != NONE {
             self.search_weighted(near, query, weights, heap);
         }

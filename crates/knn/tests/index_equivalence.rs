@@ -18,11 +18,7 @@ fn cloud(dim: usize, max_points: usize) -> impl Strategy<Value = Vec<Vec<f64>>> 
 /// distance ties.
 fn quantised_cloud(dim: usize, max_points: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     prop::collection::vec(prop::collection::vec(0u8..=10, dim..=dim), 1..=max_points).prop_map(
-        |rows| {
-            rows.into_iter()
-                .map(|r| r.into_iter().map(|v| v as f64 / 10.0).collect())
-                .collect()
-        },
+        |rows| rows.into_iter().map(|r| r.into_iter().map(|v| v as f64 / 10.0).collect()).collect(),
     )
 }
 

@@ -147,11 +147,7 @@ mod tests {
         // Symmetric matrix with known spectrum {6, 3, 1} (constructed as
         // V diag(6,3,1) V^T for an orthonormal V would be ideal; instead we
         // check reconstruction + trace/determinant invariants).
-        let a = Mat::from_rows(&[
-            vec![4.0, 1.0, 1.0],
-            vec![1.0, 3.0, 0.5],
-            vec![1.0, 0.5, 2.0],
-        ]);
+        let a = Mat::from_rows(&[vec![4.0, 1.0, 1.0], vec![1.0, 3.0, 0.5], vec![1.0, 0.5, 2.0]]);
         let e = jacobi_eigen(&a);
         // Trace preserved.
         close(e.values.iter().sum::<f64>(), 9.0, 1e-9);
@@ -163,11 +159,8 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = Mat::from_rows(&[
-            vec![2.0, -1.0, 0.0],
-            vec![-1.0, 2.0, -1.0],
-            vec![0.0, -1.0, 2.0],
-        ]);
+        let a =
+            Mat::from_rows(&[vec![2.0, -1.0, 0.0], vec![-1.0, 2.0, -1.0], vec![0.0, -1.0, 2.0]]);
         let e = jacobi_eigen(&a);
         let vtv = e.vectors.transpose().matmul(&e.vectors);
         assert!(vtv.frobenius_distance(&Mat::identity(3)) < 1e-9);

@@ -76,15 +76,12 @@ impl Mat {
         &self.data
     }
 
-    /// Transposed copy.
+    /// Transposed copy (cache-blocked; shares the kernel the column-major
+    /// training view in `transer-common` is built with).
     pub fn transpose(&self) -> Mat {
-        let mut t = Mat::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                t[(j, i)] = self[(i, j)];
-            }
-        }
-        t
+        let mut data = vec![0.0; self.rows * self.cols];
+        transer_common::transpose_blocked(&self.data, self.rows, self.cols, &mut data);
+        Mat::from_vec(data, self.cols, self.rows)
     }
 
     /// Matrix product `self · other`.
@@ -118,9 +115,7 @@ impl Mat {
     /// Panics when `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "vector length must equal cols");
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// Element-wise sum.
@@ -160,12 +155,7 @@ impl Mat {
     /// Panics on shape mismatch.
     pub fn frobenius_distance(&self, other: &Mat) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
     }
 
     /// True when the matrix is square and symmetric within `tol`.

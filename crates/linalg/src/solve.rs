@@ -111,11 +111,7 @@ mod tests {
 
     #[test]
     fn inverse_roundtrip() {
-        let a = Mat::from_rows(&[
-            vec![4.0, 7.0, 2.0],
-            vec![3.0, 5.0, 1.0],
-            vec![1.0, 1.0, 3.0],
-        ]);
+        let a = Mat::from_rows(&[vec![4.0, 7.0, 2.0], vec![3.0, 5.0, 1.0], vec![1.0, 1.0, 3.0]]);
         let inv = inverse(&a).unwrap();
         let i = a.matmul(&inv);
         assert!(i.frobenius_distance(&Mat::identity(3)) < 1e-9);

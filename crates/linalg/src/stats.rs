@@ -76,12 +76,8 @@ mod tests {
     #[test]
     fn covariance_known() {
         // Two perfectly correlated columns.
-        let x = FeatureMatrix::from_vecs(&[
-            vec![0.0, 0.0],
-            vec![1.0, 1.0],
-            vec![2.0, 2.0],
-        ])
-        .unwrap();
+        let x =
+            FeatureMatrix::from_vecs(&[vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]]).unwrap();
         let c = covariance(&x);
         assert!((c[(0, 0)] - 1.0).abs() < 1e-12);
         assert!((c[(0, 1)] - 1.0).abs() < 1e-12);

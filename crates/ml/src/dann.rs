@@ -84,10 +84,8 @@ impl GrlNet {
         let mut domain_head = DenseLayer::new(h, 1, false, &mut rng);
 
         // Combined instance stream: (row source, index, is_target).
-        let mut stream: Vec<(bool, usize)> = (0..xs.rows())
-            .map(|i| (false, i))
-            .chain((0..xt.rows()).map(|i| (true, i)))
-            .collect();
+        let mut stream: Vec<(bool, usize)> =
+            (0..xs.rows()).map(|i| (false, i)).chain((0..xt.rows()).map(|i| (true, i))).collect();
 
         for epoch in 0..self.config.epochs {
             let lr = self.config.learning_rate / (1.0 + 0.05 * epoch as f64);
@@ -140,9 +138,7 @@ impl GrlNet {
         assert!(self.fitted, "predict before fit");
         let encoder = self.encoder.as_ref().expect("fitted");
         let head = self.label_head.as_ref().expect("fitted");
-        x.iter_rows()
-            .map(|row| sigmoid(head.forward(&encoder.forward(row))[0]))
-            .collect()
+        x.iter_rows().map(|row| sigmoid(head.forward(&encoder.forward(row))[0])).collect()
     }
 
     /// Hard labels using a 0.5 threshold.
@@ -174,12 +170,7 @@ mod tests {
             xt.push(vec![0.18 - j / 2.0, 0.55 - j]);
             yt.push(Label::NonMatch);
         }
-        (
-            FeatureMatrix::from_vecs(&xs).unwrap(),
-            ys,
-            FeatureMatrix::from_vecs(&xt).unwrap(),
-            yt,
-        )
+        (FeatureMatrix::from_vecs(&xs).unwrap(), ys, FeatureMatrix::from_vecs(&xt).unwrap(), yt)
     }
 
     #[test]

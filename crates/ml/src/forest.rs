@@ -1,10 +1,13 @@
 //! Random forest: bagged CART trees with per-split feature sampling.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::SeedableRng;
 use transer_common::{FeatureMatrix, Label, Result};
 use transer_parallel::Pool;
 
+use crate::presorted::ForestPresort;
+use crate::sampling::bootstrap_bag;
+use crate::split::TreeEngine;
 use crate::traits::{check_training_input, Classifier};
 use crate::tree::{DecisionTree, DecisionTreeConfig};
 
@@ -38,12 +41,19 @@ pub struct RandomForest {
     trees: Vec<DecisionTree>,
     /// Explicit worker-count override; `None` = the global pool.
     workers: Option<usize>,
+    engine: TreeEngine,
 }
 
 impl RandomForest {
     /// Create with explicit hyper-parameters and RNG seed.
     pub fn new(config: RandomForestConfig, seed: u64) -> Self {
-        RandomForest { config, seed, trees: Vec::new(), workers: None }
+        RandomForest {
+            config,
+            seed,
+            trees: Vec::new(),
+            workers: None,
+            engine: TreeEngine::from_env(),
+        }
     }
 
     /// Default configuration with the given seed.
@@ -56,6 +66,14 @@ impl RandomForest {
     /// for every worker count; this only controls resource usage.
     pub fn with_threads(mut self, workers: usize) -> Self {
         self.workers = Some(workers);
+        self
+    }
+
+    /// Override the tree training engine (default: `TRANSER_TREE_ENGINE`
+    /// via [`TreeEngine::from_env`]). Both engines yield bit-identical
+    /// forests.
+    pub fn with_engine(mut self, engine: TreeEngine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -103,36 +121,52 @@ impl Classifier for RandomForest {
             None => vec![1.0; n],
         };
 
+        // Presorted engine: sort the feature columns of the full matrix
+        // once per forest; each tree filters that order by its bag instead
+        // of re-sorting a materialised bagged matrix (bit-identical — see
+        // `presorted::grow_bagged`).
+        let presort =
+            (self.engine == TreeEngine::Presorted).then(|| ForestPresort::new(x, &self.pool()));
+
         // Each tree is independent given its two derived seeds (bootstrap
         // draw + feature-subset stream), so training parallelises with no
         // sequencing between trees; collected in index order.
         let indices: Vec<usize> = (0..self.config.n_trees).collect();
-        let fitted: Vec<Result<Option<DecisionTree>>> =
-            self.pool().par_map_init(&indices, || vec![0u32; n], |counts, _, &t| {
+        let fitted: Vec<Result<Option<DecisionTree>>> = self.pool().par_map_init(
+            &indices,
+            || (vec![0u32; n], vec![0.0f64; n]),
+            |(counts, w_full), _, &t| {
                 let mut rng = StdRng::seed_from_u64(self.bootstrap_seed(t));
-                counts.iter_mut().for_each(|c| *c = 0);
-                for _ in 0..n {
-                    counts[rng.random_range(0..n)] += 1;
-                }
-                let bag: Vec<usize> = (0..n).filter(|&i| counts[i] > 0).collect();
+                let (bag, bag_w) = bootstrap_bag(&mut rng, &base, counts);
                 if bag.is_empty() {
                     return Ok(None);
                 }
-                let bag_x = x.select_rows(&bag);
-                let bag_y: Vec<Label> = bag.iter().map(|&i| y[i]).collect();
-                let bag_w: Vec<f64> =
-                    bag.iter().map(|&i| base[i] * counts[i] as f64).collect();
 
-                let mut tree = DecisionTree::new(self.config.tree);
+                // Trees train single-threaded: the per-tree fan-out above
+                // already saturates the pool, and nested split-search
+                // parallelism would only add spawn overhead.
+                let mut tree =
+                    DecisionTree::new(self.config.tree).with_engine(self.engine).with_threads(1);
                 tree.feature_subset = Some(max_features);
-                tree.rng_state = self
-                    .seed
-                    .wrapping_mul(0x9e3779b97f4a7c15)
-                    .wrapping_add(t as u64 + 1)
-                    | 1;
-                tree.fit_weighted(&bag_x, &bag_y, Some(&bag_w))?;
+                tree.rng_state =
+                    self.seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(t as u64 + 1) | 1;
+                match &presort {
+                    Some(presort) => {
+                        w_full.fill(0.0);
+                        for (&row, &wv) in bag.iter().zip(&bag_w) {
+                            w_full[row] = wv;
+                        }
+                        tree.fit_bagged(presort, y, w_full, counts);
+                    }
+                    None => {
+                        let bag_x = x.select_rows(&bag);
+                        let bag_y: Vec<Label> = bag.iter().map(|&i| y[i]).collect();
+                        tree.fit_weighted(&bag_x, &bag_y, Some(&bag_w))?;
+                    }
+                }
                 Ok(Some(tree))
-            });
+            },
+        );
 
         self.trees.clear();
         self.trees.reserve(self.config.n_trees);
@@ -166,6 +200,7 @@ impl Classifier for RandomForest {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::RngExt;
 
     fn noisy_blobs(seed: u64) -> (FeatureMatrix, Vec<Label>) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -186,12 +221,7 @@ mod tests {
         let (x, y) = noisy_blobs(7);
         let mut rf = RandomForest::with_seed(42);
         rf.fit(&x, &y).unwrap();
-        let correct = rf
-            .predict(&x)
-            .iter()
-            .zip(&y)
-            .filter(|(a, b)| a == b)
-            .count();
+        let correct = rf.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count();
         assert!(correct as f64 / y.len() as f64 > 0.97);
         assert_eq!(rf.tree_count(), RandomForestConfig::default().n_trees);
     }

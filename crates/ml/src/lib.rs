@@ -17,6 +17,12 @@
 //! All classifiers implement the common [`Classifier`] trait and accept
 //! optional per-sample weights (required by the instance-reweighting DR
 //! baseline).
+//!
+//! Decision trees (and the forests built from them) train through one of
+//! two engines selected by [`TreeEngine`] / the `TRANSER_TREE_ENGINE`
+//! environment variable: the default presorted exact-greedy engine (sort
+//! each feature column once per tree, grow by stable partition) and the
+//! pinned per-node-sort reference it is tested bit-identical against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,8 +32,10 @@ mod forest;
 mod logistic;
 mod mlp;
 mod naive_bayes;
+mod presorted;
 mod sampling;
 mod scaler;
+mod split;
 mod svm;
 mod traits;
 mod tree;
@@ -37,8 +45,9 @@ pub use forest::{RandomForest, RandomForestConfig};
 pub use logistic::{LogisticRegression, LogisticRegressionConfig};
 pub use mlp::{Mlp, MlpConfig};
 pub use naive_bayes::GaussianNaiveBayes;
-pub use sampling::{stratified_fraction, undersample_to_ratio};
+pub use sampling::{bootstrap_bag, stratified_fraction, undersample_to_ratio};
 pub use scaler::StandardScaler;
+pub use split::{TreeEngine, TREE_ENGINE_ENV};
 pub use svm::{LinearSvm, LinearSvmConfig};
 pub use traits::{Classifier, ClassifierKind};
 pub use tree::{DecisionTree, DecisionTreeConfig};

@@ -199,13 +199,10 @@ mod tests {
     #[test]
     fn learns_xor() {
         let (x, y) = xor_data();
-        let mut mlp = Mlp::new(
-            MlpConfig { hidden: vec![16], epochs: 300, learning_rate: 0.3 },
-            7,
-        );
+        let mut mlp = Mlp::new(MlpConfig { hidden: vec![16], epochs: 300, learning_rate: 0.3 }, 7);
         mlp.fit(&x, &y).unwrap();
-        let acc = mlp.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count() as f64
-            / y.len() as f64;
+        let acc =
+            mlp.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
         assert!(acc > 0.95, "accuracy {acc}");
     }
 

@@ -30,9 +30,7 @@ impl GaussianNaiveBayes {
 
     fn log_likelihood(&self, row: &[f64], class: usize) -> f64 {
         let mut ll = self.log_priors[class];
-        for ((&x, &mean), &var) in
-            row.iter().zip(&self.means[class]).zip(&self.vars[class])
-        {
+        for ((&x, &mean), &var) in row.iter().zip(&self.means[class]).zip(&self.vars[class]) {
             let d = x - mean;
             ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + d * d / var);
         }

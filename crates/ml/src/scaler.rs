@@ -93,8 +93,8 @@ mod tests {
 
     #[test]
     fn standardises_columns() {
-        let x = FeatureMatrix::from_vecs(&[vec![0.0, 10.0], vec![2.0, 20.0], vec![4.0, 30.0]])
-            .unwrap();
+        let x =
+            FeatureMatrix::from_vecs(&[vec![0.0, 10.0], vec![2.0, 20.0], vec![4.0, 30.0]]).unwrap();
         let s = StandardScaler::fit(&x).unwrap();
         let t = s.transform(&x);
         let means = t.column_means().unwrap();

@@ -1,0 +1,322 @@
+//! Split-search machinery shared by both decision-tree training engines.
+//!
+//! The reference engine ([`crate::DecisionTree`] with
+//! [`TreeEngine::Reference`]) re-sorts each candidate feature column at
+//! every node; the presorted engine sorts each column once per tree and
+//! maintains the order by stable partition. Both funnel every impurity
+//! computation through this module — the *same* floating-point operations
+//! in the *same* order — which is what makes the two engines bit-identical
+//! (same splits, same thresholds, same leaf probabilities) rather than
+//! merely approximately equal.
+//!
+//! # Ordering contract
+//!
+//! Columns are scanned in `(value, row)` order under [`feature_cmp`]: a
+//! NaN-safe total order (`f64::total_cmp` on non-NaN values, every NaN
+//! equal to every other NaN and greater than everything else) with ties
+//! broken by ascending row position. The order — and therefore the
+//! weighted prefix sums accumulated along it — depends only on the data,
+//! never on the input permutation the sort started from. The seed
+//! comparator (`partial_cmp(..).unwrap_or(Equal)` under an unstable sort)
+//! broke both properties as soon as a NaN appeared.
+
+use std::cmp::Ordering;
+use std::sync::OnceLock;
+
+use crate::tree::DecisionTreeConfig;
+
+/// Environment variable selecting the process-wide tree engine.
+pub const TREE_ENGINE_ENV: &str = "TRANSER_TREE_ENGINE";
+
+/// Which decision-tree training engine to use. Both produce bit-identical
+/// trees; the choice affects training wall time only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeEngine {
+    /// Sort each feature column once per tree and grow by stable
+    /// partition — no per-node sorting. The default.
+    Presorted,
+    /// Re-sort every candidate feature column at every node. The pinned
+    /// reference implementation the presorted engine is tested against.
+    Reference,
+}
+
+impl TreeEngine {
+    /// Parse a `TRANSER_TREE_ENGINE`-style value. Unrecognised or empty
+    /// values fall back to [`TreeEngine::Presorted`].
+    pub fn parse(s: &str) -> TreeEngine {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "reference" | "ref" | "per-node-sort" => TreeEngine::Reference,
+            _ => TreeEngine::Presorted,
+        }
+    }
+
+    /// The process-wide engine from the `TRANSER_TREE_ENGINE` environment
+    /// variable, read once (mirroring `TRANSER_THREADS` and
+    /// `TRANSER_KNN_INDEX`); unset or unrecognised means
+    /// [`TreeEngine::Presorted`].
+    pub fn from_env() -> TreeEngine {
+        static KIND: OnceLock<TreeEngine> = OnceLock::new();
+        *KIND.get_or_init(|| {
+            std::env::var(TREE_ENGINE_ENV)
+                .map(|v| TreeEngine::parse(&v))
+                .unwrap_or(TreeEngine::Presorted)
+        })
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TreeEngine::Presorted => "presorted",
+            TreeEngine::Reference => "reference",
+        }
+    }
+}
+
+/// Fuzz for comparing impurity decreases: decreases within this distance
+/// count as equal and fall through to the balance tie-break.
+pub(crate) const DECREASE_EPS: f64 = 1e-12;
+
+/// NaN-safe total order on feature values: non-NaN values by
+/// [`f64::total_cmp`], every NaN equal to every other NaN (payload and
+/// sign ignored) and greater than all non-NaN values. Keeping the NaN
+/// class maximal means NaN rows always sit above every valid threshold,
+/// consistent with the `value <= threshold` routing (false for NaN) used
+/// when partitioning and predicting.
+#[inline]
+pub(crate) fn feature_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (false, false) => a.total_cmp(&b),
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+    }
+}
+
+/// Weighted Gini impurity of a node with match probability `p`.
+#[inline]
+pub(crate) fn gini(p: f64) -> f64 {
+    2.0 * p * (1.0 - p)
+}
+
+/// The best split found on one feature column.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SplitCandidate {
+    /// Split threshold: rows with `value <= threshold` go left.
+    pub threshold: f64,
+    /// Weighted impurity decrease of the split.
+    pub decrease: f64,
+    /// `min(left_n, right_n)` — the balance tie-break. It matters for
+    /// XOR-like structure where every root split has zero gain: a balanced
+    /// zero-gain split lets the children separate the classes, while a
+    /// degenerate one recurses uselessly.
+    pub balance: usize,
+    /// Number of rows routed left by `threshold` — the boundary position
+    /// of the winning scan. Valid boundaries sit between IEEE-distinct
+    /// values, so the `value <= threshold` partition sends exactly the
+    /// scanned prefix left; the presorted engine uses this to seed its
+    /// partition cursors without a counting pass.
+    pub n_left: usize,
+}
+
+/// Does a candidate with `(decrease, balance)` beat the incumbent?
+/// Primarily the largest impurity decrease; among (near-)equal decreases,
+/// the most balanced split.
+#[inline]
+pub(crate) fn improves(decrease: f64, balance: usize, incumbent: Option<(f64, usize)>) -> bool {
+    match incumbent {
+        None => true,
+        Some((d, bal)) => {
+            decrease > d + DECREASE_EPS || ((decrease - d).abs() <= DECREASE_EPS && balance > bal)
+        }
+    }
+}
+
+/// Scan one feature column for its best split.
+///
+/// `entry(k)` must return the `(value, weight, is_match)` triple of the
+/// k-th entry of the column *in `(value, row)` sorted order* (see the
+/// module docs); `n` is the column length. `total_w` / `match_w` are the
+/// node's weighted totals and `parent_impurity` its Gini impurity.
+///
+/// Both engines call this with the same entry sequence, so the prefix
+/// sums — and every quantity derived from them — are bit-identical.
+pub(crate) fn best_feature_split<F>(
+    n: usize,
+    entry: F,
+    total_w: f64,
+    match_w: f64,
+    parent_impurity: f64,
+    config: &DecisionTreeConfig,
+) -> Option<SplitCandidate>
+where
+    F: Fn(usize) -> (f64, f64, bool),
+{
+    if n < 2 {
+        return None;
+    }
+    let mut best: Option<SplitCandidate> = None;
+    let mut left_w = 0.0;
+    let mut left_match = 0.0;
+    let mut left_n = 0usize;
+    let (mut v, mut wi, mut is_match) = entry(0);
+    for k in 0..n - 1 {
+        let (next_v, next_w, next_match) = entry(k + 1);
+        left_w += wi;
+        if is_match {
+            left_match += wi;
+        }
+        left_n += 1;
+        // A threshold only separates strictly increasing neighbours; the
+        // strict IEEE `<` is false when either side is NaN, so the NaN
+        // tail (sorted last) is never split off.
+        if v < next_v {
+            let right_n = n - left_n;
+            if left_n >= config.min_samples_leaf && right_n >= config.min_samples_leaf {
+                let right_w = total_w - left_w;
+                if left_w > 0.0 && right_w > 0.0 {
+                    let right_match = match_w - left_match;
+                    let impurity = (left_w * gini(left_match / left_w)
+                        + right_w * gini(right_match / right_w))
+                        / total_w;
+                    let decrease = parent_impurity - impurity;
+                    let balance = left_n.min(right_n);
+                    if decrease + DECREASE_EPS >= config.min_impurity_decrease
+                        && improves(decrease, balance, best.map(|b| (b.decrease, b.balance)))
+                    {
+                        // The midpoint can round up to exactly `next_v`
+                        // when the two values are adjacent floats; fall
+                        // back to `v` so the `<= threshold` partition
+                        // always separates both sides.
+                        let mid = 0.5 * (v + next_v);
+                        let threshold = if mid < next_v { mid } else { v };
+                        best =
+                            Some(SplitCandidate { threshold, decrease, balance, n_left: left_n });
+                    }
+                }
+            }
+        }
+        (v, wi, is_match) = (next_v, next_w, next_match);
+    }
+    best
+}
+
+/// Fold one feature's best split into the cross-feature best, in candidate
+/// order. Shared so both engines resolve cross-feature ties identically.
+#[inline]
+pub(crate) fn fold_best(
+    acc: &mut Option<(usize, SplitCandidate)>,
+    feature: usize,
+    cand: Option<SplitCandidate>,
+) {
+    if let Some(c) = cand {
+        if improves(c.decrease, c.balance, acc.as_ref().map(|(_, b)| (b.decrease, b.balance))) {
+            *acc = Some((feature, c));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_parse() {
+        assert_eq!(TreeEngine::parse("presorted"), TreeEngine::Presorted);
+        assert_eq!(TreeEngine::parse(" Reference "), TreeEngine::Reference);
+        assert_eq!(TreeEngine::parse("ref"), TreeEngine::Reference);
+        assert_eq!(TreeEngine::parse("per-node-sort"), TreeEngine::Reference);
+        assert_eq!(TreeEngine::parse(""), TreeEngine::Presorted);
+        assert_eq!(TreeEngine::parse("nonsense"), TreeEngine::Presorted);
+        assert_eq!(TreeEngine::Presorted.name(), "presorted");
+        assert_eq!(TreeEngine::Reference.name(), "reference");
+    }
+
+    #[test]
+    fn feature_cmp_is_a_total_order_with_nan_maximal() {
+        let nan = f64::NAN;
+        let neg_nan = -f64::NAN;
+        assert_eq!(feature_cmp(1.0, 2.0), Ordering::Less);
+        assert_eq!(feature_cmp(2.0, 2.0), Ordering::Equal);
+        assert_eq!(feature_cmp(-0.0, 0.0), Ordering::Less); // total_cmp on signed zero
+        assert_eq!(feature_cmp(f64::INFINITY, nan), Ordering::Less);
+        assert_eq!(feature_cmp(nan, f64::INFINITY), Ordering::Greater);
+        // Every NaN is one equivalence class, regardless of sign/payload —
+        // the seed comparator ordered -NaN below -inf via total_cmp-like
+        // bit order, which would have put NaN rows *inside* split ranges.
+        assert_eq!(feature_cmp(nan, neg_nan), Ordering::Equal);
+        assert_eq!(feature_cmp(neg_nan, 0.0), Ordering::Greater);
+    }
+
+    #[test]
+    fn scan_finds_the_obvious_boundary() {
+        // Two clusters, uniform weights: the split lands between them.
+        let col = [(0.1, 1.0, false), (0.2, 1.0, false), (0.8, 1.0, true), (0.9, 1.0, true)];
+        let cand = best_feature_split(
+            col.len(),
+            |k| col[k],
+            4.0,
+            2.0,
+            gini(0.5),
+            &DecisionTreeConfig::default(),
+        )
+        .expect("split exists");
+        assert!((cand.threshold - 0.5).abs() < 1e-12);
+        assert!((cand.decrease - gini(0.5)).abs() < 1e-12);
+        assert_eq!(cand.balance, 2);
+        assert_eq!(cand.n_left, 2);
+    }
+
+    #[test]
+    fn scan_skips_tied_and_nan_boundaries() {
+        // All values equal: no boundary.
+        let tied = [(0.5, 1.0, true), (0.5, 1.0, false)];
+        assert!(best_feature_split(
+            2,
+            |k| tied[k],
+            2.0,
+            1.0,
+            gini(0.5),
+            &DecisionTreeConfig::default()
+        )
+        .is_none());
+        // Finite → NaN neighbours: no boundary either (the NaN tail stays
+        // attached to the right side).
+        let with_nan = [(0.5, 1.0, true), (f64::NAN, 1.0, false)];
+        assert!(best_feature_split(
+            2,
+            |k| with_nan[k],
+            2.0,
+            1.0,
+            gini(0.5),
+            &DecisionTreeConfig::default()
+        )
+        .is_none());
+        // Singleton columns can never split.
+        assert!(best_feature_split(
+            1,
+            |_| (0.5, 1.0, true),
+            1.0,
+            1.0,
+            0.0,
+            &DecisionTreeConfig::default()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn fold_prefers_gain_then_balance_then_first() {
+        let c = |decrease, balance| {
+            Some(SplitCandidate { threshold: 0.5, decrease, balance, n_left: 1 })
+        };
+        let mut best = None;
+        fold_best(&mut best, 0, c(0.1, 3));
+        fold_best(&mut best, 1, c(0.1, 5)); // same gain, better balance
+        assert_eq!(best.unwrap().0, 1);
+        fold_best(&mut best, 2, c(0.2, 1)); // better gain wins outright
+        assert_eq!(best.unwrap().0, 2);
+        fold_best(&mut best, 3, c(0.2, 1)); // exact tie: first wins
+        assert_eq!(best.unwrap().0, 2);
+        fold_best(&mut best, 4, None); // featureless candidates are ignored
+        assert_eq!(best.unwrap().0, 2);
+    }
+}

@@ -291,7 +291,6 @@ mod tests {
         );
     }
 
-
     #[test]
     fn rejects_empty() {
         let mut svm = LinearSvm::with_seed(0);

@@ -2,9 +2,7 @@
 
 use transer_common::{FeatureMatrix, Label, Result};
 
-use crate::{
-    DecisionTree, LinearSvm, LogisticRegression, Mlp, RandomForest,
-};
+use crate::{DecisionTree, LinearSvm, LogisticRegression, Mlp, RandomForest, TreeEngine};
 
 /// A binary match / non-match classifier over similarity feature vectors.
 ///
@@ -62,10 +60,7 @@ pub trait Classifier: Send {
     /// Per-row confidence of the *predicted* class: `max(p, 1 − p)`.
     /// This is the pseudo-label confidence score `Z^P` of Algorithm 1.
     fn predict_confidence(&self, x: &FeatureMatrix) -> Vec<(Label, f64)> {
-        self.predict_proba(x)
-            .into_iter()
-            .map(|p| (Label::from_score(p), p.max(1.0 - p)))
-            .collect()
+        self.predict_proba(x).into_iter().map(|p| (Label::from_score(p), p.max(1.0 - p))).collect()
     }
 }
 
@@ -98,11 +93,22 @@ impl ClassifierKind {
     /// Instantiate a fresh, unfitted classifier. `seed` drives any
     /// stochastic component (bagging, SGD shuffling) so runs reproduce.
     pub fn build(self, seed: u64) -> Box<dyn Classifier> {
+        self.build_with_engine(seed, TreeEngine::from_env())
+    }
+
+    /// Like [`ClassifierKind::build`] but with an explicit tree training
+    /// engine for the tree-based kinds (forest, decision tree); the other
+    /// kinds ignore it. Engines are bit-identical, so this only affects
+    /// training wall time — it exists so benchmarks and equivalence tests
+    /// can pin an engine without touching the process environment.
+    pub fn build_with_engine(self, seed: u64, engine: TreeEngine) -> Box<dyn Classifier> {
         match self {
             ClassifierKind::Svm => Box::new(LinearSvm::with_seed(seed)),
-            ClassifierKind::RandomForest => Box::new(RandomForest::with_seed(seed)),
+            ClassifierKind::RandomForest => {
+                Box::new(RandomForest::with_seed(seed).with_engine(engine))
+            }
             ClassifierKind::LogisticRegression => Box::new(LogisticRegression::default()),
-            ClassifierKind::DecisionTree => Box::new(DecisionTree::default()),
+            ClassifierKind::DecisionTree => Box::new(DecisionTree::default().with_engine(engine)),
             ClassifierKind::Mlp => Box::new(Mlp::with_seed(seed)),
         }
     }
@@ -133,7 +139,11 @@ pub(crate) fn check_training_input(
         return Err(Error::EmptyInput("training features"));
     }
     if x.rows() != y.len() {
-        return Err(Error::DimensionMismatch { what: "rows vs labels", left: x.rows(), right: y.len() });
+        return Err(Error::DimensionMismatch {
+            what: "rows vs labels",
+            left: x.rows(),
+            right: y.len(),
+        });
     }
     if let Some(w) = weights {
         if w.len() != y.len() {

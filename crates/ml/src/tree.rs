@@ -1,7 +1,17 @@
 //! CART decision tree with weighted Gini impurity.
+//!
+//! Two training engines grow bit-identical trees (see [`TreeEngine`]):
+//! the default presorted engine (`crate::presorted`) sorts each feature
+//! column once per tree and maintains the order by stable partition, while
+//! the pinned reference engine in this module re-sorts every candidate
+//! column at every node. Both share the split-scan arithmetic in
+//! `crate::split`.
 
 use transer_common::{FeatureMatrix, Label, Result};
+use transer_parallel::Pool;
 
+use crate::presorted;
+use crate::split::{best_feature_split, feature_cmp, fold_best, gini, SplitCandidate, TreeEngine};
 use crate::traits::{check_training_input, Classifier};
 
 /// Hyper-parameters for [`DecisionTree`].
@@ -28,39 +38,74 @@ impl Default for DecisionTreeConfig {
     }
 }
 
-const NO_NODE: u32 = u32::MAX;
+pub(crate) const NO_NODE: u32 = u32::MAX;
 
 #[derive(Debug, Clone, Copy)]
-enum Node {
-    Leaf {
-        p_match: f64,
-    },
-    Split {
-        feature: u16,
-        threshold: f64,
-        left: u32,
-        right: u32,
-    },
+pub(crate) enum Node {
+    Leaf { p_match: f64 },
+    Split { feature: u16, threshold: f64, left: u32, right: u32 },
 }
 
 /// A CART binary classification tree; leaves store the weighted match
 /// fraction, so [`Classifier::predict_proba`] returns empirical leaf
 /// probabilities.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DecisionTree {
-    config: DecisionTreeConfig,
-    nodes: Vec<Node>,
+    pub(crate) config: DecisionTreeConfig,
+    pub(crate) nodes: Vec<Node>,
     root: u32,
     /// Per-split feature subsampling: when `Some(k)`, each node considers a
     /// random subset of `k` features. Used by the random forest.
     pub(crate) feature_subset: Option<usize>,
     pub(crate) rng_state: u64,
+    engine: TreeEngine,
+    /// Explicit worker-count override for the presorted engine's split
+    /// search; `None` = the global pool.
+    workers: Option<usize>,
+}
+
+impl Default for DecisionTree {
+    fn default() -> Self {
+        DecisionTree::new(DecisionTreeConfig::default())
+    }
 }
 
 impl DecisionTree {
     /// Create with explicit hyper-parameters.
     pub fn new(config: DecisionTreeConfig) -> Self {
-        DecisionTree { config, nodes: Vec::new(), root: NO_NODE, feature_subset: None, rng_state: 0x9e3779b97f4a7c15 }
+        DecisionTree {
+            config,
+            nodes: Vec::new(),
+            root: NO_NODE,
+            feature_subset: None,
+            rng_state: 0x9e3779b97f4a7c15,
+            engine: TreeEngine::from_env(),
+            workers: None,
+        }
+    }
+
+    /// Select the training engine instead of the `TRANSER_TREE_ENGINE`
+    /// default. Both engines produce bit-identical trees.
+    pub fn with_engine(mut self, engine: TreeEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Pin the worker count for the presorted engine's per-feature split
+    /// search instead of using the global [`Pool`] (`TRANSER_THREADS`).
+    /// Results are bit-identical for every worker count.
+    pub fn with_threads(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// The engine this tree trains with.
+    pub fn engine(&self) -> TreeEngine {
+        self.engine
+    }
+
+    pub(crate) fn pool(&self) -> Pool {
+        self.workers.map_or_else(Pool::global, Pool::new)
     }
 
     /// Number of nodes in the fitted tree (0 before `fit`).
@@ -108,22 +153,51 @@ impl DecisionTree {
         s
     }
 
-    fn candidate_features(&mut self, m: usize) -> Vec<usize> {
-        match self.feature_subset {
-            Some(k) if k < m => {
+    /// The features considered at one node, in selection order. Consumes
+    /// the same number of RNG steps in both engines, which keeps their
+    /// per-node feature subsets — and therefore their trees — identical.
+    pub(crate) fn candidate_features(&mut self, m: usize) -> Vec<usize> {
+        let mut idx = Vec::new();
+        self.candidate_features_into(m, &mut idx);
+        idx
+    }
+
+    /// [`Self::candidate_features`] into a caller-owned buffer — same RNG
+    /// draws, same order. The presorted engine calls this once per node
+    /// and reuses the allocation across the whole tree.
+    pub(crate) fn candidate_features_into(&mut self, m: usize, buf: &mut Vec<usize>) {
+        buf.clear();
+        buf.extend(0..m);
+        if let Some(k) = self.feature_subset {
+            if k < m {
                 // Partial Fisher-Yates over the feature indices.
-                let mut idx: Vec<usize> = (0..m).collect();
                 for i in 0..k {
                     let j = i + (self.next_rand() as usize) % (m - i);
-                    idx.swap(i, j);
+                    buf.swap(i, j);
                 }
-                idx.truncate(k);
-                idx
+                buf.truncate(k);
             }
-            _ => (0..m).collect(),
         }
     }
 
+    /// Forest fast path for the presorted engine: train on the bagged
+    /// subset of a forest-shared presort (`presorted::ForestPresort`)
+    /// instead of re-sorting a materialised bagged matrix. `y` and `w` are
+    /// full-length over the original rows (`w` zero outside the bag);
+    /// `counts` are the bootstrap multiplicities. Produces exactly the
+    /// tree `fit_weighted` would on the selected rows.
+    pub(crate) fn fit_bagged(
+        &mut self,
+        presort: &presorted::ForestPresort,
+        y: &[Label],
+        w: &[f64],
+        counts: &[u32],
+    ) {
+        self.nodes.clear();
+        self.root = presorted::grow_bagged(self, presort, y, w, counts);
+    }
+
+    /// Reference engine: re-sort every candidate column at this node.
     fn build(
         &mut self,
         x: &FeatureMatrix,
@@ -152,63 +226,27 @@ impl DecisionTree {
         }
 
         let parent_impurity = gini(p_match);
-        // Best split: primarily the largest impurity decrease; among
-        // (near-)equal decreases, the most balanced split. The balance
-        // tie-break matters for XOR-like structure where every root split
-        // has zero gain — a balanced zero-gain split lets the children
-        // separate the classes, while a degenerate one recurses uselessly.
-        let mut best: Option<(usize, f64, f64, usize)> = None; // (feature, threshold, decrease, balance)
+        let mut best: Option<(usize, SplitCandidate)> = None;
         let mut column: Vec<(f64, f64, bool)> = Vec::with_capacity(indices.len());
         for feature in self.candidate_features(x.cols()) {
             column.clear();
             column.extend(indices.iter().map(|&i| (x.row(i)[feature], w[i], y[i].is_match())));
-            column.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-
-            let mut left_w = 0.0;
-            let mut left_match = 0.0;
-            let mut left_n = 0usize;
-            for k in 0..column.len() - 1 {
-                let (v, wi, is_match) = column[k];
-                left_w += wi;
-                if is_match {
-                    left_match += wi;
-                }
-                left_n += 1;
-                let next_v = column[k + 1].0;
-                if next_v <= v {
-                    continue; // no threshold separates equal values
-                }
-                let right_n = column.len() - left_n;
-                if left_n < self.config.min_samples_leaf || right_n < self.config.min_samples_leaf {
-                    continue;
-                }
-                let right_w = total_w - left_w;
-                if left_w <= 0.0 || right_w <= 0.0 {
-                    continue;
-                }
-                let right_match = match_w - left_match;
-                let impurity = (left_w * gini(left_match / left_w)
-                    + right_w * gini(right_match / right_w))
-                    / total_w;
-                let decrease = parent_impurity - impurity;
-                let balance = left_n.min(right_n);
-                const EPS: f64 = 1e-12;
-                if decrease + EPS >= self.config.min_impurity_decrease
-                    && best.is_none_or(|(_, _, d, bal)| {
-                        decrease > d + EPS || ((decrease - d).abs() <= EPS && balance > bal)
-                    })
-                {
-                    // The midpoint can round up to exactly `next_v` when the
-                    // two values are adjacent floats; fall back to `v` so the
-                    // `<= threshold` partition always separates both sides.
-                    let mid = 0.5 * (v + next_v);
-                    let threshold = if mid < next_v { mid } else { v };
-                    best = Some((feature, threshold, decrease, balance));
-                }
-            }
+            // Stable sort under the NaN-safe total order: ties keep the
+            // ascending-row order of `indices` — the deterministic
+            // (value, row) ordering contract of `crate::split`.
+            column.sort_by(|a, b| feature_cmp(a.0, b.0));
+            let cand = best_feature_split(
+                column.len(),
+                |k| column[k],
+                total_w,
+                match_w,
+                parent_impurity,
+                &self.config,
+            );
+            fold_best(&mut best, feature, cand);
         }
 
-        let Some((feature, threshold, _, _)) = best else {
+        let Some((feature, SplitCandidate { threshold, .. })) = best else {
             return make_leaf(&mut self.nodes);
         };
 
@@ -217,7 +255,12 @@ impl DecisionTree {
         debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
 
         let id = self.nodes.len() as u32;
-        self.nodes.push(Node::Split { feature: feature as u16, threshold, left: NO_NODE, right: NO_NODE });
+        self.nodes.push(Node::Split {
+            feature: feature as u16,
+            threshold,
+            left: NO_NODE,
+            right: NO_NODE,
+        });
         let left = self.build(x, y, w, &left_idx, depth + 1);
         let right = self.build(x, y, w, &right_idx, depth + 1);
         if let Node::Split { left: l, right: r, .. } = &mut self.nodes[id as usize] {
@@ -226,11 +269,6 @@ impl DecisionTree {
         }
         id
     }
-}
-
-#[inline]
-fn gini(p: f64) -> f64 {
-    2.0 * p * (1.0 - p)
 }
 
 impl Classifier for DecisionTree {
@@ -250,8 +288,13 @@ impl Classifier for DecisionTree {
             None => vec![1.0; y.len()],
         };
         self.nodes.clear();
-        let indices: Vec<usize> = (0..x.rows()).collect();
-        self.root = self.build(x, y, &w, &indices, 0);
+        self.root = match self.engine {
+            TreeEngine::Presorted => presorted::grow(self, x, y, &w),
+            TreeEngine::Reference => {
+                let indices: Vec<usize> = (0..x.rows()).collect();
+                self.build(x, y, &w, &indices, 0)
+            }
+        };
         Ok(())
     }
 
@@ -281,23 +324,32 @@ mod tests {
         (FeatureMatrix::from_vecs(&rows).unwrap(), labels)
     }
 
+    fn both_engines() -> [DecisionTree; 2] {
+        [
+            DecisionTree::default().with_engine(TreeEngine::Presorted),
+            DecisionTree::default().with_engine(TreeEngine::Reference),
+        ]
+    }
+
     #[test]
     fn learns_xor() {
         let (x, y) = xor_data();
-        let mut t = DecisionTree::default();
-        t.fit(&x, &y).unwrap();
-        assert_eq!(t.predict(&x), y);
-        assert!(t.depth() >= 2);
+        for mut t in both_engines() {
+            t.fit(&x, &y).unwrap();
+            assert_eq!(t.predict(&x), y, "{}", t.engine().name());
+            assert!(t.depth() >= 2);
+        }
     }
 
     #[test]
     fn pure_node_becomes_leaf() {
         let x = FeatureMatrix::from_vecs(&[vec![0.1], vec![0.2], vec![0.3]]).unwrap();
         let y = vec![Label::Match; 3];
-        let mut t = DecisionTree::default();
-        t.fit(&x, &y).unwrap();
-        assert_eq!(t.node_count(), 1);
-        assert_eq!(t.predict_proba(&x), vec![1.0; 3]);
+        for mut t in both_engines() {
+            t.fit(&x, &y).unwrap();
+            assert_eq!(t.node_count(), 1);
+            assert_eq!(t.predict_proba(&x), vec![1.0; 3]);
+        }
     }
 
     #[test]
@@ -306,41 +358,92 @@ mod tests {
         // tree cannot split it, so the leaf stores 0.75.
         let x = FeatureMatrix::from_vecs(&vec![vec![0.5]; 4]).unwrap();
         let y = vec![Label::Match, Label::Match, Label::Match, Label::NonMatch];
-        let mut t = DecisionTree::default();
-        t.fit(&x, &y).unwrap();
-        let p = t.predict_proba(&x);
-        assert!((p[0] - 0.75).abs() < 1e-12);
+        for mut t in both_engines() {
+            t.fit(&x, &y).unwrap();
+            let p = t.predict_proba(&x);
+            assert!((p[0] - 0.75).abs() < 1e-12);
+        }
     }
 
     #[test]
     fn weights_tilt_ambiguous_leaves() {
         let x = FeatureMatrix::from_vecs(&[vec![0.5], vec![0.5]]).unwrap();
         let y = vec![Label::Match, Label::NonMatch];
-        let mut t = DecisionTree::default();
-        t.fit_weighted(&x, &y, Some(&[3.0, 1.0])).unwrap();
-        assert!((t.predict_proba(&x)[0] - 0.75).abs() < 1e-12);
+        for mut t in both_engines() {
+            t.fit_weighted(&x, &y, Some(&[3.0, 1.0])).unwrap();
+            assert!((t.predict_proba(&x)[0] - 0.75).abs() < 1e-12);
+        }
     }
 
     #[test]
     fn max_depth_bounds_tree() {
         let (x, y) = xor_data();
-        let mut t = DecisionTree::new(DecisionTreeConfig { max_depth: 1, ..Default::default() });
-        t.fit(&x, &y).unwrap();
-        assert!(t.depth() <= 1);
+        for engine in [TreeEngine::Presorted, TreeEngine::Reference] {
+            let mut t =
+                DecisionTree::new(DecisionTreeConfig { max_depth: 1, ..Default::default() })
+                    .with_engine(engine);
+            t.fit(&x, &y).unwrap();
+            assert!(t.depth() <= 1);
+        }
     }
 
     #[test]
     fn min_samples_leaf_respected() {
         let x = FeatureMatrix::from_vecs(&[vec![0.0], vec![0.3], vec![0.7], vec![1.0]]).unwrap();
         let y = vec![Label::NonMatch, Label::NonMatch, Label::Match, Label::Match];
-        let mut t = DecisionTree::new(DecisionTreeConfig {
-            min_samples_leaf: 2,
-            ..Default::default()
-        });
-        t.fit(&x, &y).unwrap();
-        // Only the middle split (2|2) is legal.
-        assert_eq!(t.depth(), 1);
-        assert_eq!(t.predict(&x), y);
+        for engine in [TreeEngine::Presorted, TreeEngine::Reference] {
+            let mut t =
+                DecisionTree::new(DecisionTreeConfig { min_samples_leaf: 2, ..Default::default() })
+                    .with_engine(engine);
+            t.fit(&x, &y).unwrap();
+            // Only the middle split (2|2) is legal.
+            assert_eq!(t.depth(), 1);
+            assert_eq!(t.predict(&x), y);
+        }
+    }
+
+    #[test]
+    fn nan_column_is_harmless_and_position_independent() {
+        // Regression for the NaN-unsafe seed comparator: a NaN-polluted
+        // column (mixed quiet and negative NaNs) must neither poison the
+        // fit nor make the tree depend on where the NaN rows sit in the
+        // input. The informative column still separates the classes.
+        let neg_nan = -f64::NAN;
+        let rows = [
+            (vec![0.1, f64::NAN], Label::NonMatch),
+            (vec![0.2, 0.4], Label::NonMatch),
+            (vec![0.15, neg_nan], Label::NonMatch),
+            (vec![0.8, 0.5], Label::Match),
+            (vec![0.9, f64::NAN], Label::Match),
+            (vec![0.85, 0.6], Label::Match),
+        ];
+        let probe = FeatureMatrix::from_vecs(&[vec![0.12, f64::NAN], vec![0.87, neg_nan]]).unwrap();
+        let fit = |order: &[usize], engine| {
+            let x = FeatureMatrix::from_vecs(
+                &order.iter().map(|&i| rows[i].0.clone()).collect::<Vec<_>>(),
+            )
+            .unwrap();
+            let y: Vec<Label> = order.iter().map(|&i| rows[i].1).collect();
+            let mut t = DecisionTree::default().with_engine(engine);
+            t.fit(&x, &y).unwrap();
+            t.predict_proba(&probe)
+        };
+        let expect = fit(&[0, 1, 2, 3, 4, 5], TreeEngine::Reference);
+        assert!(expect.iter().all(|p| p.is_finite()), "NaN leaked into leaf probabilities");
+        assert_eq!(expect, vec![0.0, 1.0], "informative column not used");
+        for engine in [TreeEngine::Presorted, TreeEngine::Reference] {
+            for order in [[0, 1, 2, 3, 4, 5], [4, 2, 0, 5, 1, 3], [5, 4, 3, 2, 1, 0]] {
+                let got = fit(&order, engine);
+                for (a, b) in expect.iter().zip(&got) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "engine={} order={order:?}",
+                        engine.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! The bit-identity contract between the two tree training engines: for
+//! any training set — heavy ties, zero/extreme weights, NaN features —
+//! the presorted engine must produce exactly the tree the per-node-sort
+//! reference produces, at every worker count.
+
+use proptest::prelude::*;
+use transer_common::{FeatureMatrix, Label};
+use transer_ml::{Classifier, DecisionTree, RandomForest, RandomForestConfig, TreeEngine};
+
+/// Deterministic xorshift in `[0, 1)` (proptest drives only the seed).
+fn xorshift(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum WeightKind {
+    None,
+    Uniform,
+    /// Roughly a third of the rows weighted zero.
+    SomeZero,
+    /// Mixed `1e12` / `1e-12` weights.
+    Extreme,
+}
+
+#[derive(Debug, Clone)]
+struct Case {
+    x: FeatureMatrix,
+    y: Vec<Label>,
+    w: Option<Vec<f64>>,
+    probes: FeatureMatrix,
+}
+
+fn build_case(n: usize, m: usize, seed: u64, tied: bool, weights: WeightKind) -> Case {
+    let mut next = xorshift(seed);
+    let mut value = |k: usize| {
+        if tied {
+            // A 4-level grid: most neighbours tie, so the sorted order —
+            // and the stability of the partition — actually matters.
+            (next() * 4.0).floor() / 3.0
+        } else if k == 0 && next() < 0.05 {
+            // The occasional NaN feature exercises the NaN tail handling.
+            f64::NAN
+        } else {
+            next()
+        }
+    };
+    let rows: Vec<Vec<f64>> = (0..n).map(|_| (0..m).map(&mut value).collect()).collect();
+    let probes: Vec<Vec<f64>> = (0..24).map(|_| (0..m).map(&mut value).collect()).collect();
+    let _ = value;
+    let y: Vec<Label> =
+        (0..n).map(|_| if next() < 0.5 { Label::Match } else { Label::NonMatch }).collect();
+    let w = match weights {
+        WeightKind::None => None,
+        WeightKind::Uniform => Some(vec![1.0; n]),
+        WeightKind::SomeZero => {
+            Some((0..n).map(|_| if next() < 0.33 { 0.0 } else { 1.0 }).collect())
+        }
+        WeightKind::Extreme => {
+            Some((0..n).map(|_| if next() < 0.5 { 1e12 } else { 1e-12 }).collect())
+        }
+    };
+    Case {
+        x: FeatureMatrix::from_vecs(&rows).unwrap(),
+        y,
+        w,
+        probes: FeatureMatrix::from_vecs(&probes).unwrap(),
+    }
+}
+
+fn assert_bitwise_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: row {i}: {x} vs {y}");
+    }
+}
+
+fn check_tree_case(case: &Case) {
+    let fit = |engine: TreeEngine, workers: usize| {
+        let mut tree = DecisionTree::default().with_engine(engine).with_threads(workers);
+        tree.fit_weighted(&case.x, &case.y, case.w.as_deref()).unwrap();
+        (tree.predict_proba(&case.x), tree.predict_proba(&case.probes))
+    };
+    let (ref_train, ref_probe) = fit(TreeEngine::Reference, 1);
+    for workers in [1, 4] {
+        let (train, probe) = fit(TreeEngine::Presorted, workers);
+        assert_bitwise_eq(&ref_train, &train, &format!("train probs, workers={workers}"));
+        assert_bitwise_eq(&ref_probe, &probe, &format!("probe probs, workers={workers}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn presorted_tree_is_bitwise_equal_to_reference(
+        n in 6usize..60,
+        m in 1usize..5,
+        seed in 0u64..10_000,
+        tied in any::<bool>(),
+        weight_kind in 0usize..4,
+    ) {
+        let weights = [
+            WeightKind::None,
+            WeightKind::Uniform,
+            WeightKind::SomeZero,
+            WeightKind::Extreme,
+        ][weight_kind];
+        check_tree_case(&build_case(n, m, seed, tied, weights));
+    }
+
+    #[test]
+    fn presorted_forest_is_bitwise_equal_to_reference(
+        seed in 0u64..10_000,
+        tied in any::<bool>(),
+    ) {
+        let case = build_case(48, 4, seed, tied, WeightKind::None);
+        let config = RandomForestConfig { n_trees: 6, ..Default::default() };
+        let fit = |engine: TreeEngine, workers: usize| {
+            let mut rf = RandomForest::new(config, seed)
+                .with_engine(engine)
+                .with_threads(workers);
+            rf.fit_weighted(&case.x, &case.y, case.w.as_deref()).unwrap();
+            rf.predict_proba(&case.probes)
+        };
+        let reference = fit(TreeEngine::Reference, 1);
+        for workers in [1, 4] {
+            let probs = fit(TreeEngine::Presorted, workers);
+            assert_bitwise_eq(&reference, &probs, &format!("forest probs, workers={workers}"));
+        }
+    }
+}
+
+/// Large enough that the presorted engine's parallel split search engages
+/// (`node_rows × candidates` past its work threshold at the root): the
+/// fixed panel size must keep any worker count bitwise equal to one.
+#[test]
+fn parallel_split_search_is_bitwise_equal() {
+    let case = build_case(3000, 4, 99, false, WeightKind::Uniform);
+    let fit = |engine: TreeEngine, workers: usize| {
+        let mut tree = DecisionTree::default().with_engine(engine).with_threads(workers);
+        tree.fit_weighted(&case.x, &case.y, case.w.as_deref()).unwrap();
+        tree.predict_proba(&case.probes)
+    };
+    let reference = fit(TreeEngine::Reference, 1);
+    for workers in [1, 2, 4, 16] {
+        let probs = fit(TreeEngine::Presorted, workers);
+        assert_bitwise_eq(&reference, &probs, &format!("workers={workers}"));
+    }
+}
+
+/// All-tied columns plus a NaN column: no split exists, both engines must
+/// agree on the single-leaf fallback.
+#[test]
+fn degenerate_columns_are_bitwise_equal() {
+    let rows: Vec<Vec<f64>> = (0..12).map(|_| vec![0.5, f64::NAN, 1.0]).collect();
+    let y: Vec<Label> =
+        (0..12).map(|i| if i % 3 == 0 { Label::Match } else { Label::NonMatch }).collect();
+    let x = FeatureMatrix::from_vecs(&rows).unwrap();
+    let mut reference = DecisionTree::default().with_engine(TreeEngine::Reference);
+    reference.fit(&x, &y).unwrap();
+    let mut presorted = DecisionTree::default().with_engine(TreeEngine::Presorted);
+    presorted.fit(&x, &y).unwrap();
+    assert_bitwise_eq(&reference.predict_proba(&x), &presorted.predict_proba(&x), "degenerate");
+}

@@ -320,9 +320,8 @@ mod tests {
     fn variable_length_chunk_outputs() {
         // Chunks may expand or filter; concatenation must stay in order.
         let items: Vec<usize> = (0..100).collect();
-        let got = Pool::new(4).par_chunks(&items, 7, |_, c| {
-            c.iter().filter(|&&x| x % 2 == 0).copied().collect()
-        });
+        let got = Pool::new(4)
+            .par_chunks(&items, 7, |_, c| c.iter().filter(|&&x| x % 2 == 0).copied().collect());
         let expect: Vec<usize> = (0..100).filter(|x| x % 2 == 0).collect();
         assert_eq!(got, expect);
     }

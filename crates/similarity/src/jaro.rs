@@ -49,8 +49,7 @@ fn jaro_chars(a: &[char], b: &[char]) -> f64 {
     // Matched characters of `b` in order of appearance in `b`.
     let b_matches: Vec<char> =
         b.iter().zip(&b_used).filter_map(|(&c, &used)| used.then_some(c)).collect();
-    let transpositions =
-        a_matches.iter().zip(&b_matches).filter(|(x, y)| x != y).count() / 2;
+    let transpositions = a_matches.iter().zip(&b_matches).filter(|(x, y)| x != y).count() / 2;
     let m = m as f64;
     let t = transpositions as f64;
     clamp01((m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0)
@@ -79,12 +78,7 @@ pub fn jaro_winkler_with(a: &str, b: &str, prefix_scale: f64, max_prefix: usize)
     let av: Vec<char> = a.chars().collect();
     let bv: Vec<char> = b.chars().collect();
     let j = jaro_chars(&av, &bv);
-    let prefix = av
-        .iter()
-        .zip(&bv)
-        .take(max_prefix)
-        .take_while(|(x, y)| x == y)
-        .count();
+    let prefix = av.iter().zip(&bv).take(max_prefix).take_while(|(x, y)| x == y).count();
     clamp01(j + prefix as f64 * prefix_scale * (1.0 - j))
 }
 

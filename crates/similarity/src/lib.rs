@@ -35,8 +35,8 @@ pub use jaro::{jaro, jaro_winkler, jaro_winkler_with};
 pub use lcs::{lcs_len, lcs_similarity};
 pub use levenshtein::{damerau_levenshtein, levenshtein, levenshtein_similarity};
 pub use monge_elkan::{monge_elkan, monge_elkan_tokens};
-pub use prepared::PreparedText;
 pub use numeric::{numeric_similarity, year_similarity};
+pub use prepared::PreparedText;
 pub use qgram::{qgram_multiset, qgrams, tokens};
 pub use soundex::{soundex, soundex_similarity};
 

@@ -29,10 +29,7 @@ where
     if ta.is_empty() || tb.is_empty() {
         return 0.0;
     }
-    let total: f64 = ta
-        .iter()
-        .map(|x| tb.iter().map(|y| inner(x, y)).fold(0.0f64, f64::max))
-        .sum();
+    let total: f64 = ta.iter().map(|x| tb.iter().map(|y| inner(x, y)).fold(0.0f64, f64::max)).sum();
     clamp01(total / ta.len() as f64)
 }
 

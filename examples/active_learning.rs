@@ -35,11 +35,15 @@ fn main() {
 
     // Baseline transfer from the chosen source.
     let transer = TransEr::new(config, ClassifierKind::LogisticRegression, 7).expect("config");
-    let base = transer
-        .fit_predict(candidates[best].0, candidates[best].1, &target.x)
-        .expect("pipeline");
+    let base =
+        transer.fit_predict(candidates[best].0, candidates[best].1, &target.x).expect("pipeline");
     let cm = evaluate(&base.labels, &target.y);
-    println!("transfer only:        F*={:.3} (P={:.2} R={:.2})", cm.f_star(), cm.precision(), cm.recall());
+    println!(
+        "transfer only:        F*={:.3} (P={:.2} R={:.2})",
+        cm.f_star(),
+        cm.precision(),
+        cm.recall()
+    );
 
     // Active learning: 4 rounds x 25 oracle labels, answered from the
     // held-out ground truth (a human in a real deployment).

@@ -46,11 +46,9 @@ fn main() {
 
     println!("\ntransferring {} ...", pair.label());
     for kind in [ClassifierKind::LogisticRegression, ClassifierKind::RandomForest] {
-        let transer =
-            TransEr::new(TransErConfig::default(), kind, 3).expect("valid configuration");
-        let out = transer
-            .fit_predict(&pair.source.x, &pair.source.y, &pair.target.x)
-            .expect("pipeline");
+        let transer = TransEr::new(TransErConfig::default(), kind, 3).expect("valid configuration");
+        let out =
+            transer.fit_predict(&pair.source.x, &pair.source.y, &pair.target.x).expect("pipeline");
         let cm = evaluate(&out.labels, &pair.target.y);
 
         let mut naive = kind.build(3);

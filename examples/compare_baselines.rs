@@ -15,10 +15,7 @@ fn main() {
     let budget = ResourceBudget { max_memory_bytes: 512 << 20, max_secs: 300.0 };
 
     let tasks = directed_tasks(scale, 42).expect("workload generation");
-    let task = tasks
-        .into_iter()
-        .find(|t| t.name == "MSD -> MB")
-        .expect("the music task exists");
+    let task = tasks.into_iter().find(|t| t.name == "MSD -> MB").expect("the music task exists");
     println!(
         "task: {} ({} -> {} pairs), classifiers {:?}, budget {} MiB / {:.0}s\n",
         task.name,
@@ -29,8 +26,8 @@ fn main() {
         budget.max_secs,
     );
 
-    let (q, secs, _) = run_transer(TransErConfig::default(), &task, &classifiers, 42)
-        .expect("TransER completes");
+    let (q, secs, _) =
+        run_transer(TransErConfig::default(), &task, &classifiers, 42).expect("TransER completes");
     println!(
         "{:<8} F*={:.1}±{:.1}%  P={:.1}% R={:.1}%  ({secs:.1}s)",
         "TransER",

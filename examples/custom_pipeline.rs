@@ -15,11 +15,7 @@ fn product(id: u64, entity: u64, name: &str, brand: &str, price: f64) -> Record 
     Record::new(
         id,
         entity,
-        vec![
-            AttrValue::Text(name.into()),
-            AttrValue::Text(brand.into()),
-            AttrValue::Number(price),
-        ],
+        vec![AttrValue::Text(name.into()), AttrValue::Text(brand.into()), AttrValue::Number(price)],
     )
 }
 
@@ -58,19 +54,15 @@ fn main() {
     .expect("non-empty feature space");
 
     // Block (the catalogues are tiny, so a permissive LSH is fine).
-    let blocker = MinHashLsh::new(MinHashLshConfig {
-        num_hashes: 16,
-        bands: 8,
-        ..Default::default()
-    });
+    let blocker =
+        MinHashLsh::new(MinHashLshConfig { num_hashes: 16, bands: 8, ..Default::default() });
     let pairs = blocker.candidate_pairs(&left, &right);
     println!("blocking produced {} candidate pairs", pairs.len());
 
     // Compare into a labelled dataset (labels come from the entity ids —
     // with real data, this is where your curated training labels go).
-    let dataset = comparison
-        .compare_to_dataset("products", &left, &right, &pairs)
-        .expect("aligned output");
+    let dataset =
+        comparison.compare_to_dataset("products", &left, &right, &pairs).expect("aligned output");
     for (i, row) in dataset.x.iter_rows().enumerate() {
         println!("  pair {i}: features {row:?} -> {}", dataset.y[i]);
     }

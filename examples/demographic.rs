@@ -12,10 +12,7 @@ use transer::prelude::*;
 fn main() {
     // KIL Bp-Dp -> IOS Bp-Dp: birth parents linked to death parents, the
     // pair where the paper reports its largest precision gain.
-    let pair = ScenarioPair::BpDp
-        .domain_pair(0.1, 42)
-        .expect("workload generation")
-        .reversed(); // KIL as source
+    let pair = ScenarioPair::BpDp.domain_pair(0.1, 42).expect("workload generation").reversed(); // KIL as source
     println!(
         "task: {}  (source {} pairs / {:.1}% M, target {} pairs / {:.1}% M)",
         pair.label(),
@@ -30,11 +27,7 @@ fn main() {
     let config = TransErConfig::default();
     let selection = select_instances(&pair.source.x, &pair.source.y, &pair.target.x, &config)
         .expect("selection");
-    let kept_matches = selection
-        .indices
-        .iter()
-        .filter(|&&i| pair.source.y[i].is_match())
-        .count();
+    let kept_matches = selection.indices.iter().filter(|&&i| pair.source.y[i].is_match()).count();
     println!(
         "SEL: {} of {} instances transferable ({} matches); thresholds t_c={} t_l={}",
         selection.indices.len(),
@@ -58,9 +51,8 @@ fn main() {
     let mut naive_f = MeanStd::new();
     for kind in ClassifierKind::PAPER_SET {
         let transer = TransEr::new(config, kind, 5).expect("valid configuration");
-        let out = transer
-            .fit_predict(&pair.source.x, &pair.source.y, &pair.target.x)
-            .expect("pipeline");
+        let out =
+            transer.fit_predict(&pair.source.x, &pair.source.y, &pair.target.x).expect("pipeline");
         transer_f.push(evaluate(&out.labels, &pair.target.y).f_star());
 
         let mut naive = kind.build(5);

@@ -10,9 +10,7 @@ fn main() {
     // 1. A transfer task: labelled DBLP-ACM-style source, unlabelled
     //    DBLP-Scholar-style target (synthetic stand-ins for the paper's
     //    data sets; `0.1` scales entity counts to a laptop-friendly size).
-    let pair = ScenarioPair::Bibliographic
-        .domain_pair(0.1, 42)
-        .expect("workload generation");
+    let pair = ScenarioPair::Bibliographic.domain_pair(0.1, 42).expect("workload generation");
     println!(
         "task: {}  (source {} pairs, target {} pairs, {} features)",
         pair.label(),
@@ -26,9 +24,8 @@ fn main() {
     //    regression and decision tree.
     let transer = TransEr::new(TransErConfig::default(), ClassifierKind::LogisticRegression, 7)
         .expect("valid configuration");
-    let output = transer
-        .fit_predict(&pair.source.x, &pair.source.y, &pair.target.x)
-        .expect("pipeline");
+    let output =
+        transer.fit_predict(&pair.source.x, &pair.source.y, &pair.target.x).expect("pipeline");
 
     // 3. Evaluate against the target's held-out ground truth.
     let cm = evaluate(&output.labels, &pair.target.y);

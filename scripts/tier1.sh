@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 gate: release build + full test suite, then clippy with warnings
-# denied. Run from anywhere; operates on the repo root.
+# denied and formatting checked. Run from anywhere; operates on the repo
+# root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -8,3 +9,4 @@ cargo build --release
 cargo test -q
 cargo bench --no-run
 cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check

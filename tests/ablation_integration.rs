@@ -39,9 +39,7 @@ fn sim_v_can_only_shrink_the_selection() {
     let full = TransErConfig::default();
     let with_v = TransErConfig { variant: Variant::with_sim_v(), ..full };
     let select = |cfg: &TransErConfig| {
-        select_instances(&dp.source.x, &dp.source.y, &dp.target.x, cfg)
-            .expect("selection")
-            .indices
+        select_instances(&dp.source.x, &dp.source.y, &dp.target.x, cfg).expect("selection").indices
     };
     let base = select(&full);
     let v = select(&with_v);

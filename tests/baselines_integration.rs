@@ -36,10 +36,7 @@ fn tca_hits_memory_guard_on_mid_sized_tasks() {
         ResourceBudget { max_memory_bytes: 64 << 20, max_secs: 300.0 },
     );
     let err = Tca::default().run(&music.view(), &ctx).unwrap_err();
-    assert!(
-        matches!(err, transer::common::Error::MemoryExceeded { .. }),
-        "expected ME, got {err}"
-    );
+    assert!(matches!(err, transer::common::Error::MemoryExceeded { .. }), "expected ME, got {err}");
 }
 
 #[test]
@@ -52,10 +49,7 @@ fn time_budget_produces_te() {
         ResourceBudget { max_memory_bytes: 8 << 30, max_secs: 0.0 },
     );
     let err = Tca::default().run(&task.view(), &ctx).unwrap_err();
-    assert!(
-        matches!(err, transer::common::Error::TimeExceeded { .. }),
-        "expected TE, got {err}"
-    );
+    assert!(matches!(err, transer::common::Error::TimeExceeded { .. }), "expected TE, got {err}");
 }
 
 #[test]
@@ -95,10 +89,5 @@ fn similarity_feature_methods_beat_deep_methods_on_structured_data() {
         f(&naive),
         f(&dtal)
     );
-    assert!(
-        f(&naive) > f(&dr) + 0.05,
-        "naive {} should clearly beat DR {}",
-        f(&naive),
-        f(&dr)
-    );
+    assert!(f(&naive) > f(&dr) + 0.05, "naive {} should clearly beat DR {}", f(&naive), f(&dr));
 }

@@ -8,9 +8,8 @@ const SCALE: f64 = 0.03;
 #[test]
 fn every_scenario_supports_the_full_pipeline() {
     for scenario in Scenario::ALL {
-        let ds = scenario
-            .generate(SCALE, 11)
-            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name()));
+        let ds =
+            scenario.generate(SCALE, 11).unwrap_or_else(|e| panic!("{}: {e}", scenario.name()));
         assert!(!ds.is_empty(), "{} generated nothing", scenario.name());
         assert_eq!(ds.x.cols(), scenario.num_features());
         // Every feature is a similarity in [0, 1].

@@ -7,21 +7,16 @@ use transer::datagen::vectors::{domain_pair, VectorDomainConfig};
 use transer::prelude::*;
 
 fn config_strategy() -> impl Strategy<Value = VectorDomainConfig> {
-    (
-        100usize..400,
-        2usize..6,
-        0.15..0.4f64,
-        0.0..0.15f64,
-        0u64..1000,
-    )
-        .prop_map(|(n, m, match_rate, ambiguity, seed)| VectorDomainConfig {
+    (100usize..400, 2usize..6, 0.15..0.4f64, 0.0..0.15f64, 0u64..1000).prop_map(
+        |(n, m, match_rate, ambiguity, seed)| VectorDomainConfig {
             n,
             m,
             match_rate,
             ambiguity,
             seed,
             ..Default::default()
-        })
+        },
+    )
 }
 
 proptest! {

@@ -47,10 +47,8 @@ pub mod test_runner {
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            let cases = std::env::var("PROPTEST_CASES")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(32);
+            let cases =
+                std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(32);
             ProptestConfig { cases }
         }
     }
@@ -351,10 +349,7 @@ pub mod string {
     pub fn generate_regex(pattern: &str, rng: &mut TestRng) -> String {
         let mut chars = pattern.chars().peekable();
         let seq = parse_seq(&mut chars, pattern);
-        assert!(
-            chars.next().is_none(),
-            "proptest stub: unbalanced ')' in regex {pattern:?}"
-        );
+        assert!(chars.next().is_none(), "proptest stub: unbalanced ')' in regex {pattern:?}");
         let mut out = String::new();
         gen_seq(&seq, rng, &mut out);
         out
@@ -484,9 +479,7 @@ pub mod string {
             for _ in 0..n {
                 match node {
                     Node::Literal(c) => out.push(*c),
-                    Node::Class(members) => {
-                        out.push(members[rng.random_range(0..members.len())])
-                    }
+                    Node::Class(members) => out.push(members[rng.random_range(0..members.len())]),
                     Node::Group(inner) => gen_seq(inner, rng, out),
                 }
             }

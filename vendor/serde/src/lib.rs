@@ -198,10 +198,7 @@ mod tests {
 
     #[test]
     fn containers() {
-        assert_eq!(
-            vec![1u8, 2].to_value(),
-            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
-        );
+        assert_eq!(vec![1u8, 2].to_value(), Value::Array(vec![Value::UInt(1), Value::UInt(2)]));
         assert_eq!(
             (1u8, "a").to_value(),
             Value::Array(vec![Value::UInt(1), Value::Str("a".into())])

@@ -56,9 +56,11 @@ fn write_value(out: &mut String, value: &Value, indent: Option<&str>, depth: usi
         Value::UInt(u) => out.push_str(&u.to_string()),
         Value::Float(f) => write_float(out, *f),
         Value::Str(s) => write_string(out, s),
-        Value::Array(items) => write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, v, d| {
-            write_value(o, v, indent, d)
-        }),
+        Value::Array(items) => {
+            write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, v, d| {
+                write_value(o, v, indent, d)
+            })
+        }
         Value::Object(fields) => {
             write_seq(out, fields.iter(), indent, depth, ('{', '}'), |o, (k, v), d| {
                 write_string(o, k);
@@ -169,10 +171,7 @@ mod tests {
             ("a".into(), serde::Value::UInt(1)),
             ("b".into(), serde::Value::Array(vec![serde::Value::Bool(true)])),
         ]);
-        assert_eq!(
-            to_string_pretty(&v).unwrap(),
-            "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}"
-        );
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}");
         assert_eq!(to_string_pretty(&Vec::<u8>::new()).unwrap(), "[]");
     }
 
@@ -194,12 +193,7 @@ mod tests {
 
     #[test]
     fn derived_struct() {
-        let d = Demo {
-            name: "x".into(),
-            score: (0.5, 0.1),
-            tags: vec!["a".into()],
-            note: None,
-        };
+        let d = Demo { name: "x".into(), score: (0.5, 0.1), tags: vec!["a".into()], note: None };
         assert_eq!(
             to_string(&d).unwrap(),
             "{\"name\":\"x\",\"score\":[0.5,0.1],\"tags\":[\"a\"],\"note\":null}"
