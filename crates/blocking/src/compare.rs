@@ -109,6 +109,12 @@ impl Comparison {
         let m = self.num_features();
         let prepared_left = self.prepare_records(left, pool);
         let prepared_right = self.prepare_records(right, pool);
+        // One prepared value per (record, feature); each pair then reads
+        // two of them from the cache instead of re-deriving them.
+        transer_trace::counter("compare.prepared", ((left.len() + right.len()) * m) as u64);
+        transer_trace::counter("compare.pairs", pairs.len() as u64);
+        transer_trace::counter("compare.invocations", (pairs.len() * m) as u64);
+        transer_trace::counter("compare.cache_hits", (2 * pairs.len() * m) as u64);
         let data: Vec<f64> = pool.par_chunks(pairs, PAIR_CHUNK, |_, chunk| {
             let mut rows = Vec::with_capacity(chunk.len() * m);
             for &(i, j) in chunk {

@@ -181,6 +181,8 @@ impl MinHashLsh {
             });
         pairs.sort_unstable();
         pairs.dedup();
+        transer_trace::counter("blocking.passes", 1);
+        transer_trace::counter("blocking.minhash.candidates", pairs.len() as u64);
         pairs
     }
 
@@ -209,6 +211,8 @@ impl MinHashLsh {
         }
         pairs.sort_unstable();
         pairs.dedup();
+        transer_trace::counter("blocking.passes", 1);
+        transer_trace::counter("blocking.minhash.candidates", pairs.len() as u64);
         pairs
     }
 }

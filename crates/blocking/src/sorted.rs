@@ -52,6 +52,8 @@ where
         }
         pairs.sort_unstable();
         pairs.dedup();
+        transer_trace::counter("blocking.passes", 1);
+        transer_trace::counter("blocking.sorted.candidates", pairs.len() as u64);
         pairs
     }
 }

@@ -44,6 +44,8 @@ where
         }
         pairs.sort_unstable();
         pairs.dedup();
+        transer_trace::counter("blocking.passes", 1);
+        transer_trace::counter("blocking.standard.candidates", pairs.len() as u64);
         pairs
     }
 
@@ -65,6 +67,8 @@ where
         }
         pairs.sort_unstable();
         pairs.dedup();
+        transer_trace::counter("blocking.passes", 1);
+        transer_trace::counter("blocking.standard.candidates", pairs.len() as u64);
         pairs
     }
 }

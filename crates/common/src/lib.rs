@@ -27,6 +27,7 @@
 
 mod colmajor;
 mod dataset;
+pub mod env;
 mod error;
 mod features;
 mod intern;

@@ -2,8 +2,6 @@
 //! phase timings, ablation variants and documented fallbacks for the
 //! degenerate situations Algorithm 1 leaves implicit.
 
-use std::time::Instant;
-
 use transer_common::{FeatureMatrix, Label, Result};
 use transer_ml::{Classifier, ClassifierKind, TreeEngine};
 
@@ -30,6 +28,9 @@ pub struct Diagnostics {
     pub gen_secs: f64,
     /// TCL wall-clock seconds.
     pub tcl_secs: f64,
+    /// End-to-end wall-clock seconds, measured by the root `pipeline` span
+    /// (≥ the phase sum: it includes the glue between phases).
+    pub total_secs: f64,
     /// SEL produced a set too degenerate to train on (empty or
     /// single-class); the full source was used instead.
     pub selection_fallback: bool,
@@ -39,9 +40,10 @@ pub struct Diagnostics {
 }
 
 impl Diagnostics {
-    /// Total wall-clock seconds across the three phases.
+    /// Total wall-clock seconds (the `total_secs` field; kept as a method
+    /// for backwards compatibility with callers of the old phase sum).
     pub fn total_secs(&self) -> f64 {
-        self.sel_secs + self.gen_secs + self.tcl_secs
+        self.total_secs
     }
 }
 
@@ -56,6 +58,34 @@ pub struct TransErOutput {
     pub pseudo: Option<PseudoLabels>,
     /// Counters and timings.
     pub diagnostics: Diagnostics,
+    /// The structured trace of this run (`Some` only when tracing is
+    /// enabled — see [`transer_trace::enabled`]): the span tree behind
+    /// [`Diagnostics`] plus every counter and histogram the run recorded.
+    pub trace: Option<transer_trace::TraceReport>,
+}
+
+/// Drain the run's trace buffer into the output (`None` when disabled).
+pub(crate) fn take_run_trace() -> Option<transer_trace::TraceReport> {
+    transer_trace::enabled().then(transer_trace::drain_report)
+}
+
+/// Trace the GEN confidence distribution against `t_p`: the histogram
+/// shows how sharply `C^U` separates the target, and the two counters are
+/// the exact split TCL will see.
+fn trace_confidences(pseudo: &PseudoLabels, t_p: f64) {
+    if !transer_trace::enabled() {
+        return;
+    }
+    let mut above = 0u64;
+    for &c in &pseudo.confidences {
+        transer_trace::observe("gen.confidence", c);
+        if c >= t_p {
+            above += 1;
+        }
+    }
+    transer_trace::counter("gen.pseudo_labels", pseudo.labels.len() as u64);
+    transer_trace::counter("gen.above_t_p", above);
+    transer_trace::counter("gen.below_t_p", pseudo.confidences.len() as u64 - above);
 }
 
 /// The TransER framework: configuration plus the classifier family used
@@ -112,11 +142,12 @@ impl TransEr {
         ys: &[Label],
         xt: &FeatureMatrix,
     ) -> Result<TransErOutput> {
+        let root = transer_trace::timed("pipeline");
         let mut diag = Diagnostics { source_count: xs.rows(), ..Default::default() };
         let variant = self.config.variant;
 
         // Phase (i): SEL.
-        let started = Instant::now();
+        let sel_span = transer_trace::timed("sel");
         let (mut xu, mut yu) = if variant.use_selection {
             let sel = select_instances(xs, ys, xt, &self.config)?;
             sel.transferred(xs, ys)
@@ -143,28 +174,35 @@ impl TransEr {
             xu = xs.clone();
             yu = ys.to_vec();
         }
-        diag.sel_secs = started.elapsed().as_secs_f64();
+        diag.sel_secs = sel_span.finish();
 
         if !variant.use_gen_tcl {
             // Ablation "without GEN & TCL": classify the target with a
             // model trained directly on the transferred instances.
-            let started = Instant::now();
+            let gen_span = transer_trace::timed("gen");
             let mut clf = self.classifier.build_with_engine(self.seed, self.tree_engine);
             clf.fit(&xu, &yu)?;
             let labels = clf.predict(xt);
-            diag.gen_secs = started.elapsed().as_secs_f64();
-            return Ok(TransErOutput { labels, pseudo: None, diagnostics: diag });
+            diag.gen_secs = gen_span.finish();
+            diag.total_secs = root.finish();
+            return Ok(TransErOutput {
+                labels,
+                pseudo: None,
+                diagnostics: diag,
+                trace: take_run_trace(),
+            });
         }
 
         // Phase (ii): GEN.
-        let started = Instant::now();
+        let gen_span = transer_trace::timed("gen");
         let mut cu: Box<dyn Classifier> =
             self.classifier.build_with_engine(self.seed, self.tree_engine);
         let pseudo = generate_pseudo_labels(cu.as_mut(), &xu, &yu, xt)?;
-        diag.gen_secs = started.elapsed().as_secs_f64();
+        diag.gen_secs = gen_span.finish();
+        trace_confidences(&pseudo, self.config.t_p);
 
         // Phase (iii): TCL.
-        let started = Instant::now();
+        let tcl_span = transer_trace::timed("tcl");
         let mut cv: Box<dyn Classifier> =
             self.classifier.build_with_engine(self.seed.wrapping_add(1), self.tree_engine);
         let output = match train_target_classifier(
@@ -187,9 +225,15 @@ impl TransEr {
             }
             Err(e) => return Err(e),
         };
-        diag.tcl_secs = started.elapsed().as_secs_f64();
+        diag.tcl_secs = tcl_span.finish();
+        diag.total_secs = root.finish();
 
-        Ok(TransErOutput { labels: output, pseudo: Some(pseudo), diagnostics: diag })
+        Ok(TransErOutput {
+            labels: output,
+            pseudo: Some(pseudo),
+            diagnostics: diag,
+            trace: take_run_trace(),
+        })
     }
 }
 
@@ -315,6 +359,44 @@ mod tests {
             a.fit_predict(&xs, &ys, &xt).unwrap().labels,
             b.fit_predict(&xs, &ys, &xt).unwrap().labels
         );
+    }
+
+    #[test]
+    fn tracing_never_changes_labels_and_reports_all_phases() {
+        let cfg = TransErConfig { k: 5, ..Default::default() };
+        let (xs, ys, xt, _) = fixture();
+        let t = TransEr::new(cfg, ClassifierKind::RandomForest, 7).unwrap();
+        let plain = t.fit_predict(&xs, &ys, &xt).unwrap();
+        assert!(plain.trace.is_none(), "trace must be absent when disabled");
+
+        // Flip the process-global switch for one traced run; restore after.
+        transer_trace::set_enabled(true);
+        let traced = t.fit_predict(&xs, &ys, &xt);
+        transer_trace::set_enabled(false);
+        let traced = traced.unwrap();
+
+        assert_eq!(plain.labels, traced.labels, "tracing must not change outputs");
+        let report = traced.trace.expect("trace present when enabled");
+        let root = report.find_span("pipeline").expect("root span");
+        for phase in ["sel", "gen", "tcl"] {
+            let child = root.find(phase).unwrap_or_else(|| panic!("{phase} span missing"));
+            assert!(child.secs >= 0.0);
+        }
+        assert!(root.secs >= root.children.iter().map(|c| c.secs).sum::<f64>());
+        let d = traced.diagnostics;
+        assert!(d.total_secs >= d.sel_secs + d.gen_secs + d.tcl_secs);
+        // The accept/reject breakdown covers every source row, and GEN's
+        // confidence histogram covers every target row.
+        let verdicts = report.counter("sel.accepted")
+            + report.counter("sel.rejected.sim_c")
+            + report.counter("sel.rejected.sim_l")
+            + report.counter("sel.rejected.sim_v");
+        assert_eq!(verdicts, xs.rows() as u64);
+        assert_eq!(report.counter("sel.accepted"), d.selected_count as u64);
+        assert_eq!(report.hists["gen.confidence"].count, xt.rows() as u64);
+        assert_eq!(report.counter("tcl.candidates"), d.candidate_count as u64);
+        assert_eq!(report.counter("tcl.balanced"), d.balanced_count as u64);
+        assert_eq!(report.counter("tcl.discarded"), (d.candidate_count - d.balanced_count) as u64);
     }
 
     #[test]

@@ -311,7 +311,28 @@ fn assemble(
     let keep = (!variant.use_sim_c || sim_c >= config.t_c)
         && (!variant.use_sim_l || shared.sim_l >= config.t_l)
         && (!variant.use_sim_v || shared.sim_v >= config.t_v);
+    record_verdict(sim_c, shared.sim_l, shared.sim_v, config, keep);
     (i as u32, InstanceScores { sim_c, sim_l: shared.sim_l, sim_v: shared.sim_v }, keep)
+}
+
+/// Trace the SEL accept/reject breakdown: accepted rows bump `sel.accepted`;
+/// rejected rows are attributed to the *first* enabled threshold they fail
+/// (the order Algorithm 1 tests them in).
+fn record_verdict(sim_c: f64, sim_l: f64, sim_v: f64, config: &TransErConfig, keep: bool) {
+    if !transer_trace::enabled() {
+        return;
+    }
+    let variant = config.variant;
+    if keep {
+        transer_trace::counter("sel.accepted", 1);
+    } else if variant.use_sim_c && sim_c < config.t_c {
+        transer_trace::counter("sel.rejected.sim_c", 1);
+    } else if variant.use_sim_l && sim_l < config.t_l {
+        transer_trace::counter("sel.rejected.sim_l", 1);
+    } else {
+        debug_assert!(variant.use_sim_v && sim_v < config.t_v);
+        transer_trace::counter("sel.rejected.sim_v", 1);
+    }
 }
 
 /// The straightforward per-row SEL path: two KD-tree queries plus
@@ -373,6 +394,7 @@ pub fn select_instances_per_row_with_pool(
         let keep = (!variant.use_sim_c || sim_c >= config.t_c)
             && (!variant.use_sim_l || sim_l >= config.t_l)
             && (!variant.use_sim_v || sim_v >= config.t_v);
+        record_verdict(sim_c, sim_l, sim_v, config, keep);
         (InstanceScores { sim_c, sim_l, sim_v }, keep)
     });
 

@@ -67,6 +67,7 @@ impl SemiSupervisedTransEr {
             return TransEr::new(self.config, self.classifier, self.seed)?.fit_predict(xs, ys, xt);
         }
 
+        let root = transer_trace::timed("pipeline");
         let mut diag = Diagnostics { source_count: xs.rows(), ..Default::default() };
 
         // SEL + GEN as in the standard pipeline.
@@ -114,7 +115,13 @@ impl SemiSupervisedTransEr {
         for &(i, label) in target_labels {
             labels[i] = label;
         }
-        Ok(TransErOutput { labels, pseudo: Some(pseudo), diagnostics: diag })
+        diag.total_secs = root.finish();
+        Ok(TransErOutput {
+            labels,
+            pseudo: Some(pseudo),
+            diagnostics: diag,
+            trace: crate::pipeline::take_run_trace(),
+        })
     }
 }
 

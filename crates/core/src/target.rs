@@ -49,6 +49,7 @@ pub fn train_target_classifier(
     if candidates.is_empty() {
         return Err(Error::EmptyInput("high-confidence pseudo-labelled instances"));
     }
+    let high_confidence = candidates.len();
     // The strict `t_p` filter can starve one class (a conservative C^U
     // rarely reaches high confidence on minority matches), leaving a final
     // training set too small and too skewed to beat the pseudo labels it
@@ -76,6 +77,8 @@ pub fn train_target_classifier(
         candidates.extend(pool.into_iter().take(want - have));
     }
     candidates.sort_unstable();
+    transer_trace::counter("tcl.candidates", candidates.len() as u64);
+    transer_trace::counter("tcl.backfill", (candidates.len() - high_confidence) as u64);
     let yv: Vec<Label> = candidates.iter().map(|&i| pseudo.labels[i]).collect();
     let matches = yv.iter().filter(|l| l.is_match()).count();
     if matches == 0 || matches == yv.len() {
@@ -88,6 +91,8 @@ pub fn train_target_classifier(
     // GetBalancedData: under-sample non-matches to the 1:b ratio.
     let balanced_local = undersample_to_ratio(&yv, balance_ratio, seed);
     let balanced: Vec<usize> = balanced_local.iter().map(|&j| candidates[j]).collect();
+    transer_trace::counter("tcl.balanced", balanced.len() as u64);
+    transer_trace::counter("tcl.discarded", (candidates.len() - balanced.len()) as u64);
     let xb = xt.select_rows(&balanced);
     let yb: Vec<Label> = balanced.iter().map(|&i| pseudo.labels[i]).collect();
 

@@ -12,6 +12,14 @@ fn main() {
             );
             print!("{}", controlled::render(&points));
             opts.maybe_write_json(&points);
+            if transer_trace::enabled() {
+                // The sweep is vector-based; one tiny record probe gives
+                // the trace its blocking/compare/ml coverage.
+                if let Err(e) = controlled::traced_record_probe(opts.seed) {
+                    eprintln!("warning: traced record probe failed: {e}");
+                }
+                transer_eval::write_trace_report("controlled");
+            }
         }
         Err(e) => {
             eprintln!("ablation_controlled failed: {e}");

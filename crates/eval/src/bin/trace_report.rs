@@ -1,0 +1,188 @@
+//! Pretty-print and validate `results/TRACE_*.json` reports.
+//!
+//! * `trace_report <path>` renders a human-readable summary: the span
+//!   tree with timings, then counters, histograms and warnings.
+//! * `trace_report --check <path>` validates the file against the
+//!   version-1 report schema *and* the expected layer coverage of a
+//!   traced pipeline run (spans for all three phases, at least one
+//!   counter each from the blocking, knn, ml and core layers); exits
+//!   non-zero on any violation. This is the tier-1 smoke check.
+
+use std::fmt::Write as _;
+
+use transer_trace::json::{self, Json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (check, path) = match args.as_slice() {
+        [p] if p != "--check" => (false, p.clone()),
+        [flag, p] if flag == "--check" => (true, p.clone()),
+        _ => {
+            eprintln!("usage: trace_report [--check] <TRACE_*.json>");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read {path}: {e}")),
+    };
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => fail(&format!("{path} is not valid JSON: {e}")),
+    };
+    if check {
+        match validate(&doc) {
+            Ok(()) => println!("{path}: OK"),
+            Err(msg) => fail(&format!("{path}: {msg}")),
+        }
+    } else {
+        print!("{}", render(&doc));
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+/// Schema + layer-coverage validation (see the module docs).
+fn validate(doc: &Json) -> Result<(), String> {
+    if doc.get("version").and_then(Json::as_num) != Some(1.0) {
+        return Err("version is not 1".into());
+    }
+    doc.get("task").and_then(Json::as_str).ok_or("task is not a string")?;
+    let spans = doc.get("spans").and_then(Json::as_arr).ok_or("spans is not an array")?;
+    for span in spans {
+        validate_span(span)?;
+    }
+    let counters = doc.get("counters").and_then(Json::as_obj).ok_or("counters is not an object")?;
+    for (name, value) in counters {
+        let n = value.as_num().ok_or_else(|| format!("counter {name} is not a number"))?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(format!("counter {name} is not a non-negative integer"));
+        }
+    }
+    let hists = doc.get("histograms").and_then(Json::as_obj).ok_or("histograms not an object")?;
+    for (name, hist) in hists {
+        validate_hist(name, hist)?;
+    }
+    let warnings = doc.get("warnings").and_then(Json::as_arr).ok_or("warnings is not an array")?;
+    for w in warnings {
+        w.get("context").and_then(Json::as_str).ok_or("warning without context")?;
+        w.get("message").and_then(Json::as_str).ok_or("warning without message")?;
+    }
+
+    // Layer coverage of a traced pipeline run.
+    for phase in ["pipeline", "sel", "gen", "tcl"] {
+        if !spans.iter().any(|s| span_contains(s, phase)) {
+            return Err(format!("no span named {phase:?}"));
+        }
+    }
+    for layer in [
+        &["blocking."][..],
+        &["knn."],
+        &["ml."],
+        &["sel.", "gen.", "tcl."], // core
+    ] {
+        if !counters.keys().any(|k| layer.iter().any(|p| k.starts_with(p))) {
+            return Err(format!("no counter from the {} layer", layer[0].trim_end_matches('.')));
+        }
+    }
+    Ok(())
+}
+
+fn validate_span(span: &Json) -> Result<(), String> {
+    span.get("name").and_then(Json::as_str).ok_or("span without name")?;
+    let secs = span.get("secs").and_then(Json::as_num).ok_or("span without secs")?;
+    if secs < 0.0 {
+        return Err("span with negative secs".into());
+    }
+    for child in span.get("children").and_then(Json::as_arr).ok_or("span without children")? {
+        validate_span(child)?;
+    }
+    Ok(())
+}
+
+fn validate_hist(name: &str, hist: &Json) -> Result<(), String> {
+    for field in ["count", "sum", "zero", "negative", "inf", "nan"] {
+        hist.get(field)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("histogram {name} missing {field}"))?;
+    }
+    let buckets =
+        hist.get("buckets").and_then(Json::as_obj).ok_or_else(|| format!("{name} no buckets"))?;
+    for (exp, n) in buckets {
+        exp.parse::<i16>().map_err(|_| format!("{name} bucket key {exp:?} not an exponent"))?;
+        n.as_num().ok_or_else(|| format!("{name} bucket {exp} count not a number"))?;
+    }
+    Ok(())
+}
+
+fn span_contains(span: &Json, name: &str) -> bool {
+    span.get("name").and_then(Json::as_str) == Some(name)
+        || span
+            .get("children")
+            .and_then(Json::as_arr)
+            .is_some_and(|kids| kids.iter().any(|k| span_contains(k, name)))
+}
+
+fn render(doc: &Json) -> String {
+    let mut out = String::new();
+    let task = doc.get("task").and_then(Json::as_str).unwrap_or("?");
+    let _ = writeln!(out, "trace report — task {task}\n");
+    if let Some(spans) = doc.get("spans").and_then(Json::as_arr) {
+        let _ = writeln!(out, "spans:");
+        for span in spans {
+            render_span(&mut out, span, 1);
+        }
+    }
+    if let Some(counters) = doc.get("counters").and_then(Json::as_obj) {
+        if !counters.is_empty() {
+            let _ = writeln!(out, "\ncounters:");
+            let width = counters.keys().map(String::len).max().unwrap_or(0);
+            for (name, value) in counters {
+                let v = value.as_num().unwrap_or(f64::NAN);
+                let _ = writeln!(out, "  {name:width$}  {v}");
+            }
+        }
+    }
+    if let Some(hists) = doc.get("histograms").and_then(Json::as_obj) {
+        if !hists.is_empty() {
+            let _ = writeln!(out, "\nhistograms:");
+            for (name, hist) in hists {
+                let count = hist.get("count").and_then(Json::as_num).unwrap_or(0.0);
+                let sum = hist.get("sum").and_then(Json::as_num).unwrap_or(0.0);
+                let mean = if count > 0.0 { sum / count } else { 0.0 };
+                let min = hist.get("min").and_then(Json::as_num);
+                let max = hist.get("max").and_then(Json::as_num);
+                let _ = write!(out, "  {name}: n={count} mean={mean:.4}");
+                if let (Some(min), Some(max)) = (min, max) {
+                    let _ = write!(out, " min={min} max={max}");
+                }
+                let _ = writeln!(out);
+            }
+        }
+    }
+    if let Some(warnings) = doc.get("warnings").and_then(Json::as_arr) {
+        if !warnings.is_empty() {
+            let _ = writeln!(out, "\nwarnings:");
+            for w in warnings {
+                let ctx = w.get("context").and_then(Json::as_str).unwrap_or("?");
+                let msg = w.get("message").and_then(Json::as_str).unwrap_or("?");
+                let _ = writeln!(out, "  [{ctx}] {msg}");
+            }
+        }
+    }
+    out
+}
+
+fn render_span(out: &mut String, span: &Json, depth: usize) {
+    let name = span.get("name").and_then(Json::as_str).unwrap_or("?");
+    let secs = span.get("secs").and_then(Json::as_num).unwrap_or(0.0);
+    let _ = writeln!(out, "{:indent$}{name}  {:.3} ms", "", secs * 1e3, indent = depth * 2);
+    if let Some(children) = span.get("children").and_then(Json::as_arr) {
+        for child in children {
+            render_span(out, child, depth + 1);
+        }
+    }
+}

@@ -19,7 +19,9 @@ use serde::Serialize;
 use transer_common::Result;
 use transer_core::{TransEr, TransErConfig, Variant};
 use transer_datagen::vectors::{domain_pair, VectorDomainConfig};
+use transer_datagen::Scenario;
 use transer_metrics::evaluate;
+use transer_ml::ClassifierKind;
 
 use crate::{Cell, Options};
 
@@ -89,6 +91,24 @@ pub fn conflict_sweep(opts: &Options) -> Result<Vec<ConflictPoint>> {
         });
     }
     Ok(out)
+}
+
+/// A miniature record-based run through the full stack, executed by
+/// `ablation_controlled` only when tracing is enabled. The conflict sweep
+/// above works on pre-built feature vectors and never touches blocking or
+/// record comparison; this probe sends one tiny bibliographic task through
+/// record generation (MinHash-LSH blocking + attribute comparison) and a
+/// random-forest pipeline, so `TRACE_controlled.json` covers every
+/// instrumented layer: blocking, compare, knn, ml and the core phases.
+///
+/// # Errors
+/// Propagates generation and pipeline errors.
+pub fn traced_record_probe(seed: u64) -> Result<()> {
+    let source = Scenario::DblpAcm.generate(0.02, seed)?;
+    let target = Scenario::DblpScholar.generate(0.02, seed)?;
+    let t = TransEr::new(TransErConfig::default(), ClassifierKind::RandomForest, seed)?;
+    let _ = t.fit_predict(&source.x, &source.y, &target.x)?;
+    Ok(())
 }
 
 /// Render the sweep.

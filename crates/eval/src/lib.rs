@@ -38,9 +38,11 @@ pub mod sensitivity;
 mod options;
 mod report;
 mod tasks;
+mod tracefile;
 
 pub use options::Options;
 pub use report::{format_table, Cell};
 pub use tasks::{
     directed_tasks, run_baseline, run_transer, EvalTask, MethodOutcome, QualityNumbers,
 };
+pub use tracefile::write_trace_report;

@@ -1,0 +1,28 @@
+//! Writing `results/TRACE_<task>.json` from the process-wide trace
+//! accumulator (see [`transer_trace::take_global_report`]).
+
+/// When tracing is enabled, take everything the process has accumulated
+/// and write it as `results/TRACE_<task>.json` (validated and rendered by
+/// the `trace_report` bin). Returns the written path; `None` when tracing
+/// is disabled or the file could not be written.
+pub fn write_trace_report(task: &str) -> Option<String> {
+    if !transer_trace::enabled() {
+        return None;
+    }
+    let report = transer_trace::take_global_report();
+    if let Err(e) = std::fs::create_dir_all("results") {
+        eprintln!("warning: could not create results/: {e}");
+        return None;
+    }
+    let path = format!("results/TRACE_{task}.json");
+    match std::fs::write(&path, report.to_json(task)) {
+        Ok(()) => {
+            eprintln!("trace report written to {path}");
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("warning: could not write {path}: {e}");
+            None
+        }
+    }
+}

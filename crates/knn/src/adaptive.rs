@@ -34,25 +34,36 @@ pub enum IndexKind {
 }
 
 impl IndexKind {
-    /// Parse a `TRANSER_KNN_INDEX`-style value. Unrecognised or empty
-    /// values fall back to [`IndexKind::Auto`].
-    pub fn parse(s: &str) -> IndexKind {
+    /// Parse a recognised `TRANSER_KNN_INDEX` value; `None` otherwise.
+    fn parse_known(s: &str) -> Option<IndexKind> {
         match s.trim().to_ascii_lowercase().as_str() {
-            "kdtree" | "kd-tree" | "kd" => IndexKind::KdTree,
-            "blocked" | "brute" | "bruteforce" => IndexKind::Blocked,
-            _ => IndexKind::Auto,
+            "kdtree" | "kd-tree" | "kd" => Some(IndexKind::KdTree),
+            "blocked" | "brute" | "bruteforce" => Some(IndexKind::Blocked),
+            "auto" | "" => Some(IndexKind::Auto),
+            _ => None,
         }
     }
 
+    /// Parse a `TRANSER_KNN_INDEX`-style value. Unrecognised or empty
+    /// values fall back to [`IndexKind::Auto`].
+    pub fn parse(s: &str) -> IndexKind {
+        IndexKind::parse_known(s).unwrap_or(IndexKind::Auto)
+    }
+
     /// The process-wide kind from the `TRANSER_KNN_INDEX` environment
-    /// variable, read once (like `TRANSER_THREADS`); unset or
-    /// unrecognised means [`IndexKind::Auto`].
+    /// variable, read once (like `TRANSER_THREADS`); unset means
+    /// [`IndexKind::Auto`], unrecognised warns through the trace layer and
+    /// falls back to [`IndexKind::Auto`].
     pub fn from_env() -> IndexKind {
         static KIND: OnceLock<IndexKind> = OnceLock::new();
         *KIND.get_or_init(|| {
-            std::env::var("TRANSER_KNN_INDEX")
-                .map(|v| IndexKind::parse(&v))
-                .unwrap_or(IndexKind::Auto)
+            transer_common::env::parsed_with(
+                transer_common::env::KNN_INDEX,
+                IndexKind::parse_known,
+                "one of auto/kdtree/blocked",
+                "auto",
+            )
+            .unwrap_or(IndexKind::Auto)
         })
     }
 

@@ -188,20 +188,26 @@ impl BlockedBruteForce {
             block_start = block_end;
         }
 
+        transer_trace::counter("knn.blocked.queries", queries.len() as u64);
         states
             .iter_mut()
             .zip(queries)
             .map(|(state, q)| {
                 let bound = state.screen.prune_bound();
                 let mut exact = WeightedHeap::new(k);
+                let mut recomputed = 0u64;
                 for &(i, screened) in &state.candidates {
                     let i = i as usize;
                     let band = band_scale * (state.nq + self.sq_norms[i] + 1.0);
                     if screened <= bound + 2.0 * band {
                         let w = weights.map_or(1, |w| w[i] as usize);
                         exact.push(i, sq_dist(q, self.row(i)), w);
+                        recomputed += 1;
                     }
                 }
+                transer_trace::counter("knn.blocked.screened", state.candidates.len() as u64);
+                transer_trace::counter("knn.blocked.recomputed", recomputed);
+                transer_trace::observe("knn.blocked.band", recomputed as f64);
                 exact.into_sorted()
             })
             .collect()

@@ -41,6 +41,14 @@ impl DedupKnn {
         let interning = RowInterning::of(matrix);
         let index = AdaptiveIndex::build(interning.unique(), kind);
         let weights = interning.multiplicities();
+        transer_trace::counter("knn.dedup.builds", 1);
+        if interning.unique_rows() > 0 {
+            // Dedup expansion factor: original rows per unique row.
+            transer_trace::observe(
+                "knn.dedup.expansion",
+                interning.original_rows() as f64 / interning.unique_rows() as f64,
+            );
+        }
         DedupKnn { interning, index, weights }
     }
 

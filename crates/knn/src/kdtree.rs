@@ -98,9 +98,12 @@ impl KdTree {
     ) -> Vec<Neighbor> {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
         let mut heap = BoundedMaxHeap::new(k);
+        let mut visits = 0u64;
         if self.root != NONE && k > 0 {
-            self.search(self.root, query, exclude, &mut heap);
+            self.search(self.root, query, exclude, &mut heap, &mut visits);
         }
+        transer_trace::counter("knn.kdtree.queries", 1);
+        transer_trace::counter("knn.kdtree.nodes", visits);
         heap.into_sorted()
     }
 
@@ -110,7 +113,9 @@ impl KdTree {
         query: &[f64],
         exclude: Option<usize>,
         heap: &mut BoundedMaxHeap,
+        visits: &mut u64,
     ) {
+        *visits += 1;
         let node = self.nodes[node_id as usize];
         let point = node.point as usize;
         if exclude != Some(point) {
@@ -121,14 +126,14 @@ impl KdTree {
         let (near, far) =
             if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
         if near != NONE {
-            self.search(near, query, exclude, heap);
+            self.search(near, query, exclude, heap, visits);
         }
         // Visit the far side only if the splitting plane is not farther than
         // the current k-th best distance. The bound is inclusive so that
         // equal-distance neighbours with smaller row indices (which win the
         // deterministic tie-break) are never pruned away.
         if far != NONE && delta * delta <= heap.prune_bound() {
-            self.search(far, query, exclude, heap);
+            self.search(far, query, exclude, heap, visits);
         }
     }
 
@@ -151,9 +156,12 @@ impl KdTree {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
         assert_eq!(weights.len(), self.len(), "one weight per indexed row");
         let mut heap = WeightedHeap::new(k);
+        let mut visits = 0u64;
         if self.root != NONE && k > 0 {
-            self.search_weighted(self.root, query, weights, &mut heap);
+            self.search_weighted(self.root, query, weights, &mut heap, &mut visits);
         }
+        transer_trace::counter("knn.kdtree.queries", 1);
+        transer_trace::counter("knn.kdtree.nodes", visits);
         heap.into_sorted()
     }
 
@@ -163,7 +171,9 @@ impl KdTree {
         query: &[f64],
         weights: &[u32],
         heap: &mut WeightedHeap,
+        visits: &mut u64,
     ) {
+        *visits += 1;
         let node = self.nodes[node_id as usize];
         let point = node.point as usize;
         heap.push(point, sq_dist(query, self.coords(node.point)), weights[point] as usize);
@@ -172,12 +182,12 @@ impl KdTree {
         let (near, far) =
             if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
         if near != NONE {
-            self.search_weighted(near, query, weights, heap);
+            self.search_weighted(near, query, weights, heap, visits);
         }
         // Inclusive bound, as in `search`: the weighted heap keeps whole
         // distance classes, so boundary ties must never be pruned.
         if far != NONE && delta * delta <= heap.prune_bound() {
-            self.search_weighted(far, query, weights, heap);
+            self.search_weighted(far, query, weights, heap, visits);
         }
     }
 }

@@ -138,6 +138,8 @@ impl Classifier for RandomForest {
             |(counts, w_full), _, &t| {
                 let mut rng = StdRng::seed_from_u64(self.bootstrap_seed(t));
                 let (bag, bag_w) = bootstrap_bag(&mut rng, &base, counts);
+                transer_trace::counter("ml.trees", 1);
+                transer_trace::observe("ml.bag_size", bag.len() as f64);
                 if bag.is_empty() {
                     return Ok(None);
                 }

@@ -234,6 +234,8 @@ impl Grower<'_> {
         let parent_impurity = gini(p_match);
         self.tree.candidate_features_into(self.matrix.cols(), &mut ws.candidates);
         let candidates = &ws.candidates;
+        transer_trace::counter("ml.split_scans", candidates.len() as u64);
+        transer_trace::observe("ml.split_depth", depth as f64);
 
         let scan = |f: usize| -> Option<SplitCandidate> {
             let col = self.matrix.col(f);
@@ -313,6 +315,8 @@ impl Grower<'_> {
                     partition_stable(&mut ids[start..end], &mut ws.scratch, &ws.goes_left, n_left);
                 }
             }
+        } else {
+            transer_trace::counter("ml.partition_skips", columns.len() as u64 - 1);
         }
 
         let id = self.tree.nodes.len() as u32;

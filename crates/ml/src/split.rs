@@ -26,7 +26,7 @@ use std::sync::OnceLock;
 use crate::tree::DecisionTreeConfig;
 
 /// Environment variable selecting the process-wide tree engine.
-pub const TREE_ENGINE_ENV: &str = "TRANSER_TREE_ENGINE";
+pub const TREE_ENGINE_ENV: &str = transer_common::env::TREE_ENGINE;
 
 /// Which decision-tree training engine to use. Both produce bit-identical
 /// trees; the choice affects training wall time only.
@@ -41,25 +41,36 @@ pub enum TreeEngine {
 }
 
 impl TreeEngine {
+    /// Parse a recognised `TRANSER_TREE_ENGINE` value; `None` otherwise.
+    fn parse_known(s: &str) -> Option<TreeEngine> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "reference" | "ref" | "per-node-sort" => Some(TreeEngine::Reference),
+            "presorted" | "pre-sorted" | "" => Some(TreeEngine::Presorted),
+            _ => None,
+        }
+    }
+
     /// Parse a `TRANSER_TREE_ENGINE`-style value. Unrecognised or empty
     /// values fall back to [`TreeEngine::Presorted`].
     pub fn parse(s: &str) -> TreeEngine {
-        match s.trim().to_ascii_lowercase().as_str() {
-            "reference" | "ref" | "per-node-sort" => TreeEngine::Reference,
-            _ => TreeEngine::Presorted,
-        }
+        TreeEngine::parse_known(s).unwrap_or(TreeEngine::Presorted)
     }
 
     /// The process-wide engine from the `TRANSER_TREE_ENGINE` environment
     /// variable, read once (mirroring `TRANSER_THREADS` and
-    /// `TRANSER_KNN_INDEX`); unset or unrecognised means
+    /// `TRANSER_KNN_INDEX`); unset means [`TreeEngine::Presorted`],
+    /// unrecognised warns through the trace layer and falls back to
     /// [`TreeEngine::Presorted`].
     pub fn from_env() -> TreeEngine {
         static KIND: OnceLock<TreeEngine> = OnceLock::new();
         *KIND.get_or_init(|| {
-            std::env::var(TREE_ENGINE_ENV)
-                .map(|v| TreeEngine::parse(&v))
-                .unwrap_or(TreeEngine::Presorted)
+            transer_common::env::parsed_with(
+                TREE_ENGINE_ENV,
+                TreeEngine::parse_known,
+                "one of presorted/reference",
+                "presorted",
+            )
+            .unwrap_or(TreeEngine::Presorted)
         })
     }
 

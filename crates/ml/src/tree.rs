@@ -228,7 +228,10 @@ impl DecisionTree {
         let parent_impurity = gini(p_match);
         let mut best: Option<(usize, SplitCandidate)> = None;
         let mut column: Vec<(f64, f64, bool)> = Vec::with_capacity(indices.len());
-        for feature in self.candidate_features(x.cols()) {
+        let candidates = self.candidate_features(x.cols());
+        transer_trace::counter("ml.split_scans", candidates.len() as u64);
+        transer_trace::observe("ml.split_depth", depth as f64);
+        for feature in candidates {
             column.clear();
             column.extend(indices.iter().map(|&i| (x.row(i)[feature], w[i], y[i].is_match())));
             // Stable sort under the NaN-safe total order: ties keep the

@@ -32,7 +32,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Environment variable selecting the global worker count.
-pub const THREADS_ENV: &str = "TRANSER_THREADS";
+pub const THREADS_ENV: &str = transer_common::env::THREADS;
 
 /// A deterministic parallel executor with a fixed worker count.
 ///
@@ -47,7 +47,7 @@ pub struct Pool {
 fn global_workers() -> usize {
     static WORKERS: OnceLock<usize> = OnceLock::new();
     *WORKERS.get_or_init(|| {
-        match std::env::var(THREADS_ENV).ok().and_then(|v| v.trim().parse::<usize>().ok()) {
+        match transer_common::env::parsed::<usize>(THREADS_ENV, "a worker count", "all cores") {
             Some(n) if n > 0 => n,
             _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
         }
@@ -130,7 +130,7 @@ impl Pool {
                         loop {
                             let start = cursor.fetch_add(batch, Ordering::Relaxed);
                             if start >= items.len() {
-                                return local;
+                                break;
                             }
                             let end = (start + batch).min(items.len());
                             let out: Vec<R> = items[start..end]
@@ -140,10 +140,11 @@ impl Pool {
                                 .collect();
                             local.push((start, out));
                         }
+                        (local, transer_trace::worker_harvest())
                     })
                 })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+            join_absorbing(handles)
         });
         merge_segments(&mut segments, items.len())
     }
@@ -183,15 +184,16 @@ impl Pool {
                         loop {
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                             if start >= items.len() {
-                                return local;
+                                break;
                             }
                             let end = (start + chunk).min(items.len());
                             local.push((start, f(start, &items[start..end])));
                         }
+                        (local, transer_trace::worker_harvest())
                     })
                 })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+            join_absorbing(handles)
         });
         // Chunk outputs may have arbitrary lengths, so concatenate by
         // ascending start index rather than through `merge_segments` (which
@@ -223,20 +225,43 @@ impl Pool {
                         loop {
                             let start = cursor.fetch_add(batch, Ordering::Relaxed);
                             if start >= n {
-                                return local;
+                                break;
                             }
                             let end = (start + batch).min(n);
                             let mut out = Vec::with_capacity(end - start);
                             fill(start, end, &mut out);
                             local.push((start, out));
                         }
+                        (local, transer_trace::worker_harvest())
                     })
                 })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+            join_absorbing(handles)
         });
         merge_segments(&mut segments, n)
     }
+}
+
+/// What each worker thread returns: its ordered `(start, results)`
+/// segments plus its harvested trace buffer.
+type WorkerHandle<'scope, R> =
+    std::thread::ScopedJoinHandle<'scope, (Vec<(usize, Vec<R>)>, transer_trace::WorkerTrace)>;
+
+/// Join workers in spawn order, absorbing each worker's trace buffer into
+/// the owning thread as it lands, and concatenate their segment lists.
+///
+/// Joining (and therefore absorbing) in spawn order — not completion
+/// order — is what makes merged trace counters and histograms
+/// deterministic for any worker count; segment order does not matter
+/// because [`merge_segments`] sorts by start index.
+fn join_absorbing<R: Send>(handles: Vec<WorkerHandle<'_, R>>) -> Vec<(usize, Vec<R>)> {
+    let mut segments = Vec::new();
+    for handle in handles {
+        let (local, harvest) = handle.join().expect("worker panicked");
+        transer_trace::absorb(harvest);
+        segments.extend(local);
+    }
+    segments
 }
 
 /// Batch size targeting ~4 batches per worker, so stragglers rebalance

@@ -1,0 +1,140 @@
+//! Thread-local collection: every thread records into its own buffer with
+//! no synchronisation; the `transer-parallel` pool harvests worker buffers
+//! and the owning thread absorbs them in worker order.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::hist::Histogram;
+use crate::report::{SpanNode, TraceReport, Warning};
+
+/// An open span on the thread-local stack.
+struct Frame {
+    name: &'static str,
+    start: Instant,
+    children: Vec<SpanNode>,
+}
+
+/// Per-thread trace buffer.
+#[derive(Default)]
+pub(crate) struct Collector {
+    counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
+    stack: Vec<Frame>,
+    roots: Vec<SpanNode>,
+    warnings: Vec<Warning>,
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<Collector> = RefCell::new(Collector::default());
+}
+
+pub(crate) fn with<R>(f: impl FnOnce(&mut Collector) -> R) -> R {
+    COLLECTOR.with(|c| f(&mut c.borrow_mut()))
+}
+
+impl Collector {
+    pub(crate) fn add_counter(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    pub(crate) fn observe(&mut self, name: &'static str, value: f64, n: u64) {
+        self.hists.entry(name).or_default().observe_n(value, n);
+    }
+
+    pub(crate) fn push_warning(&mut self, warning: Warning) {
+        self.warnings.push(warning);
+    }
+
+    pub(crate) fn open_span(&mut self, name: &'static str) {
+        self.stack.push(Frame { name, start: Instant::now(), children: Vec::new() });
+    }
+
+    /// Close the innermost open span. `secs` overrides the measured
+    /// duration when the caller timed the interval itself ([`crate::timed`]
+    /// measures outside the collector so the duration is identical whether
+    /// or not tracing records it).
+    pub(crate) fn close_span(&mut self, secs: Option<f64>) {
+        let Some(frame) = self.stack.pop() else {
+            return; // mismatched close (e.g. tracing toggled mid-span): drop
+        };
+        let node = SpanNode {
+            name: frame.name,
+            secs: secs.unwrap_or_else(|| frame.start.elapsed().as_secs_f64()),
+            children: frame.children,
+        };
+        match self.stack.last_mut() {
+            Some(parent) => parent.children.push(node),
+            None => self.roots.push(node),
+        }
+    }
+
+    fn attach_spans(&mut self, spans: Vec<SpanNode>) {
+        match self.stack.last_mut() {
+            Some(parent) => parent.children.extend(spans),
+            None => self.roots.extend(spans),
+        }
+    }
+
+    /// True when no span is open and nothing has been recorded.
+    pub(crate) fn is_clear(&self) -> bool {
+        self.stack.is_empty()
+            && self.roots.is_empty()
+            && self.counters.is_empty()
+            && self.hists.is_empty()
+            && self.warnings.is_empty()
+    }
+
+    pub(crate) fn take_report(&mut self) -> TraceReport {
+        TraceReport {
+            spans: std::mem::take(&mut self.roots),
+            counters: std::mem::take(&mut self.counters),
+            hists: std::mem::take(&mut self.hists),
+            warnings: std::mem::take(&mut self.warnings),
+        }
+    }
+}
+
+/// Everything a worker thread recorded during one parallel call, moved out
+/// of its thread-local buffer so the owning thread can absorb it.
+///
+/// `None` means the worker recorded nothing (always the case when tracing
+/// is disabled) and makes the harvest/absorb pair allocation-free on the
+/// disabled path.
+#[derive(Debug, Default)]
+pub struct WorkerTrace(Option<Box<TraceReport>>);
+
+/// Move the calling thread's buffer out (counters, histograms, warnings
+/// and any spans completed on this thread). Called by pool workers right
+/// before they finish; open spans stay behind.
+pub fn worker_harvest() -> WorkerTrace {
+    if !crate::enabled() {
+        return WorkerTrace(None);
+    }
+    with(|c| {
+        if c.is_clear() {
+            WorkerTrace(None)
+        } else {
+            WorkerTrace(Some(Box::new(c.take_report())))
+        }
+    })
+}
+
+/// Fold a harvested worker buffer into the calling thread's buffer.
+/// Counters and histograms merge commutatively; worker spans become
+/// children of the caller's innermost open span. The pool absorbs workers
+/// in spawn order, so the merged stream is deterministic.
+pub fn absorb(harvest: WorkerTrace) {
+    let Some(report) = harvest.0 else { return };
+    with(|c| {
+        for (name, n) in report.counters {
+            c.add_counter(name, n);
+        }
+        for (name, h) in report.hists {
+            c.hists.entry(name).or_default().merge(&h);
+        }
+        c.warnings.extend(report.warnings);
+        c.attach_spans(report.spans);
+    });
+}

@@ -1,0 +1,246 @@
+//! Log2-bucketed histograms.
+//!
+//! Finite positive normal values land in the bucket `[2^e, 2^(e+1))` keyed
+//! by their unbiased binary exponent `e`, read directly from the IEEE-754
+//! bit pattern (one mask + shift, no `log2` call). Values the exponent
+//! cannot classify are tracked in dedicated side counters with a fixed
+//! policy:
+//!
+//! * `0.0`, `-0.0` and positive subnormals → `zero` (an underflow bucket:
+//!   subnormals are below `2^-1022`, finer than any bucket we keep),
+//! * negative values including `-inf` → `negative`,
+//! * `+inf` → `inf`,
+//! * `NaN` → `nan`.
+//!
+//! `count`/`sum`/`min`/`max` cover the finite observations (including
+//! zeros, subnormals and negatives) so means stay meaningful even when a
+//! few stray values hit the side counters.
+
+use std::collections::BTreeMap;
+
+/// A sparse log2 histogram: bucket `e` counts observations in
+/// `[2^e, 2^(e+1))`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    /// Finite observations (everything except `nan` / `inf`).
+    pub count: u64,
+    /// Sum of the finite observations.
+    pub sum: f64,
+    /// Smallest finite observation (`None` until one arrives).
+    pub min: Option<f64>,
+    /// Largest finite observation (`None` until one arrives).
+    pub max: Option<f64>,
+    /// Underflow: `±0.0` and positive subnormals.
+    pub zero: u64,
+    /// Negative values, including `-inf`.
+    pub negative: u64,
+    /// `+inf` observations.
+    pub inf: u64,
+    /// `NaN` observations.
+    pub nan: u64,
+    /// Sparse buckets keyed by unbiased exponent.
+    pub buckets: BTreeMap<i16, u64>,
+}
+
+/// The bucket a value falls into, or `None` when it belongs to one of the
+/// side counters. Only finite positive normal values have a bucket.
+pub fn bucket_of(value: f64) -> Option<i16> {
+    if !value.is_finite() || value <= 0.0 {
+        return None;
+    }
+    let biased = ((value.to_bits() >> 52) & 0x7ff) as i16;
+    if biased == 0 {
+        return None; // positive subnormal: below every bucket we keep
+    }
+    Some(biased - 1023)
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
+        if value.is_nan() {
+            self.nan += 1;
+            return;
+        }
+        if value == f64::INFINITY {
+            self.inf += 1;
+            return;
+        }
+        if value == f64::NEG_INFINITY {
+            self.negative += 1;
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+        match bucket_of(value) {
+            Some(e) => *self.buckets.entry(e).or_insert(0) += 1,
+            None if value < 0.0 => self.negative += 1,
+            None => self.zero += 1,
+        }
+    }
+
+    /// Record `value` `n` times (used when counting e.g. band sizes that
+    /// are already aggregated).
+    pub fn observe_n(&mut self, value: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if value.is_nan() {
+            self.nan += n;
+            return;
+        }
+        if value == f64::INFINITY {
+            self.inf += n;
+            return;
+        }
+        if value == f64::NEG_INFINITY {
+            self.negative += n;
+            return;
+        }
+        self.count += n;
+        self.sum += value * n as f64;
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+        match bucket_of(value) {
+            Some(e) => *self.buckets.entry(e).or_insert(0) += n,
+            None if value < 0.0 => self.negative += n,
+            None => self.zero += n,
+        }
+    }
+
+    /// Fold another histogram into this one. Commutative and associative,
+    /// which is what makes the worker merge order-insensitive in value
+    /// (the merge is still performed in worker order for determinism of
+    /// any future order-sensitive fields).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.zero += other.zero;
+        self.negative += other.negative;
+        self.inf += other.inf;
+        self.nan += other.nan;
+        for (&e, &n) in &other.buckets {
+            *self.buckets.entry(e).or_insert(0) += n;
+        }
+    }
+
+    /// Total observations including the non-finite side counters.
+    pub fn total(&self) -> u64 {
+        self.count + self.inf + self.nan
+    }
+
+    /// Mean of the finite observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_exact_powers_of_two() {
+        // [2^e, 2^(e+1)) — the lower edge is inclusive, the upper exclusive.
+        for e in [-1022i32, -600, -3, -1, 0, 1, 4, 52, 1023] {
+            let lo = (e as f64).exp2();
+            assert_eq!(bucket_of(lo), Some(e as i16), "lower edge of e={e}");
+            let below = f64::from_bits(lo.to_bits() - 1);
+            if below > 0.0 && below.is_normal() {
+                assert_eq!(bucket_of(below), Some((e - 1) as i16), "just below e={e}");
+            }
+            let hi = ((e + 1) as f64).exp2();
+            if hi.is_finite() {
+                let inside = f64::from_bits(hi.to_bits() - 1);
+                assert_eq!(bucket_of(inside), Some(e as i16), "upper edge of e={e}");
+            }
+        }
+        assert_eq!(bucket_of(1.5), Some(0));
+        assert_eq!(bucket_of(3.0), Some(1));
+        assert_eq!(bucket_of(1024.0), Some(10));
+    }
+
+    #[test]
+    fn subnormals_zero_and_specials_have_no_bucket() {
+        assert_eq!(bucket_of(0.0), None);
+        assert_eq!(bucket_of(-0.0), None);
+        assert_eq!(bucket_of(f64::MIN_POSITIVE / 2.0), None); // subnormal
+        assert_eq!(bucket_of(f64::from_bits(1)), None); // smallest subnormal
+        assert_eq!(bucket_of(-1.0), None);
+        assert_eq!(bucket_of(f64::NAN), None);
+        assert_eq!(bucket_of(f64::INFINITY), None);
+        assert_eq!(bucket_of(f64::NEG_INFINITY), None);
+        // Largest normal is still bucketed.
+        assert_eq!(bucket_of(f64::MAX), Some(1023));
+        assert_eq!(bucket_of(f64::MIN_POSITIVE), Some(-1022));
+    }
+
+    #[test]
+    fn observe_policy_for_special_values() {
+        let mut h = Histogram::default();
+        h.observe(0.0);
+        h.observe(-0.0);
+        h.observe(f64::MIN_POSITIVE / 4.0);
+        h.observe(-2.5);
+        h.observe(f64::NEG_INFINITY);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NAN);
+        assert_eq!(h.zero, 3);
+        assert_eq!(h.negative, 2); // -2.5 and -inf
+        assert_eq!(h.inf, 1);
+        assert_eq!(h.nan, 1);
+        // Finite values (0, -0, subnormal, -2.5) count toward count/min/max.
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, Some(-2.5));
+        assert!(h.buckets.is_empty());
+    }
+
+    #[test]
+    fn observe_and_merge_agree_with_sequential() {
+        let values = [0.75, 1.0, 1.5, 2.0, 3.9, 4.0, 1e-3, 1e300, 0.0, -1.0];
+        let mut whole = Histogram::default();
+        for v in values {
+            whole.observe(v);
+        }
+        let (mut a, mut b) = (Histogram::default(), Histogram::default());
+        for (i, v) in values.iter().enumerate() {
+            if i % 2 == 0 {
+                a.observe(*v);
+            } else {
+                b.observe(*v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(whole.count, 10);
+        assert_eq!(whole.buckets[&0], 2); // 1.0, 1.5
+        assert_eq!(whole.buckets[&1], 2); // 2.0, 3.9
+        assert_eq!(whole.buckets[&2], 1); // 4.0
+        assert_eq!(whole.buckets[&-1], 1); // 0.75
+        assert_eq!(whole.mean().unwrap(), whole.sum / 10.0);
+    }
+
+    #[test]
+    fn observe_n_matches_repeated_observe() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in [5.0, 0.0, -3.0, f64::NAN, f64::INFINITY] {
+            a.observe_n(v, 3);
+            for _ in 0..3 {
+                b.observe(v);
+            }
+        }
+        a.observe_n(9.0, 0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,197 @@
+//! The drained, serialisable form of a trace: span trees, merged counters
+//! and histograms, and structured warnings.
+
+use std::collections::BTreeMap;
+
+use crate::hist::Histogram;
+use crate::json::Json;
+
+/// One completed span: a named wall-clock interval with nested children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Static span name (e.g. `"pipeline"`, `"sel"`).
+    pub name: &'static str,
+    /// Wall-clock seconds from open to close (monotonic clock).
+    pub secs: f64,
+    /// Spans opened and closed while this one was open, in order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Depth-first search for a span by name (this node included).
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(BTreeMap::from([
+            ("name".to_string(), Json::Str(self.name.to_string())),
+            ("secs".to_string(), Json::Num(self.secs)),
+            ("children".to_string(), Json::Arr(self.children.iter().map(Self::to_json).collect())),
+        ]))
+    }
+}
+
+/// A structured warning recorded through the trace layer (e.g. an
+/// unparsable `TRANSER_*` environment variable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Warning {
+    /// Short machine-readable context (e.g. `"env"`).
+    pub context: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Everything a trace collected: span trees in completion order, counters
+/// and histograms merged across workers, and warnings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceReport {
+    /// Root spans in the order they completed.
+    pub spans: Vec<SpanNode>,
+    /// Named event counters.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Named log2 histograms.
+    pub hists: BTreeMap<&'static str, Histogram>,
+    /// Structured warnings.
+    pub warnings: Vec<Warning>,
+}
+
+impl TraceReport {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.hists.is_empty()
+            && self.warnings.is_empty()
+    }
+
+    /// Fold another report into this one: spans and warnings are appended
+    /// in order, counters and histograms are summed/merged.
+    pub fn merge(&mut self, other: TraceReport) {
+        self.spans.extend(other.spans);
+        for (name, n) in other.counters {
+            *self.counters.entry(name).or_insert(0) += n;
+        }
+        for (name, h) in other.hists {
+            self.hists.entry(name).or_default().merge(&h);
+        }
+        self.warnings.extend(other.warnings);
+    }
+
+    /// A counter's value (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Depth-first search across all root spans.
+    pub fn find_span(&self, name: &str) -> Option<&SpanNode> {
+        self.spans.iter().find_map(|s| s.find(name))
+    }
+
+    /// Serialise to the versioned report JSON (see `trace_report --check`).
+    pub fn to_json(&self, task: &str) -> String {
+        let counters: BTreeMap<String, Json> =
+            self.counters.iter().map(|(&k, &v)| (k.to_string(), Json::Num(v as f64))).collect();
+        let hists: BTreeMap<String, Json> =
+            self.hists.iter().map(|(&k, h)| (k.to_string(), hist_to_json(h))).collect();
+        let warnings: Vec<Json> = self
+            .warnings
+            .iter()
+            .map(|w| {
+                Json::Obj(BTreeMap::from([
+                    ("context".to_string(), Json::Str(w.context.clone())),
+                    ("message".to_string(), Json::Str(w.message.clone())),
+                ]))
+            })
+            .collect();
+        Json::Obj(BTreeMap::from([
+            ("version".to_string(), Json::Num(1.0)),
+            ("task".to_string(), Json::Str(task.to_string())),
+            ("spans".to_string(), Json::Arr(self.spans.iter().map(SpanNode::to_json).collect())),
+            ("counters".to_string(), Json::Obj(counters)),
+            ("histograms".to_string(), Json::Obj(hists)),
+            ("warnings".to_string(), Json::Arr(warnings)),
+        ]))
+        .to_pretty()
+    }
+}
+
+fn hist_to_json(h: &Histogram) -> Json {
+    let buckets: BTreeMap<String, Json> =
+        h.buckets.iter().map(|(&e, &n)| (e.to_string(), Json::Num(n as f64))).collect();
+    Json::Obj(BTreeMap::from([
+        ("count".to_string(), Json::Num(h.count as f64)),
+        ("sum".to_string(), Json::Num(h.sum)),
+        ("min".to_string(), h.min.map_or(Json::Null, Json::Num)),
+        ("max".to_string(), h.max.map_or(Json::Null, Json::Num)),
+        ("zero".to_string(), Json::Num(h.zero as f64)),
+        ("negative".to_string(), Json::Num(h.negative as f64)),
+        ("inf".to_string(), Json::Num(h.inf as f64)),
+        ("nan".to_string(), Json::Num(h.nan as f64)),
+        ("buckets".to_string(), Json::Obj(buckets)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> TraceReport {
+        let mut h = Histogram::default();
+        h.observe(1.5);
+        h.observe(0.0);
+        TraceReport {
+            spans: vec![SpanNode {
+                name: "pipeline",
+                secs: 0.5,
+                children: vec![SpanNode { name: "sel", secs: 0.25, children: vec![] }],
+            }],
+            counters: BTreeMap::from([("sel.accepted", 7u64)]),
+            hists: BTreeMap::from([("gen.confidence", h)]),
+            warnings: vec![Warning { context: "env".into(), message: "bad value".into() }],
+        }
+    }
+
+    #[test]
+    fn merge_sums_counters_and_appends_spans() {
+        let mut a = sample();
+        a.merge(sample());
+        assert_eq!(a.counter("sel.accepted"), 14);
+        assert_eq!(a.spans.len(), 2);
+        assert_eq!(a.hists["gen.confidence"].count, 4);
+        assert_eq!(a.warnings.len(), 2);
+        assert_eq!(a.counter("missing"), 0);
+        let mut b = TraceReport::default();
+        assert!(b.is_empty());
+        b.merge(sample());
+        assert_eq!(b, sample());
+    }
+
+    #[test]
+    fn find_span_descends_the_tree() {
+        let r = sample();
+        assert_eq!(r.find_span("sel").unwrap().secs, 0.25);
+        assert!(r.find_span("gen").is_none());
+    }
+
+    #[test]
+    fn json_output_parses_and_has_the_schema_fields() {
+        let text = sample().to_json("unit");
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(doc.get("version").unwrap().as_num(), Some(1.0));
+        assert_eq!(doc.get("task").unwrap().as_str(), Some("unit"));
+        let spans = doc.get("spans").unwrap().as_arr().unwrap();
+        assert_eq!(spans[0].get("name").unwrap().as_str(), Some("pipeline"));
+        let kids = spans[0].get("children").unwrap().as_arr().unwrap();
+        assert_eq!(kids[0].get("name").unwrap().as_str(), Some("sel"));
+        let hist = doc.get("histograms").unwrap().get("gen.confidence").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_num(), Some(2.0));
+        assert_eq!(hist.get("zero").unwrap().as_num(), Some(1.0));
+        assert_eq!(hist.get("buckets").unwrap().get("0").unwrap().as_num(), Some(1.0));
+        assert_eq!(doc.get("counters").unwrap().get("sel.accepted").unwrap().as_num(), Some(7.0));
+    }
+}

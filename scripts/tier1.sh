@@ -10,3 +10,8 @@ cargo test -q
 cargo bench --no-run
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+
+# Traced smoke: a tiny controlled run with TRANSER_TRACE=1 must emit a
+# schema-valid trace report covering every instrumented layer.
+TRANSER_TRACE=1 ./target/release/ablation_controlled --quick --scale 0.05 > /dev/null
+./target/release/trace_report --check results/TRACE_controlled.json
