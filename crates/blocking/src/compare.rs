@@ -88,24 +88,32 @@ impl Comparison {
     /// feature matrix and ground-truth labels (from the records' entity
     /// identifiers). Runs on the global [`Pool`] (`TRANSER_THREADS`);
     /// results are bit-identical for every worker count.
+    ///
+    /// # Errors
+    /// Returns [`Error::DimensionMismatch`] if the assembled matrix buffer
+    /// is not rectangular (cannot occur by construction) and
+    /// [`Error::FaultInjected`] under a `compare:task_fail` plan.
     pub fn compare_pairs(
         &self,
         left: &[Record],
         right: &[Record],
         pairs: &[CandidatePair],
-    ) -> (FeatureMatrix, Vec<Label>) {
+    ) -> Result<(FeatureMatrix, Vec<Label>)> {
         self.compare_pairs_with_pool(left, right, pairs, &Pool::global())
     }
 
     /// [`Comparison::compare_pairs`] on an explicit [`Pool`] — the hook the
     /// determinism tests and benchmarks use to pin the worker count.
+    ///
+    /// # Errors
+    /// As for [`Comparison::compare_pairs`].
     pub fn compare_pairs_with_pool(
         &self,
         left: &[Record],
         right: &[Record],
         pairs: &[CandidatePair],
         pool: &Pool,
-    ) -> (FeatureMatrix, Vec<Label>) {
+    ) -> Result<(FeatureMatrix, Vec<Label>)> {
         let m = self.num_features();
         let prepared_left = self.prepare_records(left, pool);
         let prepared_right = self.prepare_records(right, pool);
@@ -124,21 +132,27 @@ impl Comparison {
             }
             rows
         });
-        let x = FeatureMatrix::from_rows(data, pairs.len(), m)
-            .expect("comparison rows are rectangular by construction");
-        let y = pairs
+        let mut x = FeatureMatrix::from_rows(data, pairs.len(), m)?;
+        let mut y: Vec<Label> = pairs
             .iter()
             .map(|&(i, j)| Label::from_bool(left[i].entity == right[j].entity))
             .collect();
-        (x, y)
+        if let Some(kind) = transer_robust::fired(transer_robust::site::COMPARE) {
+            if kind == transer_robust::FaultKind::TaskFail {
+                return Err(Error::FaultInjected(transer_robust::site::COMPARE));
+            }
+            transer_robust::corrupt_matrix(&mut x, kind);
+            transer_robust::corrupt_labels(&mut y, kind);
+        }
+        Ok((x, y))
     }
 
     /// Convenience: compare pairs and bundle the result as a named
     /// [`LabeledDataset`].
     ///
     /// # Errors
-    /// Propagates [`LabeledDataset::new`] errors (cannot occur for aligned
-    /// outputs, but kept in the signature for API stability).
+    /// Propagates [`Comparison::compare_pairs`] and [`LabeledDataset::new`]
+    /// errors.
     pub fn compare_to_dataset(
         &self,
         name: impl Into<String>,
@@ -146,7 +160,7 @@ impl Comparison {
         right: &[Record],
         pairs: &[CandidatePair],
     ) -> Result<LabeledDataset> {
-        let (x, y) = self.compare_pairs(left, right, pairs);
+        let (x, y) = self.compare_pairs(left, right, pairs)?;
         LabeledDataset::new(name, x, y)
     }
 }
@@ -229,7 +243,7 @@ mod tests {
             rec(0, 100, "deep entity matching", 2018.0),
             rec(1, 200, "something else entirely", 1970.0),
         ];
-        let (x, y) = cmp().compare_pairs(&left, &right, &[(0, 0), (0, 1)]);
+        let (x, y) = cmp().compare_pairs(&left, &right, &[(0, 0), (0, 1)]).unwrap();
         assert_eq!(x.rows(), 2);
         assert_eq!(x.row(0), &[1.0, 1.0]);
         assert!(x.row(1)[0] < 0.3);
@@ -325,12 +339,14 @@ mod tests {
         let pairs: Vec<CandidatePair> =
             (0..records.len()).flat_map(|i| (0..records.len()).map(move |j| (i, j))).collect();
         for workers in [1, 4] {
-            let (x, _) = comparison.compare_pairs_with_pool(
-                &records,
-                &records,
-                &pairs,
-                &transer_parallel::Pool::new(workers),
-            );
+            let (x, _) = comparison
+                .compare_pairs_with_pool(
+                    &records,
+                    &records,
+                    &pairs,
+                    &transer_parallel::Pool::new(workers),
+                )
+                .unwrap();
             for (row, &(i, j)) in pairs.iter().enumerate() {
                 let direct = comparison.feature_vector(&records[i], &records[j]);
                 for (f, (got, want)) in x.row(row).iter().zip(&direct).enumerate() {
@@ -355,8 +371,42 @@ mod tests {
         let pairs: Vec<CandidatePair> =
             (0..40).flat_map(|i| (0..40).map(move |j| (i as usize, j as usize))).collect();
         let c = cmp();
-        let seq = c.compare_pairs_with_pool(&left, &right, &pairs, &transer_parallel::Pool::new(1));
-        let par = c.compare_pairs_with_pool(&left, &right, &pairs, &transer_parallel::Pool::new(4));
+        let seq = c
+            .compare_pairs_with_pool(&left, &right, &pairs, &transer_parallel::Pool::new(1))
+            .unwrap();
+        let par = c
+            .compare_pairs_with_pool(&left, &right, &pairs, &transer_parallel::Pool::new(4))
+            .unwrap();
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn compare_fault_site_covers_every_kind() {
+        let _guard = transer_robust::test_lock();
+        let left = vec![rec(0, 1, "a b", 2000.0), rec(1, 2, "c d", 2001.0)];
+        let right = left.clone();
+        let pairs = [(0, 0), (0, 1), (1, 1)];
+        let c = cmp();
+
+        transer_robust::set_plan(Some("compare:task_fail"));
+        assert_eq!(c.compare_pairs(&left, &right, &pairs), Err(Error::FaultInjected("compare")));
+
+        transer_robust::set_plan(Some("compare:nan"));
+        let (x, y) = c.compare_pairs(&left, &right, &pairs).unwrap();
+        assert!(x.as_slice().iter().any(|v| v.is_nan()));
+        assert_eq!(y.len(), pairs.len());
+
+        transer_robust::set_plan(Some("compare:empty"));
+        let (x, y) = c.compare_pairs(&left, &right, &pairs).unwrap();
+        assert!(x.is_empty() && y.is_empty());
+
+        transer_robust::set_plan(Some("compare:single_class"));
+        let (_, y) = c.compare_pairs(&left, &right, &pairs).unwrap();
+        assert!(y.iter().all(|l| *l == Label::NonMatch));
+
+        transer_robust::set_plan(None);
+        let (x, y) = c.compare_pairs(&left, &right, &pairs).unwrap();
+        assert!(x.as_slice().iter().all(|v| v.is_finite()));
+        assert_eq!(y[0], Label::Match);
     }
 }

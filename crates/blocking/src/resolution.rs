@@ -99,9 +99,10 @@ pub fn one_to_one_matching(
     assert_eq!(pairs.len(), labels.len(), "pairs/labels length mismatch");
     assert_eq!(pairs.len(), scores.len(), "pairs/scores length mismatch");
     let mut order: Vec<usize> = (0..pairs.len()).filter(|&k| labels[k].is_match()).collect();
-    order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
-    });
+    // total_cmp gives NaN scores a fixed, input-order-independent position
+    // (the index tiebreak pins exact ties), where partial_cmp's Equal
+    // fallback made the order depend on where the NaN sat.
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
     let mut left_used = std::collections::HashSet::new();
     let mut right_used = std::collections::HashSet::new();
     let mut kept = Vec::new();
@@ -187,5 +188,19 @@ mod tests {
         let labels = vec![m(), m()];
         let kept = one_to_one_matching(&pairs, &labels, &[0.8, 0.8]);
         assert_eq!(kept, vec![(0, 0)], "earlier pair wins equal scores");
+    }
+
+    #[test]
+    fn nan_scores_order_deterministically() {
+        // Regression for the total_cmp switch: total_cmp ranks positive
+        // NaN above +Inf, so a NaN-scored pair greedily matches first and
+        // the result is well-defined (partial_cmp's Equal fallback left
+        // the order to sort-algorithm internals).
+        let pairs = vec![(0, 0), (1, 0), (1, 1)];
+        let labels = vec![m(), m(), m()];
+        let kept = one_to_one_matching(&pairs, &labels, &[f64::NAN, 0.9, 0.8]);
+        assert_eq!(kept, vec![(0, 0), (1, 1)], "NaN pair (0,0) taken first");
+        let kept = one_to_one_matching(&pairs, &labels, &[0.9, f64::NAN, 0.8]);
+        assert_eq!(kept, vec![(1, 0)], "NaN pair (1,0) taken first, blocking the rest");
     }
 }

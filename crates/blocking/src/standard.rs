@@ -44,6 +44,7 @@ where
         }
         pairs.sort_unstable();
         pairs.dedup();
+        apply_blocking_fault(&mut pairs);
         transer_trace::counter("blocking.passes", 1);
         transer_trace::counter("blocking.standard.candidates", pairs.len() as u64);
         pairs
@@ -67,9 +68,23 @@ where
         }
         pairs.sort_unstable();
         pairs.dedup();
+        apply_blocking_fault(&mut pairs);
         transer_trace::counter("blocking.passes", 1);
         transer_trace::counter("blocking.standard.candidates", pairs.len() as u64);
         pairs
+    }
+}
+
+/// The `blocking` fault site: an armed `empty` or `task_fail` plan drops
+/// every candidate pair (blocking has no float or label payload to poison,
+/// so the other kinds are no-ops here). Downstream phases must then cope
+/// with an empty comparison set.
+fn apply_blocking_fault(pairs: &mut Vec<CandidatePair>) {
+    use transer_robust::FaultKind;
+    if let Some(FaultKind::Empty | FaultKind::TaskFail) =
+        transer_robust::fired(transer_robust::site::BLOCKING)
+    {
+        pairs.clear();
     }
 }
 
@@ -123,5 +138,19 @@ mod tests {
     fn keyless_records_never_pair() {
         let b = StandardBlocking::new(|_r: &Record| Vec::new());
         assert!(b.candidate_pairs(&[rec(0, "a")], &[rec(0, "a")]).is_empty());
+    }
+
+    #[test]
+    fn blocking_fault_drops_candidates() {
+        let _guard = transer_robust::test_lock();
+        let left = vec![rec(0, "smith")];
+        let right = vec![rec(0, "smyth")];
+        let b = StandardBlocking::new(surname_soundex);
+        transer_robust::set_plan(Some("blocking:empty"));
+        assert!(b.candidate_pairs(&left, &right).is_empty());
+        transer_robust::set_plan(Some("blocking:nan"));
+        assert_eq!(b.candidate_pairs(&left, &right), vec![(0, 0)]);
+        transer_robust::set_plan(None);
+        assert_eq!(b.candidate_pairs(&left, &right), vec![(0, 0)]);
     }
 }

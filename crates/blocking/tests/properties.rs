@@ -83,7 +83,7 @@ proptest! {
         ]).unwrap();
         let blocker = MinHashLsh::new(MinHashLshConfig::default());
         let pairs = blocker.candidate_pairs(&left, &right);
-        let (x, y) = comparison.compare_pairs(&left, &right, &pairs);
+        let (x, y) = comparison.compare_pairs(&left, &right, &pairs).unwrap();
         prop_assert_eq!(x.rows(), pairs.len());
         prop_assert_eq!(y.len(), pairs.len());
         for (k, row) in x.iter_rows().enumerate() {

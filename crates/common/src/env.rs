@@ -13,6 +13,7 @@
 //! | `TRANSER_TRACE` | enable structured tracing |
 //! | `TRANSER_KNN_INDEX` | k-NN backend: `auto` / `kdtree` / `blocked` |
 //! | `TRANSER_TREE_ENGINE` | tree trainer: `presorted` / `reference` |
+//! | `TRANSER_FAULT` | fault injection: `<site>:<kind>[:<rate>:<seed>]` |
 
 /// Worker count for the parallel pool (unset/`0`/unparsable → all cores).
 pub const THREADS: &str = "TRANSER_THREADS";
@@ -22,6 +23,8 @@ pub const TRACE: &str = "TRANSER_TRACE";
 pub const KNN_INDEX: &str = "TRANSER_KNN_INDEX";
 /// Decision-tree training engine override (`transer-ml`).
 pub const TREE_ENGINE: &str = "TRANSER_TREE_ENGINE";
+/// Fault-injection plan (`transer-robust`): `<site>:<kind>[:<rate>:<seed>]`.
+pub const FAULT: &str = "TRANSER_FAULT";
 
 /// The trimmed value of `var`, or `None` when unset, empty or not UTF-8.
 pub fn raw(var: &str) -> Option<String> {

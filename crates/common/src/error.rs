@@ -48,6 +48,10 @@ pub enum Error {
     },
     /// Training a model failed to converge or produced degenerate output.
     TrainingFailed(String),
+    /// A fault was injected by the `transer-robust` harness
+    /// (`TRANSER_FAULT=<site>:task_fail`). Never produced in normal
+    /// operation; used to exercise the graceful-degradation ladder.
+    FaultInjected(&'static str),
 }
 
 impl fmt::Display for Error {
@@ -70,6 +74,7 @@ impl fmt::Display for Error {
                 )
             }
             Error::TrainingFailed(msg) => write!(f, "training failed: {msg}"),
+            Error::FaultInjected(site) => write!(f, "fault injected at {site}"),
         }
     }
 }
@@ -95,6 +100,7 @@ mod tests {
         assert_eq!(Error::EmptyInput("labels").to_string(), "empty input: labels");
         let e = Error::InvalidParameter { name: "k", message: "must be > 0".into() };
         assert_eq!(e.to_string(), "invalid parameter k: must be > 0");
+        assert_eq!(Error::FaultInjected("tcl.fit").to_string(), "fault injected at tcl.fit");
     }
 
     #[test]
@@ -102,5 +108,6 @@ mod tests {
         assert!(Error::MemoryExceeded { required: 10, budget: 5 }.is_resource_exceeded());
         assert!(Error::TimeExceeded { elapsed_secs: 10.0, budget_secs: 5.0 }.is_resource_exceeded());
         assert!(!Error::EmptyInput("x").is_resource_exceeded());
+        assert!(!Error::FaultInjected("compare").is_resource_exceeded());
     }
 }

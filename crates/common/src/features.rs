@@ -103,6 +103,23 @@ impl FeatureMatrix {
         &self.data
     }
 
+    /// Mutable raw row-major buffer. Values may be overwritten but the
+    /// shape is fixed; used by the `transer-robust` fault-injection
+    /// harness to corrupt matrices in place.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Drop all rows past `rows`, keeping the column count. A no-op when
+    /// the matrix already has `rows` rows or fewer.
+    pub fn truncate_rows(&mut self, rows: usize) {
+        if rows < self.rows {
+            self.data.truncate(rows * self.cols);
+            self.rows = rows;
+        }
+    }
+
     /// Build a new matrix keeping only the rows at `indices` (in order).
     pub fn select_rows(&self, indices: &[usize]) -> FeatureMatrix {
         let mut data = Vec::with_capacity(indices.len() * self.cols);
@@ -222,6 +239,21 @@ mod tests {
     fn push_wrong_width_panics() {
         let mut m = FeatureMatrix::empty(2);
         m.push_row(&[0.1]);
+    }
+
+    #[test]
+    fn truncate_and_mutate() {
+        let mut m = m();
+        m.truncate_rows(5); // no-op past the end
+        assert_eq!(m.rows(), 3);
+        m.as_mut_slice()[0] = f64::NAN;
+        assert!(m.row(0)[0].is_nan());
+        m.truncate_rows(1);
+        assert_eq!(m.rows(), 1);
+        assert_eq!(m.cols(), 2);
+        m.truncate_rows(0);
+        assert!(m.is_empty());
+        assert_eq!(m.cols(), 2);
     }
 
     #[test]

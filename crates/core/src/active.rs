@@ -39,12 +39,12 @@ pub fn suggest_queries(
     let out = TransEr::new(config, classifier, seed)?.fit_predict(xs, ys, xt)?;
     let pseudo = out.pseudo.ok_or(Error::EmptyInput("pseudo labels (GEN/TCL ablated?)"))?;
     let mut candidates: Vec<usize> = (0..xt.rows()).filter(|i| !exclude.contains(i)).collect();
-    candidates.sort_by(|&a, &b| {
-        pseudo.confidences[a]
-            .partial_cmp(&pseudo.confidences[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    // total_cmp: a NaN confidence must not collapse the comparator to
+    // Equal (input-order-dependent results, and an Ord violation that
+    // sort_by may panic on); NaN ranks above every finite value, so such
+    // rows sort last — least informative — deterministically.
+    candidates
+        .sort_by(|&a, &b| pseudo.confidences[a].total_cmp(&pseudo.confidences[b]).then(a.cmp(&b)));
     candidates.truncate(n);
     Ok(candidates)
 }

@@ -61,7 +61,7 @@ mod target;
 pub use active::{active_transfer, suggest_queries, ActiveRound};
 pub use config::{TransErConfig, Variant};
 pub use multi_source::{best_source, rank_sources, SourceScore};
-pub use pipeline::{Diagnostics, TransEr, TransErOutput};
+pub use pipeline::{Diagnostics, FallbackReason, FallbackSet, TransEr, TransErOutput};
 pub use pseudo::{generate_pseudo_labels, PseudoLabels};
 pub use selector::{
     select_instances, select_instances_per_row_with_pool, select_instances_with_backend,

@@ -70,7 +70,10 @@ pub fn rank_sources(
             score,
         });
     }
-    scores.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    // total_cmp with an index tiebreak: deterministic and panic-free even
+    // if a score comes out NaN (partial_cmp→Equal violated Ord, which
+    // sort_by is allowed to panic on since Rust 1.81).
+    scores.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.source_index.cmp(&b.source_index)));
     Ok(scores)
 }
 

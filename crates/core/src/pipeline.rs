@@ -2,13 +2,93 @@
 //! phase timings, ablation variants and documented fallbacks for the
 //! degenerate situations Algorithm 1 leaves implicit.
 
-use transer_common::{FeatureMatrix, Label, Result};
+use transer_common::{Error, FeatureMatrix, Label, Result};
 use transer_ml::{Classifier, ClassifierKind, TreeEngine};
+use transer_robust::{site, FaultKind};
 
 use crate::config::TransErConfig;
 use crate::pseudo::{generate_pseudo_labels, PseudoLabels};
 use crate::selector::select_instances;
 use crate::target::train_target_classifier;
+
+/// One step of the pipeline's graceful-degradation ladder: why a phase
+/// abandoned its primary strategy and what it used instead.
+///
+/// Every step is recorded in [`Diagnostics::fallbacks`] and — when tracing
+/// is enabled — as a `robust.fallback.*` counter, so degraded runs are
+/// observable rather than silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FallbackReason {
+    /// SEL transferred too little (or a single class) to train `C^U`; GEN
+    /// trained on the full source instead.
+    SelectionStarved,
+    /// GEN could not produce pseudo labels; the target was classified
+    /// directly by a model trained on the transferred instances (the
+    /// "without GEN & TCL" ablation shape).
+    GenFailed,
+    /// The direct classifier could not be trained on the transferred
+    /// instances either; it was trained on the full source.
+    SourceDirect,
+    /// TCL could not be trained (no / single-class high-confidence pseudo
+    /// labels); the pseudo labels were returned directly.
+    TclFailed,
+}
+
+impl FallbackReason {
+    /// Every ladder step, in pipeline order.
+    pub const ALL: [FallbackReason; 4] = [
+        FallbackReason::SelectionStarved,
+        FallbackReason::GenFailed,
+        FallbackReason::SourceDirect,
+        FallbackReason::TclFailed,
+    ];
+
+    /// Stable snake_case name (used in reports and logs).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FallbackReason::SelectionStarved => "selection_starved",
+            FallbackReason::GenFailed => "gen_failed",
+            FallbackReason::SourceDirect => "source_direct",
+            FallbackReason::TclFailed => "tcl_failed",
+        }
+    }
+
+    /// The trace counter bumped when this step is taken.
+    fn counter_name(self) -> &'static str {
+        match self {
+            FallbackReason::SelectionStarved => "robust.fallback.sel",
+            FallbackReason::GenFailed => "robust.fallback.gen",
+            FallbackReason::SourceDirect => "robust.fallback.source",
+            FallbackReason::TclFailed => "robust.fallback.tcl",
+        }
+    }
+}
+
+/// The set of [`FallbackReason`] steps taken during one run (a small
+/// bitmask, so [`Diagnostics`] stays `Copy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FallbackSet(u8);
+
+impl FallbackSet {
+    /// Whether `reason` was recorded.
+    pub fn contains(self, reason: FallbackReason) -> bool {
+        self.0 & (1 << reason as u8) != 0
+    }
+
+    /// Whether the run completed without any fallback.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The recorded reasons, in pipeline order.
+    pub fn iter(self) -> impl Iterator<Item = FallbackReason> {
+        FallbackReason::ALL.into_iter().filter(move |&r| self.contains(r))
+    }
+
+    fn insert(&mut self, reason: FallbackReason) {
+        self.0 |= 1 << reason as u8;
+    }
+}
 
 /// Counters and timings recorded while running the pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -32,11 +112,15 @@ pub struct Diagnostics {
     /// (≥ the phase sum: it includes the glue between phases).
     pub total_secs: f64,
     /// SEL produced a set too degenerate to train on (empty or
-    /// single-class); the full source was used instead.
+    /// single-class); the full source was used instead. Mirrors
+    /// `fallbacks.contains(FallbackReason::SelectionStarved)`.
     pub selection_fallback: bool,
     /// TCL could not be trained (no/single-class high-confidence pseudo
-    /// labels); the pseudo labels were returned directly.
+    /// labels); the pseudo labels were returned directly. Mirrors
+    /// `fallbacks.contains(FallbackReason::TclFailed)`.
     pub tcl_fallback: bool,
+    /// Every degradation-ladder step the run took.
+    pub fallbacks: FallbackSet,
 }
 
 impl Diagnostics {
@@ -44,6 +128,19 @@ impl Diagnostics {
     /// for backwards compatibility with callers of the old phase sum).
     pub fn total_secs(&self) -> f64 {
         self.total_secs
+    }
+
+    /// Record a degradation-ladder step: sets the typed [`FallbackSet`]
+    /// bit, keeps the legacy boolean flags in sync, and bumps the
+    /// `robust.fallback.*` trace counter.
+    pub(crate) fn record_fallback(&mut self, reason: FallbackReason) {
+        self.fallbacks.insert(reason);
+        match reason {
+            FallbackReason::SelectionStarved => self.selection_fallback = true,
+            FallbackReason::TclFailed => self.tcl_fallback = true,
+            FallbackReason::GenFailed | FallbackReason::SourceDirect => {}
+        }
+        transer_trace::counter(reason.counter_name(), 1);
     }
 }
 
@@ -54,7 +151,8 @@ pub struct TransErOutput {
     pub labels: Vec<Label>,
     /// The intermediate pseudo labels `Y^P`/`Z^P` (equal to the final
     /// labels when the TCL phase fell back; absent when GEN/TCL is ablated
-    /// away).
+    /// away or when the GEN ladder degraded to direct classification —
+    /// see [`Diagnostics::fallbacks`]).
     pub pseudo: Option<PseudoLabels>,
     /// Counters and timings.
     pub diagnostics: Diagnostics,
@@ -86,6 +184,93 @@ fn trace_confidences(pseudo: &PseudoLabels, t_p: f64) {
     transer_trace::counter("gen.pseudo_labels", pseudo.labels.len() as u64);
     transer_trace::counter("gen.above_t_p", above);
     transer_trace::counter("gen.below_t_p", pseudo.confidences.len() as u64 - above);
+}
+
+/// What the GEN phase produced: pseudo labels for TCL, or — when every
+/// pseudo-labelling attempt failed — target labels classified directly.
+pub(crate) enum GenOutcome {
+    /// Pseudo labels with confidences; TCL runs next.
+    Pseudo(PseudoLabels),
+    /// GEN fell back to direct classification; there is nothing for TCL
+    /// to refine, so these are the final labels.
+    Direct(Vec<Label>),
+}
+
+/// Fit a fresh classifier on `(x, y)` and label the target — the shape of
+/// the "without GEN & TCL" ablation, reused as the ladder's direct rungs.
+fn direct_labels(
+    classifier: ClassifierKind,
+    seed: u64,
+    engine: TreeEngine,
+    x: &FeatureMatrix,
+    y: &[Label],
+    xt: &FeatureMatrix,
+) -> Result<Vec<Label>> {
+    let mut clf = classifier.build_with_engine(seed, engine);
+    clf.fit(x, y)?;
+    Ok(clf.predict(xt))
+}
+
+/// Run GEN with the graceful-degradation ladder:
+///
+/// 1. pseudo-label via `C^U` trained on the transferred set `(xu, yu)`;
+/// 2. on failure, classify the target directly from the (clean)
+///    transferred set ([`FallbackReason::GenFailed`]);
+/// 3. on failure again, classify directly from the full source
+///    ([`FallbackReason::SourceDirect`]);
+/// 4. only then surface a typed error.
+///
+/// Resource-limit errors ([`Error::is_resource_exceeded`]) abort
+/// immediately — retrying would blow the same budget.
+///
+/// Hosts the `gen.fit` fault site (corrupts a *copy* of the training pair,
+/// so the ladder's clean-retry rungs stay meaningful) and the
+/// `gen.predict` site (corrupts the produced confidences/labels).
+#[allow(clippy::too_many_arguments)] // mirrors the pipeline inputs
+pub(crate) fn gen_with_ladder(
+    classifier: ClassifierKind,
+    seed: u64,
+    engine: TreeEngine,
+    xu: &FeatureMatrix,
+    yu: &[Label],
+    xs: &FeatureMatrix,
+    ys: &[Label],
+    xt: &FeatureMatrix,
+    diag: &mut Diagnostics,
+) -> Result<GenOutcome> {
+    let mut cu = classifier.build_with_engine(seed, engine);
+    let generated = match transer_robust::fired(site::GEN_FIT) {
+        Some(FaultKind::TaskFail) => Err(Error::FaultInjected(site::GEN_FIT)),
+        Some(kind) => {
+            let (fx, fy) = transer_robust::corrupted_pair(xu, yu, kind);
+            generate_pseudo_labels(cu.as_mut(), &fx, &fy, xt)
+        }
+        None => generate_pseudo_labels(cu.as_mut(), xu, yu, xt),
+    };
+    let generated =
+        generated.and_then(|mut pseudo| match transer_robust::fired(site::GEN_PREDICT) {
+            Some(FaultKind::TaskFail | FaultKind::Empty) => {
+                Err(Error::FaultInjected(site::GEN_PREDICT))
+            }
+            Some(kind) => {
+                transer_robust::corrupt_confidences(&mut pseudo.confidences, kind);
+                transer_robust::corrupt_labels(&mut pseudo.labels, kind);
+                Ok(pseudo)
+            }
+            None => Ok(pseudo),
+        });
+    match generated {
+        Ok(pseudo) => Ok(GenOutcome::Pseudo(pseudo)),
+        Err(e) if e.is_resource_exceeded() => Err(e),
+        Err(_) => {
+            diag.record_fallback(FallbackReason::GenFailed);
+            if let Ok(labels) = direct_labels(classifier, seed, engine, xu, yu, xt) {
+                return Ok(GenOutcome::Direct(labels));
+            }
+            diag.record_fallback(FallbackReason::SourceDirect);
+            direct_labels(classifier, seed, engine, xs, ys, xt).map(GenOutcome::Direct)
+        }
+    }
 }
 
 /// The TransER framework: configuration plus the classifier family used
@@ -125,13 +310,17 @@ impl TransEr {
 
     /// Run Algorithm 1: predict labels for every target instance.
     ///
-    /// Degenerate intermediate states fall back gracefully (and are flagged
-    /// in [`Diagnostics`]) rather than failing:
+    /// Degenerate intermediate states walk a graceful-degradation ladder
+    /// (each step typed in [`Diagnostics::fallbacks`]) rather than failing:
     ///
     /// * SEL transfers nothing / a single class → GEN trains on the full
-    ///   source instead (`selection_fallback`).
+    ///   source instead ([`FallbackReason::SelectionStarved`]).
+    /// * GEN cannot produce pseudo labels → the target is classified
+    ///   directly from the transferred set
+    ///   ([`FallbackReason::GenFailed`]), and if that fails too, from the
+    ///   full source ([`FallbackReason::SourceDirect`]).
     /// * No (two-class) high-confidence pseudo labels → the pseudo labels
-    ///   are returned as the final labels (`tcl_fallback`).
+    ///   are returned as the final labels ([`FallbackReason::TclFailed`]).
     ///
     /// # Errors
     /// Returns an error for empty/mismatched inputs or when even the
@@ -170,7 +359,7 @@ impl TransEr {
         // Fallback: a degenerate transferred set cannot train C^U.
         let matches = yu.iter().filter(|l| l.is_match()).count();
         if xu.rows() < 2 || matches == 0 || matches == yu.len() {
-            diag.selection_fallback = true;
+            diag.record_fallback(FallbackReason::SelectionStarved);
             xu = xs.clone();
             yu = ys.to_vec();
         }
@@ -193,12 +382,34 @@ impl TransEr {
             });
         }
 
-        // Phase (ii): GEN.
+        // Phase (ii): GEN, with the degradation ladder.
         let gen_span = transer_trace::timed("gen");
-        let mut cu: Box<dyn Classifier> =
-            self.classifier.build_with_engine(self.seed, self.tree_engine);
-        let pseudo = generate_pseudo_labels(cu.as_mut(), &xu, &yu, xt)?;
+        let outcome = gen_with_ladder(
+            self.classifier,
+            self.seed,
+            self.tree_engine,
+            &xu,
+            &yu,
+            xs,
+            ys,
+            xt,
+            &mut diag,
+        )?;
         diag.gen_secs = gen_span.finish();
+        let pseudo = match outcome {
+            GenOutcome::Pseudo(pseudo) => pseudo,
+            GenOutcome::Direct(labels) => {
+                // GEN degraded to direct classification: nothing for TCL
+                // to refine.
+                diag.total_secs = root.finish();
+                return Ok(TransErOutput {
+                    labels,
+                    pseudo: None,
+                    diagnostics: diag,
+                    trace: take_run_trace(),
+                });
+            }
+        };
         trace_confidences(&pseudo, self.config.t_p);
 
         // Phase (iii): TCL.
@@ -220,7 +431,7 @@ impl TransEr {
             }
             Err(e) if !e.is_resource_exceeded() => {
                 // Fallback: the pseudo labels are the best available answer.
-                diag.tcl_fallback = true;
+                diag.record_fallback(FallbackReason::TclFailed);
                 pseudo.labels.clone()
             }
             Err(e) => return Err(e),
@@ -296,6 +507,7 @@ mod tests {
         let d = out.diagnostics;
         assert!(d.selected_count > 0 && d.selected_count < d.source_count);
         assert!(!d.selection_fallback);
+        assert!(d.fallbacks.is_empty(), "clean run took a fallback: {:?}", d.fallbacks);
         assert!(out.pseudo.is_some());
         assert!(d.total_secs() >= 0.0);
     }
@@ -397,6 +609,74 @@ mod tests {
         assert_eq!(report.counter("tcl.candidates"), d.candidate_count as u64);
         assert_eq!(report.counter("tcl.balanced"), d.balanced_count as u64);
         assert_eq!(report.counter("tcl.discarded"), (d.candidate_count - d.balanced_count) as u64);
+    }
+
+    #[test]
+    fn fallback_set_is_a_typed_bitmask() {
+        let mut set = FallbackSet::default();
+        assert!(set.is_empty());
+        assert!(set.iter().next().is_none());
+        set.insert(FallbackReason::GenFailed);
+        set.insert(FallbackReason::TclFailed);
+        assert!(!set.is_empty());
+        assert!(set.contains(FallbackReason::GenFailed));
+        assert!(!set.contains(FallbackReason::SelectionStarved));
+        assert_eq!(
+            set.iter().collect::<Vec<_>>(),
+            vec![FallbackReason::GenFailed, FallbackReason::TclFailed]
+        );
+        assert_eq!(FallbackReason::SourceDirect.as_str(), "source_direct");
+        for reason in FallbackReason::ALL {
+            assert!(!reason.as_str().is_empty());
+        }
+    }
+
+    #[test]
+    fn record_fallback_syncs_legacy_flags() {
+        let mut diag = Diagnostics::default();
+        diag.record_fallback(FallbackReason::SelectionStarved);
+        assert!(diag.selection_fallback && !diag.tcl_fallback);
+        diag.record_fallback(FallbackReason::TclFailed);
+        assert!(diag.tcl_fallback);
+        diag.record_fallback(FallbackReason::GenFailed);
+        assert_eq!(diag.fallbacks.iter().count(), 3);
+    }
+
+    #[test]
+    fn gen_fault_degrades_to_direct_classification() {
+        let _guard = transer_robust::test_lock();
+        let (xs, ys, xt, yt) = fixture();
+        let cfg = TransErConfig { k: 5, ..Default::default() };
+        let t = TransEr::new(cfg, ClassifierKind::LogisticRegression, 42).unwrap();
+
+        // GEN fails outright: rung 1 (direct classification from the
+        // clean transferred set) answers, and records only GenFailed.
+        transer_robust::set_plan(Some("gen.fit:task_fail"));
+        let out = t.fit_predict(&xs, &ys, &xt);
+        transer_robust::set_plan(None);
+        let out = out.unwrap();
+        assert!(out.pseudo.is_none(), "direct rung produces no pseudo labels");
+        let d = out.diagnostics;
+        assert!(d.fallbacks.contains(FallbackReason::GenFailed));
+        assert!(!d.fallbacks.contains(FallbackReason::SourceDirect));
+        assert!(accuracy(&out.labels, &yt) > 0.9, "direct rung must still classify well");
+    }
+
+    #[test]
+    fn fallback_counters_appear_in_trace() {
+        let _guard = transer_robust::test_lock();
+        let (xs, ys, xt, _) = fixture();
+        let cfg = TransErConfig { k: 5, ..Default::default() };
+        let t = TransEr::new(cfg, ClassifierKind::LogisticRegression, 42).unwrap();
+        transer_robust::set_plan(Some("gen.fit:task_fail"));
+        transer_trace::set_enabled(true);
+        let out = t.fit_predict(&xs, &ys, &xt);
+        transer_trace::set_enabled(false);
+        transer_robust::set_plan(None);
+        let report = out.unwrap().trace.expect("trace enabled");
+        assert_eq!(report.counter("robust.fallback.gen"), 1);
+        assert_eq!(report.counter("robust.fault.gen.fit"), 1);
+        assert_eq!(report.counter("robust.fallback.source"), 0);
     }
 
     #[test]

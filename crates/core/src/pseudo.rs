@@ -115,6 +115,20 @@ mod tests {
     }
 
     #[test]
+    fn nan_confidences_never_clear_the_threshold() {
+        // `NaN >= t_p` is false for every threshold, so a corrupted
+        // confidence can only shrink the candidate set — it never slips a
+        // row into TCL's training sample.
+        let p = PseudoLabels {
+            labels: vec![Label::Match, Label::NonMatch, Label::Match],
+            confidences: vec![f64::NAN, 0.995, 0.999],
+        };
+        assert_eq!(p.high_confidence_indices(0.99), vec![1, 2]);
+        let all_nan = PseudoLabels { labels: p.labels, confidences: vec![f64::NAN; 3] };
+        assert!(all_nan.high_confidence_indices(0.0).is_empty());
+    }
+
+    #[test]
     fn single_class_rejected() {
         let x = FeatureMatrix::from_vecs(&[vec![0.9], vec![0.8]]).unwrap();
         let mut clf = ClassifierKind::LogisticRegression.build(0);

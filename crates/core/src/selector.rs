@@ -123,6 +123,25 @@ pub fn select_instances_with_backend(
     kind: IndexKind,
 ) -> Result<SelectionResult> {
     validate(xs, ys, xt, config)?;
+    // Fault site `sel.knn`: float kinds corrupt a copy of the source the
+    // scoring sees; shape/label kinds starve the selection outright (the
+    // pipeline's degenerate-set check then takes the full-source rung).
+    let corrupted;
+    let xs = match transer_robust::fired(transer_robust::site::SEL_KNN) {
+        Some(kind @ (transer_robust::FaultKind::Nan | transer_robust::FaultKind::Inf)) => {
+            let mut c = xs.clone();
+            transer_robust::corrupt_matrix(&mut c, kind);
+            corrupted = c;
+            &corrupted
+        }
+        Some(_) => {
+            return Ok(SelectionResult {
+                indices: Vec::new(),
+                scores: vec![InstanceScores { sim_c: 0.0, sim_l: 0.0, sim_v: 0.0 }; xs.rows()],
+            });
+        }
+        None => xs,
+    };
     let k = config.k;
     let source = DedupKnn::build(xs, kind);
     let target = DedupKnn::build(xt, kind);
@@ -219,24 +238,36 @@ fn score_group(
         let matches_full = p.iter().filter(|n| ys[n.index] == Label::Match).count();
         let matches_prefix = p[..k_prefix].iter().filter(|n| ys[n.index] == Label::Match).count();
         // Members inside `P` share the value sequence of `P[1..]`; members
-        // beyond it share `P[..k]`. Compute each variant's structural
-        // scores at most once.
-        let inside = (zero_count > 0)
-            .then(|| shared_scores(&p[1..], ct.as_deref(), cov_t.as_ref(), xs, row, m, variant));
-        let beyond = (zero_count < members.len()).then(|| {
-            shared_scores(&p[..k_prefix], ct.as_deref(), cov_t.as_ref(), xs, row, m, variant)
-        });
+        // beyond it share `P[..k]`. Memoise each variant's structural
+        // scores lazily, so each is computed at most once and exactly when
+        // a member needs it.
+        let mut inside: Option<SharedScores> = None;
+        let mut beyond: Option<SharedScores> = None;
         for (j, &i) in members.iter().enumerate() {
             let i = i as usize;
             let (ns_len, same, shared) = if j < zero_count {
                 let same_full =
                     if ys[i] == Label::Match { matches_full } else { p_len - matches_full };
+                let shared = &*inside.get_or_insert_with(|| {
+                    shared_scores(&p[1..], ct.as_deref(), cov_t.as_ref(), xs, row, m, variant)
+                });
                 // `i` itself is in `P` and trivially shares its own label.
-                (p_len - 1, same_full - 1, inside.as_ref().expect("member in P"))
+                (p_len - 1, same_full - 1, shared)
             } else {
                 let same =
                     if ys[i] == Label::Match { matches_prefix } else { k_prefix - matches_prefix };
-                (k_prefix, same, beyond.as_ref().expect("member beyond P"))
+                let shared = &*beyond.get_or_insert_with(|| {
+                    shared_scores(
+                        &p[..k_prefix],
+                        ct.as_deref(),
+                        cov_t.as_ref(),
+                        xs,
+                        row,
+                        m,
+                        variant,
+                    )
+                });
+                (k_prefix, same, shared)
             };
             let sim_c = if ns_len == 0 { 1.0 } else { same as f64 / ns_len as f64 };
             out.push(assemble(i, sim_c, shared, config));
@@ -329,9 +360,13 @@ fn record_verdict(sim_c: f64, sim_l: f64, sim_v: f64, config: &TransErConfig, ke
         transer_trace::counter("sel.rejected.sim_c", 1);
     } else if variant.use_sim_l && sim_l < config.t_l {
         transer_trace::counter("sel.rejected.sim_l", 1);
-    } else {
-        debug_assert!(variant.use_sim_v && sim_v < config.t_v);
+    } else if variant.use_sim_v && sim_v < config.t_v {
         transer_trace::counter("sel.rejected.sim_v", 1);
+    } else {
+        // A non-finite score fails its threshold without comparing below
+        // it (`NaN < t` is false), so no filter above claims the row; only
+        // reachable under fault injection.
+        transer_trace::counter("sel.rejected.nan", 1);
     }
 }
 

@@ -8,11 +8,13 @@
 //! target labels anchor the decision boundary in the target's own space.
 
 use transer_common::{Error, FeatureMatrix, Label, Result};
-use transer_ml::ClassifierKind;
+use transer_ml::{ClassifierKind, TreeEngine};
 
 use crate::config::TransErConfig;
-use crate::pipeline::{Diagnostics, TransEr, TransErOutput};
-use crate::pseudo::{generate_pseudo_labels, PseudoLabels};
+use crate::pipeline::{
+    gen_with_ladder, Diagnostics, FallbackReason, GenOutcome, TransEr, TransErOutput,
+};
+use crate::pseudo::PseudoLabels;
 use crate::selector::select_instances;
 use crate::target::train_target_classifier;
 
@@ -76,12 +78,38 @@ impl SemiSupervisedTransEr {
         diag.selected_count = xu.rows();
         let matches = yu.iter().filter(|l| l.is_match()).count();
         if xu.rows() < 2 || matches == 0 || matches == yu.len() {
-            diag.selection_fallback = true;
+            diag.record_fallback(FallbackReason::SelectionStarved);
             xu = xs.clone();
             yu = ys.to_vec();
         }
-        let mut cu = self.classifier.build(self.seed);
-        let mut pseudo: PseudoLabels = generate_pseudo_labels(cu.as_mut(), &xu, &yu, xt)?;
+        let outcome = gen_with_ladder(
+            self.classifier,
+            self.seed,
+            TreeEngine::from_env(),
+            &xu,
+            &yu,
+            xs,
+            ys,
+            xt,
+            &mut diag,
+        )?;
+        let mut pseudo: PseudoLabels = match outcome {
+            GenOutcome::Pseudo(pseudo) => pseudo,
+            GenOutcome::Direct(mut labels) => {
+                // GEN degraded to direct classification; the known labels
+                // are still authoritative in the output.
+                for &(i, label) in target_labels {
+                    labels[i] = label;
+                }
+                diag.total_secs = root.finish();
+                return Ok(TransErOutput {
+                    labels,
+                    pseudo: None,
+                    diagnostics: diag,
+                    trace: crate::pipeline::take_run_trace(),
+                });
+            }
+        };
 
         // Inject the trusted labels with full confidence.
         for &(i, label) in target_labels {
@@ -104,7 +132,7 @@ impl SemiSupervisedTransEr {
                 out.labels
             }
             Err(e) if !e.is_resource_exceeded() => {
-                diag.tcl_fallback = true;
+                diag.record_fallback(FallbackReason::TclFailed);
                 pseudo.labels.clone()
             }
             Err(e) => return Err(e),

@@ -9,6 +9,7 @@
 
 use transer_common::{Error, FeatureMatrix, Label, Result};
 use transer_ml::{undersample_to_ratio, Classifier};
+use transer_robust::{site, FaultKind};
 
 use crate::pseudo::PseudoLabels;
 
@@ -45,37 +46,28 @@ pub fn train_target_classifier(
             right: pseudo.labels.len(),
         });
     }
+    // Fault site `tcl.balance`: fail the phase outright or corrupt a copy
+    // of the pseudo labels before the candidate filter sees them.
+    let fault = transer_robust::fired(site::TCL_BALANCE);
+    if matches!(fault, Some(FaultKind::TaskFail | FaultKind::Empty)) {
+        return Err(Error::FaultInjected(site::TCL_BALANCE));
+    }
+    let corrupted;
+    let pseudo = if let Some(kind) = fault {
+        let mut p = pseudo.clone();
+        transer_robust::corrupt_confidences(&mut p.confidences, kind);
+        transer_robust::corrupt_labels(&mut p.labels, kind);
+        corrupted = p;
+        &corrupted
+    } else {
+        pseudo
+    };
     let mut candidates = pseudo.high_confidence_indices(t_p);
     if candidates.is_empty() {
         return Err(Error::EmptyInput("high-confidence pseudo-labelled instances"));
     }
     let high_confidence = candidates.len();
-    // The strict `t_p` filter can starve one class (a conservative C^U
-    // rarely reaches high confidence on minority matches), leaving a final
-    // training set too small and too skewed to beat the pseudo labels it
-    // came from. Backfill each class with its most confident remaining
-    // instances up to the 1:b ratio the balancing step targets — standard
-    // top-k pseudo-labelling practice.
-    let n_match = candidates.iter().filter(|&&i| pseudo.labels[i].is_match()).count();
-    let n_non = candidates.len() - n_match;
-    let want_match = ((n_non as f64 / balance_ratio).ceil() as usize).max(25);
-    let want_non = ((n_match as f64 * balance_ratio).ceil() as usize).max(25);
-    for (class, have, want) in
-        [(Label::Match, n_match, want_match), (Label::NonMatch, n_non, want_non)]
-    {
-        if have >= want {
-            continue;
-        }
-        let mut pool: Vec<usize> = (0..pseudo.labels.len())
-            .filter(|&i| pseudo.labels[i] == class && !candidates.contains(&i))
-            .collect();
-        pool.sort_by(|&a, &b| {
-            pseudo.confidences[b]
-                .partial_cmp(&pseudo.confidences[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        candidates.extend(pool.into_iter().take(want - have));
-    }
+    backfill_candidates(pseudo, &mut candidates, balance_ratio);
     candidates.sort_unstable();
     transer_trace::counter("tcl.candidates", candidates.len() as u64);
     transer_trace::counter("tcl.backfill", (candidates.len() - high_confidence) as u64);
@@ -93,15 +85,62 @@ pub fn train_target_classifier(
     let balanced: Vec<usize> = balanced_local.iter().map(|&j| candidates[j]).collect();
     transer_trace::counter("tcl.balanced", balanced.len() as u64);
     transer_trace::counter("tcl.discarded", (candidates.len() - balanced.len()) as u64);
-    let xb = xt.select_rows(&balanced);
-    let yb: Vec<Label> = balanced.iter().map(|&i| pseudo.labels[i]).collect();
+    let mut xb = xt.select_rows(&balanced);
+    let mut yb: Vec<Label> = balanced.iter().map(|&i| pseudo.labels[i]).collect();
 
+    // Fault site `tcl.fit`: fail the final training step or corrupt the
+    // balanced sample just before the classifier sees it.
+    if let Some(kind) = transer_robust::fired(site::TCL_FIT) {
+        if kind == FaultKind::TaskFail {
+            return Err(Error::FaultInjected(site::TCL_FIT));
+        }
+        transer_robust::corrupt_matrix(&mut xb, kind);
+        transer_robust::corrupt_labels(&mut yb, kind);
+    }
     classifier.fit(&xb, &yb)?;
     Ok(TargetPhaseOutput {
         labels: classifier.predict(xt),
         candidate_count: candidates.len(),
         balanced_count: balanced.len(),
     })
+}
+
+/// The strict `t_p` filter can starve one class (a conservative C^U
+/// rarely reaches high confidence on minority matches), leaving a final
+/// training set too small and too skewed to beat the pseudo labels it
+/// came from. Backfill each class with its most confident remaining
+/// instances up to the 1:b ratio the balancing step targets — standard
+/// top-k pseudo-labelling practice.
+fn backfill_candidates(pseudo: &PseudoLabels, candidates: &mut Vec<usize>, balance_ratio: f64) {
+    let n_match = candidates.iter().filter(|&&i| pseudo.labels[i].is_match()).count();
+    let n_non = candidates.len() - n_match;
+    let want_match = ((n_non as f64 / balance_ratio).ceil() as usize).max(25);
+    let want_non = ((n_match as f64 * balance_ratio).ceil() as usize).max(25);
+    // Membership mask instead of `candidates.contains(&i)` per row: the
+    // scan was O(candidates × rows), quadratic on large targets.
+    let mut in_candidates = vec![false; pseudo.labels.len()];
+    for &i in candidates.iter() {
+        in_candidates[i] = true;
+    }
+    for (class, have, want) in
+        [(Label::Match, n_match, want_match), (Label::NonMatch, n_non, want_non)]
+    {
+        if have >= want {
+            continue;
+        }
+        let mut pool: Vec<usize> = (0..pseudo.labels.len())
+            .filter(|&i| pseudo.labels[i] == class && !in_candidates[i])
+            .collect();
+        // Descending by confidence under total_cmp, index tiebreak: ties
+        // (and any NaN confidence, which ranks above every finite value
+        // and therefore backfills first) order deterministically. The old
+        // partial_cmp→Equal comparator violated Ord on NaN, which sort_by
+        // may panic on since Rust 1.81.
+        pool.sort_by(|&a, &b| {
+            pseudo.confidences[b].total_cmp(&pseudo.confidences[a]).then(a.cmp(&b))
+        });
+        candidates.extend(pool.into_iter().take(want - have));
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +229,69 @@ mod tests {
         let out = train_target_classifier(clf.as_mut(), &xt, &pseudo, 0.99, 3.0, 1).unwrap();
         assert_eq!(out.labels.len(), xt.rows());
         assert!(out.candidate_count >= 42);
+    }
+
+    #[test]
+    fn backfill_orders_nan_and_ties_deterministically() {
+        // Candidates: the one high-confidence non-match (index 5). The
+        // match pool carries a NaN confidence and an exact 0.5 tie; the
+        // post-fix order is pinned: NaN ranks above every finite value
+        // under total_cmp (backfills first), and the 0.5 tie breaks by
+        // index.
+        let pseudo = PseudoLabels {
+            labels: vec![Label::Match; 5].into_iter().chain([Label::NonMatch]).collect(),
+            confidences: vec![0.5, f64::NAN, 0.7, 0.5, 0.9, 0.999],
+        };
+        let mut candidates = vec![5];
+        backfill_candidates(&pseudo, &mut candidates, 3.0);
+        assert_eq!(candidates, vec![5, 1, 4, 2, 0, 3]);
+
+        // Same confidences permuted across indices: the relative order of
+        // NaN / finite / tied entries must not depend on input order.
+        let permuted = PseudoLabels {
+            labels: pseudo.labels.clone(),
+            confidences: vec![0.5, 0.5, 0.9, f64::NAN, 0.7, 0.999],
+        };
+        let mut candidates = vec![5];
+        backfill_candidates(&permuted, &mut candidates, 3.0);
+        assert_eq!(candidates, vec![5, 3, 2, 4, 0, 1]);
+    }
+
+    #[test]
+    fn tcl_fault_sites_fail_typed_or_degrade() {
+        let _guard = transer_robust::test_lock();
+        let (xt, pseudo) = fixture();
+
+        transer_robust::set_plan(Some("tcl.balance:task_fail"));
+        let mut clf = ClassifierKind::LogisticRegression.build(0);
+        let err = train_target_classifier(clf.as_mut(), &xt, &pseudo, 0.99, 3.0, 42);
+        assert!(matches!(err, Err(Error::FaultInjected("tcl.balance"))));
+
+        // NaN-corrupted confidences knock the affected rows out of the
+        // `>= t_p` filter; the phase trains on what is left or reports a
+        // typed error — either way, never a panic.
+        transer_robust::set_plan(Some("tcl.balance:nan"));
+        let mut clf = ClassifierKind::LogisticRegression.build(0);
+        if let Ok(out) = train_target_classifier(clf.as_mut(), &xt, &pseudo, 0.99, 3.0, 42) {
+            assert_eq!(out.labels.len(), xt.rows());
+        }
+
+        transer_robust::set_plan(Some("tcl.fit:task_fail"));
+        let mut clf = ClassifierKind::LogisticRegression.build(0);
+        let err = train_target_classifier(clf.as_mut(), &xt, &pseudo, 0.99, 3.0, 42);
+        assert!(matches!(err, Err(Error::FaultInjected("tcl.fit"))));
+
+        // Emptying the balanced sample surfaces as the classifier's own
+        // typed empty-input error.
+        transer_robust::set_plan(Some("tcl.fit:empty"));
+        let mut clf = ClassifierKind::LogisticRegression.build(0);
+        let err = train_target_classifier(clf.as_mut(), &xt, &pseudo, 0.99, 3.0, 42);
+        assert!(matches!(err, Err(Error::EmptyInput(_))));
+
+        // With the plan cleared the phase behaves normally again.
+        transer_robust::set_plan(None);
+        let mut clf = ClassifierKind::LogisticRegression.build(0);
+        assert!(train_target_classifier(clf.as_mut(), &xt, &pseudo, 0.99, 3.0, 42).is_ok());
     }
 
     #[test]

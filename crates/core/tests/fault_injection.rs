@@ -1,0 +1,126 @@
+//! Fault-injection sweep: every injection site × every fault kind, driven
+//! through the full pipeline for every paper classifier. The contract
+//! under test is the panic-free guarantee — each run either returns `Ok`
+//! (possibly via the degradation ladder) or a typed `Err`, never a panic —
+//! plus the zero-overhead promise that a disarmed harness leaves outputs
+//! bit-identical to the baseline.
+
+use transer_common::{FeatureMatrix, Label};
+use transer_core::{select_instances_with_pool, TransEr, TransErConfig};
+use transer_ml::ClassifierKind;
+use transer_parallel::Pool;
+use transer_robust::{site, FaultKind};
+
+/// Source with two clean clusters plus a conflicted mid region; target is
+/// the clusters, slightly shifted.
+fn fixture() -> (FeatureMatrix, Vec<Label>, FeatureMatrix) {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for i in 0..16 {
+        let j = (i % 8) as f64 * 0.006;
+        xs.push(vec![0.9 - j, 0.85 + j]);
+        ys.push(Label::Match);
+        xs.push(vec![0.1 + j, 0.15 - j]);
+        ys.push(Label::NonMatch);
+    }
+    for i in 0..6 {
+        let j = i as f64 * 0.004;
+        xs.push(vec![0.5 + j, 0.5 - j]);
+        ys.push(if i % 2 == 0 { Label::Match } else { Label::NonMatch });
+    }
+    let mut xt = Vec::new();
+    for i in 0..12 {
+        let j = (i % 6) as f64 * 0.007;
+        xt.push(vec![0.87 - j, 0.88 + j]);
+        xt.push(vec![0.13 + j, 0.12 - j]);
+    }
+    (FeatureMatrix::from_vecs(&xs).unwrap(), ys, FeatureMatrix::from_vecs(&xt).unwrap())
+}
+
+const SITES: [&str; 8] = [
+    site::COMPARE,
+    site::BLOCKING,
+    site::SEL_KNN,
+    site::GEN_FIT,
+    site::GEN_PREDICT,
+    site::TCL_BALANCE,
+    site::TCL_FIT,
+    site::POOL_DISPATCH,
+];
+
+#[test]
+fn every_site_and_kind_is_ok_or_typed_err() {
+    let _guard = transer_robust::test_lock();
+    let (xs, ys, xt) = fixture();
+    let cfg = TransErConfig { k: 5, ..Default::default() };
+    for classifier in ClassifierKind::PAPER_SET {
+        let t = TransEr::new(cfg, classifier, 7).unwrap();
+        transer_robust::set_plan(None);
+        let baseline = t.fit_predict(&xs, &ys, &xt).unwrap();
+        for s in SITES {
+            for fault in FaultKind::ALL {
+                transer_robust::set_plan(Some(&format!("{s}:{}", fault.as_str())));
+                match t.fit_predict(&xs, &ys, &xt) {
+                    Ok(out) => assert_eq!(
+                        out.labels.len(),
+                        xt.rows(),
+                        "{s}:{} under {}: labels misaligned",
+                        fault.as_str(),
+                        classifier.name()
+                    ),
+                    // A typed error must render; the panic-free guarantee
+                    // is that we got here at all.
+                    Err(e) => assert!(!e.to_string().is_empty()),
+                }
+            }
+        }
+        // Disarmed again: outputs bit-identical to the pre-sweep baseline.
+        transer_robust::set_plan(None);
+        let again = t.fit_predict(&xs, &ys, &xt).unwrap();
+        assert_eq!(baseline.labels, again.labels, "{}: disarmed run drifted", classifier.name());
+        let (b, a) = (baseline.diagnostics, again.diagnostics);
+        assert_eq!(b.selected_count, a.selected_count);
+        assert_eq!(b.candidate_count, a.candidate_count);
+        assert_eq!(b.balanced_count, a.balanced_count);
+        assert_eq!(b.fallbacks, a.fallbacks);
+    }
+}
+
+#[test]
+fn hostile_matrices_are_bit_identical_across_worker_counts() {
+    let _guard = transer_robust::test_lock();
+    transer_robust::set_plan(None);
+    // NaN/±Inf cells, a constant column and duplicate rows: SEL must not
+    // panic on them, and its scores must not depend on the worker count.
+    let mut rows = Vec::new();
+    let mut ys = Vec::new();
+    for i in 0..12 {
+        let v = i as f64 / 12.0;
+        rows.push(vec![v, 1.0, v * 0.5]);
+        ys.push(Label::from_bool(i % 2 == 0));
+    }
+    rows.push(vec![f64::NAN, 1.0, 0.2]);
+    ys.push(Label::Match);
+    rows.push(vec![f64::INFINITY, 1.0, f64::NEG_INFINITY]);
+    ys.push(Label::NonMatch);
+    rows.push(vec![0.5, 1.0, 0.25]);
+    ys.push(Label::Match);
+    rows.push(vec![0.5, 1.0, 0.25]);
+    ys.push(Label::NonMatch);
+    let xs = FeatureMatrix::from_vecs(&rows).unwrap();
+    let xt = FeatureMatrix::from_vecs(&[
+        vec![0.4, 1.0, 0.2],
+        vec![f64::NAN, 1.0, 0.9],
+        vec![0.6, 1.0, 0.3],
+    ])
+    .unwrap();
+    let cfg = TransErConfig { k: 3, ..Default::default() };
+    let seq = select_instances_with_pool(&xs, &ys, &xt, &cfg, &Pool::new(1)).unwrap();
+    let par = select_instances_with_pool(&xs, &ys, &xt, &cfg, &Pool::new(4)).unwrap();
+    assert_eq!(seq.indices, par.indices);
+    for (a, b) in seq.scores.iter().zip(&par.scores) {
+        assert_eq!(a.sim_c.to_bits(), b.sim_c.to_bits());
+        assert_eq!(a.sim_l.to_bits(), b.sim_l.to_bits());
+        assert_eq!(a.sim_v.to_bits(), b.sim_v.to_bits());
+    }
+}

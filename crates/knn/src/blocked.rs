@@ -96,7 +96,7 @@ impl BlockedBruteForce {
         k: usize,
         exclude: Option<usize>,
     ) -> Vec<Neighbor> {
-        let mut nn = self.panel(&[query], None, k, exclude).pop().expect("one result per query");
+        let mut nn = self.panel(&[query], None, k, exclude).pop().unwrap_or_default();
         nn.truncate(k);
         nn
     }
@@ -108,7 +108,7 @@ impl BlockedBruteForce {
     /// Panics when `query.len() != self.dim()` or
     /// `weights.len() != self.len()`.
     pub fn k_nearest_weighted(&self, query: &[f64], weights: &[u32], k: usize) -> Vec<Neighbor> {
-        self.panel(&[query], Some(weights), k, None).pop().expect("one result per query")
+        self.panel(&[query], Some(weights), k, None).pop().unwrap_or_default()
     }
 
     /// Duplicate-aware panel query: all of `queries` against the whole

@@ -19,12 +19,11 @@ impl Eq for Neighbor {}
 
 impl Ord for Neighbor {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Feature values are bounded, so distances are finite; ties broken
-        // by index for a deterministic ordering.
-        self.sq_dist
-            .partial_cmp(&other.sq_dist)
-            .unwrap_or(Ordering::Equal)
-            .then(self.index.cmp(&other.index))
+        // total_cmp keeps this a lawful Ord even for NaN distances (a
+        // partial_cmp fallback violates transitivity, which std's sorts
+        // may detect and panic on); ties broken by index for a
+        // deterministic ordering.
+        self.sq_dist.total_cmp(&other.sq_dist).then(self.index.cmp(&other.index))
     }
 }
 
@@ -110,9 +109,12 @@ impl BoundedMaxHeap {
 /// query against the duplicated matrix would. The retained weight may
 /// therefore exceed the budget; truncation happens during expansion.
 ///
-/// Distances must be finite and non-negative (squared Euclidean), which
-/// makes their IEEE-754 bit patterns order-isomorphic to their values —
-/// the classes live in a [`BTreeMap`] keyed by those bits.
+/// Distances are non-negative (squared Euclidean), which makes their
+/// IEEE-754 bit patterns order-isomorphic to their values — the classes
+/// live in a [`BTreeMap`] keyed by those bits. The isomorphism extends to
+/// `+Inf` and NaN (they rank beyond every finite distance, as under
+/// `total_cmp`), so hostile inputs degrade gracefully instead of
+/// corrupting the order.
 #[derive(Debug)]
 pub struct WeightedHeap {
     classes: BTreeMap<u64, WeightClass>,
@@ -139,7 +141,12 @@ impl WeightedHeap {
     /// `budget == 0` candidates are ignored.
     #[inline]
     pub fn push(&mut self, index: usize, sq_dist: f64, weight: usize) {
-        debug_assert!(sq_dist >= 0.0 && sq_dist.is_finite(), "invalid distance {sq_dist}");
+        // Squared distances are sums of squares, so they are never
+        // negative — but hostile inputs (NaN/±Inf features) make them
+        // +Inf or NaN. Both are fine here: for non-negative floats the
+        // IEEE-754 bit pattern is order-isomorphic to total_cmp, so +Inf
+        // and NaN classes simply rank beyond every finite distance.
+        debug_assert!(sq_dist >= 0.0 || sq_dist.is_nan(), "negative distance {sq_dist}");
         if self.budget == 0 || weight == 0 {
             return;
         }

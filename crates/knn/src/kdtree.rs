@@ -207,7 +207,11 @@ fn build_recursive(
     order.select_nth_unstable_by(mid, |&a, &b| {
         let xa = points[a as usize * dim + axis];
         let xb = points[b as usize * dim + axis];
-        xa.partial_cmp(&xb).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        // total_cmp keeps the comparator a lawful total order under NaN
+        // coordinates — select_nth_unstable_by may panic on Ord
+        // violations. Search results are unchanged for finite data (exact
+        // search; ties broken by index either way).
+        xa.total_cmp(&xb).then(a.cmp(&b))
     });
     let point = order[mid];
     let id = nodes.len() as u32;

@@ -105,7 +105,9 @@ pub fn jacobi_eigen(a: &Mat) -> Eigen {
     // Extract and sort by descending eigenvalue.
     let mut order: Vec<usize> = (0..n).collect();
     let values: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
-    order.sort_by(|&i, &j| values[j].partial_cmp(&values[i]).unwrap_or(std::cmp::Ordering::Equal));
+    // total_cmp (with the index tiebreak) keeps the order well-defined
+    // even when NaN input leaks NaN onto the diagonal.
+    order.sort_by(|&i, &j| values[j].total_cmp(&values[i]).then(i.cmp(&j)));
     let sorted_values: Vec<f64> = order.iter().map(|&i| values[i]).collect();
     let mut sorted_vectors = Mat::zeros(n, n);
     for (new_col, &old_col) in order.iter().enumerate() {

@@ -16,18 +16,24 @@ pub fn solve(a: &Mat, b: &[f64]) -> Option<Vec<f64>> {
     let mut x: Vec<f64> = b.to_vec();
 
     for col in 0..n {
-        // Partial pivot.
-        let pivot_row = (col..n)
-            .max_by(|&i, &j| {
-                aug[(i, col)]
-                    .abs()
-                    .partial_cmp(&aug[(j, col)].abs())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .unwrap();
-        if aug[(pivot_row, col)].abs() < 1e-12 {
-            return None;
+        // Partial pivot over *finite* magnitudes only: a NaN pivot
+        // poisons the whole solve and an Inf pivot degenerates to NaN in
+        // the elimination (inf/inf), so both count as singular. `>=`
+        // keeps the last maximal row, exactly like the `max_by` this
+        // replaces, so finite inputs pivot bit-identically.
+        let mut pivot_row = None;
+        let mut best = f64::NEG_INFINITY;
+        for i in col..n {
+            let mag = aug[(i, col)].abs();
+            if mag.is_finite() && mag >= best {
+                best = mag;
+                pivot_row = Some(i);
+            }
         }
+        let pivot_row = match pivot_row {
+            Some(row) if aug[(row, col)].abs() >= 1e-12 => row,
+            _ => return None,
+        };
         if pivot_row != col {
             for j in 0..n {
                 let tmp = aug[(col, j)];
@@ -123,5 +129,36 @@ mod tests {
     fn identity_inverse_is_identity() {
         let inv = inverse(&Mat::identity(4)).unwrap();
         assert!(inv.frobenius_distance(&Mat::identity(4)) < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_pivot_candidates_are_skipped() {
+        // NaN in a pivot column: pre-fix, partial_cmp's Equal fallback
+        // could select the NaN row as pivot and poison the solve into a
+        // `Some` full of NaN; post-fix the contamination is detected at
+        // the next pivot search and reported as singular (`None`).
+        let a = Mat::from_rows(&[vec![f64::NAN, 1.0], vec![1.0, 0.0]]);
+        assert!(solve(&a, &[2.0, 3.0]).is_none());
+
+        // A column whose pivot tail is all non-finite is singular.
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![0.0, f64::NAN]]);
+        assert!(solve(&a, &[1.0, 1.0]).is_none());
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![0.0, f64::INFINITY]]);
+        assert!(solve(&a, &[1.0, 1.0]).is_none());
+        let a = Mat::from_rows(&[vec![f64::NAN, 1.0], vec![f64::INFINITY, 1.0]]);
+        assert!(solve(&a, &[1.0, 1.0]).is_none());
+        assert!(inverse(&a).is_none());
+    }
+
+    #[test]
+    fn later_tied_pivot_still_wins() {
+        // max_by keeps the last maximal element; the explicit loop must
+        // do the same so finite systems pivot (and round) identically.
+        let a = Mat::from_rows(&[vec![2.0, 1.0, 0.0], vec![-2.0, 1.0, 1.0], vec![2.0, 0.0, 1.0]]);
+        let x = solve(&a, &[3.0, 0.0, 3.0]).unwrap();
+        let r0 = 2.0 * x[0] + x[1];
+        let r1 = -2.0 * x[0] + x[1] + x[2];
+        let r2 = 2.0 * x[0] + x[2];
+        assert!((r0 - 3.0).abs() < 1e-10 && r1.abs() < 1e-10 && (r2 - 3.0).abs() < 1e-10);
     }
 }

@@ -15,7 +15,9 @@ pub fn covariance(x: &FeatureMatrix) -> Mat {
     if n < 2 {
         return cov;
     }
-    let means = x.column_means().expect("n >= 2 rows");
+    let Some(means) = x.column_means() else {
+        return cov; // unreachable: n >= 2 rows here
+    };
     for row in x.iter_rows() {
         for i in 0..m {
             let di = row[i] - means[i];

@@ -111,6 +111,21 @@ mod tests {
     }
 
     #[test]
+    fn empty_slices_tally_to_zero_without_panicking() {
+        // An empty prediction set (e.g. a pipeline that degraded to an
+        // empty candidate list) must evaluate to all-zero counts and
+        // defined (0.0) quality measures, not a division panic.
+        let cm = ConfusionMatrix::from_labels(&[], &[]);
+        assert_eq!(cm, ConfusionMatrix::default());
+        assert_eq!(cm.total(), 0);
+        assert_eq!(cm.precision(), 0.0);
+        assert_eq!(cm.recall(), 0.0);
+        assert_eq!(cm.f1(), 0.0);
+        assert_eq!(cm.f_star(), 0.0);
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+
+    #[test]
     fn degenerate_denominators() {
         // Never predicts match, truth has no matches.
         let cm = evaluate(&labels(&[0, 0]), &labels(&[0, 0]));

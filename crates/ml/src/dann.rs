@@ -130,15 +130,19 @@ impl GrlNet {
         Ok(())
     }
 
-    /// Match probabilities for the rows of `x`.
-    ///
-    /// # Panics
-    /// Panics when called before a successful [`GrlNet::fit`].
+    /// Match probabilities for the rows of `x`. Before a successful
+    /// [`GrlNet::fit`] the network has no weights and every probability is
+    /// the uninformative 0.5.
     pub fn predict_proba(&self, x: &FeatureMatrix) -> Vec<f64> {
-        assert!(self.fitted, "predict before fit");
-        let encoder = self.encoder.as_ref().expect("fitted");
-        let head = self.label_head.as_ref().expect("fitted");
-        x.iter_rows().map(|row| sigmoid(head.forward(&encoder.forward(row))[0])).collect()
+        match (&self.encoder, &self.label_head) {
+            (Some(encoder), Some(head)) => x
+                .iter_rows()
+                .map(|row| {
+                    sigmoid(head.forward(&encoder.forward(row)).first().copied().unwrap_or(0.0))
+                })
+                .collect(),
+            _ => vec![0.5; x.rows()],
+        }
     }
 
     /// Hard labels using a 0.5 threshold.

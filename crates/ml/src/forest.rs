@@ -181,7 +181,9 @@ impl Classifier for RandomForest {
     }
 
     fn predict_proba(&self, x: &FeatureMatrix) -> Vec<f64> {
-        assert!(!self.trees.is_empty(), "predict before fit");
+        if self.trees.is_empty() {
+            return vec![0.5; x.rows()]; // unfitted: uninformative prior
+        }
         // Trees vote independently; the fold over per-tree outputs stays
         // sequential in tree order so the float sums are bit-identical for
         // every worker count.

@@ -114,7 +114,9 @@ impl Classifier for LogisticRegression {
     }
 
     fn predict_proba(&self, x: &FeatureMatrix) -> Vec<f64> {
-        assert!(self.fitted, "predict before fit");
+        if !self.fitted {
+            return vec![0.5; x.rows()]; // unfitted: uninformative prior
+        }
         x.iter_rows().map(|row| sigmoid(self.raw_score(row))).collect()
     }
 }
@@ -189,9 +191,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "predict before fit")]
-    fn predict_before_fit_panics() {
+    fn predict_before_fit_is_uninformative() {
         let clf = LogisticRegression::default();
-        clf.predict_proba(&FeatureMatrix::from_vecs(&[vec![0.5]]).unwrap());
+        let p = clf.predict_proba(&FeatureMatrix::from_vecs(&[vec![0.5], vec![0.9]]).unwrap());
+        assert_eq!(p, vec![0.5, 0.5]);
     }
 }

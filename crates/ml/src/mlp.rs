@@ -113,17 +113,23 @@ impl Mlp {
 
     fn forward_all(&self, x: &[f64]) -> Vec<Vec<f64>> {
         let mut acts = Vec::with_capacity(self.layers.len() + 1);
-        acts.push(x.to_vec());
+        let mut current = x.to_vec();
         for layer in &self.layers {
-            let next = layer.forward(acts.last().expect("nonempty"));
-            acts.push(next);
+            let next = layer.forward(&current);
+            acts.push(std::mem::replace(&mut current, next));
         }
+        acts.push(current);
         acts
     }
 
+    /// The sigmoid output of the final layer; 0.5 when the network has no
+    /// layers (unfitted), keeping the path panic-free.
+    fn output_of(acts: &[Vec<f64>]) -> f64 {
+        sigmoid(acts.last().and_then(|a| a.first()).copied().unwrap_or(0.0))
+    }
+
     fn proba_one(&self, x: &[f64]) -> f64 {
-        let acts = self.forward_all(x);
-        sigmoid(acts.last().expect("nonempty")[0])
+        Mlp::output_of(&self.forward_all(x))
     }
 }
 
@@ -155,7 +161,7 @@ impl Classifier for Mlp {
             order.shuffle(&mut rng);
             for &i in &order {
                 let acts = self.forward_all(x.row(i));
-                let p = sigmoid(acts.last().expect("nonempty")[0]);
+                let p = Mlp::output_of(&acts);
                 let wi = weights.map_or(1.0, |w| w[i]);
                 // dL/dz for sigmoid + cross-entropy.
                 let mut grad = vec![(p - y[i].as_f64()) * wi];
@@ -172,7 +178,9 @@ impl Classifier for Mlp {
     }
 
     fn predict_proba(&self, x: &FeatureMatrix) -> Vec<f64> {
-        assert!(self.fitted, "predict before fit");
+        if !self.fitted {
+            return vec![0.5; x.rows()];
+        }
         x.iter_rows().map(|row| self.proba_one(row)).collect()
     }
 }

@@ -83,7 +83,9 @@ impl Classifier for GaussianNaiveBayes {
     }
 
     fn predict_proba(&self, x: &FeatureMatrix) -> Vec<f64> {
-        assert!(self.fitted, "predict before fit");
+        if !self.fitted {
+            return vec![0.5; x.rows()]; // unfitted: uninformative prior
+        }
         x.iter_rows()
             .map(|row| {
                 let ll0 = self.log_likelihood(row, 0);

@@ -189,7 +189,9 @@ impl Classifier for LinearSvm {
     }
 
     fn predict_proba(&self, x: &FeatureMatrix) -> Vec<f64> {
-        assert!(self.fitted, "predict before fit");
+        if !self.fitted {
+            return vec![0.5; x.rows()]; // unfitted: uninformative prior
+        }
         x.iter_rows()
             .map(|row| sigmoid(self.platt_a * self.decision_value(row) + self.platt_b))
             .collect()

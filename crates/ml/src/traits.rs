@@ -48,8 +48,9 @@ pub trait Classifier: Send {
 
     /// Probability of the *match* class for each row, in `[0, 1]`.
     ///
-    /// # Panics
-    /// May panic when called before a successful `fit`.
+    /// Before a successful `fit` every implementation returns the
+    /// uninformative prior 0.5 for each row — never a panic — so
+    /// degradation paths can always ask for a prediction.
     fn predict_proba(&self, x: &FeatureMatrix) -> Vec<f64>;
 
     /// Hard labels using a 0.5 threshold on the match probability.

@@ -302,7 +302,9 @@ impl Classifier for DecisionTree {
     }
 
     fn predict_proba(&self, x: &FeatureMatrix) -> Vec<f64> {
-        assert!(self.root != NO_NODE, "predict before fit");
+        if self.root == NO_NODE {
+            return vec![0.5; x.rows()]; // unfitted: uninformative prior
+        }
         x.iter_rows().map(|row| self.leaf_probability(row)).collect()
     }
 }

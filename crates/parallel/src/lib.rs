@@ -84,6 +84,19 @@ impl Pool {
         self.workers
     }
 
+    /// The worker count a primitive should actually use: the pool's count,
+    /// or 1 when the `pool.dispatch` fault fires (simulated dispatch
+    /// failure degrades to the sequential path, which is bit-identical by
+    /// construction). A single relaxed load when `TRANSER_FAULT` is unset.
+    fn effective_workers(&self) -> usize {
+        if transer_robust::fired(transer_robust::site::POOL_DISPATCH).is_some() {
+            transer_trace::counter("robust.fallback.pool", 1);
+            1
+        } else {
+            self.workers
+        }
+    }
+
     /// Map `f` over `items`, in parallel, preserving input order.
     ///
     /// Equivalent to `items.iter().map(f).collect()` — including the exact
@@ -114,13 +127,14 @@ impl Pool {
         I: Fn() -> S + Sync,
         F: Fn(&mut S, usize, &T) -> R + Sync,
     {
-        if self.workers == 1 || items.len() <= 1 {
+        let workers = self.effective_workers();
+        if workers == 1 || items.len() <= 1 {
             let mut state = init();
             return items.iter().enumerate().map(|(i, t)| f(&mut state, i, t)).collect();
         }
         let cursor = AtomicUsize::new(0);
-        let batch = batch_size(items.len(), self.workers);
-        let spawn = self.workers.min(items.len().div_ceil(batch));
+        let batch = batch_size(items.len(), workers);
+        let spawn = workers.min(items.len().div_ceil(batch));
         let mut segments: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..spawn)
                 .map(|_| {
@@ -165,7 +179,8 @@ impl Pool {
         F: Fn(usize, &[T]) -> Vec<R> + Sync,
     {
         assert!(chunk > 0, "chunk size must be positive");
-        if self.workers == 1 || items.len() <= chunk {
+        let workers = self.effective_workers();
+        if workers == 1 || items.len() <= chunk {
             let mut out = Vec::new();
             for start in (0..items.len()).step_by(chunk) {
                 let end = (start + chunk).min(items.len());
@@ -175,7 +190,7 @@ impl Pool {
         }
         let cursor = AtomicUsize::new(0);
         let n_chunks = items.len().div_ceil(chunk);
-        let spawn = self.workers.min(n_chunks);
+        let spawn = workers.min(n_chunks);
         let mut segments: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..spawn)
                 .map(|_| {
@@ -209,14 +224,15 @@ impl Pool {
         R: Send,
         F: Fn(usize, usize, &mut Vec<R>) + Sync,
     {
-        if self.workers == 1 || n <= 1 {
+        let workers = self.effective_workers();
+        if workers == 1 || n <= 1 {
             let mut out = Vec::with_capacity(n);
             fill(0, n, &mut out);
             return out;
         }
         let cursor = AtomicUsize::new(0);
-        let batch = batch_size(n, self.workers);
-        let spawn = self.workers.min(n.div_ceil(batch));
+        let batch = batch_size(n, workers);
+        let spawn = workers.min(n.div_ceil(batch));
         let mut segments: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..spawn)
                 .map(|_| {
@@ -374,5 +390,21 @@ mod tests {
     #[should_panic(expected = "chunk size must be positive")]
     fn zero_chunk_panics() {
         Pool::new(2).par_chunks(&[1u8], 0, |_, c| c.to_vec());
+    }
+
+    #[test]
+    fn dispatch_fault_degrades_to_sequential_with_identical_results() {
+        let _guard = transer_robust::test_lock();
+        let items: Vec<u64> = (0..500).collect();
+        let clean = Pool::new(4).par_map(&items, |x| x * 7 + 1);
+        transer_robust::set_plan(Some("pool.dispatch:task_fail"));
+        let faulted = Pool::new(4).par_map(&items, |x| x * 7 + 1);
+        let chunked =
+            Pool::new(4).par_chunks(&items, 13, |_, c| c.iter().map(|x| x * 7 + 1).collect());
+        let with_init = Pool::new(4).par_map_init(&items, || (), |_, _, x| x * 7 + 1);
+        transer_robust::set_plan(None);
+        assert_eq!(faulted, clean);
+        assert_eq!(chunked, clean);
+        assert_eq!(with_init, clean);
     }
 }

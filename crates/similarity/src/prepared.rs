@@ -106,7 +106,13 @@ impl Measure {
                 (Some(x), Some(y)) => year_similarity(*x, *y),
                 _ => 0.0,
             },
-            (m, a, b) => panic!("prepared values {a:?} / {b:?} do not fit measure {m:?}"),
+            // Mismatched preparations cannot arise from the comparison
+            // step (it prepares per measure); treat API misuse as
+            // zero similarity instead of panicking, and leave a trace.
+            _ => {
+                transer_trace::counter("similarity.prepared.mismatch", 1);
+                0.0
+            }
         }
     }
 
@@ -168,6 +174,18 @@ mod tests {
     }
 
     #[test]
+    fn mismatched_preparations_score_zero() {
+        // API misuse (preparing with one measure, scoring with another)
+        // degrades to 0 similarity instead of panicking.
+        let token_set = Measure::TokenJaccard.prepare("a b c");
+        assert_eq!(Measure::Jaro.prepared(&token_set, &token_set), 0.0);
+        assert_eq!(
+            Measure::Numeric(5.0).prepared(&token_set, &Measure::Numeric(5.0).prepare("1")),
+            0.0
+        );
+    }
+
+    #[test]
     fn number_native_matches_number_dispatch() {
         // Non-native measures must agree with text() on renderings — the
         // contract compare layers rely on when caching renderings.
@@ -183,9 +201,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "do not fit measure")]
-    fn variant_mismatch_is_loud() {
+    fn variant_mismatch_is_counted() {
+        transer_trace::set_enabled(true);
         let p = Measure::TokenJaccard.prepare("a b");
-        Measure::Jaro.prepared(&p, &p);
+        assert_eq!(Measure::Jaro.prepared(&p, &p), 0.0);
+        let report = transer_trace::drain_report();
+        transer_trace::set_enabled(false);
+        assert!(report.counters.get("similarity.prepared.mismatch").is_some_and(|&c| c >= 1));
     }
 }

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Panic audit: enforce the panic-free guarantee for the library crates on
+# the pipeline's hot path. Non-test code in these crates must not contain
+# unwrap/expect or the panicking macros — every failure has to surface as
+# a typed `transer_common::Error` so the degradation ladder (DESIGN.md)
+# can observe it.
+#
+# Documented-precondition asserts (`assert!`/`assert_eq!`/`debug_assert!`)
+# are deliberately NOT denied: they guard internal invariants with a
+# `# Panics` section in the doc, which is a different contract from an
+# error path swallowed by `unwrap`.
+#
+# A line may be exempted by listing `path:line-text-fragment` in
+# scripts/panic_allowlist.txt (currently empty: the sweep removed every
+# occurrence).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CRATES=(common similarity blocking knn ml linalg core)
+ALLOWLIST=scripts/panic_allowlist.txt
+DENY='\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(|todo!\(|unimplemented!\('
+
+violations=0
+for crate in "${CRATES[@]}"; do
+    while IFS= read -r file; do
+        # Strip everything from the first `#[cfg(test)]` down: test modules
+        # sit at the bottom of each file in this codebase, and test code is
+        # allowed to unwrap.
+        hits=$(awk '/#\[cfg\(test\)\]/{exit} {print FILENAME":"FNR":"$0}' "$file" \
+            | grep -vE '^[^:]*:[0-9]+:[[:space:]]*//' \
+            | grep -E "$DENY" || true)
+        [ -z "$hits" ] && continue
+        while IFS= read -r hit; do
+            if [ -s "$ALLOWLIST" ]; then
+                path=${hit%%:*}
+                if grep -qF -- "$path" "$ALLOWLIST" \
+                    && grep -qF -- "$(echo "${hit#*:*:}" | tr -s '[:space:]' ' ')" "$ALLOWLIST"; then
+                    continue
+                fi
+            fi
+            echo "panic_audit: $hit"
+            violations=$((violations + 1))
+        done <<< "$hits"
+    done < <(find "crates/$crate/src" -name '*.rs')
+done
+
+if [ "$violations" -gt 0 ]; then
+    echo "panic_audit: $violations panicking construct(s) in library code" >&2
+    echo "panic_audit: convert to typed errors or add to $ALLOWLIST" >&2
+    exit 1
+fi
+echo "panic_audit: clean (${CRATES[*]})"

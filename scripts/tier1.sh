@@ -10,6 +10,12 @@ cargo test -q
 cargo bench --no-run
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+bash scripts/panic_audit.sh
+
+# Fault-injected smoke: with GEN training poisoned by NaNs on every
+# invocation, the degradation ladder must still carry a full controlled
+# run to a clean exit (typed fallbacks, no panic).
+TRANSER_FAULT=gen.fit:nan ./target/release/ablation_controlled --quick --scale 0.05 > /dev/null
 
 # Traced smoke: a tiny controlled run with TRANSER_TRACE=1 must emit a
 # schema-valid trace report covering every instrumented layer.

@@ -46,6 +46,7 @@
 //! | [`metrics`] | `transer-metrics` | precision, recall, F1, F*, histograms |
 //! | [`datagen`] | `transer-datagen` | the seven synthetic workload generators |
 //! | [`core`] | `transer-core` | **the TransER algorithm** (SEL / GEN / TCL) |
+//! | [`robust`] | `transer-robust` | fault injection, degradation helpers |
 //! | [`baselines`] | `transer-baselines` | Naive, DTAL*, DR, LocIT*, TCA, Coral |
 //! | [`eval`] | `transer-eval` | the table/figure experiment harness |
 
@@ -62,6 +63,7 @@ pub use transer_knn as knn;
 pub use transer_linalg as linalg;
 pub use transer_metrics as metrics;
 pub use transer_ml as ml;
+pub use transer_robust as robust;
 pub use transer_similarity as similarity;
 
 /// The most commonly used items in one import.
