@@ -1,0 +1,158 @@
+//! Calibrate the grain-dispatch table and record `results/BENCH_grain.json`.
+//!
+//! Two measurements feed the committed constants in
+//! `transer_parallel::grain`:
+//!
+//! 1. **Dispatch overhead** — the wall-clock cost of routing one batch
+//!    through the scoped-thread pool instead of running it inline, taken
+//!    as the best-of-reps difference between `AlwaysPool` and
+//!    `AlwaysInline` runs of the same trivial map. The inline threshold
+//!    must sit well above this number or pooling can never pay.
+//! 2. **Per-item cost of the wired hot paths** — MinHash blocking (per
+//!    record), pair comparison (per pair), SEL scoring (per source row)
+//!    and forest fitting (per tree×row), each timed at bench scale and
+//!    divided by its item count. These validate the `CostClass` table
+//!    entries the call sites declare.
+//!
+//! The committed constants are deliberately round numbers in the measured
+//! order of magnitude (exact values vary per host); `TRANSER_GRAIN`
+//! overrides the threshold at runtime without recompiling.
+
+use std::time::Instant;
+
+use transer_bench::{biblio_pair, BENCH_SCALE, BENCH_SEED};
+use transer_blocking::MinHashLsh;
+use transer_core::{select_instances_with_pool, TransErConfig};
+use transer_datagen::{biblio, Scenario};
+use transer_ml::{Classifier, RandomForest};
+use transer_parallel::{grain, CostHint, GrainMode, Pool};
+use transer_trace::json::Json;
+
+/// Repetitions per timing; the minimum damps scheduler noise.
+const REPS: usize = 5;
+
+fn time_best<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn obj(entries: Vec<(&str, Json)>) -> Json {
+    Json::Obj(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Measure the cost of one pooled dispatch of a trivial map versus the
+/// same map run inline. Uses 2 workers so the pool actually spawns.
+fn dispatch_overhead_nanos(items: usize) -> (f64, f64) {
+    let data: Vec<u64> = (0..items as u64).collect();
+    let hint = CostHint::with_per_item_nanos(items, 1);
+    let inline = Pool::new(2).with_grain(GrainMode::AlwaysInline);
+    let pooled = Pool::new(2).with_grain(GrainMode::AlwaysPool);
+    let secs_inline =
+        time_best(|| drop(inline.par_map_costed(&data, hint, |&v| v.wrapping_mul(3))));
+    let secs_pooled =
+        time_best(|| drop(pooled.par_map_costed(&data, hint, |&v| v.wrapping_mul(3))));
+    (secs_inline, secs_pooled)
+}
+
+fn workload_row(workload: &str, items: usize, secs: f64) -> Json {
+    obj(vec![
+        ("workload", Json::Str(workload.to_string())),
+        ("items", Json::Num(items as f64)),
+        ("secs", Json::Num(secs)),
+        ("nanos_per_item", Json::Num(secs * 1e9 / items.max(1) as f64)),
+    ])
+}
+
+fn main() {
+    let pool = Pool::sequential();
+
+    // Dispatch overhead on a trivial map.
+    let overhead_items = 64;
+    let (secs_inline, secs_pooled) = dispatch_overhead_nanos(overhead_items);
+    let overhead_nanos = ((secs_pooled - secs_inline) * 1e9).max(0.0);
+
+    // Per-item costs of the four wired hot paths, measured sequentially
+    // (the per-item figure is what the CostClass table models; dispatch
+    // strategy is the variable under calibration, not part of it).
+    let mut rows = Vec::new();
+
+    let scenario = Scenario::DblpAcm;
+    let entities = ((scenario.base_entities() as f64 * BENCH_SCALE) as usize).max(40);
+    let (left, right) = biblio::generate(&biblio::BiblioConfig::dblp_acm(entities, BENCH_SEED));
+    let blocker = MinHashLsh::new(scenario.lsh_config());
+    let attrs = Some(scenario.blocking_attrs());
+    let secs = time_best(|| {
+        drop(blocker.candidate_pairs_masked_with_pool(&left, &right, attrs, &pool));
+    });
+    rows.push(workload_row("minhash", left.len() + right.len(), secs));
+
+    let pairs = blocker.candidate_pairs_masked_with_pool(&left, &right, attrs, &pool);
+    let comparison = scenario.comparison();
+    let secs = time_best(|| drop(comparison.compare_pairs_with_pool(&left, &right, &pairs, &pool)));
+    rows.push(workload_row("compare", pairs.len(), secs));
+
+    let pair = biblio_pair();
+    let config = TransErConfig::default();
+    let secs = time_best(|| {
+        select_instances_with_pool(&pair.source.x, &pair.source.y, &pair.target.x, &config, &pool)
+            .expect("selection");
+    });
+    rows.push(workload_row("sel", pair.source.x.rows(), secs));
+
+    let n_trees = 24;
+    let secs = time_best(|| {
+        let mut rf = RandomForest::with_seed(BENCH_SEED).with_pool(pool);
+        rf.fit(&pair.source.x, &pair.source.y).expect("forest fit");
+    });
+    rows.push(workload_row("forest_fit_tree_row", n_trees * pair.source.x.rows(), secs));
+
+    let report = obj(vec![
+        ("version", Json::Num(1.0)),
+        (
+            "available_parallelism",
+            Json::Num(std::thread::available_parallelism().map_or(1, |n| n.get()) as f64),
+        ),
+        ("scale", Json::Num(BENCH_SCALE)),
+        (
+            "dispatch",
+            obj(vec![
+                ("items", Json::Num(overhead_items as f64)),
+                ("secs_inline", Json::Num(secs_inline)),
+                ("secs_pooled", Json::Num(secs_pooled)),
+                ("overhead_nanos", Json::Num(overhead_nanos)),
+            ]),
+        ),
+        ("workloads", Json::Arr(rows)),
+        (
+            "committed_constants",
+            obj(vec![
+                ("trivial_nanos", Json::Num(grain::TRIVIAL_NANOS as f64)),
+                ("light_nanos", Json::Num(grain::LIGHT_NANOS as f64)),
+                ("medium_nanos", Json::Num(grain::MEDIUM_NANOS as f64)),
+                ("heavy_nanos", Json::Num(grain::HEAVY_NANOS as f64)),
+                ("inline_threshold_nanos", Json::Num(grain::INLINE_THRESHOLD_NANOS as f64)),
+                ("chunk_target_nanos", Json::Num(grain::CHUNK_TARGET_NANOS as f64)),
+            ]),
+        ),
+    ]);
+
+    let text = report.to_pretty();
+    println!("Grain calibration — dispatch overhead {overhead_nanos:.0} ns/dispatch");
+    for row in report.get("workloads").and_then(Json::as_arr).unwrap_or(&[]) {
+        let name = row.get("workload").and_then(Json::as_str).unwrap_or("?");
+        let nanos = row.get("nanos_per_item").and_then(Json::as_num).unwrap_or(0.0);
+        println!("  {name:<22} {nanos:>10.0} ns/item");
+    }
+    let _ = std::fs::create_dir_all("results");
+    let path = "results/BENCH_grain.json";
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("bench_grain: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+}

@@ -28,3 +28,25 @@ pub fn biblio_pair() -> DomainPair {
 pub fn music_pair() -> DomainPair {
     ScenarioPair::Music.domain_pair(BENCH_SCALE, BENCH_SEED).expect("bench workload generation")
 }
+
+/// Peak resident set size of the current process in bytes (`VmHWM` from
+/// `/proc/self/status`); `None` when the proc interface is unavailable
+/// (non-Linux hosts) or unparsable. The high-water mark is per process,
+/// which is why `bench_scale` runs every grid cell in a fresh child
+/// process — each cell gets its own untainted peak.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_reads_a_positive_high_water_mark() {
+        let rss = super::peak_rss_bytes().expect("VmHWM on linux");
+        assert!(rss > 1024 * 1024, "peak RSS {rss} implausibly small");
+    }
+}

@@ -1,8 +1,25 @@
 //! The record-pair comparison step: turning candidate pairs into similarity
 //! feature vectors and ground-truth labels.
+//!
+//! Two execution strategies share one bit-identical kernel
+//! ([`prepared_pair`]):
+//!
+//! * **Global-prepare** (small candidate sets): prepare every record of
+//!   both sides up front, then stream flat row-major chunks.
+//! * **Block-sharded** (large candidate sets): cut the pair list into
+//!   shards aligned to left-record group boundaries — the natural locality
+//!   unit the blocker emits — and give each shard its *own* prepared-value
+//!   caches, built on the worker that consumes them. Peak memory stays
+//!   bounded by the shard size instead of `O(records × features)`, and
+//!   each shard emits a column-major row block straight into a
+//!   preallocated [`ColMajorMatrix`] with no per-pair staging.
 
-use transer_common::{AttrValue, Error, FeatureMatrix, Label, LabeledDataset, Record, Result};
-use transer_parallel::Pool;
+use std::collections::HashMap;
+
+use transer_common::{
+    AttrValue, ColMajorMatrix, Error, FeatureMatrix, Label, LabeledDataset, Record, Result,
+};
+use transer_parallel::{CostHint, Pool};
 use transer_similarity::{Measure, PreparedText};
 
 use crate::CandidatePair;
@@ -11,6 +28,24 @@ use crate::CandidatePair;
 /// small enough to rebalance ragged comparison costs, large enough that
 /// dispatch overhead vanishes against the per-pair similarity work.
 const PAIR_CHUNK: usize = 256;
+
+/// Estimated cost of one prepared pairwise comparison across a feature
+/// row — the grain hint for the pair loop.
+const PAIR_COMPARE_NANOS: u64 = 10_000;
+
+/// Estimated cost of preparing one record's attribute values.
+const PREPARE_NANOS: u64 = 20_000;
+
+/// Target pairs per shard in the block-sharded path: large enough to
+/// amortise the shard-local cache build, small enough that shards balance
+/// and per-shard memory stays a rounding error.
+const SHARD_TARGET_PAIRS: usize = 2048;
+
+/// Candidate-set size at which [`Comparison::compare_pairs`] switches from
+/// the global-prepare path to the block-sharded path: below this the two
+/// full prepared-side vectors are cheap and the shard machinery is pure
+/// overhead.
+const SHARDED_MIN_PAIRS: usize = 16_384;
 
 /// Declares the feature space: which similarity [`Measure`] applies to
 /// which attribute index. Sharing one `Comparison` between the source and
@@ -76,12 +111,16 @@ impl Comparison {
     /// needs (token sets, q-gram sets, parsed numbers, …) — tokenising each
     /// record once instead of once per candidate pair.
     fn prepare_records(&self, records: &[Record], pool: &Pool) -> Vec<Vec<PreparedValue>> {
-        pool.par_map(records, |record| {
-            self.features
-                .iter()
-                .map(|&(attr, measure)| PreparedValue::new(measure, &record.values[attr]))
-                .collect()
-        })
+        let hint = CostHint::with_per_item_nanos(records.len(), PREPARE_NANOS);
+        pool.par_map_costed(records, hint, |record| self.prepare_one(record))
+    }
+
+    /// The per-feature prepared values of one record.
+    fn prepare_one(&self, record: &Record) -> Vec<PreparedValue> {
+        self.features
+            .iter()
+            .map(|&(attr, measure)| PreparedValue::new(measure, &record.values[attr]))
+            .collect()
     }
 
     /// Compare all candidate pairs between two databases, producing the
@@ -114,6 +153,31 @@ impl Comparison {
         pairs: &[CandidatePair],
         pool: &Pool,
     ) -> Result<(FeatureMatrix, Vec<Label>)> {
+        let (mut x, mut y) = if pairs.len() >= SHARDED_MIN_PAIRS {
+            let (cm, y) = self.compare_pairs_colmajor_with_pool(left, right, pairs, pool)?;
+            (cm.to_feature_matrix()?, y)
+        } else {
+            self.compare_pairs_global_prepare(left, right, pairs, pool)?
+        };
+        if let Some(kind) = transer_robust::fired(transer_robust::site::COMPARE) {
+            if kind == transer_robust::FaultKind::TaskFail {
+                return Err(Error::FaultInjected(transer_robust::site::COMPARE));
+            }
+            transer_robust::corrupt_matrix(&mut x, kind);
+            transer_robust::corrupt_labels(&mut y, kind);
+        }
+        Ok((x, y))
+    }
+
+    /// The global-prepare strategy: both record sides prepared up front,
+    /// flat row-major output. Best below [`SHARDED_MIN_PAIRS`].
+    fn compare_pairs_global_prepare(
+        &self,
+        left: &[Record],
+        right: &[Record],
+        pairs: &[CandidatePair],
+        pool: &Pool,
+    ) -> Result<(FeatureMatrix, Vec<Label>)> {
         let m = self.num_features();
         let prepared_left = self.prepare_records(left, pool);
         let prepared_right = self.prepare_records(right, pool);
@@ -123,28 +187,101 @@ impl Comparison {
         transer_trace::counter("compare.pairs", pairs.len() as u64);
         transer_trace::counter("compare.invocations", (pairs.len() * m) as u64);
         transer_trace::counter("compare.cache_hits", (2 * pairs.len() * m) as u64);
-        let data: Vec<f64> = pool.par_chunks(pairs, PAIR_CHUNK, |_, chunk| {
-            let mut rows = Vec::with_capacity(chunk.len() * m);
-            for &(i, j) in chunk {
-                for (f, &(_, measure)) in self.features.iter().enumerate() {
-                    rows.push(prepared_pair(measure, &prepared_left[i][f], &prepared_right[j][f]));
+        let pair_hint = CostHint::with_per_item_nanos(pairs.len(), PAIR_COMPARE_NANOS);
+        let data: Vec<f64> =
+            pool.par_chunks_costed(pairs, Some(PAIR_CHUNK), pair_hint, |_, chunk| {
+                let mut rows = Vec::with_capacity(chunk.len() * m);
+                for &(i, j) in chunk {
+                    for (f, &(_, measure)) in self.features.iter().enumerate() {
+                        rows.push(prepared_pair(
+                            measure,
+                            &prepared_left[i][f],
+                            &prepared_right[j][f],
+                        ));
+                    }
+                }
+                rows
+            });
+        let x = FeatureMatrix::from_rows(data, pairs.len(), m)?;
+        Ok((x, pair_labels(left, right, pairs)))
+    }
+
+    /// The block-sharded strategy: the pair list is cut into shards
+    /// aligned to left-record group boundaries, every shard builds its own
+    /// prepared-value caches on the worker that consumes it, and each
+    /// shard's feature rows are written column-major straight into a
+    /// preallocated [`ColMajorMatrix`] (one `memcpy` per shard per
+    /// column at merge time). Bit-identical to the global-prepare path —
+    /// both reduce to [`prepared_pair`] on the same prepared inputs.
+    ///
+    /// Peak memory scales with `shard size × features`, not
+    /// `records × features`: the property that keeps the 10^6-record
+    /// ladder rung inside a bounded footprint.
+    ///
+    /// # Errors
+    /// Returns [`Error::DimensionMismatch`] if a shard emits a malformed
+    /// block (cannot occur by construction).
+    pub fn compare_pairs_colmajor_with_pool(
+        &self,
+        left: &[Record],
+        right: &[Record],
+        pairs: &[CandidatePair],
+        pool: &Pool,
+    ) -> Result<(ColMajorMatrix, Vec<Label>)> {
+        let m = self.num_features();
+        transer_trace::counter("compare.pairs", pairs.len() as u64);
+        transer_trace::counter("compare.invocations", (pairs.len() * m) as u64);
+        let ranges = shard_ranges(pairs, SHARD_TARGET_PAIRS);
+        transer_trace::counter("compare.shards", ranges.len() as u64);
+        let per_shard = (pairs.len() as u64 / ranges.len().max(1) as u64)
+            .saturating_mul(PAIR_COMPARE_NANOS)
+            .saturating_add(PREPARE_NANOS);
+        let hint = CostHint::with_per_item_nanos(ranges.len(), per_shard);
+        let blocks: Vec<Vec<f64>> = pool.par_map_costed(&ranges, hint, |&(s, e)| {
+            let shard = &pairs[s..e];
+            let len = shard.len();
+            let mut block = vec![0.0; len * m];
+            // One scratch feature row, reused across the whole shard: the
+            // kernel writes it sequentially, then it scatters into the
+            // column-major block.
+            let mut scratch = vec![0.0; m];
+            let mut left_prepared: Vec<PreparedValue> = Vec::new();
+            let mut current_left = usize::MAX;
+            let mut right_cache: HashMap<usize, Vec<PreparedValue>> = HashMap::new();
+            let mut prepares = 0u64;
+            for (r, &(i, j)) in shard.iter().enumerate() {
+                if i != current_left || left_prepared.is_empty() {
+                    left_prepared = self.prepare_one(&left[i]);
+                    current_left = i;
+                    prepares += 1;
+                }
+                let right_prepared = match right_cache.entry(j) {
+                    std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        prepares += 1;
+                        v.insert(self.prepare_one(&right[j]))
+                    }
+                };
+                for (f, (slot, &(_, measure))) in scratch.iter_mut().zip(&self.features).enumerate()
+                {
+                    *slot = prepared_pair(measure, &left_prepared[f], &right_prepared[f]);
+                }
+                for (f, &v) in scratch.iter().enumerate() {
+                    block[f * len + r] = v;
                 }
             }
-            rows
+            transer_trace::counter("compare.prepared", prepares * m as u64);
+            transer_trace::counter(
+                "compare.cache_hits",
+                (2 * len as u64).saturating_sub(prepares) * m as u64,
+            );
+            block
         });
-        let mut x = FeatureMatrix::from_rows(data, pairs.len(), m)?;
-        let mut y: Vec<Label> = pairs
-            .iter()
-            .map(|&(i, j)| Label::from_bool(left[i].entity == right[j].entity))
-            .collect();
-        if let Some(kind) = transer_robust::fired(transer_robust::site::COMPARE) {
-            if kind == transer_robust::FaultKind::TaskFail {
-                return Err(Error::FaultInjected(transer_robust::site::COMPARE));
-            }
-            transer_robust::corrupt_matrix(&mut x, kind);
-            transer_robust::corrupt_labels(&mut y, kind);
+        let mut x = ColMajorMatrix::zeros(pairs.len(), m);
+        for (&(s, e), block) in ranges.iter().zip(&blocks) {
+            x.copy_rows_from_block(s, block, e - s);
         }
-        Ok((x, y))
+        Ok((x, pair_labels(left, right, pairs)))
     }
 
     /// Convenience: compare pairs and bundle the result as a named
@@ -163,6 +300,34 @@ impl Comparison {
         let (x, y) = self.compare_pairs(left, right, pairs)?;
         LabeledDataset::new(name, x, y)
     }
+}
+
+/// Ground-truth labels of the candidate pairs, from the records' entity
+/// identifiers.
+fn pair_labels(left: &[Record], right: &[Record], pairs: &[CandidatePair]) -> Vec<Label> {
+    pairs.iter().map(|&(i, j)| Label::from_bool(left[i].entity == right[j].entity)).collect()
+}
+
+/// Cut `pairs` into contiguous shard ranges of roughly `target` pairs,
+/// preferring cuts at left-record group boundaries (where `pairs[k].0`
+/// changes) so each left record's prepared values live in exactly one
+/// shard. A pathological single group is force-split at `4 × target` so
+/// one bucket cannot serialise the whole stage.
+fn shard_ranges(pairs: &[CandidatePair], target: usize) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::with_capacity(pairs.len() / target.max(1) + 1);
+    let mut start = 0;
+    for k in 1..pairs.len() {
+        let len = k - start;
+        let group_boundary = pairs[k].0 != pairs[k - 1].0;
+        if (len >= target && group_boundary) || len >= 4 * target {
+            ranges.push((start, k));
+            start = k;
+        }
+    }
+    if start < pairs.len() {
+        ranges.push((start, pairs.len()));
+    }
+    ranges
 }
 
 fn compare_values(measure: Measure, a: &AttrValue, b: &AttrValue) -> f64 {
@@ -378,6 +543,87 @@ mod tests {
             .compare_pairs_with_pool(&left, &right, &pairs, &transer_parallel::Pool::new(4))
             .unwrap();
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn shard_ranges_cover_and_respect_groups() {
+        // Pairs with ragged left groups, including one oversized group.
+        let mut pairs: Vec<CandidatePair> = Vec::new();
+        for i in 0..40 {
+            let fanout = if i == 7 { 50 } else { 1 + i % 5 };
+            for j in 0..fanout {
+                pairs.push((i, j));
+            }
+        }
+        let ranges = shard_ranges(&pairs, 10);
+        assert!(ranges.len() > 1);
+        // Exact cover, in order.
+        assert_eq!(ranges[0].0, 0);
+        assert_eq!(ranges.last().unwrap().1, pairs.len());
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        // Cuts land on group boundaries unless the group is oversized.
+        for w in ranges.windows(2) {
+            let k = w[0].1;
+            let same_group = pairs[k].0 == pairs[k - 1].0;
+            assert!(!same_group || w[0].1 - w[0].0 >= 40, "cut inside small group at {k}");
+        }
+        assert!(shard_ranges(&[], 10).is_empty());
+        assert_eq!(shard_ranges(&[(0, 0)], 10), vec![(0, 1)]);
+    }
+
+    /// The block-sharded path must be bit-identical to the global-prepare
+    /// path — and to itself under inline vs pooled dispatch — on every
+    /// measure and value shape.
+    #[test]
+    fn sharded_colmajor_path_matches_global_prepare_exactly() {
+        use transer_parallel::{GrainMode, Pool};
+        let comparison = Comparison::new(vec![
+            (0, Measure::TokenJaccard),
+            (0, Measure::MongeElkanJw),
+            (1, Measure::Year),
+            (1, Measure::Numeric(5.0)),
+        ])
+        .unwrap();
+        let records: Vec<Record> = (0..60)
+            .map(|i| match i % 5 {
+                0 => rec(i, i % 11, &format!("entity record number {i} title words"), 1980.0),
+                1 => rec(i, i % 11, &format!("entity record {i}"), 1980.0 + i as f64),
+                2 => Record::new(i, i % 11, vec![AttrValue::Missing, AttrValue::Number(2000.0)]),
+                3 => Record::new(
+                    i,
+                    i % 11,
+                    vec![AttrValue::Text(format!("{i}")), AttrValue::Text("1999".into())],
+                ),
+                _ => {
+                    Record::new(i, i % 11, vec![AttrValue::Text(String::new()), AttrValue::Missing])
+                }
+            })
+            .collect();
+        // Ragged, sorted pair list like the blocker emits.
+        let pairs: Vec<CandidatePair> = (0..records.len())
+            .flat_map(|i| (0..1 + (i * 7) % 9).map(move |j| (i, (i + j) % 60)))
+            .collect();
+        let seq = Pool::new(1);
+        let (expect, labels_expect) =
+            comparison.compare_pairs_global_prepare(&records, &records, &pairs, &seq).unwrap();
+        for (workers, mode) in
+            [(1, GrainMode::Auto), (4, GrainMode::AlwaysInline), (4, GrainMode::AlwaysPool)]
+        {
+            let pool = Pool::new(workers).with_grain(mode);
+            let (cm, labels) = comparison
+                .compare_pairs_colmajor_with_pool(&records, &records, &pairs, &pool)
+                .unwrap();
+            assert_eq!(labels, labels_expect);
+            let x = cm.to_feature_matrix().unwrap();
+            assert_eq!(x.rows(), expect.rows());
+            for r in 0..x.rows() {
+                for (a, b) in x.row(r).iter().zip(expect.row(r)) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "workers={workers} {mode:?} row {r}");
+                }
+            }
+        }
     }
 
     #[test]

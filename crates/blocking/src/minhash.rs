@@ -15,14 +15,10 @@ use std::hash::{Hash, Hasher};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use transer_common::Record;
-use transer_parallel::Pool;
+use transer_parallel::{CostClass, CostHint, Pool};
 
 use crate::tokenize::token_hashes_masked;
 use crate::CandidatePair;
-
-/// Right-hand records per parallel probe unit in
-/// [`MinHashLsh::candidate_pairs_masked`].
-const PROBE_CHUNK: usize = 128;
 
 /// Configuration of the MinHash LSH blocker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,7 +112,9 @@ impl MinHashLsh {
         attrs: Option<&[usize]>,
         pool: &Pool,
     ) -> Vec<Option<Vec<u64>>> {
-        pool.par_map(records, |rec| {
+        // Tokenise + sign + band is per-record tokenising/hashing work.
+        let hint = CostHint::new(records.len(), CostClass::Medium);
+        pool.par_map_costed(records, hint, |rec| {
             let hashes = token_hashes_masked(rec, attrs);
             if hashes.is_empty() {
                 None
@@ -163,8 +161,10 @@ impl MinHashLsh {
         }
         let cap = if self.config.max_bucket == 0 { usize::MAX } else { self.config.max_bucket };
         let right_keys = self.all_band_keys(right, attrs, pool);
+        // Per right record: a handful of bucket probes and pair pushes.
+        let probe_hint = CostHint::new(right_keys.len(), CostClass::Light);
         let mut pairs: Vec<CandidatePair> =
-            pool.par_chunks(&right_keys, PROBE_CHUNK, |start, chunk| {
+            pool.par_chunks_costed(&right_keys, None, probe_hint, |start, chunk| {
                 let mut local = Vec::new();
                 for (k, keys) in chunk.iter().enumerate() {
                     let j = start + k;

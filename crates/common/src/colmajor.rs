@@ -7,7 +7,7 @@
 //! the read and the write side move mostly along cache lines) and then
 //! hands out each feature column as a contiguous slice.
 
-use crate::FeatureMatrix;
+use crate::{FeatureMatrix, Result};
 
 /// Tile edge of the blocked transpose: 32×32 `f64` tiles (8 KiB read +
 /// 8 KiB written) stay resident in L1 while both sides of the copy move
@@ -51,6 +51,45 @@ impl ColMajorMatrix {
         let mut data = vec![0.0; rows * cols];
         transpose_blocked(m.as_slice(), rows, cols, &mut data);
         ColMajorMatrix { data, rows, cols }
+    }
+
+    /// A preallocated all-zero `rows × cols` matrix — the merge target
+    /// producers scatter row blocks into (see
+    /// [`ColMajorMatrix::copy_rows_from_block`]).
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        ColMajorMatrix { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// Copy a column-major block of `block_rows` rows (laid out
+    /// `block[c * block_rows + r]`) into rows `row0..row0 + block_rows` of
+    /// `self` — one contiguous `copy_from_slice` per column. This is how
+    /// parallel producers that each emit a column-major row block merge
+    /// into one preallocated matrix without per-element scatter.
+    ///
+    /// # Panics
+    /// Panics when the block shape does not fit at `row0`.
+    pub fn copy_rows_from_block(&mut self, row0: usize, block: &[f64], block_rows: usize) {
+        assert_eq!(block.len(), block_rows * self.cols, "block buffer shape mismatch");
+        assert!(row0 + block_rows <= self.rows, "block rows exceed matrix");
+        for c in 0..self.cols {
+            let src = &block[c * block_rows..(c + 1) * block_rows];
+            let dst_start = c * self.rows + row0;
+            self.data[dst_start..dst_start + block_rows].copy_from_slice(src);
+        }
+    }
+
+    /// Transpose back into a row-major [`FeatureMatrix`] (cache-blocked,
+    /// like the forward direction).
+    ///
+    /// # Errors
+    /// Propagates [`FeatureMatrix::from_rows`] validation (cannot fail for
+    /// a well-formed `ColMajorMatrix`).
+    pub fn to_feature_matrix(&self) -> Result<FeatureMatrix> {
+        let mut out = vec![0.0; self.rows * self.cols];
+        // `data` is a row-major `cols × rows` buffer; transposing it yields
+        // the row-major `rows × cols` layout.
+        transpose_blocked(&self.data, self.cols, self.rows, &mut out);
+        FeatureMatrix::from_rows(out, self.rows, self.cols)
     }
 
     /// Number of rows of the original matrix.
@@ -120,6 +159,43 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn round_trip_through_feature_matrix() {
+        for (rows, cols) in [(1, 1), (3, 5), (40, 3), (33, 34)] {
+            let data: Vec<f64> = (0..rows * cols).map(|k| k as f64 * 0.25 - 2.0).collect();
+            let m = FeatureMatrix::from_rows(data, rows, cols).unwrap();
+            let back = ColMajorMatrix::from_matrix(&m).to_feature_matrix().unwrap();
+            assert_eq!(back, m, "{rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn block_scatter_assembles_the_full_matrix() {
+        // Three producers each emit a column-major block of rows; the
+        // scatter-merge must reproduce the directly-transposed matrix.
+        let rows = 7;
+        let cols = 3;
+        let m = FeatureMatrix::from_rows((0..21).map(f64::from).collect(), rows, cols).unwrap();
+        let expect = ColMajorMatrix::from_matrix(&m);
+        let mut got = ColMajorMatrix::zeros(rows, cols);
+        for (row0, len) in [(0usize, 3usize), (3, 1), (4, 3)] {
+            let mut block = vec![0.0; len * cols];
+            for r in 0..len {
+                for c in 0..cols {
+                    block[c * len + r] = m.row(row0 + r)[c];
+                }
+            }
+            got.copy_rows_from_block(row0, &block, len);
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "block buffer shape mismatch")]
+    fn block_scatter_rejects_bad_shapes() {
+        ColMajorMatrix::zeros(4, 2).copy_rows_from_block(0, &[1.0, 2.0, 3.0], 2);
     }
 
     #[test]

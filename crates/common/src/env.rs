@@ -14,6 +14,7 @@
 //! | `TRANSER_KNN_INDEX` | k-NN backend: `auto` / `kdtree` / `blocked` |
 //! | `TRANSER_TREE_ENGINE` | tree trainer: `presorted` / `reference` |
 //! | `TRANSER_FAULT` | fault injection: `<site>:<kind>[:<rate>:<seed>]` |
+//! | `TRANSER_GRAIN` | dispatch grain threshold in ns; `0` = always pool, `inf` = always inline |
 
 /// Worker count for the parallel pool (unset/`0`/unparsable → all cores).
 pub const THREADS: &str = "TRANSER_THREADS";
@@ -25,6 +26,9 @@ pub const KNN_INDEX: &str = "TRANSER_KNN_INDEX";
 pub const TREE_ENGINE: &str = "TRANSER_TREE_ENGINE";
 /// Fault-injection plan (`transer-robust`): `<site>:<kind>[:<rate>:<seed>]`.
 pub const FAULT: &str = "TRANSER_FAULT";
+/// Grain-dispatch override (`transer-parallel`): an inline threshold in
+/// nanoseconds, `0` = always pool, `inf` = always inline.
+pub const GRAIN: &str = "TRANSER_GRAIN";
 
 /// The trimmed value of `var`, or `None` when unset, empty or not UTF-8.
 pub fn raw(var: &str) -> Option<String> {

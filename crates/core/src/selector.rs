@@ -33,7 +33,7 @@
 use transer_common::{Error, FeatureMatrix, Label, Result};
 use transer_knn::{DedupKnn, IndexKind, Neighbor};
 use transer_linalg::{covariance, Mat};
-use transer_parallel::Pool;
+use transer_parallel::{CostClass, CostHint, Pool};
 
 use crate::config::{TransErConfig, Variant};
 use crate::decay::exp_decay_5;
@@ -148,8 +148,13 @@ pub fn select_instances_with_backend(
     let interning = source.interning();
 
     let unique_ids: Vec<u32> = (0..interning.unique_rows() as u32).collect();
+    // Per unique row: two panel k-NN queries plus group scoring. The panel
+    // is pinned (see [`PANEL`]) so only the inline/pooled decision — never
+    // the chunk boundaries, and thus never the floats — comes from the
+    // grain policy.
+    let sel_hint = CostHint::new(unique_ids.len(), CostClass::Light);
     let groups: Vec<Vec<(u32, InstanceScores, bool)>> =
-        pool.par_chunks(&unique_ids, PANEL, |_, chunk| {
+        pool.par_chunks_costed(&unique_ids, Some(PANEL), sel_hint, |_, chunk| {
             let queries: Vec<&[f64]> =
                 chunk.iter().map(|&u| interning.unique().row(u as usize)).collect();
             // Budget k + 1: after dropping the instance itself from the
@@ -393,7 +398,8 @@ pub fn select_instances_per_row_with_pool(
 
     let variant = config.variant;
     let row_indices: Vec<usize> = (0..xs.rows()).collect();
-    let scored: Vec<(InstanceScores, bool)> = pool.par_map(&row_indices, |&i| {
+    let row_hint = CostHint::new(row_indices.len(), CostClass::Light);
+    let scored: Vec<(InstanceScores, bool)> = pool.par_map_costed(&row_indices, row_hint, |&i| {
         let row = xs.row(i);
         // Neighbourhoods N_x^S (excluding the instance itself) and N_x^T.
         let ns = source_tree.k_nearest_excluding(row, k, Some(i));

@@ -39,9 +39,11 @@ pub mod demographic;
 pub mod export;
 pub mod lexicon;
 pub mod music;
+pub mod scale;
 pub mod vectors;
 
 mod scenario;
 
 pub use corrupt::CorruptionProfile;
+pub use scale::{ScaleConfig, ScaleGen};
 pub use scenario::{Scenario, ScenarioPair};

@@ -5,8 +5,10 @@
 //! * `trace_report --check <path>` validates the file against the
 //!   version-1 report schema *and* the expected layer coverage of a
 //!   traced pipeline run (spans for all three phases, at least one
-//!   counter each from the blocking, knn, ml and core layers); exits
-//!   non-zero on any violation. This is the tier-1 smoke check.
+//!   counter each from the blocking, knn, ml, core and grain-dispatch
+//!   layers, and a `parallel.chunk_size` histogram consistent with the
+//!   pooled-dispatch counter); exits non-zero on any violation. This is
+//!   the tier-1 smoke check.
 
 use std::fmt::Write as _;
 
@@ -83,10 +85,26 @@ fn validate(doc: &Json) -> Result<(), String> {
         &["knn."],
         &["ml."],
         &["sel.", "gen.", "tcl."], // core
+        &["parallel.dispatch."],   // grain-dispatch decisions
     ] {
         if !counters.keys().any(|k| layer.iter().any(|p| k.starts_with(p))) {
             return Err(format!("no counter from the {} layer", layer[0].trim_end_matches('.')));
         }
+    }
+    // Every pooled dispatch records its chunk size; the histogram must
+    // agree with the pooled-decision counter.
+    let pooled = counters.get("parallel.dispatch.pooled").and_then(Json::as_num).unwrap_or(0.0);
+    let chunks = doc
+        .get("histograms")
+        .and_then(|h| h.get("parallel.chunk_size"))
+        .and_then(|h| h.get("count"))
+        .and_then(Json::as_num)
+        .unwrap_or(0.0);
+    if pooled != chunks {
+        return Err(format!(
+            "parallel.chunk_size histogram has {chunks} samples but \
+             parallel.dispatch.pooled counted {pooled} dispatches"
+        ));
     }
     Ok(())
 }

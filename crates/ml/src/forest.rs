@@ -3,7 +3,17 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use transer_common::{FeatureMatrix, Label, Result};
-use transer_parallel::Pool;
+use transer_parallel::{CostHint, Pool};
+
+/// Estimated cost of fitting one tree, per training row: drives the grain
+/// hint that decides whether per-tree training fans out. `bench_grain`
+/// measures ~60 ns/tree-row at bench scale (the presorted engine fits
+/// much faster than a naive estimate suggests).
+const TREE_FIT_ROW_NANOS: u64 = 100;
+
+/// Estimated cost of one tree predicting one row (a depth-bounded
+/// traversal).
+const TREE_PREDICT_ROW_NANOS: u64 = 50;
 
 use crate::presorted::ForestPresort;
 use crate::sampling::bootstrap_bag;
@@ -39,21 +49,15 @@ pub struct RandomForest {
     config: RandomForestConfig,
     seed: u64,
     trees: Vec<DecisionTree>,
-    /// Explicit worker-count override; `None` = the global pool.
-    workers: Option<usize>,
+    /// Explicit pool override; `None` = the global pool.
+    pool: Option<Pool>,
     engine: TreeEngine,
 }
 
 impl RandomForest {
     /// Create with explicit hyper-parameters and RNG seed.
     pub fn new(config: RandomForestConfig, seed: u64) -> Self {
-        RandomForest {
-            config,
-            seed,
-            trees: Vec::new(),
-            workers: None,
-            engine: TreeEngine::from_env(),
-        }
+        RandomForest { config, seed, trees: Vec::new(), pool: None, engine: TreeEngine::from_env() }
     }
 
     /// Default configuration with the given seed.
@@ -64,8 +68,15 @@ impl RandomForest {
     /// Pin the worker count for training and prediction instead of using
     /// the global [`Pool`] (`TRANSER_THREADS`). Results are bit-identical
     /// for every worker count; this only controls resource usage.
-    pub fn with_threads(mut self, workers: usize) -> Self {
-        self.workers = Some(workers);
+    pub fn with_threads(self, workers: usize) -> Self {
+        self.with_pool(Pool::new(workers))
+    }
+
+    /// Pin the exact [`Pool`] (worker count *and* grain policy) used for
+    /// training and prediction — the hook the inline≡pooled bit-identity
+    /// tests use. Results never depend on the pool.
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        self.pool = Some(pool);
         self
     }
 
@@ -83,7 +94,7 @@ impl RandomForest {
     }
 
     fn pool(&self) -> Pool {
-        self.workers.map_or_else(Pool::global, Pool::new)
+        self.pool.unwrap_or_else(Pool::global)
     }
 
     /// The bootstrap-sampling seed of tree `t`: splitmix-style spreading of
@@ -132,8 +143,11 @@ impl Classifier for RandomForest {
         // draw + feature-subset stream), so training parallelises with no
         // sequencing between trees; collected in index order.
         let indices: Vec<usize> = (0..self.config.n_trees).collect();
-        let fitted: Vec<Result<Option<DecisionTree>>> = self.pool().par_map_init(
+        let per_tree = (n as u64).saturating_mul(TREE_FIT_ROW_NANOS);
+        let fit_hint = CostHint::with_per_item_nanos(indices.len(), per_tree);
+        let fitted: Vec<Result<Option<DecisionTree>>> = self.pool().par_map_init_costed(
             &indices,
+            fit_hint,
             || (vec![0u32; n], vec![0.0f64; n]),
             |(counts, w_full), _, &t| {
                 let mut rng = StdRng::seed_from_u64(self.bootstrap_seed(t));
@@ -187,8 +201,10 @@ impl Classifier for RandomForest {
         // Trees vote independently; the fold over per-tree outputs stays
         // sequential in tree order so the float sums are bit-identical for
         // every worker count.
+        let per_tree_nanos = (x.rows() as u64).saturating_mul(TREE_PREDICT_ROW_NANOS);
+        let hint = CostHint::with_per_item_nanos(self.trees.len(), per_tree_nanos);
         let per_tree: Vec<Vec<f64>> =
-            self.pool().par_map(&self.trees, |tree| tree.predict_proba(x));
+            self.pool().par_map_costed(&self.trees, hint, |tree| tree.predict_proba(x));
         let mut probs = vec![0.0; x.rows()];
         for tree_probs in &per_tree {
             for (acc, p) in probs.iter_mut().zip(tree_probs) {

@@ -38,7 +38,7 @@
 //! candidate order, so results are independent of the worker count.
 
 use transer_common::{ColMajorMatrix, FeatureMatrix, Label};
-use transer_parallel::Pool;
+use transer_parallel::{CostHint, Pool};
 
 use crate::split::{best_feature_split, feature_cmp, fold_best, gini, SplitCandidate};
 use crate::tree::{DecisionTree, DecisionTreeConfig, Node, NO_NODE};
@@ -48,10 +48,13 @@ use crate::tree::{DecisionTree, DecisionTreeConfig, Node, NO_NODE};
 /// never depend on scheduling.
 const SPLIT_PANEL: usize = 2;
 
-/// Minimum `node_rows × candidate_features` before the split search is
-/// worth fanning out: below this the scoped-thread spawn costs more than
-/// the scans.
-const MIN_PAR_SPLIT_WORK: usize = 8192;
+/// Estimated cost of scanning one presorted row during a split search:
+/// feeds the [`CostHint`] that gates fanning the search out.
+const SPLIT_SCAN_ROW_NANOS: u64 = 20;
+
+/// Estimated per-row cost of sorting one feature column (comparison sort,
+/// small log factor folded in).
+const COL_SORT_ROW_NANOS: u64 = 100;
 
 /// One feature's row ids in presorted `(value, row)` order; stably
 /// partitioned at every split so each tree node stays a contiguous
@@ -62,7 +65,9 @@ type SortedColumn = Vec<u32>;
 /// the NaN-safe total order; per-feature sorts fan out over the pool.
 fn presort_columns(matrix: &ColMajorMatrix, pool: &Pool) -> Vec<SortedColumn> {
     let features: Vec<usize> = (0..matrix.cols()).collect();
-    pool.par_map(&features, |&f| {
+    let per_col = (matrix.rows() as u64).saturating_mul(COL_SORT_ROW_NANOS);
+    let hint = CostHint::with_per_item_nanos(features.len(), per_col);
+    pool.par_map_costed(&features, hint, |&f| {
         let col = matrix.col(f);
         let mut ids: Vec<u32> = (0..col.len() as u32).collect();
         ids.sort_unstable_by(|&a, &b| {
@@ -254,20 +259,19 @@ impl Grower<'_> {
             )
         };
         // The fold over candidates is sequential in candidate order either
-        // way, so the winner never depends on the worker count.
+        // way, so the winner never depends on the worker count. The grain
+        // hint (node rows × scan cost per candidate) keeps small nodes
+        // inline; the panel is pinned so scan batching never depends on
+        // the dispatch decision.
         let mut best: Option<(usize, SplitCandidate)> = None;
-        if self.pool.workers() > 1 && n_node * candidates.len() >= MIN_PAR_SPLIT_WORK {
-            let per_feature: Vec<Option<SplitCandidate>> =
-                self.pool.par_chunks(candidates, SPLIT_PANEL, |_, feats| {
-                    feats.iter().map(|&f| scan(f)).collect()
-                });
-            for (&feature, cand) in candidates.iter().zip(per_feature) {
-                fold_best(&mut best, feature, cand);
-            }
-        } else {
-            for &f in candidates {
-                fold_best(&mut best, f, scan(f));
-            }
+        let per_feature_nanos = (n_node as u64).saturating_mul(SPLIT_SCAN_ROW_NANOS);
+        let hint = CostHint::with_per_item_nanos(candidates.len(), per_feature_nanos);
+        let per_feature: Vec<Option<SplitCandidate>> =
+            self.pool.par_chunks_costed(candidates, Some(SPLIT_PANEL), hint, |_, feats| {
+                feats.iter().map(|&f| scan(f)).collect()
+            });
+        for (&feature, cand) in candidates.iter().zip(per_feature) {
+            fold_best(&mut best, feature, cand);
         }
 
         let Some((feature, SplitCandidate { threshold, n_left, .. })) = best else {

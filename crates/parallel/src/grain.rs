@@ -1,0 +1,315 @@
+//! Grain-size-aware dispatch: decide, per parallel call, whether spawning
+//! workers can possibly pay for itself — and if it can, how big the work
+//! chunks should be.
+//!
+//! The pool's scoped workers cost real time to spawn, join and merge.
+//! `results/BENCH_parallel.json` showed that at small scales that fixed
+//! cost *loses* against sequential execution (minhash 0.80×, forest_fit
+//! 0.73× vs sequential at bench scale). The fix is not "more threads" but
+//! a dispatch policy: every hot call site declares a [`CostHint`] — how
+//! many items it has and roughly what one item costs — and the pool runs
+//! the closure inline on the caller thread whenever the estimated total
+//! work is below a measured threshold. Above the threshold, the chunk size
+//! is derived from the hint (each chunk carries at least
+//! [`CHUNK_TARGET_NANOS`] of estimated work) instead of the blind
+//! `items / (workers * 4)` split.
+//!
+//! # Calibration
+//!
+//! All constants live in the one table below and were calibrated with the
+//! `bench_grain` bin (see `results/BENCH_grain.json` and EXPERIMENTS.md):
+//! per-class per-item estimates only need to be right to within an order
+//! of magnitude, because the inline threshold sits two orders of magnitude
+//! above the measured spawn/merge overhead.
+//!
+//! # Overrides
+//!
+//! `TRANSER_GRAIN` overrides the policy at runtime: `0` forces every call
+//! through the pooled path, `inf` forces every call inline, and any other
+//! positive number replaces [`INLINE_THRESHOLD_NANOS`]. Tests override
+//! per-pool via [`Pool::with_grain`](crate::Pool::with_grain) instead, so
+//! they never race on process-global state.
+
+use std::sync::OnceLock;
+
+/// Environment variable overriding the dispatch policy (see module docs).
+pub const GRAIN_ENV: &str = transer_common::env::GRAIN;
+
+// ---------------------------------------------------------------------
+// The calibration table. Sources: `bench_grain` on the development
+// container (results/BENCH_grain.json); methodology in EXPERIMENTS.md.
+// ---------------------------------------------------------------------
+
+/// Estimated per-item cost of a [`CostClass::Trivial`] item (integer or
+/// float arithmetic on in-cache data).
+pub const TRIVIAL_NANOS: u64 = 40;
+/// Estimated per-item cost of a [`CostClass::Light`] item (a handful of
+/// hash-map probes, a short similarity on prepared data, one k-NN
+/// candidate scan row).
+pub const LIGHT_NANOS: u64 = 2_000;
+/// Estimated per-item cost of a [`CostClass::Medium`] item (tokenise and
+/// hash a record, prepare its attribute values, one pairwise record
+/// comparison over prepared values).
+pub const MEDIUM_NANOS: u64 = 30_000;
+/// Estimated per-item cost of a [`CostClass::Heavy`] item (fit a whole
+/// decision tree, sort a feature column of a large matrix).
+pub const HEAVY_NANOS: u64 = 1_000_000;
+
+/// Below this much estimated total work, dispatching to the pool cannot
+/// recoup its spawn/join/merge overhead and the call runs inline.
+pub const INLINE_THRESHOLD_NANOS: u64 = 1_000_000;
+
+/// Pooled chunks are sized to carry at least this much estimated work, so
+/// per-chunk dispatch overhead (an atomic claim plus a segment push) stays
+/// far below the work itself.
+pub const CHUNK_TARGET_NANOS: u64 = 200_000;
+
+/// Coarse per-item cost classes for call sites that don't want to estimate
+/// nanoseconds themselves. The mapping to nanoseconds is the calibration
+/// table above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostClass {
+    /// Tens of nanoseconds: plain arithmetic per item.
+    Trivial,
+    /// Around a microsecond: probes, short prepared comparisons.
+    Light,
+    /// Tens of microseconds: per-record tokenising/hashing/preparing.
+    Medium,
+    /// A millisecond or more: per-tree training, large column sorts.
+    Heavy,
+}
+
+impl CostClass {
+    /// The calibrated per-item estimate for this class, in nanoseconds.
+    pub fn nanos_per_item(self) -> u64 {
+        match self {
+            CostClass::Trivial => TRIVIAL_NANOS,
+            CostClass::Light => LIGHT_NANOS,
+            CostClass::Medium => MEDIUM_NANOS,
+            CostClass::Heavy => HEAVY_NANOS,
+        }
+    }
+}
+
+/// A call site's declaration of how much work a parallel call carries:
+/// item count × estimated per-item cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostHint {
+    items: usize,
+    nanos_per_item: u64,
+}
+
+impl CostHint {
+    /// Hint from an item count and a coarse [`CostClass`].
+    pub fn new(items: usize, class: CostClass) -> Self {
+        CostHint { items, nanos_per_item: class.nanos_per_item() }
+    }
+
+    /// Hint with an explicit per-item estimate, for call sites whose item
+    /// cost scales with a runtime quantity (e.g. tree training cost scales
+    /// with the row count). Clamped to at least 1 ns.
+    pub fn with_per_item_nanos(items: usize, nanos: u64) -> Self {
+        CostHint { items, nanos_per_item: nanos.max(1) }
+    }
+
+    /// Number of items this call processes.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Estimated total work in nanoseconds (saturating).
+    pub fn estimated_nanos(&self) -> u64 {
+        (self.items as u64).saturating_mul(self.nanos_per_item)
+    }
+
+    /// The pooled chunk size: each chunk carries at least
+    /// [`CHUNK_TARGET_NANOS`] of estimated work, unless that would leave
+    /// workers idle (never larger than `ceil(items / workers)`).
+    pub fn chunk_size(&self, workers: usize) -> usize {
+        let target = (CHUNK_TARGET_NANOS / self.nanos_per_item.max(1)).max(1) as usize;
+        let fair = self.items.div_ceil(workers.max(1)).max(1);
+        target.min(fair)
+    }
+}
+
+/// The dispatch policy in force for a pool: the automatic threshold rule,
+/// or one of the `TRANSER_GRAIN` overrides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrainMode {
+    /// Inline below the calibrated threshold, pool above it.
+    Auto,
+    /// `TRANSER_GRAIN=0`: every multi-item call takes the pooled path.
+    AlwaysPool,
+    /// `TRANSER_GRAIN=inf`: every call runs inline on the caller thread.
+    AlwaysInline,
+    /// `TRANSER_GRAIN=<nanos>`: [`GrainMode::Auto`] with a custom inline
+    /// threshold.
+    Threshold(u64),
+}
+
+impl GrainMode {
+    /// Parse a `TRANSER_GRAIN` value: `0` = always pool, `inf` = always
+    /// inline, any other positive number = a threshold in nanoseconds.
+    pub fn parse(value: &str) -> Option<GrainMode> {
+        let v: f64 = value.trim().parse().ok()?;
+        if v == 0.0 {
+            Some(GrainMode::AlwaysPool)
+        } else if v.is_infinite() && v > 0.0 {
+            Some(GrainMode::AlwaysInline)
+        } else if v.is_finite() && v > 0.0 {
+            Some(GrainMode::Threshold(v as u64))
+        } else {
+            None
+        }
+    }
+
+    /// Read `TRANSER_GRAIN` through `transer_common::env` *right now* (no
+    /// caching): unset or invalid (with a structured warning) → `Auto`.
+    /// The dispatch path uses the once-per-process [`GrainMode::from_env`];
+    /// this uncached form exists so tests can exercise the round-trip.
+    pub fn from_env_now() -> GrainMode {
+        transer_common::env::parsed_with(
+            GRAIN_ENV,
+            GrainMode::parse,
+            "a threshold in ns, `0` (always pool) or `inf` (always inline)",
+            "auto",
+        )
+        .unwrap_or(GrainMode::Auto)
+    }
+
+    /// The process-wide mode from `TRANSER_GRAIN`, read once.
+    pub fn from_env() -> GrainMode {
+        static MODE: OnceLock<GrainMode> = OnceLock::new();
+        *MODE.get_or_init(GrainMode::from_env_now)
+    }
+}
+
+/// The machine's available parallelism, read once. When the host has a
+/// single core, pooling can never win and the auto policy always inlines.
+fn hardware_parallelism() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Should this call take the pooled path? `workers` is the pool's
+/// effective worker count. Single-item calls always inline; mode overrides
+/// win; the auto rule inlines when either the pool or the hardware is
+/// effectively sequential, or when the estimated work is under threshold.
+pub fn should_pool(hint: &CostHint, workers: usize, mode: GrainMode) -> bool {
+    if hint.items() <= 1 {
+        return false;
+    }
+    match mode {
+        GrainMode::AlwaysInline => false,
+        GrainMode::AlwaysPool => true,
+        GrainMode::Auto | GrainMode::Threshold(_) => {
+            if workers == 1 || hardware_parallelism() == 1 {
+                return false;
+            }
+            let threshold = match mode {
+                GrainMode::Threshold(t) => t,
+                _ => INLINE_THRESHOLD_NANOS,
+            };
+            hint.estimated_nanos() >= threshold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_table_is_monotone() {
+        let ns: Vec<u64> =
+            [CostClass::Trivial, CostClass::Light, CostClass::Medium, CostClass::Heavy]
+                .iter()
+                .map(|c| c.nanos_per_item())
+                .collect();
+        assert!(ns.windows(2).all(|w| w[0] < w[1]), "{ns:?}");
+    }
+
+    #[test]
+    fn estimate_and_chunking() {
+        let h = CostHint::new(1000, CostClass::Light);
+        assert_eq!(h.items(), 1000);
+        assert_eq!(h.estimated_nanos(), 1000 * LIGHT_NANOS);
+        // Chunks carry >= CHUNK_TARGET_NANOS of work...
+        let chunk = h.chunk_size(2);
+        assert!(chunk as u64 * LIGHT_NANOS >= CHUNK_TARGET_NANOS.min(h.estimated_nanos() / 2));
+        // ...but heavy items always split down to singles,
+        assert_eq!(CostHint::new(24, CostClass::Heavy).chunk_size(4), 1);
+        // and no chunk starves the other workers.
+        assert_eq!(CostHint::new(8, CostClass::Trivial).chunk_size(4), 2);
+        assert_eq!(CostHint::with_per_item_nanos(10, 0).chunk_size(0), 10);
+    }
+
+    #[test]
+    fn estimate_saturates() {
+        let h = CostHint::with_per_item_nanos(usize::MAX, u64::MAX);
+        assert_eq!(h.estimated_nanos(), u64::MAX);
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_forms() {
+        assert_eq!(GrainMode::parse("0"), Some(GrainMode::AlwaysPool));
+        assert_eq!(GrainMode::parse("0.0"), Some(GrainMode::AlwaysPool));
+        assert_eq!(GrainMode::parse("inf"), Some(GrainMode::AlwaysInline));
+        assert_eq!(GrainMode::parse("INF"), Some(GrainMode::AlwaysInline));
+        assert_eq!(GrainMode::parse("infinity"), Some(GrainMode::AlwaysInline));
+        assert_eq!(GrainMode::parse("250000"), Some(GrainMode::Threshold(250_000)));
+        assert_eq!(GrainMode::parse("1e6"), Some(GrainMode::Threshold(1_000_000)));
+        assert_eq!(GrainMode::parse(" 42 "), Some(GrainMode::Threshold(42)));
+        for bad in ["-1", "-inf", "nan", "many", ""] {
+            assert_eq!(GrainMode::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn overrides_beat_the_threshold_rule() {
+        let tiny = CostHint::new(10, CostClass::Trivial);
+        let huge = CostHint::new(1_000_000, CostClass::Medium);
+        assert!(!should_pool(&tiny, 8, GrainMode::AlwaysInline));
+        assert!(!should_pool(&huge, 8, GrainMode::AlwaysInline));
+        assert!(should_pool(&tiny, 8, GrainMode::AlwaysPool));
+        assert!(should_pool(&huge, 8, GrainMode::AlwaysPool));
+        // Single-item calls inline no matter what.
+        assert!(!should_pool(&CostHint::new(1, CostClass::Heavy), 8, GrainMode::AlwaysPool));
+        assert!(!should_pool(&CostHint::new(0, CostClass::Heavy), 8, GrainMode::AlwaysPool));
+    }
+
+    #[test]
+    fn transer_grain_round_trips_through_common_env() {
+        // Reads the real variable uncached and restores it at the end.
+        // Only this test reads `TRANSER_GRAIN` uncached; a racy cached
+        // initialisation elsewhere cannot change observable results
+        // because every dispatch mode is bit-identical.
+        std::env::set_var(GRAIN_ENV, "0");
+        assert_eq!(GrainMode::from_env_now(), GrainMode::AlwaysPool);
+        std::env::set_var(GRAIN_ENV, "inf");
+        assert_eq!(GrainMode::from_env_now(), GrainMode::AlwaysInline);
+        std::env::set_var(GRAIN_ENV, "750000");
+        assert_eq!(GrainMode::from_env_now(), GrainMode::Threshold(750_000));
+        std::env::set_var(GRAIN_ENV, "gravel");
+        assert_eq!(GrainMode::from_env_now(), GrainMode::Auto); // warns, falls back
+        std::env::remove_var(GRAIN_ENV);
+        assert_eq!(GrainMode::from_env_now(), GrainMode::Auto);
+    }
+
+    #[test]
+    fn auto_rule_respects_workers_and_threshold() {
+        let big = CostHint::new(1_000_000, CostClass::Medium);
+        assert!(!should_pool(&big, 1, GrainMode::Auto), "one worker is sequential");
+        let small = CostHint::new(4, CostClass::Trivial);
+        assert!(!should_pool(&small, 8, GrainMode::Auto), "under threshold inlines");
+        // A custom threshold moves the boundary: 10 trivial items pool when
+        // the threshold sits below their estimate.
+        let ten = CostHint::new(10, CostClass::Trivial);
+        let verdict = should_pool(&ten, 8, GrainMode::Threshold(ten.estimated_nanos()));
+        // On a single-core host the auto rule still inlines; elsewhere it
+        // must pool once the estimate reaches the threshold.
+        let multi_core = std::thread::available_parallelism().map_or(1, |n| n.get()) > 1;
+        assert_eq!(verdict, multi_core);
+        assert!(!should_pool(&ten, 8, GrainMode::Threshold(ten.estimated_nanos() + 1)));
+    }
+}

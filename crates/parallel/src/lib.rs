@@ -24,15 +24,32 @@
 //! threading entirely (the sequential fast path runs on the calling
 //! thread), which is how the experiment harness reproduces the paper's
 //! single-threaded runtimes.
+//!
+//! # Grain-size-aware dispatch
+//!
+//! The `*_costed` primitives take a [`CostHint`] and only spawn workers
+//! when the estimated work can recoup the spawn/merge overhead; below the
+//! threshold the closure runs inline on the caller thread, and above it
+//! the chunk size is derived from the hint. Because every primitive is
+//! bit-identical to its sequential form, the dispatch decision never
+//! changes results — only where and in what grouping the work runs. See
+//! the [`grain`] module for the policy, the calibration table and the
+//! `TRANSER_GRAIN` override.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod grain;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+pub use grain::{CostClass, CostHint, GrainMode};
+
 /// Environment variable selecting the global worker count.
 pub const THREADS_ENV: &str = transer_common::env::THREADS;
+/// Environment variable overriding the grain-dispatch policy.
+pub const GRAIN_ENV: &str = transer_common::env::GRAIN;
 
 /// A deterministic parallel executor with a fixed worker count.
 ///
@@ -42,6 +59,8 @@ pub const THREADS_ENV: &str = transer_common::env::THREADS;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Pool {
     workers: usize,
+    /// Per-pool grain-policy override; `None` = `TRANSER_GRAIN` / auto.
+    grain: Option<GrainMode>,
 }
 
 fn global_workers() -> usize {
@@ -63,25 +82,39 @@ impl Default for Pool {
 impl Pool {
     /// A pool with an explicit worker count (clamped to at least 1).
     pub fn new(workers: usize) -> Self {
-        Pool { workers: workers.max(1) }
+        Pool { workers: workers.max(1), grain: None }
     }
 
     /// The process-wide pool: worker count from `TRANSER_THREADS`, or
     /// [`std::thread::available_parallelism`] when unset. The variable is
     /// read once; later changes do not affect the global pool.
     pub fn global() -> Self {
-        Pool { workers: global_workers() }
+        Pool { workers: global_workers(), grain: None }
     }
 
     /// A single-worker pool: every primitive runs sequentially on the
     /// calling thread.
     pub fn sequential() -> Self {
-        Pool { workers: 1 }
+        Pool { workers: 1, grain: None }
+    }
+
+    /// Pin the grain-dispatch policy for this pool, overriding
+    /// `TRANSER_GRAIN`. How the bit-identity tests force the inline and
+    /// pooled paths without touching process-global state.
+    pub fn with_grain(mut self, mode: GrainMode) -> Self {
+        self.grain = Some(mode);
+        self
     }
 
     /// Number of workers this pool uses.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The grain policy in force: the pool's override, else the
+    /// process-wide `TRANSER_GRAIN` mode.
+    pub fn grain_mode(&self) -> GrainMode {
+        self.grain.unwrap_or_else(GrainMode::from_env)
     }
 
     /// The worker count a primitive should actually use: the pool's count,
@@ -132,8 +165,127 @@ impl Pool {
             let mut state = init();
             return items.iter().enumerate().map(|(i, t)| f(&mut state, i, t)).collect();
         }
+        self.run_init(items, batch_size(items.len(), workers), workers, &init, &f)
+    }
+
+    /// [`Pool::par_map`] with grain-aware dispatch: runs inline on the
+    /// caller thread when the hint's estimated work is under threshold,
+    /// otherwise on the pool with a hint-derived chunk size. Bit-identical
+    /// to `par_map` either way.
+    pub fn par_map_costed<T, R, F>(&self, items: &[T], hint: CostHint, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        debug_assert_eq!(hint.items(), items.len(), "cost hint item count");
+        let workers = self.effective_workers();
+        let batch = hint.chunk_size(workers);
+        let fill = |start: usize, end: usize, out: &mut Vec<R>| {
+            out.extend(items[start..end].iter().map(&f));
+        };
+        if self.pool_for(&hint, workers, batch) {
+            self.run_batched(items.len(), batch, workers, fill)
+        } else {
+            let mut out = Vec::with_capacity(items.len());
+            fill(0, items.len(), &mut out);
+            out
+        }
+    }
+
+    /// [`Pool::par_map_init`] with grain-aware dispatch (see
+    /// [`Pool::par_map_costed`]).
+    pub fn par_map_init_costed<T, R, S, I, F>(
+        &self,
+        items: &[T],
+        hint: CostHint,
+        init: I,
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        debug_assert_eq!(hint.items(), items.len(), "cost hint item count");
+        let workers = self.effective_workers();
+        let batch = hint.chunk_size(workers);
+        if self.pool_for(&hint, workers, batch) {
+            self.run_init(items, batch, workers, &init, &f)
+        } else {
+            let mut state = init();
+            items.iter().enumerate().map(|(i, t)| f(&mut state, i, t)).collect()
+        }
+    }
+
+    /// [`Pool::par_chunks`] with grain-aware dispatch. The chunk size is
+    /// derived from the hint unless `pinned` fixes it — call sites whose
+    /// floating-point results depend on chunk boundaries pin the chunk so
+    /// results never depend on the dispatch decision. The inline path
+    /// iterates the same chunk boundaries the pooled path would use, so
+    /// the two are bit-identical for *any* `f`, not just per-item-pure
+    /// ones.
+    pub fn par_chunks_costed<T, R, F>(
+        &self,
+        items: &[T],
+        pinned: Option<usize>,
+        hint: CostHint,
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> Vec<R> + Sync,
+    {
+        debug_assert_eq!(hint.items(), items.len(), "cost hint item count");
+        if let Some(chunk) = pinned {
+            assert!(chunk > 0, "chunk size must be positive");
+        }
+        let workers = self.effective_workers();
+        let chunk = pinned.unwrap_or_else(|| hint.chunk_size(workers));
+        if self.pool_for(&hint, workers, chunk) {
+            self.run_chunks(items, chunk, workers, f)
+        } else {
+            let mut out = Vec::new();
+            for start in (0..items.len()).step_by(chunk) {
+                let end = (start + chunk).min(items.len());
+                out.extend(f(start, &items[start..end]));
+            }
+            out
+        }
+    }
+
+    /// Apply the grain policy for one call and record the decision: `true`
+    /// means take the pooled path with the given chunk size.
+    fn pool_for(&self, hint: &CostHint, workers: usize, chunk: usize) -> bool {
+        if grain::should_pool(hint, workers, self.grain_mode()) {
+            transer_trace::counter("parallel.dispatch.pooled", 1);
+            transer_trace::observe("parallel.chunk_size", chunk as f64);
+            true
+        } else {
+            transer_trace::counter("parallel.dispatch.inline", 1);
+            false
+        }
+    }
+
+    /// The pooled engine behind the indexed-map-with-scratch primitives:
+    /// workers claim `batch`-sized index ranges from an atomic cursor.
+    fn run_init<T, R, S, I, F>(
+        &self,
+        items: &[T],
+        batch: usize,
+        workers: usize,
+        init: &I,
+        f: &F,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
         let cursor = AtomicUsize::new(0);
-        let batch = batch_size(items.len(), workers);
         let spawn = workers.min(items.len().div_ceil(batch));
         let mut segments: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..spawn)
@@ -188,6 +340,18 @@ impl Pool {
             }
             return out;
         }
+        self.run_chunks(items, chunk, workers, f)
+    }
+
+    /// The pooled engine behind the chunked primitives: workers claim
+    /// whole chunks from an atomic cursor; chunk outputs concatenate in
+    /// ascending start order.
+    fn run_chunks<T, R, F>(&self, items: &[T], chunk: usize, workers: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> Vec<R> + Sync,
+    {
         let cursor = AtomicUsize::new(0);
         let n_chunks = items.len().div_ceil(chunk);
         let spawn = workers.min(n_chunks);
@@ -230,8 +394,18 @@ impl Pool {
             fill(0, n, &mut out);
             return out;
         }
+        self.run_batched(n, batch_size(n, workers), workers, fill)
+    }
+
+    /// The pooled engine behind the map primitives: workers claim
+    /// `batch`-sized index ranges from an atomic cursor and the segments
+    /// merge back in input order.
+    fn run_batched<R, F>(&self, n: usize, batch: usize, workers: usize, fill: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, usize, &mut Vec<R>) + Sync,
+    {
         let cursor = AtomicUsize::new(0);
-        let batch = batch_size(n, workers);
         let spawn = workers.min(n.div_ceil(batch));
         let mut segments: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..spawn)
@@ -390,6 +564,79 @@ mod tests {
     #[should_panic(expected = "chunk size must be positive")]
     fn zero_chunk_panics() {
         Pool::new(2).par_chunks(&[1u8], 0, |_, c| c.to_vec());
+    }
+
+    #[test]
+    fn costed_primitives_match_uncosted_under_every_mode() {
+        let items: Vec<u64> = (0..777).collect();
+        let map_expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        let init_expect: Vec<u64> = items.iter().enumerate().map(|(i, x)| x + i as u64).collect();
+        let modes = [
+            GrainMode::Auto,
+            GrainMode::AlwaysInline,
+            GrainMode::AlwaysPool,
+            GrainMode::Threshold(1),
+            GrainMode::Threshold(u64::MAX),
+        ];
+        for mode in modes {
+            for workers in [1, 4] {
+                let pool = Pool::new(workers).with_grain(mode);
+                let hint = CostHint::new(items.len(), CostClass::Trivial);
+                assert_eq!(
+                    pool.par_map_costed(&items, hint, |x| x * 3 + 1),
+                    map_expect,
+                    "{mode:?} workers={workers}"
+                );
+                assert_eq!(
+                    pool.par_map_init_costed(&items, hint, || 0u64, |_, i, x| x + i as u64),
+                    init_expect,
+                    "{mode:?} workers={workers}"
+                );
+                // Per-item-pure chunk closure: any chunking is equivalent.
+                assert_eq!(
+                    pool.par_chunks_costed(&items, None, hint, |_, c| {
+                        c.iter().map(|x| x * 3 + 1).collect()
+                    }),
+                    map_expect,
+                    "{mode:?} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_chunks_see_identical_boundaries_inline_and_pooled() {
+        // The closure's output depends on the chunk start, so this only
+        // passes when the inline path iterates the same boundaries the
+        // pooled path claims.
+        let items: Vec<u32> = (0..301).collect();
+        let hint = CostHint::new(items.len(), CostClass::Heavy);
+        let f = |start: usize, c: &[u32]| -> Vec<u64> {
+            c.iter().map(|x| u64::from(*x) * 1000 + start as u64).collect()
+        };
+        let inline = Pool::new(4).with_grain(GrainMode::AlwaysInline);
+        let pooled = Pool::new(4).with_grain(GrainMode::AlwaysPool);
+        assert_eq!(
+            inline.par_chunks_costed(&items, Some(32), hint, f),
+            pooled.par_chunks_costed(&items, Some(32), hint, f),
+        );
+    }
+
+    #[test]
+    fn dispatch_decisions_are_counted() {
+        let items: Vec<u64> = (0..64).collect();
+        let hint = CostHint::new(items.len(), CostClass::Medium);
+        transer_trace::set_enabled(true);
+        let pooled = Pool::new(4).with_grain(GrainMode::AlwaysPool);
+        let inline = Pool::new(4).with_grain(GrainMode::AlwaysInline);
+        let a = pooled.par_map_costed(&items, hint, |x| x + 1);
+        let b = inline.par_map_costed(&items, hint, |x| x + 1);
+        let report = transer_trace::drain_report();
+        transer_trace::set_enabled(false);
+        assert_eq!(a, b);
+        assert!(report.counter("parallel.dispatch.pooled") >= 1);
+        assert!(report.counter("parallel.dispatch.inline") >= 1);
+        assert!(report.hists["parallel.chunk_size"].count >= 1);
     }
 
     #[test]

@@ -3,7 +3,11 @@
 //! inputs (including empty and single-element) and worker counts.
 
 use proptest::prelude::*;
-use transer_parallel::Pool;
+use transer_parallel::{CostClass, CostHint, GrainMode, Pool};
+
+/// The four grain modes every costed primitive must be invariant under.
+const MODES: [GrainMode; 4] =
+    [GrainMode::Auto, GrainMode::AlwaysInline, GrainMode::AlwaysPool, GrainMode::Threshold(1)];
 
 proptest! {
     #[test]
@@ -51,5 +55,90 @@ proptest! {
             seq.extend(f(start, &v[start..end]));
         }
         prop_assert_eq!(Pool::new(workers).par_chunks(&v, chunk, f), seq);
+    }
+
+    #[test]
+    fn par_map_costed_equals_map_for_every_grain_mode(
+        v in prop::collection::vec(any::<i64>(), 0..60),
+        workers in 1usize..9,
+        class in 0usize..4,
+    ) {
+        let class = [CostClass::Trivial, CostClass::Light, CostClass::Medium, CostClass::Heavy][class];
+        let f = |x: &i64| x.wrapping_mul(31).wrapping_add(7);
+        let seq: Vec<i64> = v.iter().map(f).collect();
+        let hint = CostHint::new(v.len(), class);
+        for mode in MODES {
+            let got = Pool::new(workers).with_grain(mode).par_map_costed(&v, hint, f);
+            prop_assert_eq!(&got, &seq, "mode {:?}", mode);
+        }
+    }
+
+    #[test]
+    fn par_map_init_costed_equals_indexed_map_for_every_grain_mode(
+        v in prop::collection::vec(any::<u32>(), 0..60),
+        workers in 1usize..9,
+    ) {
+        let seq: Vec<u64> = v
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (i as u64) ^ u64::from(x.to_le_bytes().iter().map(|&b| u32::from(b)).sum::<u32>()))
+            .collect();
+        let hint = CostHint::new(v.len(), CostClass::Medium);
+        for mode in MODES {
+            let got = Pool::new(workers).with_grain(mode).par_map_init_costed(
+                &v,
+                hint,
+                || Vec::<u8>::with_capacity(8),
+                |buf, i, x| {
+                    buf.clear();
+                    buf.extend(x.to_le_bytes());
+                    (i as u64) ^ u64::from(buf.iter().map(|&b| u32::from(b)).sum::<u32>())
+                },
+            );
+            prop_assert_eq!(&got, &seq, "mode {:?}", mode);
+        }
+    }
+
+    #[test]
+    fn par_chunks_costed_pinned_equals_chunked_flat_map_for_every_grain_mode(
+        v in prop::collection::vec(any::<i64>(), 0..60),
+        workers in 1usize..9,
+        chunk in 1usize..12,
+    ) {
+        // The closure output depends on chunk boundaries; pinning the
+        // chunk must make every mode reproduce the sequential chunking.
+        let f = |start: usize, c: &[i64]| -> Vec<i64> {
+            c.iter().enumerate().map(|(k, x)| x.wrapping_add((start + k) as i64)).collect()
+        };
+        let mut seq = Vec::new();
+        for start in (0..v.len()).step_by(chunk) {
+            let end = (start + chunk).min(v.len());
+            seq.extend(f(start, &v[start..end]));
+        }
+        let hint = CostHint::new(v.len(), CostClass::Light);
+        for mode in MODES {
+            let got = Pool::new(workers).with_grain(mode).par_chunks_costed(&v, Some(chunk), hint, f);
+            prop_assert_eq!(&got, &seq, "mode {:?}", mode);
+        }
+    }
+
+    #[test]
+    fn par_chunks_costed_derived_equals_sequential_for_pure_items(
+        v in prop::collection::vec(any::<i64>(), 0..60),
+        workers in 1usize..9,
+        class in 0usize..4,
+    ) {
+        let class = [CostClass::Trivial, CostClass::Light, CostClass::Medium, CostClass::Heavy][class];
+        let seq: Vec<i64> = v.iter().map(|x| x.wrapping_mul(13)).collect();
+        let hint = CostHint::new(v.len(), class);
+        for mode in MODES {
+            let got = Pool::new(workers).with_grain(mode).par_chunks_costed(
+                &v,
+                None,
+                hint,
+                |_, c| c.iter().map(|x| x.wrapping_mul(13)).collect(),
+            );
+            prop_assert_eq!(&got, &seq, "mode {:?}", mode);
+        }
     }
 }

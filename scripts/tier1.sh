@@ -18,6 +18,13 @@ bash scripts/panic_audit.sh
 TRANSER_FAULT=gen.fit:nan ./target/release/ablation_controlled --quick --scale 0.05 > /dev/null
 
 # Traced smoke: a tiny controlled run with TRANSER_TRACE=1 must emit a
-# schema-valid trace report covering every instrumented layer.
+# schema-valid trace report covering every instrumented layer (including
+# the grain-dispatch counters and chunk-size histogram).
 TRANSER_TRACE=1 ./target/release/ablation_controlled --quick --scale 0.05 > /dev/null
 ./target/release/trace_report --check results/TRACE_controlled.json
+
+# Scale-ladder smoke: the end-to-end bench at its smallest rung (10^4
+# rows per domain) must report finite records/sec, bit-identical labels
+# across worker counts, and write a parseable JSON artefact. Written to
+# target/ so the committed full-grid BENCH_scale.json is not clobbered.
+./target/release/bench_scale --smoke --out target/BENCH_scale_smoke.json > /dev/null
