@@ -15,6 +15,18 @@
 //! The child also reports a hash of its final labels; the parent asserts
 //! the hash is identical across worker counts at each rung, turning the
 //! ladder into an end-to-end bit-identity check of the parallel wiring.
+//! Each rung's hash is additionally compared against the committed
+//! `results/BENCH_scale.json` baseline, so a kernel rewrite that changes
+//! any score anywhere in the ladder fails loudly; `--rebaseline` skips
+//! the comparison when a behaviour change is intentional.
+//!
+//! Each rung additionally runs one sequential **reference-kernel control
+//! cell** (`TRANSER_SIM_KERNEL=reference`; the fast cells pin `fast`).
+//! Its label hash must equal the fast cells' hash — cross-engine
+//! end-to-end bit-identity — and its wall-clock against the sequential
+//! fast cell yields a same-run kernel speedup figure that is immune to
+//! cross-session host drift (absolute throughput on a shared host swings
+//! with machine state; two cells minutes apart in one run do not).
 //!
 //! `--smoke` runs the 10^4 rung only (workers 1 and 2), asserts a finite
 //! records/sec figure and validates the written JSON — the tier-1 hook.
@@ -114,12 +126,15 @@ fn run_child(rows: usize) {
     println!("{}", report.to_pretty());
 }
 
-/// Spawn one grid cell as a child process and parse its report.
-fn run_cell(rows: usize, workers: usize) -> Result<Json, String> {
+/// Spawn one grid cell as a child process and parse its report. The
+/// similarity kernel engine is pinned explicitly so cells are independent
+/// of the ambient `TRANSER_SIM_KERNEL`.
+fn run_cell(rows: usize, workers: usize, kernel: &str) -> Result<Json, String> {
     let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
     let out = Command::new(exe)
         .env(CHILD_ENV, rows.to_string())
         .env("TRANSER_THREADS", workers.to_string())
+        .env("TRANSER_SIM_KERNEL", kernel)
         .env_remove("TRANSER_TRACE")
         .output()
         .map_err(|e| format!("spawn cell rows={rows} workers={workers}: {e}"))?;
@@ -138,6 +153,26 @@ fn num(cell: &Json, key: &str) -> f64 {
     cell.get(key).and_then(Json::as_num).unwrap_or(f64::NAN)
 }
 
+/// The committed artefact that carries the per-rung baseline hashes.
+const BASELINE_PATH: &str = "results/BENCH_scale.json";
+
+/// Per-rung `rows → label_hash` from an earlier artefact (empty when the
+/// file is missing or unreadable — first run on a fresh checkout).
+fn baseline_hashes(path: &str) -> Vec<(f64, String)> {
+    let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+    let Ok(doc) = json::parse(&text) else { return Vec::new() };
+    let Some(cells) = doc.get("cells").and_then(Json::as_arr) else { return Vec::new() };
+    let mut out: Vec<(f64, String)> = Vec::new();
+    for cell in cells {
+        let rows = num(cell, "rows");
+        let Some(hash) = cell.get("label_hash").and_then(Json::as_str) else { continue };
+        if !out.iter().any(|(r, _)| *r == rows) {
+            out.push((rows, hash.to_string()));
+        }
+    }
+    out
+}
+
 fn main() {
     if let Ok(rows) = std::env::var(CHILD_ENV) {
         match rows.parse::<usize>() {
@@ -152,12 +187,19 @@ fn main() {
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let path = args
-        .windows(2)
-        .find(|w| w[0] == "--out")
-        .map_or("results/BENCH_scale.json", |w| w[1].as_str());
+    let rebaseline = args.iter().any(|a| a == "--rebaseline");
+    let path = args.windows(2).find(|w| w[0] == "--out").map_or(BASELINE_PATH, |w| w[1].as_str());
+    let committed = if rebaseline { Vec::new() } else { baseline_hashes(BASELINE_PATH) };
     let (rung_list, worker_list): (&[usize], &[usize]) =
         if smoke { (&[10_000], &[1, 2]) } else { (&[10_000, 100_000, 1_000_000], &[1, 4, 8]) };
+
+    // One discarded warm-up child: the very first cell otherwise pays the
+    // cold-start cost (binary page-in, allocator warm-up) and it is always
+    // the sequential fast cell — the denominator of both speedup figures.
+    eprintln!("bench_scale: warm-up cell (discarded) ...");
+    if let Err(e) = run_cell(rung_list[0], 1, "fast") {
+        eprintln!("bench_scale: warm-up: {e}");
+    }
 
     let mut cells = Vec::new();
     let mut failed = false;
@@ -165,8 +207,8 @@ fn main() {
         let mut baseline_secs = f64::NAN;
         let mut baseline_hash: Option<String> = None;
         for &workers in worker_list {
-            eprintln!("bench_scale: rows={rows} workers={workers} ...");
-            let mut cell = match run_cell(rows, workers) {
+            eprintln!("bench_scale: rows={rows} workers={workers} kernel=fast ...");
+            let mut cell = match run_cell(rows, workers, "fast") {
                 Ok(cell) => cell,
                 Err(e) => {
                     eprintln!("bench_scale: {e}");
@@ -180,6 +222,15 @@ fn main() {
             }
             let speedup = baseline_secs / secs;
             let hash = cell.get("label_hash").and_then(Json::as_str).unwrap_or("").to_string();
+            if let Some((_, expect)) = committed.iter().find(|(r, _)| *r == rows as f64) {
+                if *expect != hash {
+                    eprintln!(
+                        "bench_scale: BASELINE HASH MISMATCH at rows={rows} workers={workers}: \
+                         {hash} != committed {expect} (pass --rebaseline if intentional)"
+                    );
+                    failed = true;
+                }
+            }
             match &baseline_hash {
                 None => baseline_hash = Some(hash),
                 Some(expect) if *expect != hash => {
@@ -192,6 +243,7 @@ fn main() {
                 Some(_) => {}
             }
             if let Json::Obj(map) = &mut cell {
+                map.insert("kernel".to_string(), Json::Str("fast".to_string()));
                 map.insert("speedup_vs_first".to_string(), Json::Num(speedup));
             }
             println!(
@@ -205,6 +257,44 @@ fn main() {
                 assert!(rps.is_finite() && rps > 0.0, "records/sec must be finite, got {rps}");
             }
             cells.push(cell);
+        }
+
+        // Same-run reference-kernel control: one sequential cell per rung
+        // under `TRANSER_SIM_KERNEL=reference`. Because it runs minutes —
+        // not sessions — apart from the fast cells, the fast-vs-reference
+        // ratio it yields is immune to host drift, and its label hash is
+        // asserted against the fast cells' hash, making the ladder an
+        // end-to-end cross-engine bit-identity check as well.
+        eprintln!("bench_scale: rows={rows} workers=1 kernel=reference (control) ...");
+        match run_cell(rows, 1, "reference") {
+            Ok(mut cell) => {
+                let secs = num(&cell, "secs_total");
+                let hash = cell.get("label_hash").and_then(Json::as_str).unwrap_or("").to_string();
+                if let Some(expect) = &baseline_hash {
+                    if *expect != hash {
+                        eprintln!(
+                            "bench_scale: BIT-IDENTITY VIOLATION at rows={rows}: \
+                             reference-kernel hash {hash} != fast {expect}"
+                        );
+                        failed = true;
+                    }
+                }
+                let speedup = secs / baseline_secs;
+                if let Json::Obj(map) = &mut cell {
+                    map.insert("kernel".to_string(), Json::Str("reference".to_string()));
+                    map.insert("fast_speedup_vs_reference".to_string(), Json::Num(speedup));
+                }
+                println!(
+                    "rows={rows:>8} workers=1 total={secs:>8.2}s \
+                     {:>10.0} rec/s kernel=reference fast-speedup={speedup:.2}x",
+                    num(&cell, "records_per_sec"),
+                );
+                cells.push(cell);
+            }
+            Err(e) => {
+                eprintln!("bench_scale: {e}");
+                failed = true;
+            }
         }
     }
 

@@ -18,9 +18,10 @@ use std::collections::HashMap;
 
 use transer_common::{
     AttrValue, ColMajorMatrix, Error, FeatureMatrix, Label, LabeledDataset, Record, Result,
+    StrInterner,
 };
 use transer_parallel::{CostHint, Pool};
-use transer_similarity::{Measure, PreparedText};
+use transer_similarity::{Measure, PreparedText, SimKernel};
 
 use crate::CandidatePair;
 
@@ -68,6 +69,9 @@ const SHARDED_MIN_PAIRS: usize = 16_384;
 pub struct Comparison {
     /// `(attribute index, measure)` per feature, in feature order.
     pub features: Vec<(usize, Measure)>,
+    /// The similarity kernel engine every comparison runs on. Defaults to
+    /// `TRANSER_SIM_KERNEL`; override with [`Comparison::with_kernel`].
+    kernel: SimKernel,
 }
 
 impl Comparison {
@@ -79,7 +83,16 @@ impl Comparison {
         if features.is_empty() {
             return Err(Error::EmptyInput("comparison features"));
         }
-        Ok(Comparison { features })
+        Ok(Comparison { features, kernel: SimKernel::from_env() })
+    }
+
+    /// Pin the similarity kernel engine, overriding `TRANSER_SIM_KERNEL` —
+    /// the hook the engine-equivalence tests and benchmarks use to run
+    /// both engines in one process.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: SimKernel) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// Number of features `m`.
@@ -103,7 +116,7 @@ impl Comparison {
     pub fn feature_vector_into(&self, a: &Record, b: &Record, out: &mut [f64]) {
         assert_eq!(out.len(), self.num_features(), "feature buffer length");
         for (slot, &(attr, measure)) in out.iter_mut().zip(&self.features) {
-            *slot = compare_values(measure, &a.values[attr], &b.values[attr]);
+            *slot = compare_values(self.kernel, measure, &a.values[attr], &b.values[attr]);
         }
     }
 
@@ -119,7 +132,25 @@ impl Comparison {
     fn prepare_one(&self, record: &Record) -> Vec<PreparedValue> {
         self.features
             .iter()
-            .map(|&(attr, measure)| PreparedValue::new(measure, &record.values[attr]))
+            .map(|&(attr, measure)| PreparedValue::new(self.kernel, measure, &record.values[attr]))
+            .collect()
+    }
+
+    /// [`Comparison::prepare_one`] through a shard-local [`StrInterner`]:
+    /// the fast engine's token and wide q-gram profiles come out as dense
+    /// `u32` ids, comparable against every other value prepared through
+    /// the *same* interner (the per-shard contract of the block-sharded
+    /// path).
+    fn prepare_one_interned(
+        &self,
+        record: &Record,
+        interner: &mut StrInterner,
+    ) -> Vec<PreparedValue> {
+        self.features
+            .iter()
+            .map(|&(attr, measure)| {
+                PreparedValue::new_interned(self.kernel, measure, &record.values[attr], interner)
+            })
             .collect()
     }
 
@@ -194,6 +225,7 @@ impl Comparison {
                 for &(i, j) in chunk {
                     for (f, &(_, measure)) in self.features.iter().enumerate() {
                         rows.push(prepared_pair(
+                            self.kernel,
                             measure,
                             &prepared_left[i][f],
                             &prepared_right[j][f],
@@ -245,13 +277,19 @@ impl Comparison {
             // kernel writes it sequentially, then it scatters into the
             // column-major block.
             let mut scratch = vec![0.0; m];
+            // Shard-local interner: the fast engine's token/gram profiles
+            // become dense u32 ids. Ids are consistent exactly within this
+            // shard's caches — which is the only scope they are compared
+            // in — and scores consult id equality only, so the choice of
+            // interner (and hence shard layout) cannot change a score.
+            let mut interner = StrInterner::new();
             let mut left_prepared: Vec<PreparedValue> = Vec::new();
             let mut current_left = usize::MAX;
             let mut right_cache: HashMap<usize, Vec<PreparedValue>> = HashMap::new();
             let mut prepares = 0u64;
             for (r, &(i, j)) in shard.iter().enumerate() {
                 if i != current_left || left_prepared.is_empty() {
-                    left_prepared = self.prepare_one(&left[i]);
+                    left_prepared = self.prepare_one_interned(&left[i], &mut interner);
                     current_left = i;
                     prepares += 1;
                 }
@@ -259,12 +297,13 @@ impl Comparison {
                     std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
                     std::collections::hash_map::Entry::Vacant(v) => {
                         prepares += 1;
-                        v.insert(self.prepare_one(&right[j]))
+                        v.insert(self.prepare_one_interned(&right[j], &mut interner))
                     }
                 };
                 for (f, (slot, &(_, measure))) in scratch.iter_mut().zip(&self.features).enumerate()
                 {
-                    *slot = prepared_pair(measure, &left_prepared[f], &right_prepared[f]);
+                    *slot =
+                        prepared_pair(self.kernel, measure, &left_prepared[f], &right_prepared[f]);
                 }
                 for (f, &v) in scratch.iter().enumerate() {
                     block[f * len + r] = v;
@@ -330,12 +369,12 @@ fn shard_ranges(pairs: &[CandidatePair], target: usize) -> Vec<(usize, usize)> {
     ranges
 }
 
-fn compare_values(measure: Measure, a: &AttrValue, b: &AttrValue) -> f64 {
+fn compare_values(kernel: SimKernel, measure: Measure, a: &AttrValue, b: &AttrValue) -> f64 {
     match (a, b) {
-        (AttrValue::Text(x), AttrValue::Text(y)) => measure.text(x, y),
-        (AttrValue::Number(x), AttrValue::Number(y)) => measure.number(*x, *y),
-        (AttrValue::Text(x), AttrValue::Number(y)) => measure.text(x, &y.to_string()),
-        (AttrValue::Number(x), AttrValue::Text(y)) => measure.text(&x.to_string(), y),
+        (AttrValue::Text(x), AttrValue::Text(y)) => measure.text_with(kernel, x, y),
+        (AttrValue::Number(x), AttrValue::Number(y)) => measure.number_with(kernel, *x, *y),
+        (AttrValue::Text(x), AttrValue::Number(y)) => measure.text_with(kernel, x, &y.to_string()),
+        (AttrValue::Number(x), AttrValue::Text(y)) => measure.text_with(kernel, &x.to_string(), y),
         _ => 0.0, // at least one side missing
     }
 }
@@ -356,12 +395,36 @@ enum PreparedValue {
 }
 
 impl PreparedValue {
-    fn new(measure: Measure, value: &AttrValue) -> Self {
+    fn new(kernel: SimKernel, measure: Measure, value: &AttrValue) -> Self {
         match value {
-            AttrValue::Text(s) => PreparedValue::Text(measure.prepare(s)),
-            AttrValue::Number(x) => {
-                PreparedValue::Number { raw: *x, text: measure.prepare(&x.to_string()) }
+            AttrValue::Text(s) => PreparedValue::Text(measure.prepare_with(kernel, s)),
+            AttrValue::Number(x) => PreparedValue::Number {
+                raw: *x,
+                // The rendering is moved into the preparation, so the Raw
+                // family stores it without a second allocation.
+                text: measure.prepare_owned_with(kernel, x.to_string()),
+            },
+            AttrValue::Missing => PreparedValue::Missing,
+        }
+    }
+
+    /// [`PreparedValue::new`] through a shard-local interner; every value
+    /// of a shard — including numeric renderings — must go through the
+    /// same interner so their id profiles stay comparable.
+    fn new_interned(
+        kernel: SimKernel,
+        measure: Measure,
+        value: &AttrValue,
+        interner: &mut StrInterner,
+    ) -> Self {
+        match value {
+            AttrValue::Text(s) => {
+                PreparedValue::Text(measure.prepare_interned_with(kernel, s, interner))
             }
+            AttrValue::Number(x) => PreparedValue::Number {
+                raw: *x,
+                text: measure.prepare_owned_interned_with(kernel, x.to_string(), interner),
+            },
             AttrValue::Missing => PreparedValue::Missing,
         }
     }
@@ -372,19 +435,19 @@ impl PreparedValue {
 /// `number_native` split mirrors [`Measure::number`]'s dispatch, and the
 /// text fallback there operates on exactly the renderings cached in
 /// [`PreparedValue::Number`]).
-fn prepared_pair(measure: Measure, a: &PreparedValue, b: &PreparedValue) -> f64 {
+fn prepared_pair(kernel: SimKernel, measure: Measure, a: &PreparedValue, b: &PreparedValue) -> f64 {
     use PreparedValue as P;
     match (a, b) {
-        (P::Text(x), P::Text(y)) => measure.prepared(x, y),
+        (P::Text(x), P::Text(y)) => measure.prepared_with(kernel, x, y),
         (P::Number { raw: x, text: tx }, P::Number { raw: y, text: ty }) => {
             if measure.number_native() {
-                measure.number(*x, *y)
+                measure.number_with(kernel, *x, *y)
             } else {
-                measure.prepared(tx, ty)
+                measure.prepared_with(kernel, tx, ty)
             }
         }
-        (P::Text(x), P::Number { text: y, .. }) => measure.prepared(x, y),
-        (P::Number { text: x, .. }, P::Text(y)) => measure.prepared(x, y),
+        (P::Text(x), P::Number { text: y, .. }) => measure.prepared_with(kernel, x, y),
+        (P::Number { text: x, .. }, P::Text(y)) => measure.prepared_with(kernel, x, y),
         _ => 0.0, // at least one side missing
     }
 }

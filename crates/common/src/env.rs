@@ -15,6 +15,7 @@
 //! | `TRANSER_TREE_ENGINE` | tree trainer: `presorted` / `reference` |
 //! | `TRANSER_FAULT` | fault injection: `<site>:<kind>[:<rate>:<seed>]` |
 //! | `TRANSER_GRAIN` | dispatch grain threshold in ns; `0` = always pool, `inf` = always inline |
+//! | `TRANSER_SIM_KERNEL` | similarity kernels: `fast` (bit-parallel, allocation-free) / `reference` |
 
 /// Worker count for the parallel pool (unset/`0`/unparsable → all cores).
 pub const THREADS: &str = "TRANSER_THREADS";
@@ -29,6 +30,9 @@ pub const FAULT: &str = "TRANSER_FAULT";
 /// Grain-dispatch override (`transer-parallel`): an inline threshold in
 /// nanoseconds, `0` = always pool, `inf` = always inline.
 pub const GRAIN: &str = "TRANSER_GRAIN";
+/// Similarity kernel engine override (`transer-similarity`):
+/// `fast` (default) or `reference` (the pinned original kernels).
+pub const SIM_KERNEL: &str = "TRANSER_SIM_KERNEL";
 
 /// The trimmed value of `var`, or `None` when unset, empty or not UTF-8.
 pub fn raw(var: &str) -> Option<String> {

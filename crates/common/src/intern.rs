@@ -1,4 +1,5 @@
-//! Deterministic row interning for duplicated feature matrices.
+//! Deterministic interning: rows of duplicated feature matrices
+//! ([`RowInterning`]) and short strings ([`StrInterner`]).
 //!
 //! ER feature matrices are massively duplicated: many candidate record
 //! pairs round to the same similarity vector, so the same point is indexed
@@ -135,6 +136,55 @@ impl RowInterning {
     }
 }
 
+/// Deterministic short-string interner: maps each distinct string to a
+/// dense `u32` id in order of first appearance.
+///
+/// The similarity fast kernel uses one interner per compare-run shard to
+/// turn token and q-gram profiles into sorted `u32` id slices, so the
+/// per-pair set similarities become `O(n + m)` integer merges with no
+/// hashing or `String` allocation. Ids are only meaningful *within* one
+/// interner: two values may be compared by id iff both were interned by
+/// the same instance. Scores derived from ids are id-assignment-agnostic
+/// (only equality of ids is ever used), so different interning orders on
+/// different shards still yield bit-identical similarities.
+#[derive(Debug, Default, Clone)]
+pub struct StrInterner {
+    map: std::collections::HashMap<Box<str>, u32>,
+}
+
+impl StrInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The id of `s`, assigning the next dense id on first sight.
+    ///
+    /// # Panics
+    /// Panics after `u32::MAX` distinct strings (far beyond any realistic
+    /// token vocabulary of one compare shard).
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let len = self.map.len();
+        assert!(len < u32::MAX as usize, "interner overflow: u32::MAX distinct strings");
+        let id = len as u32;
+        self.map.insert(Box::from(s), id);
+        id
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +260,18 @@ mod tests {
         assert_eq!(it.unique_rows(), 0);
         assert_eq!(it.dedup_ratio(), 1.0);
         assert!(it.multiplicities().is_empty());
+    }
+
+    #[test]
+    fn str_interner_assigns_dense_first_seen_ids() {
+        let mut it = StrInterner::new();
+        assert!(it.is_empty());
+        assert_eq!(it.intern("deep"), 0);
+        assert_eq!(it.intern("entity"), 1);
+        assert_eq!(it.intern("deep"), 0);
+        assert_eq!(it.intern(""), 2);
+        assert_eq!(it.intern("entity"), 1);
+        assert_eq!(it.len(), 3);
     }
 
     #[test]

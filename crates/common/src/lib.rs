@@ -38,6 +38,6 @@ pub use colmajor::{transpose_blocked, ColMajorMatrix};
 pub use dataset::{DomainPair, LabeledDataset};
 pub use error::{Error, Result};
 pub use features::{sq_dist, FeatureMatrix};
-pub use intern::RowInterning;
+pub use intern::{RowInterning, StrInterner};
 pub use label::{count_matches, Label};
 pub use record::{AttrType, AttrValue, Record, RecordId, Schema};

@@ -6,9 +6,10 @@
 //!   version-1 report schema *and* the expected layer coverage of a
 //!   traced pipeline run (spans for all three phases, at least one
 //!   counter each from the blocking, knn, ml, core and grain-dispatch
-//!   layers, and a `parallel.chunk_size` histogram consistent with the
-//!   pooled-dispatch counter); exits non-zero on any violation. This is
-//!   the tier-1 smoke check.
+//!   layers, a `parallel.chunk_size` histogram consistent with the
+//!   pooled-dispatch counter, and the similarity-kernel partition
+//!   invariant `bitparallel + fallback == levenshtein.calls`); exits
+//!   non-zero on any violation. This is the tier-1 smoke check.
 
 use std::fmt::Write as _;
 
@@ -104,6 +105,19 @@ fn validate(doc: &Json) -> Result<(), String> {
         return Err(format!(
             "parallel.chunk_size histogram has {chunks} samples but \
              parallel.dispatch.pooled counted {pooled} dispatches"
+        ));
+    }
+    // The fast similarity engine partitions every Levenshtein kernel run
+    // into exactly one of single-block bit-parallel or multi-block wide
+    // fallback (0 = 0 + 0 for runs that never invoke Levenshtein).
+    let get = |k: &str| counters.get(k).and_then(Json::as_num).unwrap_or(0.0);
+    let lev = get("similarity.levenshtein.calls");
+    let bitparallel = get("similarity.kernel.bitparallel");
+    let fallback = get("similarity.kernel.fallback");
+    if bitparallel + fallback != lev {
+        return Err(format!(
+            "similarity.kernel.bitparallel ({bitparallel}) + similarity.kernel.fallback \
+             ({fallback}) != similarity.levenshtein.calls ({lev})"
         ));
     }
     Ok(())

@@ -1,4 +1,16 @@
 //! Set-based similarities over tokens and q-grams: Jaccard, Dice, overlap.
+//!
+//! Two families of entry points compute the same scores:
+//!
+//! * the `*_sets` functions over `HashSet<String>` — the pinned reference
+//!   representation;
+//! * the `*_sorted` functions over sorted deduplicated slices of any
+//!   ordered element type (`String` tokens, packed `u64` q-grams, interned
+//!   `u32` ids) — an `O(n + m)` merge with no hashing. All three scores
+//!   depend only on `(|A ∩ B|, |A|, |B|)`, and a sorted deduplicated slice
+//!   has exactly the cardinality and intersection structure of the set it
+//!   was built from, so the two families are bit-identical whenever the
+//!   element mapping is injective.
 
 use std::collections::HashSet;
 
@@ -87,6 +99,67 @@ pub fn overlap_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
     clamp01(inter / a.len().min(b.len()) as f64)
 }
 
+/// `|A ∩ B|` of two sorted deduplicated slices by a linear merge.
+fn intersection_sorted<T: Ord>(a: &[T], b: &[T]) -> usize {
+    let (mut i, mut j, mut inter) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter
+}
+
+/// Jaccard similarity of two sorted deduplicated slices; bit-identical to
+/// [`jaccard_sets`] over the corresponding sets (same intersection count
+/// fed through the same float expression).
+pub fn jaccard_sorted<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]) && b.windows(2).all(|w| w[0] < w[1]));
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = intersection_sorted(a, b) as f64;
+    let union = (a.len() + b.len()) as f64 - inter;
+    clamp01(inter / union)
+}
+
+/// Dice coefficient of two sorted deduplicated slices; see
+/// [`jaccard_sorted`].
+pub fn dice_sorted<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]) && b.windows(2).all(|w| w[0] < w[1]));
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = intersection_sorted(a, b) as f64;
+    clamp01(2.0 * inter / (a.len() + b.len()) as f64)
+}
+
+/// Overlap coefficient of two sorted deduplicated slices; see
+/// [`jaccard_sorted`].
+pub fn overlap_sorted<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]) && b.windows(2).all(|w| w[0] < w[1]));
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = intersection_sorted(a, b) as f64;
+    clamp01(inter / a.len().min(b.len()) as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +200,37 @@ mod tests {
     fn overlap_rewards_containment() {
         assert_eq!(overlap_tokens("very long venue name", "venue name"), 1.0);
         assert!(overlap_tokens("a b", "a c") > 0.0);
+    }
+
+    #[test]
+    fn sorted_merge_matches_hash_sets_bitwise() {
+        let cases = [
+            ("a b c", "b c d"),
+            ("", ""),
+            ("a", ""),
+            ("deep learning for er", "ER for Deep Learning"),
+            ("very long venue name", "venue name"),
+            ("x y", "y z"),
+        ];
+        for (a, b) in cases {
+            let (sa, sb) = (token_set(a), token_set(b));
+            let mut va: Vec<String> = sa.iter().cloned().collect();
+            let mut vb: Vec<String> = sb.iter().cloned().collect();
+            va.sort_unstable();
+            vb.sort_unstable();
+            assert_eq!(jaccard_sorted(&va, &vb).to_bits(), jaccard_sets(&sa, &sb).to_bits());
+            assert_eq!(dice_sorted(&va, &vb).to_bits(), dice_sets(&sa, &sb).to_bits());
+            assert_eq!(overlap_sorted(&va, &vb).to_bits(), overlap_sets(&sa, &sb).to_bits());
+        }
+    }
+
+    #[test]
+    fn sorted_merge_works_over_integer_ids() {
+        // Same (inter, |a|, |b|) structure as {a,b,c} vs {b,c,d}.
+        assert!((jaccard_sorted(&[1u32, 2, 3], &[2u32, 3, 4]) - 0.5).abs() < 1e-12);
+        assert_eq!(overlap_sorted(&[7u64, 9, 11], &[9u64]), 1.0);
+        assert_eq!(dice_sorted::<u32>(&[], &[]), 1.0);
+        assert_eq!(dice_sorted(&[1u32], &[]), 0.0);
     }
 
     #[test]

@@ -4,8 +4,14 @@
 //! record linkage (Christen, *Data Matching*, 2012); it rewards strings that
 //! agree on a common prefix, which fits names corrupted by typing or
 //! transcription errors further to the right.
+//!
+//! The public functions dispatch on [`SimKernel`]: the `fast` engine runs
+//! the scratch-buffer match scan from `kernel` (ASCII byte path, no per-call
+//! allocation); the `reference` engine is the original collect-then-scan
+//! implementation, kept verbatim as the bit-identity baseline.
 
 use crate::clamp01;
+use crate::kernel::{self, SimKernel};
 
 /// Jaro similarity between two strings in `[0, 1]`.
 ///
@@ -14,9 +20,19 @@ use crate::clamp01;
 /// `jaro = (m/|a| + m/|b| + (m - t)/m) / 3`, with `jaro = 1` for two empty
 /// strings and `0` when there are no matching characters.
 pub fn jaro(a: &str, b: &str) -> f64 {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    jaro_chars(&a, &b)
+    jaro_k(SimKernel::from_env(), a, b)
+}
+
+/// [`jaro`] under an explicit kernel engine.
+pub(crate) fn jaro_k(kernel: SimKernel, a: &str, b: &str) -> f64 {
+    match kernel {
+        SimKernel::Reference => {
+            let a: Vec<char> = a.chars().collect();
+            let b: Vec<char> = b.chars().collect();
+            jaro_chars(&a, &b)
+        }
+        SimKernel::Fast => kernel::jaro_fast(a, b),
+    }
 }
 
 fn jaro_chars(a: &[char], b: &[char]) -> f64 {
@@ -67,6 +83,11 @@ pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     jaro_winkler_with(a, b, 0.1, 4)
 }
 
+/// [`jaro_winkler`] under an explicit kernel engine.
+pub(crate) fn jaro_winkler_k(kernel: SimKernel, a: &str, b: &str) -> f64 {
+    jaro_winkler_with_k(kernel, a, b, 0.1, 4)
+}
+
 /// Jaro-Winkler similarity with a configurable prefix scale and maximum
 /// prefix length.
 ///
@@ -75,11 +96,27 @@ pub fn jaro_winkler(a: &str, b: &str) -> f64 {
 /// `prefix_scale * max_prefix ≤ 1` for the result to stay in `[0, 1]`;
 /// values are clamped defensively regardless.
 pub fn jaro_winkler_with(a: &str, b: &str, prefix_scale: f64, max_prefix: usize) -> f64 {
-    let av: Vec<char> = a.chars().collect();
-    let bv: Vec<char> = b.chars().collect();
-    let j = jaro_chars(&av, &bv);
-    let prefix = av.iter().zip(&bv).take(max_prefix).take_while(|(x, y)| x == y).count();
-    clamp01(j + prefix as f64 * prefix_scale * (1.0 - j))
+    jaro_winkler_with_k(SimKernel::from_env(), a, b, prefix_scale, max_prefix)
+}
+
+/// [`jaro_winkler_with`] under an explicit kernel engine.
+pub(crate) fn jaro_winkler_with_k(
+    kernel: SimKernel,
+    a: &str,
+    b: &str,
+    prefix_scale: f64,
+    max_prefix: usize,
+) -> f64 {
+    match kernel {
+        SimKernel::Reference => {
+            let av: Vec<char> = a.chars().collect();
+            let bv: Vec<char> = b.chars().collect();
+            let j = jaro_chars(&av, &bv);
+            let prefix = av.iter().zip(&bv).take(max_prefix).take_while(|(x, y)| x == y).count();
+            clamp01(j + prefix as f64 * prefix_scale * (1.0 - j))
+        }
+        SimKernel::Fast => kernel::jaro_winkler_fast(a, b, prefix_scale, max_prefix),
+    }
 }
 
 #[cfg(test)]
@@ -140,5 +177,48 @@ mod tests {
     fn single_char() {
         assert_eq!(jaro("a", "a"), 1.0);
         assert_eq!(jaro("a", "b"), 0.0);
+    }
+
+    #[test]
+    fn engines_agree_on_edge_shapes() {
+        let long_a = "entity resolution at scale ".repeat(4);
+        let long_b = "entity res0lution at scale ".repeat(4);
+        for (a, b) in [
+            ("", ""),
+            ("", "abc"),
+            ("martha", "marhta"),
+            ("dixon", "dicksonx"),
+            ("müller", "mueller"),
+            ("наука", "наука о данных"),
+            ("a\u{0301}bc", "abc"),
+            (long_a.as_str(), long_b.as_str()),
+        ] {
+            assert_eq!(
+                jaro_k(SimKernel::Fast, a, b).to_bits(),
+                jaro_k(SimKernel::Reference, a, b).to_bits(),
+                "jaro {a:?} vs {b:?}"
+            );
+            assert_eq!(
+                jaro_winkler_k(SimKernel::Fast, a, b).to_bits(),
+                jaro_winkler_k(SimKernel::Reference, a, b).to_bits(),
+                "jw {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_inputs_short_circuit_pins_bit_pattern() {
+        for s in ["", "abc", "müller", " x "] {
+            assert_eq!(jaro_k(SimKernel::Fast, s, s).to_bits(), 1.0f64.to_bits());
+            assert_eq!(jaro_winkler_k(SimKernel::Fast, s, s).to_bits(), 1.0f64.to_bits());
+            assert_eq!(
+                jaro_k(SimKernel::Reference, s, s).to_bits(),
+                jaro_k(SimKernel::Fast, s, s).to_bits()
+            );
+            assert_eq!(
+                jaro_winkler_k(SimKernel::Reference, s, s).to_bits(),
+                jaro_winkler_k(SimKernel::Fast, s, s).to_bits()
+            );
+        }
     }
 }

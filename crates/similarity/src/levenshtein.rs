@@ -1,12 +1,42 @@
 //! Levenshtein and Damerau-Levenshtein (optimal string alignment) edit
 //! distances plus their normalised similarities.
+//!
+//! The public functions dispatch on [`SimKernel`]: the `fast` engine uses
+//! the Myers bit-parallel core (single `u64` block for strings ≤ 64
+//! chars, Hyyrö's multi-block formulation beyond), with an ASCII byte
+//! path; the `reference` engine is the original per-call-allocating
+//! implementation, kept verbatim as the bit-identity baseline.
 
 use crate::clamp01;
+use crate::kernel::{self, SimKernel};
 
 /// Levenshtein edit distance (insertions, deletions, substitutions) between
-/// two strings, computed over chars with the classic two-row dynamic
-/// programme in `O(|a|·|b|)` time and `O(min(|a|,|b|))` space.
+/// two strings. The fast engine runs Myers' bit-parallel algorithm in
+/// `O(|a|·⌈|b|/64⌉)` word operations — one `u64` block when the shorter
+/// string fits, Hyyrö's multi-block variant otherwise; both are
+/// allocation-free after thread warm-up and agree exactly with the
+/// reference DP.
 pub fn levenshtein(a: &str, b: &str) -> usize {
+    levenshtein_k(SimKernel::from_env(), a, b)
+}
+
+/// [`levenshtein`] under an explicit kernel engine.
+pub(crate) fn levenshtein_k(kernel: SimKernel, a: &str, b: &str) -> usize {
+    match kernel {
+        SimKernel::Reference => levenshtein_reference(a, b),
+        SimKernel::Fast => {
+            if a == b {
+                // Distance of identical strings is 0 by definition.
+                return 0;
+            }
+            kernel::lev_distance_with_lens(a, b).0
+        }
+    }
+}
+
+/// The pinned reference: classic two-row DP over collected chars in
+/// `O(|a|·|b|)` time and `O(min(|a|,|b|))` space.
+fn levenshtein_reference(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
     // Keep the inner dimension the shorter string to minimise the rows.
@@ -65,13 +95,36 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
 /// Levenshtein distance normalised into a similarity:
 /// `1 − d / max(|a|, |b|)`, with `1.0` for two empty strings.
 pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
-    let la = a.chars().count();
-    let lb = b.chars().count();
-    let longest = la.max(lb);
-    if longest == 0 {
-        return 1.0;
+    levenshtein_similarity_k(SimKernel::from_env(), a, b)
+}
+
+/// [`levenshtein_similarity`] under an explicit kernel engine. The fast
+/// engine traverses each string once (distance and both lengths come out
+/// of the same kernel call) where the reference walks every string twice:
+/// `chars().count()` per side and then the re-collect inside the DP.
+/// Equal inputs short-circuit to exactly `1.0`: the distance is 0, so the
+/// reference computes `clamp01(1.0 - 0.0 / longest)` = `1.0` bit-for-bit
+/// (and two empty strings are defined as 1).
+pub(crate) fn levenshtein_similarity_k(kernel: SimKernel, a: &str, b: &str) -> f64 {
+    match kernel {
+        SimKernel::Reference => {
+            let la = a.chars().count();
+            let lb = b.chars().count();
+            let longest = la.max(lb);
+            if longest == 0 {
+                return 1.0;
+            }
+            clamp01(1.0 - levenshtein_reference(a, b) as f64 / longest as f64)
+        }
+        SimKernel::Fast => {
+            if a == b {
+                return 1.0;
+            }
+            let (d, la, lb) = kernel::lev_distance_with_lens(a, b);
+            // a != b implies at least one string is non-empty.
+            clamp01(1.0 - d as f64 / la.max(lb) as f64)
+        }
     }
-    clamp01(1.0 - levenshtein(a, b) as f64 / longest as f64)
 }
 
 #[cfg(test)]
@@ -118,6 +171,44 @@ mod tests {
         for (a, b) in [("kitten", "sitting"), ("abc", ""), ("martha", "marhta")] {
             assert_eq!(levenshtein(a, b), levenshtein(b, a));
             assert_eq!(damerau_levenshtein(a, b), damerau_levenshtein(b, a));
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_edge_shapes() {
+        let long_a = "a".repeat(80) + "xyz";
+        let long_b = "a".repeat(80) + "xzy";
+        for (a, b) in [
+            ("", ""),
+            ("", "abc"),
+            ("kitten", "sitting"),
+            ("наука", "наука о данных"),
+            (long_a.as_str(), long_b.as_str()),
+            ("a\u{0301}bc", "abc"),
+        ] {
+            assert_eq!(
+                levenshtein_k(SimKernel::Fast, a, b),
+                levenshtein_k(SimKernel::Reference, a, b),
+                "distance {a:?} vs {b:?}"
+            );
+            assert_eq!(
+                levenshtein_similarity_k(SimKernel::Fast, a, b).to_bits(),
+                levenshtein_similarity_k(SimKernel::Reference, a, b).to_bits(),
+                "similarity {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_inputs_short_circuit_pins_bit_pattern() {
+        for s in ["", "abc", "наука", "a\u{0301}", " spaced out "] {
+            let fast = levenshtein_similarity_k(SimKernel::Fast, s, s);
+            assert_eq!(fast.to_bits(), 1.0f64.to_bits(), "{s:?}");
+            assert_eq!(
+                fast.to_bits(),
+                levenshtein_similarity_k(SimKernel::Reference, s, s).to_bits()
+            );
+            assert_eq!(levenshtein_k(SimKernel::Fast, s, s), 0);
         }
     }
 }

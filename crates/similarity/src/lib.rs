@@ -11,6 +11,12 @@
 //!
 //! All string functions operate on `char`s, so multi-byte UTF-8 is handled
 //! correctly.
+//!
+//! Two kernel engines compute every score (see [`SimKernel`] and the
+//! `TRANSER_SIM_KERNEL` knob): `fast` — allocation-free bit-parallel /
+//! merge-based kernels, the default — and `reference` — the original
+//! implementations, pinned as the bit-identity baseline the fast engine is
+//! proptested against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,6 +24,7 @@
 mod config;
 mod jaccard;
 mod jaro;
+mod kernel;
 mod lcs;
 mod levenshtein;
 mod monge_elkan;
@@ -28,10 +35,11 @@ mod soundex;
 
 pub use config::{similarity_for, Measure};
 pub use jaccard::{
-    dice_qgram, dice_sets, dice_tokens, jaccard_qgram, jaccard_sets, jaccard_tokens, overlap_sets,
-    overlap_tokens, qgram_set, token_set,
+    dice_qgram, dice_sets, dice_sorted, dice_tokens, jaccard_qgram, jaccard_sets, jaccard_sorted,
+    jaccard_tokens, overlap_sets, overlap_sorted, overlap_tokens, qgram_set, token_set,
 };
 pub use jaro::{jaro, jaro_winkler, jaro_winkler_with};
+pub use kernel::SimKernel;
 pub use lcs::{lcs_len, lcs_similarity};
 pub use levenshtein::{damerau_levenshtein, levenshtein, levenshtein_similarity};
 pub use monge_elkan::{monge_elkan, monge_elkan_tokens};

@@ -7,30 +7,63 @@
 //! [`PreparedText`], and [`Measure::prepared`] consumes two prepared
 //! values — producing **bit-identical** scores to [`Measure::text`], which
 //! the tests below pin down measure by measure.
+//!
+//! The representation depends on the [`SimKernel`] engine. The `reference`
+//! engine prepares `HashSet<String>` profiles and scores them with hashed
+//! intersections; the `fast` engine prepares *sorted* profiles — sorted
+//! deduplicated token/gram vectors, q-grams packed into `u64`s for
+//! `q ≤ 3`, or interned `u32` ids when the caller supplies a
+//! [`StrInterner`] — and scores them with `O(n + m)` merges. All set
+//! scores depend only on `(|A ∩ B|, |A|, |B|)` and every fast
+//! representation preserves exactly that structure, so the engines are
+//! bit-identical (proptested in `tests/kernel_equivalence.rs`).
 
 use std::collections::HashSet;
 
-use crate::jaccard::{dice_sets, jaccard_sets, overlap_sets, qgram_set, token_set};
-use crate::monge_elkan::monge_elkan_tokens;
-use crate::qgram::tokens;
-use crate::{
-    jaro, jaro_winkler, lcs_similarity, levenshtein_similarity, numeric_similarity, soundex,
-    year_similarity, Measure,
+use transer_common::StrInterner;
+
+use crate::jaccard::{
+    dice_sets, dice_sorted, jaccard_sets, jaccard_sorted, overlap_sets, overlap_sorted, qgram_set,
+    token_set,
 };
+use crate::jaro::{jaro_k, jaro_winkler_k};
+use crate::kernel::{packed_qgram_profile, SimKernel, PACK_MAX_Q};
+use crate::lcs::lcs_similarity_k;
+use crate::levenshtein::levenshtein_similarity_k;
+use crate::monge_elkan::monge_elkan_tokens;
+use crate::qgram::{qgrams, tokens};
+use crate::{numeric_similarity, soundex, year_similarity, Measure};
 
 /// A textual value with the measure-specific per-value work already done.
 ///
 /// Produced by [`Measure::prepare`]; only meaningful when consumed by the
-/// *same* measure's [`Measure::prepared`].
+/// *same* measure's [`Measure::prepared`] — and, for the set families, by
+/// a value prepared under the same engine (and the same interner for the
+/// id variants).
 #[derive(Debug, Clone, PartialEq)]
 pub enum PreparedText {
     /// The raw string — character-level measures (Jaro, Jaro-Winkler,
     /// Levenshtein, LCS, Exact) have no useful per-value precomputation.
     Raw(String),
-    /// Whitespace token set (TokenJaccard / TokenDice / TokenOverlap).
+    /// Whitespace token set (TokenJaccard / TokenDice / TokenOverlap),
+    /// reference engine.
     TokenSet(HashSet<String>),
-    /// Padded character q-gram set (QgramJaccard / QgramDice).
+    /// Padded character q-gram set (QgramJaccard / QgramDice), reference
+    /// engine.
     QgramSet(HashSet<String>),
+    /// Sorted deduplicated whitespace tokens, fast engine.
+    SortedTokens(Vec<String>),
+    /// Sorted deduplicated padded q-grams (`q > 3`), fast engine.
+    SortedGrams(Vec<String>),
+    /// Sorted packed padded q-grams (`q ≤ 3`, 21 bits per char), fast
+    /// engine.
+    PackedGrams(Vec<u64>),
+    /// Sorted deduplicated interned token ids, fast engine. Ids are only
+    /// comparable against values interned by the same [`StrInterner`].
+    TokenIds(Vec<u32>),
+    /// Sorted deduplicated interned q-gram ids, fast engine; same
+    /// same-interner contract as [`PreparedText::TokenIds`].
+    GramIds(Vec<u32>),
     /// Token list in order (Monge-Elkan).
     TokenList(Vec<String>),
     /// Soundex code.
@@ -39,25 +72,176 @@ pub enum PreparedText {
     Parsed(Option<f64>),
 }
 
+/// Which set similarity to finish an intersection count with. Keeps the
+/// representation dispatch (hash set / sorted strings / packed / ids)
+/// written once instead of per measure.
+#[derive(Clone, Copy)]
+enum SetOp {
+    Jaccard,
+    Dice,
+    Overlap,
+}
+
+impl SetOp {
+    fn sets(self, a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+        match self {
+            SetOp::Jaccard => jaccard_sets(a, b),
+            SetOp::Dice => dice_sets(a, b),
+            SetOp::Overlap => overlap_sets(a, b),
+        }
+    }
+
+    fn sorted<T: Ord>(self, a: &[T], b: &[T]) -> f64 {
+        match self {
+            SetOp::Jaccard => jaccard_sorted(a, b),
+            SetOp::Dice => dice_sorted(a, b),
+            SetOp::Overlap => overlap_sorted(a, b),
+        }
+    }
+}
+
+/// Score a token-family pair under `op`; `None` on representation
+/// mismatch.
+fn token_family(op: SetOp, a: &PreparedText, b: &PreparedText) -> Option<f64> {
+    use PreparedText as P;
+    match (a, b) {
+        (P::TokenSet(x), P::TokenSet(y)) => Some(op.sets(x, y)),
+        (P::SortedTokens(x), P::SortedTokens(y)) => Some(op.sorted(x, y)),
+        (P::TokenIds(x), P::TokenIds(y)) => Some(op.sorted(x, y)),
+        _ => None,
+    }
+}
+
+/// Score a q-gram-family pair under `op`; `None` on representation
+/// mismatch.
+fn gram_family(op: SetOp, a: &PreparedText, b: &PreparedText) -> Option<f64> {
+    use PreparedText as P;
+    match (a, b) {
+        (P::QgramSet(x), P::QgramSet(y)) => Some(op.sets(x, y)),
+        (P::SortedGrams(x), P::SortedGrams(y)) => Some(op.sorted(x, y)),
+        (P::PackedGrams(x), P::PackedGrams(y)) => Some(op.sorted(x, y)),
+        (P::GramIds(x), P::GramIds(y)) => Some(op.sorted(x, y)),
+        _ => None,
+    }
+}
+
+/// Sorted deduplicated whitespace tokens — the fast-engine token profile.
+pub(crate) fn sorted_token_profile(s: &str) -> Vec<String> {
+    let mut t = tokens(s);
+    t.sort_unstable();
+    t.dedup();
+    t
+}
+
 impl Measure {
     /// Precompute the per-value state of this measure for `s`, so that
     /// [`Measure::prepared`] can score pairs without re-tokenising.
     pub fn prepare(&self, s: &str) -> PreparedText {
-        match *self {
-            Measure::TokenJaccard | Measure::TokenDice | Measure::TokenOverlap => {
-                PreparedText::TokenSet(token_set(s))
-            }
-            Measure::QgramJaccard(q) | Measure::QgramDice(q) => {
+        self.prepare_with(SimKernel::from_env(), s)
+    }
+
+    /// [`Measure::prepare`] under an explicit kernel engine.
+    pub fn prepare_with(&self, kernel: SimKernel, s: &str) -> PreparedText {
+        match (kernel, *self) {
+            (_, Measure::MongeElkanJw) => PreparedText::TokenList(tokens(s)),
+            (_, Measure::Soundex) => PreparedText::SoundexCode(soundex(s)),
+            (_, Measure::Numeric(_) | Measure::Year) => PreparedText::Parsed(s.trim().parse().ok()),
+            (
+                _,
+                Measure::Jaro
+                | Measure::JaroWinkler
+                | Measure::Levenshtein
+                | Measure::Lcs
+                | Measure::Exact,
+            ) => PreparedText::Raw(s.to_string()),
+            (
+                SimKernel::Reference,
+                Measure::TokenJaccard | Measure::TokenDice | Measure::TokenOverlap,
+            ) => PreparedText::TokenSet(token_set(s)),
+            (SimKernel::Reference, Measure::QgramJaccard(q) | Measure::QgramDice(q)) => {
                 PreparedText::QgramSet(qgram_set(s, q))
             }
-            Measure::MongeElkanJw => PreparedText::TokenList(tokens(s)),
-            Measure::Soundex => PreparedText::SoundexCode(soundex(s)),
-            Measure::Numeric(_) | Measure::Year => PreparedText::Parsed(s.trim().parse().ok()),
+            (
+                SimKernel::Fast,
+                Measure::TokenJaccard | Measure::TokenDice | Measure::TokenOverlap,
+            ) => PreparedText::SortedTokens(sorted_token_profile(s)),
+            (SimKernel::Fast, Measure::QgramJaccard(q) | Measure::QgramDice(q)) => {
+                if q <= PACK_MAX_Q {
+                    PreparedText::PackedGrams(packed_qgram_profile(s, q))
+                } else {
+                    // `qgrams` already returns sorted distinct grams.
+                    PreparedText::SortedGrams(qgrams(s, q))
+                }
+            }
+        }
+    }
+
+    /// [`Measure::prepare_with`] taking ownership of the string, so the
+    /// Raw family (Jaro, Jaro-Winkler, Levenshtein, LCS, Exact) moves it
+    /// instead of cloning.
+    pub fn prepare_owned_with(&self, kernel: SimKernel, s: String) -> PreparedText {
+        match *self {
             Measure::Jaro
             | Measure::JaroWinkler
             | Measure::Levenshtein
             | Measure::Lcs
-            | Measure::Exact => PreparedText::Raw(s.to_string()),
+            | Measure::Exact => PreparedText::Raw(s),
+            _ => self.prepare_with(kernel, &s),
+        }
+    }
+
+    /// [`Measure::prepare_with`] using `interner` for the fast engine's
+    /// token and q-gram profiles (`q > 3`), producing dense `u32` id
+    /// profiles instead of string profiles.
+    ///
+    /// Ids are assigned in first-appearance order, so two prepared values
+    /// are only comparable when prepared through the **same** interner —
+    /// the per-shard contract of the comparison step. Scores are still
+    /// independent of the id assignment (only id equality is consulted),
+    /// hence bit-identical across interners and to the other
+    /// representations.
+    pub fn prepare_interned_with(
+        &self,
+        kernel: SimKernel,
+        s: &str,
+        interner: &mut StrInterner,
+    ) -> PreparedText {
+        if kernel == SimKernel::Reference {
+            return self.prepare_with(kernel, s);
+        }
+        match *self {
+            Measure::TokenJaccard | Measure::TokenDice | Measure::TokenOverlap => {
+                let mut ids: Vec<u32> = tokens(s).iter().map(|t| interner.intern(t)).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                PreparedText::TokenIds(ids)
+            }
+            Measure::QgramJaccard(q) | Measure::QgramDice(q) if q > PACK_MAX_Q => {
+                let mut ids: Vec<u32> = qgrams(s, q).iter().map(|g| interner.intern(g)).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                PreparedText::GramIds(ids)
+            }
+            _ => self.prepare_with(kernel, s),
+        }
+    }
+
+    /// [`Measure::prepare_interned_with`] taking ownership of the string,
+    /// so the Raw family moves it instead of cloning (the interned analogue
+    /// of [`Measure::prepare_owned_with`]).
+    pub fn prepare_owned_interned_with(
+        &self,
+        kernel: SimKernel,
+        s: String,
+        interner: &mut StrInterner,
+    ) -> PreparedText {
+        match *self {
+            Measure::Jaro
+            | Measure::JaroWinkler
+            | Measure::Levenshtein
+            | Measure::Lcs
+            | Measure::Exact => PreparedText::Raw(s),
+            _ => self.prepare_interned_with(kernel, &s, interner),
         }
     }
 
@@ -65,16 +249,28 @@ impl Measure {
     /// Exactly equal (bit-for-bit) to `self.text(a, b)` on the original
     /// strings.
     ///
-    /// # Panics
-    /// Panics when either argument was prepared by a different measure
-    /// family (mismatched [`PreparedText`] variant).
+    /// Mismatched preparations (arguments prepared by a different measure
+    /// family or engine) score 0 and bump the
+    /// `similarity.prepared.mismatch` counter.
     pub fn prepared(&self, a: &PreparedText, b: &PreparedText) -> f64 {
+        self.prepared_with(SimKernel::from_env(), a, b)
+    }
+
+    /// [`Measure::prepared`] under an explicit kernel engine.
+    pub fn prepared_with(&self, kernel: SimKernel, a: &PreparedText, b: &PreparedText) -> f64 {
         use PreparedText as P;
+        let mismatch = || {
+            // Mismatched preparations cannot arise from the comparison
+            // step (it prepares per measure); treat API misuse as
+            // zero similarity instead of panicking, and leave a trace.
+            transer_trace::counter("similarity.prepared.mismatch", 1);
+            0.0
+        };
         match (*self, a, b) {
-            (Measure::Jaro, P::Raw(x), P::Raw(y)) => jaro(x, y),
-            (Measure::JaroWinkler, P::Raw(x), P::Raw(y)) => jaro_winkler(x, y),
-            (Measure::Levenshtein, P::Raw(x), P::Raw(y)) => levenshtein_similarity(x, y),
-            (Measure::Lcs, P::Raw(x), P::Raw(y)) => lcs_similarity(x, y),
+            (Measure::Jaro, P::Raw(x), P::Raw(y)) => jaro_k(kernel, x, y),
+            (Measure::JaroWinkler, P::Raw(x), P::Raw(y)) => jaro_winkler_k(kernel, x, y),
+            (Measure::Levenshtein, P::Raw(x), P::Raw(y)) => levenshtein_similarity_k(kernel, x, y),
+            (Measure::Lcs, P::Raw(x), P::Raw(y)) => lcs_similarity_k(kernel, x, y),
             (Measure::Exact, P::Raw(x), P::Raw(y)) => {
                 if x == y {
                     1.0
@@ -82,14 +278,22 @@ impl Measure {
                     0.0
                 }
             }
-            (Measure::TokenJaccard, P::TokenSet(x), P::TokenSet(y)) => jaccard_sets(x, y),
-            (Measure::TokenDice, P::TokenSet(x), P::TokenSet(y)) => dice_sets(x, y),
-            (Measure::TokenOverlap, P::TokenSet(x), P::TokenSet(y)) => overlap_sets(x, y),
-            (Measure::QgramJaccard(_), P::QgramSet(x), P::QgramSet(y)) => jaccard_sets(x, y),
-            (Measure::QgramDice(_), P::QgramSet(x), P::QgramSet(y)) => dice_sets(x, y),
+            (Measure::TokenJaccard, a, b) => {
+                token_family(SetOp::Jaccard, a, b).unwrap_or_else(mismatch)
+            }
+            (Measure::TokenDice, a, b) => token_family(SetOp::Dice, a, b).unwrap_or_else(mismatch),
+            (Measure::TokenOverlap, a, b) => {
+                token_family(SetOp::Overlap, a, b).unwrap_or_else(mismatch)
+            }
+            (Measure::QgramJaccard(_), a, b) => {
+                gram_family(SetOp::Jaccard, a, b).unwrap_or_else(mismatch)
+            }
+            (Measure::QgramDice(_), a, b) => {
+                gram_family(SetOp::Dice, a, b).unwrap_or_else(mismatch)
+            }
             (Measure::MongeElkanJw, P::TokenList(x), P::TokenList(y)) => {
-                0.5 * (monge_elkan_tokens(x, y, jaro_winkler)
-                    + monge_elkan_tokens(y, x, jaro_winkler))
+                let inner = |p: &str, q: &str| jaro_winkler_k(kernel, p, q);
+                0.5 * (monge_elkan_tokens(x, y, inner) + monge_elkan_tokens(y, x, inner))
             }
             (Measure::Soundex, P::SoundexCode(x), P::SoundexCode(y)) => {
                 if x == y {
@@ -106,13 +310,7 @@ impl Measure {
                 (Some(x), Some(y)) => year_similarity(*x, *y),
                 _ => 0.0,
             },
-            // Mismatched preparations cannot arise from the comparison
-            // step (it prepares per measure); treat API misuse as
-            // zero similarity instead of panicking, and leave a trace.
-            _ => {
-                transer_trace::counter("similarity.prepared.mismatch", 1);
-                0.0
-            }
+            _ => mismatch(),
         }
     }
 
@@ -174,6 +372,68 @@ mod tests {
     }
 
     #[test]
+    fn prepared_equals_text_under_both_engines() {
+        for kernel in [SimKernel::Fast, SimKernel::Reference] {
+            for m in ALL {
+                for a in SAMPLES {
+                    for b in SAMPLES {
+                        let direct = m.text_with(kernel, a, b);
+                        let pa = m.prepare_with(kernel, a);
+                        let pb = m.prepare_with(kernel, b);
+                        let via = m.prepared_with(kernel, &pa, &pb);
+                        assert!(
+                            direct.to_bits() == via.to_bits(),
+                            "{m:?}/{} on ({a:?}, {b:?}): direct {direct} != prepared {via}",
+                            kernel.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interned_preparation_is_bit_identical() {
+        for m in ALL {
+            let mut interner = StrInterner::new();
+            for a in SAMPLES {
+                for b in SAMPLES {
+                    let pa = m.prepare_interned_with(SimKernel::Fast, a, &mut interner);
+                    let pb = m.prepare_interned_with(SimKernel::Fast, b, &mut interner);
+                    let via = m.prepared_with(SimKernel::Fast, &pa, &pb);
+                    let direct = m.text_with(SimKernel::Reference, a, b);
+                    assert!(
+                        direct.to_bits() == via.to_bits(),
+                        "{m:?} on ({a:?}, {b:?}): direct {direct} != interned {via}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interned_qgram_profiles_use_ids_only_above_pack_limit() {
+        let mut interner = StrInterner::new();
+        let p3 =
+            Measure::QgramJaccard(3).prepare_interned_with(SimKernel::Fast, "abc", &mut interner);
+        assert!(matches!(p3, PreparedText::PackedGrams(_)), "{p3:?}");
+        let p4 =
+            Measure::QgramJaccard(4).prepare_interned_with(SimKernel::Fast, "abc", &mut interner);
+        assert!(matches!(p4, PreparedText::GramIds(_)), "{p4:?}");
+    }
+
+    #[test]
+    fn prepare_owned_moves_raw_values() {
+        for m in [Measure::Jaro, Measure::Levenshtein, Measure::Exact, Measure::Lcs] {
+            let p = m.prepare_owned_with(SimKernel::Fast, "martha".to_string());
+            assert_eq!(p, PreparedText::Raw("martha".to_string()), "{m:?}");
+        }
+        // Non-raw families still prepare their own representation.
+        let p = Measure::Year.prepare_owned_with(SimKernel::Fast, "1999".to_string());
+        assert_eq!(p, PreparedText::Parsed(Some(1999.0)));
+    }
+
+    #[test]
     fn mismatched_preparations_score_zero() {
         // API misuse (preparing with one measure, scoring with another)
         // degrades to 0 similarity instead of panicking.
@@ -183,6 +443,10 @@ mod tests {
             Measure::Numeric(5.0).prepared(&token_set, &Measure::Numeric(5.0).prepare("1")),
             0.0
         );
+        // Cross-engine representations mismatch too (sorted vs hashed).
+        let sorted = Measure::TokenJaccard.prepare_with(SimKernel::Fast, "a b c");
+        let hashed = Measure::TokenJaccard.prepare_with(SimKernel::Reference, "a b c");
+        assert_eq!(Measure::TokenJaccard.prepared_with(SimKernel::Fast, &sorted, &hashed), 0.0);
     }
 
     #[test]

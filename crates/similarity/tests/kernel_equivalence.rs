@@ -1,0 +1,184 @@
+//! The bit-identity contract between the two similarity kernel engines:
+//! for any pair of strings — ASCII or not, short or past the 64-char
+//! bit-parallel block, with combining marks, empty or all-whitespace —
+//! every [`Measure`] must score exactly the same under `fast` and
+//! `reference`, through the direct, prepared and interned paths alike.
+
+use proptest::prelude::*;
+use transer_common::StrInterner;
+use transer_similarity::{Measure, SimKernel};
+
+const ALL: [Measure; 15] = [
+    Measure::Jaro,
+    Measure::JaroWinkler,
+    Measure::Levenshtein,
+    Measure::TokenJaccard,
+    Measure::QgramJaccard(2),
+    Measure::QgramJaccard(4),
+    Measure::TokenDice,
+    Measure::QgramDice(3),
+    Measure::TokenOverlap,
+    Measure::Lcs,
+    Measure::MongeElkanJw,
+    Measure::Soundex,
+    Measure::Exact,
+    Measure::Numeric(5.0),
+    Measure::Year,
+];
+
+/// Deterministic xorshift (proptest drives only the seed).
+fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    }
+}
+
+/// Character palettes chosen to hit every kernel path: the ASCII byte
+/// fast path, the unicode char path, combining marks (so chars ≠
+/// graphemes), digits (numeric parsing), and heavy duplicates (Myers
+/// mask coalescing, q-gram multiplicity collapse).
+const PALETTES: [&[&str]; 6] = [
+    // Plain ASCII words.
+    &["a", "b", "c", "d", "e", " ", "t", "n"],
+    // ASCII with digits and punctuation the tokeniser strips.
+    &["1", "9", "0", ".", " ", "-", "'", ",", "x"],
+    // Cyrillic (unicode path, multi-byte chars).
+    &["н", "а", "у", "к", " ", "д"],
+    // Combining marks and precomposed characters.
+    &["a\u{0301}", "e\u{0308}", "é", "o", " ", "n\u{0303}"],
+    // Whitespace-heavy.
+    &[" ", "\t", "a", " "],
+    // Heavy duplicates for transposition / coalescing paths.
+    &["a", "a", "a", "b", " "],
+];
+
+/// Build a string of `pieces` palette draws; `long` appends enough of the
+/// first palette entry to push the char length past the 64-char Myers
+/// block, forcing the multi-block wide fallback.
+fn gen_string(kind: usize, pieces: usize, long: bool, seed: u64) -> String {
+    let palette = PALETTES[kind % PALETTES.len()];
+    let mut next = xorshift(seed);
+    let mut s = String::new();
+    for _ in 0..pieces {
+        s.push_str(palette[(next() % palette.len() as u64) as usize]);
+    }
+    if long {
+        for _ in 0..70 {
+            s.push_str(palette[0]);
+        }
+    }
+    s
+}
+
+fn assert_all_measures_agree(a: &str, b: &str) {
+    let mut interner = StrInterner::new();
+    for m in ALL {
+        let reference = m.text_with(SimKernel::Reference, a, b);
+        let fast = m.text_with(SimKernel::Fast, a, b);
+        assert_eq!(
+            fast.to_bits(),
+            reference.to_bits(),
+            "{m:?} text on ({a:?}, {b:?}): fast {fast} != reference {reference}"
+        );
+        for kernel in [SimKernel::Fast, SimKernel::Reference] {
+            let pa = m.prepare_with(kernel, a);
+            let pb = m.prepare_with(kernel, b);
+            let prepared = m.prepared_with(kernel, &pa, &pb);
+            assert_eq!(
+                prepared.to_bits(),
+                reference.to_bits(),
+                "{m:?} prepared/{} on ({a:?}, {b:?})",
+                kernel.name()
+            );
+        }
+        let ia = m.prepare_interned_with(SimKernel::Fast, a, &mut interner);
+        let ib = m.prepare_interned_with(SimKernel::Fast, b, &mut interner);
+        let interned = m.prepared_with(SimKernel::Fast, &ia, &ib);
+        assert_eq!(interned.to_bits(), reference.to_bits(), "{m:?} interned on ({a:?}, {b:?})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fast_engine_is_bitwise_equal_to_reference(
+        kind_a in 0usize..6,
+        kind_b in 0usize..6,
+        pieces_a in 0usize..24,
+        pieces_b in 0usize..24,
+        long_a in any::<bool>(),
+        long_b in any::<bool>(),
+        seed in 0u64..1_000_000,
+    ) {
+        let a = gen_string(kind_a, pieces_a, long_a, seed);
+        let b = gen_string(kind_b, pieces_b, long_b, seed.wrapping_add(0x9e3779b97f4a7c15));
+        assert_all_measures_agree(&a, &b);
+    }
+
+    #[test]
+    fn regex_driven_ascii_pairs_agree(
+        a in "[a-z0-9]{0,10}( [a-z0-9]{0,10}){0,4}",
+        b in "[a-z0-9]{0,10}( [a-z0-9]{0,10}){0,4}",
+    ) {
+        assert_all_measures_agree(&a, &b);
+    }
+}
+
+/// Hand-picked shapes that historically break edit-distance kernels: the
+/// 64/65-char block boundary, equal inputs (short-circuit bit pinning),
+/// one-sided emptiness, combining-mark prefixes.
+#[test]
+fn targeted_edge_shapes_agree() {
+    let b64 = "ab".repeat(32);
+    let b65 = format!("{b64}x");
+    let cases = [
+        (String::new(), String::new()),
+        (String::new(), "a".into()),
+        ("  ".into(), "\t".into()),
+        (b64.clone(), b64.clone()),
+        (b64.clone(), b65.clone()),
+        (b65.clone(), b65.clone()),
+        ("а".repeat(64), "а".repeat(65)),
+        ("a\u{0301}".into(), "á".into()),
+        ("x".repeat(200), "y".repeat(200)),
+        ("martha jones 1999".into(), "marhta jones 2003".into()),
+    ];
+    for (a, b) in &cases {
+        assert_all_measures_agree(a, b);
+        assert_all_measures_agree(b, a);
+        assert_all_measures_agree(a, a);
+    }
+}
+
+/// Scores must not depend on id assignment: preparing through differently
+/// pre-seeded interners yields bit-identical scores.
+#[test]
+fn interner_id_assignment_cannot_change_scores() {
+    let (a, b) = ("deep entity matching 1999", "entity matching deep 2003");
+    for m in ALL {
+        let mut fresh = StrInterner::new();
+        let pa = m.prepare_interned_with(SimKernel::Fast, a, &mut fresh);
+        let pb = m.prepare_interned_with(SimKernel::Fast, b, &mut fresh);
+        let fresh_score = m.prepared_with(SimKernel::Fast, &pa, &pb);
+
+        let mut seeded = StrInterner::new();
+        for w in ["zzz", "matching", "qqq", "entity", "2003"] {
+            seeded.intern(w);
+        }
+        let qa = m.prepare_interned_with(SimKernel::Fast, a, &mut seeded);
+        let qb = m.prepare_interned_with(SimKernel::Fast, b, &mut seeded);
+        let seeded_score = m.prepared_with(SimKernel::Fast, &qa, &qb);
+
+        assert_eq!(fresh_score.to_bits(), seeded_score.to_bits(), "{m:?}");
+        assert_eq!(
+            fresh_score.to_bits(),
+            m.text_with(SimKernel::Reference, a, b).to_bits(),
+            "{m:?}"
+        );
+    }
+}

@@ -25,6 +25,13 @@ TRANSER_TRACE=1 ./target/release/ablation_controlled --quick --scale 0.05 > /dev
 
 # Scale-ladder smoke: the end-to-end bench at its smallest rung (10^4
 # rows per domain) must report finite records/sec, bit-identical labels
-# across worker counts, and write a parseable JSON artefact. Written to
+# across worker counts (and matching the committed BENCH_scale.json
+# baseline hash), and write a parseable JSON artefact. Written to
 # target/ so the committed full-grid BENCH_scale.json is not clobbered.
 ./target/release/bench_scale --smoke --out target/BENCH_scale_smoke.json > /dev/null
+
+# Similarity-kernel smoke: every measure verified bitwise-equal between
+# the reference and fast engines on the bench corpus, the trace-counter
+# partition invariant asserted on live counts, and the JSON artefact
+# round-tripped through the parser.
+./target/release/bench_similarity --smoke --out target/BENCH_similarity_smoke.json > /dev/null
