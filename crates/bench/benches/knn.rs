@@ -1,12 +1,12 @@
-//! KD-tree benchmarks: the SEL phase's dominant cost is two k-NN queries
-//! per source instance.
+//! k-NN index benchmarks: the SEL phase's dominant cost is two k-NN
+//! queries per source instance.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
 use transer_common::FeatureMatrix;
-use transer_knn::{brute_force_knn, KdTree};
+use transer_knn::{brute_force_knn, BallTree, KdTree};
 
 fn cloud(n: usize, m: usize, seed: u64) -> FeatureMatrix {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -25,6 +25,13 @@ fn bench_knn(c: &mut Criterion) {
         let tree = KdTree::build(&points);
         let query = points.row(n / 2).to_vec();
         g.bench_with_input(BenchmarkId::new("k7_query", n), &tree, |b, t| {
+            b.iter(|| t.k_nearest(black_box(&query), 7))
+        });
+        g.bench_with_input(BenchmarkId::new("balltree_build", n), &points, |b, p| {
+            b.iter(|| BallTree::build(black_box(p)))
+        });
+        let ball = BallTree::build(&points);
+        g.bench_with_input(BenchmarkId::new("balltree_k7_query", n), &ball, |b, t| {
             b.iter(|| t.k_nearest(black_box(&query), 7))
         });
         if n <= 1_000 {

@@ -16,6 +16,7 @@
 //! | `TRANSER_FAULT` | fault injection: `<site>:<kind>[:<rate>:<seed>]` |
 //! | `TRANSER_GRAIN` | dispatch grain threshold in ns; `0` = always pool, `inf` = always inline |
 //! | `TRANSER_SIM_KERNEL` | similarity kernels: `fast` (bit-parallel, allocation-free) / `reference` |
+//! | `TRANSER_L2_KERNEL` | L2 distance kernel: `lanes` (vectorizable lane accumulators) / `reference` |
 
 /// Worker count for the parallel pool (unset/`0`/unparsable → all cores).
 pub const THREADS: &str = "TRANSER_THREADS";
@@ -33,6 +34,9 @@ pub const GRAIN: &str = "TRANSER_GRAIN";
 /// Similarity kernel engine override (`transer-similarity`):
 /// `fast` (default) or `reference` (the pinned original kernels).
 pub const SIM_KERNEL: &str = "TRANSER_SIM_KERNEL";
+/// L2 distance kernel engine override (`transer_common::l2`):
+/// `lanes` (default) or `reference` (the pinned exact-order scalar loops).
+pub const L2_KERNEL: &str = "TRANSER_L2_KERNEL";
 
 /// The trimmed value of `var`, or `None` when unset, empty or not UTF-8.
 pub fn raw(var: &str) -> Option<String> {

@@ -190,13 +190,6 @@ impl FeatureMatrix {
     }
 }
 
-/// Squared Euclidean distance between two feature vectors.
-#[inline]
-pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,7 +279,7 @@ mod tests {
 
     #[test]
     fn sq_dist_basics() {
-        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
-        assert_eq!(sq_dist(&[1.0], &[1.0]), 0.0);
+        assert_eq!(crate::sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(crate::sq_dist(&[1.0], &[1.0]), 0.0);
     }
 }

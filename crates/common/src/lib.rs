@@ -31,13 +31,15 @@ pub mod env;
 mod error;
 mod features;
 mod intern;
+pub mod l2;
 mod label;
 mod record;
 
 pub use colmajor::{transpose_blocked, ColMajorMatrix};
 pub use dataset::{DomainPair, LabeledDataset};
 pub use error::{Error, Result};
-pub use features::{sq_dist, FeatureMatrix};
+pub use features::FeatureMatrix;
 pub use intern::{RowInterning, StrInterner};
+pub use l2::{sq_dist, L2Kernel};
 pub use label::{count_matches, Label};
 pub use record::{AttrType, AttrValue, Record, RecordId, Schema};

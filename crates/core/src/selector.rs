@@ -686,7 +686,9 @@ mod tests {
                 cfg.variant.use_sim_v = true;
                 let reference =
                     select_instances_per_row_with_pool(&xs, &ys, &xt, &cfg, &Pool::new(1)).unwrap();
-                for kind in [IndexKind::KdTree, IndexKind::Blocked, IndexKind::Auto] {
+                for kind in
+                    [IndexKind::KdTree, IndexKind::BallTree, IndexKind::Blocked, IndexKind::Auto]
+                {
                     for workers in [1, 4] {
                         let fast = select_instances_with_backend(
                             &xs,
@@ -736,7 +738,7 @@ mod tests {
         cfg.variant.use_sim_v = true;
         let reference =
             select_instances_per_row_with_pool(&xs, &ys, &xt, &cfg, &Pool::new(1)).unwrap();
-        for kind in [IndexKind::KdTree, IndexKind::Blocked] {
+        for kind in [IndexKind::KdTree, IndexKind::BallTree, IndexKind::Blocked] {
             let fast =
                 select_instances_with_backend(&xs, &ys, &xt, &cfg, &Pool::new(2), kind).unwrap();
             assert_bit_identical(&reference, &fast, &format!("kind={kind:?}"));

@@ -1,20 +1,43 @@
 //! Benchmark the SEL phase: per-row reference path vs the duplicate-aware
-//! adaptive k-NN engine, per dataset and worker count, recording
+//! adaptive k-NN engine, per dataset and worker count, plus the
+//! per-(rows, dims) regime sweep of the raw index backends that the
+//! `IndexKind::Auto` crossovers are transcribed from. Records
 //! `results/BENCH_sel.json`. Accepts the shared eval flags plus
 //! `--threads <n>` (default: the global pool, i.e. `TRANSER_THREADS` or
-//! the machine's available parallelism).
+//! the machine's available parallelism) and `--smoke` (tier-1 mode: one
+//! small deterministic dataset, every backend asserted bitwise-identical
+//! to brute force, one timed regime cell as the artefact).
 
 use transer_eval::{sel_bench, Options};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = Options::parse(args.iter().cloned());
+    let smoke = args.iter().any(|a| a == "--smoke");
     if opts.json.is_none() {
-        opts.json = Some("results/BENCH_sel.json".to_string());
+        opts.json = Some(
+            if smoke { "target/BENCH_sel_smoke.json" } else { "results/BENCH_sel.json" }
+                .to_string(),
+        );
     }
+
+    if smoke {
+        // Panics (failing the tier-1 gate) if any backend disagrees with
+        // the brute-force reference on the smoke dataset.
+        let cell = sel_bench::smoke(opts.seed);
+        println!(
+            "SEL smoke: kdtree/balltree/blocked bitwise-identical to brute force \
+             on {} rows × {} dims (winner under the SEL cost model: {})",
+            cell.rows, cell.dim, cell.winner
+        );
+        print!("{}", sel_bench::render_regimes(std::slice::from_ref(&cell)));
+        opts.maybe_write_json(&cell);
+        return;
+    }
+
     let threads = args.windows(2).find(|w| w[0] == "--threads").and_then(|w| w[1].parse().ok());
     match sel_bench::sel_benchmark(&opts, threads) {
-        Ok(report) => {
+        Ok(mut report) => {
             println!(
                 "SEL benchmark — per-row path vs duplicate-aware engine (scale {}, k {}, {} core(s) available)",
                 report.scale, report.k, report.available_parallelism
@@ -31,6 +54,9 @@ fn main() {
                 );
                 print!("{}", sel_bench::render(d));
             }
+            println!("\nregime sweep — raw index backends, cost model build + rows × query\n");
+            report.regimes = sel_bench::regime_sweep(opts.seed);
+            print!("{}", sel_bench::render_regimes(&report.regimes));
             opts.maybe_write_json(&report);
         }
         Err(e) => {

@@ -7,8 +7,10 @@
 //!   traced pipeline run (spans for all three phases, at least one
 //!   counter each from the blocking, knn, ml, core and grain-dispatch
 //!   layers, a `parallel.chunk_size` histogram consistent with the
-//!   pooled-dispatch counter, and the similarity-kernel partition
-//!   invariant `bitparallel + fallback == levenshtein.calls`); exits
+//!   pooled-dispatch counter, the similarity-kernel partition
+//!   invariant `bitparallel + fallback == levenshtein.calls`, and the
+//!   ball-tree traversal partition invariant
+//!   `node_visits + queries == bound_prunes + 2 × leaf_scans`); exits
 //!   non-zero on any violation. This is the tier-1 smoke check.
 
 use std::fmt::Write as _;
@@ -118,6 +120,21 @@ fn validate(doc: &Json) -> Result<(), String> {
         return Err(format!(
             "similarity.kernel.bitparallel ({bitparallel}) + similarity.kernel.fallback \
              ({fallback}) != similarity.levenshtein.calls ({lev})"
+        ));
+    }
+    // Ball-tree traversal partition: every visited node is either a query
+    // root or an unpruned child, and every visited internal node hands
+    // both children to exactly one of {prune, visit} while every visited
+    // leaf is scanned — so node_visits + queries == bound_prunes +
+    // 2 × leaf_scans (0 = 0 for runs that never touch the ball tree).
+    let visits = get("knn.balltree.node_visits");
+    let queries = get("knn.balltree.queries");
+    let prunes = get("knn.balltree.bound_prunes");
+    let leaf_scans = get("knn.balltree.leaf_scans");
+    if visits + queries != prunes + 2.0 * leaf_scans {
+        return Err(format!(
+            "knn.balltree.node_visits ({visits}) + knn.balltree.queries ({queries}) != \
+             knn.balltree.bound_prunes ({prunes}) + 2 × knn.balltree.leaf_scans ({leaf_scans})"
         ));
     }
     Ok(())

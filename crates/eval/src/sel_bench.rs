@@ -5,10 +5,16 @@
 //! weighted-query + blocked-kernel rewrite of the instance selector. For
 //! each dataset it reports the dedup ratio of the source/target feature
 //! matrices and the best-of-[`REPS`] SEL wall time of every backend
-//! (`per_row`, `dedup_kdtree`, `dedup_blocked`, `dedup_auto`) at 1 worker
-//! and at N workers. All backends produce bit-identical selections — the
-//! benchmark asserts this before timing — so the speedup is the whole
-//! story.
+//! (`per_row`, `dedup_kdtree`, `dedup_balltree`, `dedup_blocked`,
+//! `dedup_auto`) at 1 worker and at N workers. All backends produce
+//! bit-identical selections — the benchmark asserts this before timing —
+//! so the speedup is the whole story.
+//!
+//! The second half of the artefact is the [`regime_sweep`]: a per-(rows,
+//! dims) grid timing the three raw index backends (KD-tree, ball tree,
+//! blocked brute force) on deterministic synthetic matrices, under the
+//! SEL cost model `build + rows × query`. The measured winners are what
+//! [`IndexKind::Auto`]'s crossover thresholds are transcribed from.
 //!
 //! The duplicate-heavy case is the bibliographic pair with features
 //! rounded to 1 decimal and the matrices tiled: rounded similarity values
@@ -26,6 +32,7 @@ use transer_core::{
     TransErConfig,
 };
 use transer_datagen::ScenarioPair;
+use transer_knn::{brute_force_knn, BallTree, BlockedBruteForce, KdTree};
 use transer_parallel::Pool;
 
 use crate::{Cell, Options};
@@ -47,6 +54,8 @@ pub struct SelBenchReport {
     pub k: usize,
     /// One entry per dataset.
     pub datasets: Vec<SelBenchDataset>,
+    /// Per-(rows, dims) raw-index regime sweep; empty when skipped.
+    pub regimes: Vec<RegimeCell>,
 }
 
 /// Shape and timings of one dataset.
@@ -71,7 +80,8 @@ pub struct SelBenchDataset {
 /// One timed SEL run.
 #[derive(Debug, Clone, Serialize)]
 pub struct SelBenchRow {
-    /// Backend (`per_row`, `dedup_kdtree`, `dedup_blocked`, `dedup_auto`).
+    /// Backend (`per_row`, `dedup_kdtree`, `dedup_balltree`,
+    /// `dedup_blocked`, `dedup_auto`).
     pub backend: String,
     /// Worker count.
     pub threads: usize,
@@ -138,9 +148,10 @@ fn bench_dataset(
 ) -> SelBenchDataset {
     let source_interning = RowInterning::of(xs);
     let target_interning = RowInterning::of(xt);
-    let backends: [(&str, Option<IndexKind>); 4] = [
+    let backends: [(&str, Option<IndexKind>); 5] = [
         ("per_row", None),
         ("dedup_kdtree", Some(IndexKind::KdTree)),
+        ("dedup_balltree", Some(IndexKind::BallTree)),
         ("dedup_blocked", Some(IndexKind::Blocked)),
         ("dedup_auto", Some(IndexKind::Auto)),
     ];
@@ -235,7 +246,196 @@ pub fn sel_benchmark(opts: &Options, threads: Option<usize>) -> Result<SelBenchR
         seed: opts.seed,
         k: config.k,
         datasets,
+        regimes: Vec::new(),
     })
+}
+
+/// One raw-index backend measured at one (rows, dims) regime.
+#[derive(Debug, Clone, Serialize)]
+pub struct RegimeBackend {
+    /// Backend (`kdtree`, `balltree`, `blocked`).
+    pub backend: String,
+    /// Best-of-[`REPS`] index construction seconds.
+    pub build_secs: f64,
+    /// Best-of-[`REPS`] mean nanoseconds per k-NN query.
+    pub ns_per_query: f64,
+    /// SEL cost model: `build_secs + rows × ns_per_query`, the cost of
+    /// indexing a matrix once and querying every row against it.
+    pub total_secs: f64,
+}
+
+/// One (rows, dims) cell of the regime sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct RegimeCell {
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix columns (feature dimensionality).
+    pub dim: usize,
+    /// Queries timed (a stride sample of the matrix's own rows).
+    pub queries: usize,
+    /// Neighbourhood size of the timed queries.
+    pub k: usize,
+    /// One entry per backend.
+    pub backends: Vec<RegimeBackend>,
+    /// Backend with the smallest `total_secs`.
+    pub winner: String,
+}
+
+/// Row counts of the regime sweep grid.
+pub const SWEEP_ROWS: [usize; 4] = [256, 1024, 4096, 16384];
+/// Dimensionalities of the regime sweep grid.
+pub const SWEEP_DIMS: [usize; 4] = [4, 9, 16, 24];
+/// Maximum queries timed per cell.
+const SWEEP_QUERIES: usize = 256;
+/// Neighbourhood size of the sweep queries (SEL's default `k`).
+const SWEEP_K: usize = 7;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic uniform-`[0, 1)` matrix: a pure function of
+/// `(rows, dim, seed)`.
+pub fn synthetic_matrix(rows: usize, dim: usize, seed: u64) -> FeatureMatrix {
+    let mut state =
+        seed ^ (rows as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (dim as u64).rotate_left(32);
+    let data: Vec<Vec<f64>> = (0..rows)
+        .map(|_| {
+            (0..dim).map(|_| (splitmix(&mut state) >> 11) as f64 / (1u64 << 53) as f64).collect()
+        })
+        .collect();
+    FeatureMatrix::from_vecs(&data).expect("synthetic matrix keeps its shape")
+}
+
+/// Stride-sampled query rows: at most [`SWEEP_QUERIES`] of the matrix's
+/// own rows, evenly spread.
+fn sweep_queries(m: &FeatureMatrix) -> Vec<&[f64]> {
+    let stride = m.rows().div_ceil(SWEEP_QUERIES).max(1);
+    (0..m.rows()).step_by(stride).map(|i| m.row(i)).collect()
+}
+
+fn measure_backend<I>(
+    name: &str,
+    m: &FeatureMatrix,
+    queries: &[&[f64]],
+    build: impl Fn(&FeatureMatrix) -> I,
+    query: impl Fn(&I, &[f64]) -> Vec<transer_knn::Neighbor>,
+) -> RegimeBackend {
+    let build_secs = time_best(|| {
+        std::hint::black_box(build(m));
+    });
+    let index = build(m);
+    // Bit-identity safety net on a few queries before timing anything.
+    for q in queries.iter().take(4) {
+        let got = query(&index, q);
+        let want = brute_force_knn(m, q, SWEEP_K, None);
+        assert_eq!(got, want, "{name}: disagrees with brute force at rows={}", m.rows());
+    }
+    let query_secs = time_best(|| {
+        for q in queries {
+            std::hint::black_box(query(&index, q));
+        }
+    });
+    let ns_per_query = query_secs * 1e9 / queries.len() as f64;
+    RegimeBackend {
+        backend: name.to_string(),
+        build_secs,
+        ns_per_query,
+        total_secs: build_secs + m.rows() as f64 * ns_per_query * 1e-9,
+    }
+}
+
+/// Measure one (rows, dims) cell: the three raw backends, best-of-[`REPS`]
+/// build and per-query times, and the cost-model winner.
+pub fn regime_cell(rows: usize, dim: usize, seed: u64) -> RegimeCell {
+    let m = synthetic_matrix(rows, dim, seed);
+    let queries = sweep_queries(&m);
+    let backends = vec![
+        measure_backend("kdtree", &m, &queries, KdTree::build, |i, q| i.k_nearest(q, SWEEP_K)),
+        measure_backend("balltree", &m, &queries, BallTree::build, |i, q| i.k_nearest(q, SWEEP_K)),
+        measure_backend("blocked", &m, &queries, BlockedBruteForce::build, |i, q| {
+            i.k_nearest(q, SWEEP_K)
+        }),
+    ];
+    let winner = backends
+        .iter()
+        .min_by(|a, b| a.total_secs.total_cmp(&b.total_secs))
+        .map(|b| b.backend.clone())
+        .unwrap_or_default();
+    RegimeCell { rows, dim, queries: queries.len(), k: SWEEP_K, backends, winner }
+}
+
+/// The full [`SWEEP_ROWS`] × [`SWEEP_DIMS`] regime sweep. The winners of
+/// this grid are what [`IndexKind::resolve`]'s `Auto` thresholds are
+/// transcribed from; regenerate `results/BENCH_sel.json` when either
+/// changes.
+pub fn regime_sweep(seed: u64) -> Vec<RegimeCell> {
+    let mut cells = Vec::new();
+    for rows in SWEEP_ROWS {
+        for dim in SWEEP_DIMS {
+            cells.push(regime_cell(rows, dim, seed));
+        }
+    }
+    cells
+}
+
+/// Render the regime sweep as an aligned text table.
+pub fn render_regimes(cells: &[RegimeCell]) -> String {
+    let mut table = vec![vec![
+        Cell::from("Rows"),
+        Cell::from("Dim"),
+        Cell::from("kdtree ns/q"),
+        Cell::from("balltree ns/q"),
+        Cell::from("blocked ns/q"),
+        Cell::from("Winner"),
+    ]];
+    for c in cells {
+        let ns = |name: &str| {
+            c.backends.iter().find(|b| b.backend == name).map_or(f64::NAN, |b| b.ns_per_query)
+        };
+        table.push(vec![
+            Cell::Num(c.rows as f64),
+            Cell::Num(c.dim as f64),
+            Cell::Num(ns("kdtree")),
+            Cell::Num(ns("balltree")),
+            Cell::Num(ns("blocked")),
+            Cell::from(c.winner.clone()),
+        ]);
+    }
+    crate::format_table(&table)
+}
+
+/// Tier-1 smoke: on one small deterministic dataset, every index backend
+/// must agree bitwise with the brute-force reference — neighbours,
+/// squared-distance bits and tie-break order — for several `k`.
+///
+/// # Panics
+/// Panics on the first disagreement, failing the tier-1 gate.
+pub fn smoke(seed: u64) -> RegimeCell {
+    let rows = 512;
+    let dim = 9;
+    let m = synthetic_matrix(rows, dim, seed);
+    let tree = KdTree::build(&m);
+    let ball = BallTree::build(&m);
+    let blocked = BlockedBruteForce::build(&m);
+    for i in (0..rows).step_by(8) {
+        for k in [1, SWEEP_K, 25] {
+            let want = brute_force_knn(&m, m.row(i), k, Some(i));
+            for (name, got) in [
+                ("kdtree", tree.k_nearest_excluding(m.row(i), k, Some(i))),
+                ("balltree", ball.k_nearest_excluding(m.row(i), k, Some(i))),
+                ("blocked", blocked.k_nearest_excluding(m.row(i), k, Some(i))),
+            ] {
+                assert_eq!(got, want, "smoke: {name} disagrees at row {i} k {k}");
+            }
+        }
+    }
+    // The timed cell doubles as the smoke artefact.
+    regime_cell(rows, dim, seed)
 }
 
 /// Render one dataset's rows as an aligned text table.
@@ -289,8 +489,8 @@ mod tests {
         for d in &report.datasets {
             assert!(d.source_rows >= d.source_unique_rows);
             assert!(d.source_dedup_ratio >= 1.0);
-            // 4 backends × 2 thread counts.
-            assert_eq!(d.rows.len(), 8);
+            // 5 backends × 2 thread counts.
+            assert_eq!(d.rows.len(), 10);
             for r in &d.rows {
                 assert!(r.secs > 0.0 && r.speedup_vs_per_row.is_finite(), "{}", r.backend);
             }
@@ -299,5 +499,39 @@ mod tests {
         // The rounded dataset is the duplicate-heavy one.
         let rounded = &report.datasets[2];
         assert!(rounded.source_dedup_ratio > report.datasets[0].source_dedup_ratio);
+    }
+
+    #[test]
+    fn synthetic_matrix_is_deterministic_and_uniform() {
+        let a = synthetic_matrix(64, 5, 42);
+        let b = synthetic_matrix(64, 5, 42);
+        assert_eq!(a.rows(), 64);
+        assert_eq!(a.cols(), 5);
+        for i in 0..a.rows() {
+            assert_eq!(a.row(i), b.row(i));
+            assert!(a.row(i).iter().all(|v| (0.0..1.0).contains(v)));
+        }
+        // Different seeds and shapes decorrelate.
+        assert_ne!(synthetic_matrix(64, 5, 43).row(0), a.row(0));
+    }
+
+    #[test]
+    fn regime_cell_times_all_backends_and_picks_a_winner() {
+        let cell = regime_cell(128, 4, 42);
+        assert_eq!(cell.rows, 128);
+        assert_eq!(cell.dim, 4);
+        assert!(cell.queries > 0 && cell.queries <= SWEEP_QUERIES);
+        assert_eq!(cell.backends.len(), 3);
+        for b in &cell.backends {
+            assert!(b.build_secs >= 0.0 && b.ns_per_query > 0.0 && b.total_secs > 0.0);
+        }
+        assert!(cell.backends.iter().any(|b| b.backend == cell.winner));
+        assert!(render_regimes(&[cell]).contains("Winner"));
+    }
+
+    #[test]
+    fn smoke_passes_on_the_reference_seed() {
+        let cell = smoke(42);
+        assert_eq!((cell.rows, cell.dim), (512, 9));
     }
 }

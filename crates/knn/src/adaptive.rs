@@ -1,16 +1,20 @@
-//! Backend selection: KD-tree vs blocked brute force.
+//! Backend selection: KD-tree vs ball tree vs blocked brute force.
 //!
-//! KD-trees win when the tree can actually prune — many rows, low
-//! dimensionality. For small matrices the build cost dominates, and in
-//! high dimensions the curse of dimensionality makes the search visit
-//! nearly every leaf while paying pointer-chasing overhead the blocked
-//! kernel doesn't have. [`AdaptiveIndex`] picks per-matrix from
-//! `(n_unique, dim)`; the choice can be forced per-process with the
-//! `TRANSER_KNN_INDEX` environment variable (`kdtree`, `blocked`, or
-//! `auto`), mirroring the `TRANSER_THREADS` convention in
+//! KD-trees win when axis-aligned pruning works — many rows, very low
+//! dimensionality. Ball trees keep pruning at the moderate
+//! dimensionalities real ER feature matrices have (9–24 features), where
+//! KD-tree splits stop cutting the search space, and scan their leaves
+//! as contiguous rows through the shared vectorizable L2 kernel. For
+//! small matrices any build cost dominates, and in high dimensions
+//! neither tree prunes — the blocked kernel's streaming dot products win
+//! both regimes. [`AdaptiveIndex`] picks per-matrix from `(n_unique,
+//! dim)` using crossovers measured by the `bench_sel` regime sweep (see
+//! `EXPERIMENTS.md`); the choice can be forced per-process with the
+//! `TRANSER_KNN_INDEX` environment variable (`kdtree`, `balltree`,
+//! `blocked`, or `auto`), mirroring the `TRANSER_THREADS` convention in
 //! `transer-parallel`.
 //!
-//! Both backends produce bit-identical results (same neighbours, same
+//! All backends produce bit-identical results (same neighbours, same
 //! squared distances, same tie-break order), so the choice affects wall
 //! time only — determinism does not depend on it.
 
@@ -18,6 +22,7 @@ use std::sync::OnceLock;
 
 use transer_common::FeatureMatrix;
 
+use crate::balltree::BallTree;
 use crate::blocked::BlockedBruteForce;
 use crate::heap::Neighbor;
 use crate::kdtree::KdTree;
@@ -27,6 +32,8 @@ use crate::kdtree::KdTree;
 pub enum IndexKind {
     /// Always the KD-tree.
     KdTree,
+    /// Always the ball tree.
+    BallTree,
     /// Always the blocked brute-force kernel.
     Blocked,
     /// Pick per matrix from `(rows, dim)`.
@@ -38,16 +45,29 @@ impl IndexKind {
     fn parse_known(s: &str) -> Option<IndexKind> {
         match s.trim().to_ascii_lowercase().as_str() {
             "kdtree" | "kd-tree" | "kd" => Some(IndexKind::KdTree),
+            "balltree" | "ball-tree" | "ball" => Some(IndexKind::BallTree),
             "blocked" | "brute" | "bruteforce" => Some(IndexKind::Blocked),
             "auto" | "" => Some(IndexKind::Auto),
             _ => None,
         }
     }
 
-    /// Parse a `TRANSER_KNN_INDEX`-style value. Unrecognised or empty
-    /// values fall back to [`IndexKind::Auto`].
+    /// Parse a `TRANSER_KNN_INDEX`-style value. Unrecognised values warn
+    /// through the trace layer and fall back to [`IndexKind::Auto`]
+    /// (empty input is `Auto` silently).
     pub fn parse(s: &str) -> IndexKind {
-        IndexKind::parse_known(s).unwrap_or(IndexKind::Auto)
+        match IndexKind::parse_known(s) {
+            Some(kind) => kind,
+            None => {
+                transer_trace::warn_invalid_env(
+                    transer_common::env::KNN_INDEX,
+                    s,
+                    "one of auto/kdtree/balltree/blocked",
+                    "auto",
+                );
+                IndexKind::Auto
+            }
+        }
     }
 
     /// The process-wide kind from the `TRANSER_KNN_INDEX` environment
@@ -60,7 +80,7 @@ impl IndexKind {
             transer_common::env::parsed_with(
                 transer_common::env::KNN_INDEX,
                 IndexKind::parse_known,
-                "one of auto/kdtree/blocked",
+                "one of auto/kdtree/balltree/blocked",
                 "auto",
             )
             .unwrap_or(IndexKind::Auto)
@@ -68,20 +88,40 @@ impl IndexKind {
     }
 
     /// Resolve `Auto` for a concrete matrix shape.
+    ///
+    /// The thresholds are the measured crossovers of the `bench_sel`
+    /// per-(rows, dims) regime sweep (build + one self-query per row, the
+    /// SEL access pattern; see `results/BENCH_sel.json` and the
+    /// EXPERIMENTS index-regime table):
+    ///
+    /// * tiny matrices (≤ 64 rows) — build cost dominates every tree,
+    ///   brute force wins outright;
+    /// * low dimensionality (≤ 6) — KD-tree axis pruning is unbeatable
+    ///   at every measured row count (1.4–29× over both alternatives);
+    /// * the dim 7–12 band (the 9-feature ER matrices) — the ball
+    ///   tree's metric pruning keeps working where KD splits decay: it
+    ///   wins at every measured row count (1.3× over the KD-tree at
+    ///   256–1024 rows, 1.4× over blocked at 16384×9) or ties blocked
+    ///   within 0.2% (4096×9);
+    /// * higher dims at small-to-mid row counts (≤ 2048 rows) — still
+    ///   the ball tree (1.2–1.4× over both alternatives at 256 rows;
+    ///   within measurement noise of blocked at the 1024-row boundary);
+    /// * everything else — on large worst-case (uniform) matrices at
+    ///   high dimensionality neither tree prunes reliably and the
+    ///   blocked kernel's norm-expansion screen edges out the ball tree
+    ///   (1.1–1.2× at 4096+ rows, dims ≥ 16) while beating the KD-tree
+    ///   by up to 3.3×.
     fn resolve(self, rows: usize, dim: usize) -> IndexKind {
         match self {
             IndexKind::Auto => {
-                // Measured on the SEL workloads (`bench_sel`): for the
-                // low-dimensional ER feature matrices the KD-tree wins
-                // from a few hundred rows down to well under 100, so the
-                // blocked kernel is only the default for tiny matrices
-                // (where nothing matters) and for high dimensions, where
-                // pruning stops working and its streaming dot products
-                // win.
-                if rows <= 64 || dim > 16 {
+                if rows <= 64 {
                     IndexKind::Blocked
-                } else {
+                } else if dim <= 6 {
                     IndexKind::KdTree
+                } else if dim <= 12 || rows <= 2048 {
+                    IndexKind::BallTree
+                } else {
+                    IndexKind::Blocked
                 }
             }
             other => other,
@@ -91,12 +131,14 @@ impl IndexKind {
 
 /// A k-NN index whose backend was chosen per matrix by [`IndexKind`].
 ///
-/// Exposes the common query surface of [`KdTree`] and
+/// Exposes the common query surface of [`KdTree`], [`BallTree`] and
 /// [`BlockedBruteForce`]; results are bit-identical across backends.
 #[derive(Debug, Clone)]
 pub enum AdaptiveIndex {
     /// KD-tree backend.
     KdTree(KdTree),
+    /// Ball-tree backend.
+    BallTree(BallTree),
     /// Blocked brute-force backend.
     Blocked(BlockedBruteForce),
 }
@@ -107,6 +149,7 @@ impl AdaptiveIndex {
     pub fn build(matrix: &FeatureMatrix, kind: IndexKind) -> Self {
         match kind.resolve(matrix.rows(), matrix.cols()) {
             IndexKind::KdTree => AdaptiveIndex::KdTree(KdTree::build(matrix)),
+            IndexKind::BallTree => AdaptiveIndex::BallTree(BallTree::build(matrix)),
             _ => AdaptiveIndex::Blocked(BlockedBruteForce::build(matrix)),
         }
     }
@@ -120,6 +163,7 @@ impl AdaptiveIndex {
     pub fn backend_name(&self) -> &'static str {
         match self {
             AdaptiveIndex::KdTree(_) => "kdtree",
+            AdaptiveIndex::BallTree(_) => "balltree",
             AdaptiveIndex::Blocked(_) => "blocked",
         }
     }
@@ -128,6 +172,7 @@ impl AdaptiveIndex {
     pub fn len(&self) -> usize {
         match self {
             AdaptiveIndex::KdTree(t) => t.len(),
+            AdaptiveIndex::BallTree(t) => t.len(),
             AdaptiveIndex::Blocked(b) => b.len(),
         }
     }
@@ -141,6 +186,7 @@ impl AdaptiveIndex {
     pub fn k_nearest(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
         match self {
             AdaptiveIndex::KdTree(t) => t.k_nearest(query, k),
+            AdaptiveIndex::BallTree(t) => t.k_nearest(query, k),
             AdaptiveIndex::Blocked(b) => b.k_nearest(query, k),
         }
     }
@@ -154,6 +200,7 @@ impl AdaptiveIndex {
     ) -> Vec<Neighbor> {
         match self {
             AdaptiveIndex::KdTree(t) => t.k_nearest_excluding(query, k, exclude),
+            AdaptiveIndex::BallTree(t) => t.k_nearest_excluding(query, k, exclude),
             AdaptiveIndex::Blocked(b) => b.k_nearest_excluding(query, k, exclude),
         }
     }
@@ -162,13 +209,14 @@ impl AdaptiveIndex {
     pub fn k_nearest_weighted(&self, query: &[f64], weights: &[u32], k: usize) -> Vec<Neighbor> {
         match self {
             AdaptiveIndex::KdTree(t) => t.k_nearest_weighted(query, weights, k),
+            AdaptiveIndex::BallTree(t) => t.k_nearest_weighted(query, weights, k),
             AdaptiveIndex::Blocked(b) => b.k_nearest_weighted(query, weights, k),
         }
     }
 
     /// A panel of weighted queries. On the blocked backend the whole panel
     /// shares each point block
-    /// ([`BlockedBruteForce::k_nearest_weighted_panel`]); on the KD-tree
+    /// ([`BlockedBruteForce::k_nearest_weighted_panel`]); on the trees
     /// the queries simply run one by one. Results are identical to mapping
     /// [`AdaptiveIndex::k_nearest_weighted`] over the panel.
     pub fn k_nearest_weighted_panel(
@@ -179,6 +227,9 @@ impl AdaptiveIndex {
     ) -> Vec<Vec<Neighbor>> {
         match self {
             AdaptiveIndex::KdTree(t) => {
+                queries.iter().map(|q| t.k_nearest_weighted(q, weights, k)).collect()
+            }
+            AdaptiveIndex::BallTree(t) => {
                 queries.iter().map(|q| t.k_nearest_weighted(q, weights, k)).collect()
             }
             AdaptiveIndex::Blocked(b) => b.k_nearest_weighted_panel(queries, weights, k),
@@ -194,6 +245,9 @@ mod tests {
     fn parse_recognises_backends() {
         assert_eq!(IndexKind::parse("kdtree"), IndexKind::KdTree);
         assert_eq!(IndexKind::parse(" KD-Tree "), IndexKind::KdTree);
+        assert_eq!(IndexKind::parse("balltree"), IndexKind::BallTree);
+        assert_eq!(IndexKind::parse("Ball-Tree"), IndexKind::BallTree);
+        assert_eq!(IndexKind::parse("ball"), IndexKind::BallTree);
         assert_eq!(IndexKind::parse("blocked"), IndexKind::Blocked);
         assert_eq!(IndexKind::parse("brute"), IndexKind::Blocked);
         assert_eq!(IndexKind::parse("auto"), IndexKind::Auto);
@@ -202,16 +256,37 @@ mod tests {
     }
 
     #[test]
+    fn unrecognised_parse_warns_through_trace() {
+        transer_trace::set_enabled(true);
+        assert_eq!(IndexKind::parse("quadtree"), IndexKind::Auto);
+        let report = transer_trace::drain_report();
+        transer_trace::set_enabled(false);
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| w.context == "env" && w.message.contains("quadtree")));
+    }
+
+    #[test]
     fn auto_resolution_heuristic() {
         // Tiny n → blocked regardless of dim.
         assert_eq!(IndexKind::Auto.resolve(50, 4), IndexKind::Blocked);
-        // Moderate-to-large n, low dim → KD-tree.
+        assert_eq!(IndexKind::Auto.resolve(64, 16), IndexKind::Blocked);
+        // Low dim → KD-tree at every row count.
         assert_eq!(IndexKind::Auto.resolve(300, 4), IndexKind::KdTree);
-        assert_eq!(IndexKind::Auto.resolve(10_000, 4), IndexKind::KdTree);
-        // Large n, high dim → blocked.
+        assert_eq!(IndexKind::Auto.resolve(10_000, 6), IndexKind::KdTree);
+        // The dim 7–12 ER band → ball tree at every row count.
+        assert_eq!(IndexKind::Auto.resolve(300, 9), IndexKind::BallTree);
+        assert_eq!(IndexKind::Auto.resolve(100_000, 9), IndexKind::BallTree);
+        // Higher dims at small-to-mid row counts → ball tree.
+        assert_eq!(IndexKind::Auto.resolve(2_048, 16), IndexKind::BallTree);
+        assert_eq!(IndexKind::Auto.resolve(1_000, 24), IndexKind::BallTree);
+        // Large high-dim matrices → blocked.
+        assert_eq!(IndexKind::Auto.resolve(10_000, 16), IndexKind::Blocked);
         assert_eq!(IndexKind::Auto.resolve(10_000, 32), IndexKind::Blocked);
         // Forced kinds resolve to themselves.
         assert_eq!(IndexKind::KdTree.resolve(10, 100), IndexKind::KdTree);
+        assert_eq!(IndexKind::BallTree.resolve(10, 100), IndexKind::BallTree);
         assert_eq!(IndexKind::Blocked.resolve(1_000_000, 2), IndexKind::Blocked);
     }
 
@@ -221,26 +296,37 @@ mod tests {
             (0..50).map(|i| vec![(i % 7) as f64 / 7.0, (i % 11) as f64 / 11.0]).collect();
         let m = FeatureMatrix::from_vecs(&rows).unwrap();
         let kd = AdaptiveIndex::build(&m, IndexKind::KdTree);
+        let ball = AdaptiveIndex::build(&m, IndexKind::BallTree);
         let bl = AdaptiveIndex::build(&m, IndexKind::Blocked);
         assert_eq!(kd.backend_name(), "kdtree");
+        assert_eq!(ball.backend_name(), "balltree");
         assert_eq!(bl.backend_name(), "blocked");
         assert_eq!(kd.len(), bl.len());
+        assert_eq!(ball.len(), bl.len());
         let weights = vec![1u32; m.rows()];
         for q in [[0.3, 0.3], [0.0, 1.0]] {
             assert_eq!(kd.k_nearest(&q, 5), bl.k_nearest(&q, 5));
+            assert_eq!(ball.k_nearest(&q, 5), bl.k_nearest(&q, 5));
             assert_eq!(
                 kd.k_nearest_excluding(&q, 5, Some(3)),
+                bl.k_nearest_excluding(&q, 5, Some(3))
+            );
+            assert_eq!(
+                ball.k_nearest_excluding(&q, 5, Some(3)),
                 bl.k_nearest_excluding(&q, 5, Some(3))
             );
             assert_eq!(
                 kd.k_nearest_weighted(&q, &weights, 5),
                 bl.k_nearest_weighted(&q, &weights, 5)
             );
+            assert_eq!(
+                ball.k_nearest_weighted(&q, &weights, 5),
+                bl.k_nearest_weighted(&q, &weights, 5)
+            );
         }
         let qs: Vec<&[f64]> = (0..8).map(|i| m.row(i)).collect();
-        assert_eq!(
-            kd.k_nearest_weighted_panel(&qs, &weights, 5),
-            bl.k_nearest_weighted_panel(&qs, &weights, 5)
-        );
+        let want = bl.k_nearest_weighted_panel(&qs, &weights, 5);
+        assert_eq!(kd.k_nearest_weighted_panel(&qs, &weights, 5), want);
+        assert_eq!(ball.k_nearest_weighted_panel(&qs, &weights, 5), want);
     }
 }

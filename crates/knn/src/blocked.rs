@@ -4,7 +4,9 @@
 //! using the expansion `‖a − b‖² = ‖a‖² − 2·a·b + ‖b‖²`: the row norms are
 //! computed once at build time, so the inner loop is a plain dot product
 //! over a point block that stays hot in cache across the whole query
-//! panel.
+//! panel. Norms, dots and the exact recomputations all route through the
+//! shared vectorizable L2 kernel (`transer_common::l2`) — this module
+//! carries no per-pair distance loop of its own.
 //!
 //! The expansion is not bitwise equal to the forward sum `Σ (aᵢ − bᵢ)²`,
 //! so using it naively would break the workspace-wide determinism
@@ -17,7 +19,8 @@
 //! [`brute_force_knn`](crate::brute_force_knn) / [`KdTree`](crate::KdTree),
 //! which the `index_equivalence` proptests pin down.
 
-use transer_common::{sq_dist, FeatureMatrix};
+use transer_common::l2::{dot, sq_dist, sq_norm};
+use transer_common::FeatureMatrix;
 
 use crate::heap::{Neighbor, WeightedHeap};
 
@@ -227,17 +230,6 @@ impl BlockedBruteForce {
             state.cap *= 2;
         }
     }
-}
-
-#[inline]
-fn sq_norm(v: &[f64]) -> f64 {
-    v.iter().map(|x| x * x).sum()
-}
-
-#[inline]
-fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
 #[cfg(test)]

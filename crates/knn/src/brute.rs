@@ -1,4 +1,7 @@
-//! Brute-force k-NN reference: exact, `O(n)` per query.
+//! Brute-force k-NN reference: exact, `O(n)` per query. Distances come
+//! from the shared L2 kernel (`transer_common::l2`), the same code path
+//! every index backend uses — this module has no distance loop of its
+//! own.
 
 use transer_common::{sq_dist, FeatureMatrix};
 

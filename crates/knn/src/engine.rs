@@ -167,7 +167,7 @@ mod tests {
     #[test]
     fn matches_brute_force_over_original_matrix() {
         let m = duplicated();
-        for kind in [IndexKind::KdTree, IndexKind::Blocked] {
+        for kind in [IndexKind::KdTree, IndexKind::BallTree, IndexKind::Blocked] {
             let engine = DedupKnn::build(&m, kind);
             assert_eq!(engine.len(), 12);
             assert_eq!(engine.interning().unique_rows(), 4);

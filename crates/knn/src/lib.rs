@@ -13,6 +13,9 @@
 //!   squared norms and the `‖a−b‖² = ‖a‖² − 2a·b + ‖b‖²` expansion as a
 //!   screen, with exact recomputation on the boundary band so results stay
 //!   bit-identical to [`KdTree`];
+//! * [`BallTree`] — triangle-inequality bound pruning over leaf-contiguous
+//!   reordered rows; the strongest index at the moderate dimensionalities
+//!   (9–24 features) of real ER matrices, where KD-tree pruning decays;
 //! * [`AdaptiveIndex`] / [`IndexKind`] — per-matrix backend choice from
 //!   `(rows, dim)`, overridable with `TRANSER_KNN_INDEX`;
 //! * [`DedupKnn`] — interns duplicated rows (`RowInterning` from
@@ -21,12 +24,15 @@
 //!
 //! Distances are squared Euclidean throughout — monotone in the Euclidean
 //! distance, so neighbour *ranking* is identical and we skip the square
-//! roots in the hot path.
+//! roots in the hot path. Every distance, norm and dot product routes
+//! through the shared vectorizable L2 kernel (`transer_common::l2`), so
+//! the `TRANSER_L2_KERNEL` engine switch governs all backends at once.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod adaptive;
+mod balltree;
 mod blocked;
 mod brute;
 mod engine;
@@ -34,6 +40,7 @@ mod heap;
 mod kdtree;
 
 pub use adaptive::{AdaptiveIndex, IndexKind};
+pub use balltree::BallTree;
 pub use blocked::BlockedBruteForce;
 pub use brute::brute_force_knn;
 pub use engine::DedupKnn;

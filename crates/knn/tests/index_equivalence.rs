@@ -1,14 +1,15 @@
 //! Property tests pinning the bit-identity contract of the k-NN backends:
-//! [`KdTree`], the blocked brute-force kernel and the reference
-//! [`brute_force_knn`] must return the *same* neighbours, squared
-//! distances and tie-break order on any input — including the
-//! heavy-duplicate quantised clouds typical of ER feature matrices — and
-//! the duplicate-aware [`DedupKnn`] engine must reproduce plain queries
-//! over the original (duplicated) matrix exactly.
+//! [`KdTree`], [`BallTree`], the blocked brute-force kernel and the
+//! reference [`brute_force_knn`] must return the *same* neighbours,
+//! squared distances and tie-break order on any input — including the
+//! heavy-duplicate quantised clouds typical of ER feature matrices and
+//! fully degenerate all-equidistant matrices — and the duplicate-aware
+//! [`DedupKnn`] engine must reproduce plain queries over the original
+//! (duplicated) matrix exactly, for every backend.
 
 use proptest::prelude::*;
 use transer_common::{FeatureMatrix, RowInterning};
-use transer_knn::{brute_force_knn, BlockedBruteForce, DedupKnn, IndexKind, KdTree};
+use transer_knn::{brute_force_knn, BallTree, BlockedBruteForce, DedupKnn, IndexKind, KdTree};
 
 fn cloud(dim: usize, max_points: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     prop::collection::vec(prop::collection::vec(0.0..1.0f64, dim..=dim), 1..=max_points)
@@ -20,6 +21,14 @@ fn quantised_cloud(dim: usize, max_points: usize) -> impl Strategy<Value = Vec<V
     prop::collection::vec(prop::collection::vec(0u8..=10, dim..=dim), 1..=max_points).prop_map(
         |rows| rows.into_iter().map(|r| r.into_iter().map(|v| v as f64 / 10.0).collect()).collect(),
     )
+}
+
+/// Fully degenerate cloud: every row is the same point, so every query
+/// distance ties and the entire result order rests on the index
+/// tie-break.
+fn equidistant_cloud(dim: usize, max_points: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (prop::collection::vec(0.0..1.0f64, dim..=dim), 1..=max_points)
+        .prop_map(|(row, n)| vec![row; n])
 }
 
 /// Expand a weighted (unique-row) neighbour list into original-row
@@ -52,8 +61,8 @@ fn reference_weighted(m: &FeatureMatrix, query: &[f64], k: usize) -> Vec<(usize,
 }
 
 proptest! {
-    /// KdTree ≡ BlockedBruteForce ≡ brute force: same neighbour sets,
-    /// same squared-distance bits, same tie-break order.
+    /// KdTree ≡ BallTree ≡ BlockedBruteForce ≡ brute force: same
+    /// neighbour sets, same squared-distance bits, same tie-break order.
     #[test]
     fn all_backends_bitwise_agree(
         rows in cloud(4, 120),
@@ -62,15 +71,16 @@ proptest! {
     ) {
         let m = FeatureMatrix::from_vecs(&rows).unwrap();
         let tree = KdTree::build(&m);
+        let ball = BallTree::build(&m);
         let blocked = BlockedBruteForce::build(&m);
         let reference = brute_force_knn(&m, &query, k, None);
-        let a = tree.k_nearest(&query, k);
-        let b = blocked.k_nearest(&query, k);
-        prop_assert_eq!(a.len(), reference.len());
-        prop_assert_eq!(b.len(), reference.len());
-        for (got, want) in a.iter().chain(b.iter()).zip(reference.iter().chain(reference.iter())) {
-            prop_assert_eq!(got.index, want.index);
-            prop_assert_eq!(got.sq_dist.to_bits(), want.sq_dist.to_bits());
+        for got in [tree.k_nearest(&query, k), ball.k_nearest(&query, k),
+                    blocked.k_nearest(&query, k)] {
+            prop_assert_eq!(got.len(), reference.len());
+            for (got, want) in got.iter().zip(reference.iter()) {
+                prop_assert_eq!(got.index, want.index);
+                prop_assert_eq!(got.sq_dist.to_bits(), want.sq_dist.to_bits());
+            }
         }
     }
 
@@ -83,17 +93,40 @@ proptest! {
     ) {
         let m = FeatureMatrix::from_vecs(&rows).unwrap();
         let tree = KdTree::build(&m);
+        let ball = BallTree::build(&m);
         let blocked = BlockedBruteForce::build(&m);
         for i in 0..m.rows().min(15) {
             let reference = brute_force_knn(&m, m.row(i), k, Some(i));
             prop_assert_eq!(&tree.k_nearest_excluding(m.row(i), k, Some(i)), &reference);
+            prop_assert_eq!(&ball.k_nearest_excluding(m.row(i), k, Some(i)), &reference);
             prop_assert_eq!(&blocked.k_nearest_excluding(m.row(i), k, Some(i)), &reference);
         }
     }
 
+    /// All-equidistant matrices: with every distance tied, the backends
+    /// must reproduce the pure index-order result — the hardest tie-break
+    /// case for tree pruning bounds.
+    #[test]
+    fn backends_agree_on_all_equidistant_matrices(
+        rows in equidistant_cloud(3, 120),
+        query in prop::collection::vec(0.0..1.0f64, 3..=3),
+        k in 1usize..10,
+    ) {
+        let m = FeatureMatrix::from_vecs(&rows).unwrap();
+        let tree = KdTree::build(&m);
+        let ball = BallTree::build(&m);
+        let blocked = BlockedBruteForce::build(&m);
+        let reference = brute_force_knn(&m, &query, k, None);
+        // The reference is the k smallest row indices at one tied
+        // distance (or the query row's own distance class layout).
+        prop_assert_eq!(&tree.k_nearest(&query, k), &reference);
+        prop_assert_eq!(&ball.k_nearest(&query, k), &reference);
+        prop_assert_eq!(&blocked.k_nearest(&query, k), &reference);
+    }
+
     /// Weighted queries over the interned rows return exactly the distance
-    /// classes a plain query over the duplicated matrix covers, on both
-    /// backends.
+    /// classes a plain query over the duplicated matrix covers, on every
+    /// backend.
     #[test]
     fn weighted_queries_match_expanded_reference(
         rows in quantised_cloud(3, 120),
@@ -103,11 +136,13 @@ proptest! {
         let it = RowInterning::of(&m);
         let weights = it.multiplicities();
         let tree = KdTree::build(it.unique());
+        let ball = BallTree::build(it.unique());
         let blocked = BlockedBruteForce::build(it.unique());
         for i in 0..m.rows().min(10) {
             let query = m.row(i);
             let want = reference_weighted(&m, query, k);
             for nn in [tree.k_nearest_weighted(query, &weights, k),
+                       ball.k_nearest_weighted(query, &weights, k),
                        blocked.k_nearest_weighted(query, &weights, k)] {
                 let got: Vec<(usize, u64)> =
                     nn.iter().map(|n| (n.index, n.sq_dist.to_bits())).collect();
@@ -125,7 +160,7 @@ proptest! {
         k in 1usize..8,
     ) {
         let m = FeatureMatrix::from_vecs(&rows).unwrap();
-        for kind in [IndexKind::KdTree, IndexKind::Blocked, IndexKind::Auto] {
+        for kind in [IndexKind::KdTree, IndexKind::BallTree, IndexKind::Blocked, IndexKind::Auto] {
             let engine = DedupKnn::build(&m, kind);
             for i in 0..m.rows().min(10) {
                 let query = m.row(i);
@@ -155,6 +190,21 @@ proptest! {
         let panel = blocked.k_nearest_weighted_panel(&queries, &weights, k);
         for (q, got) in queries.iter().zip(&panel) {
             prop_assert_eq!(got, &blocked.k_nearest_weighted(q, &weights, k));
+        }
+    }
+
+    /// The ball tree at its native regime: moderate dimensionality (dim 9,
+    /// multi-level trees) against the brute-force reference.
+    #[test]
+    fn balltree_agrees_at_moderate_dimensionality(
+        rows in cloud(9, 200),
+        k in 1usize..10,
+    ) {
+        let m = FeatureMatrix::from_vecs(&rows).unwrap();
+        let ball = BallTree::build(&m);
+        for i in 0..m.rows().min(8) {
+            let reference = brute_force_knn(&m, m.row(i), k, None);
+            prop_assert_eq!(&ball.k_nearest(m.row(i), k), &reference);
         }
     }
 }

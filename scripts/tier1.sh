@@ -35,3 +35,9 @@ TRANSER_TRACE=1 ./target/release/ablation_controlled --quick --scale 0.05 > /dev
 # partition invariant asserted on live counts, and the JSON artefact
 # round-tripped through the parser.
 ./target/release/bench_similarity --smoke --out target/BENCH_similarity_smoke.json > /dev/null
+
+# k-NN index smoke: on one small deterministic dataset the KD-tree, ball
+# tree and blocked backends must agree bitwise with the brute-force
+# reference (neighbours, squared-distance bits, tie-break order) at
+# several k; panics non-zero on the first disagreement.
+./target/release/bench_sel --smoke --json target/BENCH_sel_smoke.json > /dev/null
