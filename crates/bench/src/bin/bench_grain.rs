@@ -26,7 +26,8 @@ use transer_core::{select_instances_with_pool, TransErConfig};
 use transer_datagen::{biblio, Scenario};
 use transer_ml::{Classifier, RandomForest};
 use transer_parallel::{grain, CostHint, GrainMode, Pool};
-use transer_trace::json::Json;
+use transer_trace::json::{self, obj, Json};
+use transer_trace::RunLedger;
 
 /// Repetitions per timing; the minimum damps scheduler noise.
 const REPS: usize = 5;
@@ -39,10 +40,6 @@ fn time_best<F: FnMut()>(mut f: F) -> f64 {
         best = best.min(start.elapsed().as_secs_f64());
     }
     best
-}
-
-fn obj(entries: Vec<(&str, Json)>) -> Json {
-    Json::Obj(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
 /// Measure the cost of one pooled dispatch of a trivial map versus the
@@ -69,6 +66,9 @@ fn workload_row(workload: &str, items: usize, secs: f64) -> Json {
 }
 
 fn main() {
+    let mut ledger = RunLedger::new("bench_grain");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = transer_trace::ledger::out_path(&args, "results/BENCH_grain.json");
     let pool = Pool::sequential();
 
     // Dispatch overhead on a trivial map.
@@ -141,18 +141,16 @@ fn main() {
         ),
     ]);
 
-    let text = report.to_pretty();
     println!("Grain calibration — dispatch overhead {overhead_nanos:.0} ns/dispatch");
     for row in report.get("workloads").and_then(Json::as_arr).unwrap_or(&[]) {
         let name = row.get("workload").and_then(Json::as_str).unwrap_or("?");
         let nanos = row.get("nanos_per_item").and_then(Json::as_num).unwrap_or(0.0);
         println!("  {name:<22} {nanos:>10.0} ns/item");
     }
-    let _ = std::fs::create_dir_all("results");
-    let path = "results/BENCH_grain.json";
-    if let Err(e) = std::fs::write(path, text) {
+    if let Err(e) = json::write_pretty(&path, &report) {
         eprintln!("bench_grain: cannot write {path}: {e}");
         std::process::exit(1);
     }
     println!("wrote {path}");
+    ledger.set_summary(obj(vec![("out", Json::Str(path))]));
 }

@@ -41,7 +41,8 @@ use transer_core::{TransEr, TransErConfig};
 use transer_datagen::{ScaleConfig, ScaleGen};
 use transer_ml::ClassifierKind;
 use transer_parallel::Pool;
-use transer_trace::json::{self, Json};
+use transer_trace::json::{self, obj, Json};
+use transer_trace::RunLedger;
 
 /// Env var carrying the rows-per-domain figure to a grid-cell child.
 const CHILD_ENV: &str = "TRANSER_BENCH_SCALE_CHILD";
@@ -49,10 +50,6 @@ const CHILD_ENV: &str = "TRANSER_BENCH_SCALE_CHILD";
 /// Seeds of the source and target linkage tasks.
 const SOURCE_SEED: u64 = 42;
 const TARGET_SEED: u64 = 1042;
-
-fn obj(entries: Vec<(&str, Json)>) -> Json {
-    Json::Obj(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-}
 
 /// FNV-1a over the final labels: the cross-worker bit-identity witness.
 fn label_hash(labels: &[Label]) -> u64 {
@@ -185,10 +182,12 @@ fn main() {
         return;
     }
 
+    let mut ledger = RunLedger::new("bench_scale");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let rebaseline = args.iter().any(|a| a == "--rebaseline");
-    let path = args.windows(2).find(|w| w[0] == "--out").map_or(BASELINE_PATH, |w| w[1].as_str());
+    let path = transer_trace::ledger::out_path(&args, BASELINE_PATH);
+    let path = path.as_str();
     let committed = if rebaseline { Vec::new() } else { baseline_hashes(BASELINE_PATH) };
     let (rung_list, worker_list): (&[usize], &[usize]) =
         if smoke { (&[10_000], &[1, 2]) } else { (&[10_000, 100_000, 1_000_000], &[1, 4, 8]) };
@@ -307,12 +306,18 @@ fn main() {
         ("smoke", Json::Num(f64::from(u8::from(smoke)))),
         ("cells", Json::Arr(cells)),
     ]);
-    let _ = std::fs::create_dir_all("results");
-    if let Err(e) = std::fs::write(path, report.to_pretty()) {
+    if let Err(e) = json::write_pretty(path, &report) {
         eprintln!("bench_scale: cannot write {path}: {e}");
         std::process::exit(1);
     }
     println!("wrote {path}");
+    ledger.set_summary(obj(vec![
+        ("out", Json::Str(path.to_string())),
+        (
+            "cells",
+            Json::Num(report.get("cells").and_then(Json::as_arr).map_or(0, <[Json]>::len) as f64),
+        ),
+    ]));
 
     if smoke {
         // Round-trip the artefact through the parser: the file must be

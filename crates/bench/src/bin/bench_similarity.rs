@@ -18,7 +18,8 @@ use std::time::Instant;
 
 use transer_common::StrInterner;
 use transer_similarity::{Measure, PreparedText, SimKernel};
-use transer_trace::json::{self, Json};
+use transer_trace::json::{self, obj, Json};
+use transer_trace::RunLedger;
 
 /// The benchmarked measures with stable artefact labels.
 const MEASURES: [(&str, Measure); 15] = [
@@ -207,10 +208,6 @@ fn prepared_pass(
     corpus.iter().map(|(a, b)| measure.prepared_with(kernel, a, b)).sum()
 }
 
-fn obj(entries: Vec<(&str, Json)>) -> Json {
-    Json::Obj(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-}
-
 /// The trace-counter partition invariant, asserted on live counts:
 /// every fast Levenshtein kernel run is exactly one of bit-parallel or
 /// fallback.
@@ -239,13 +236,53 @@ fn check_counter_partition(pairs: &[(String, String)]) {
     );
 }
 
+/// Under `TRANSER_ALLOC_TRACE=1`: after a warm-up pass, a traced
+/// steady-state scoring pass over every measure's prepared corpus must
+/// attribute **zero** allocations to its span — the live-run form of the
+/// allocation-free kernel invariant (`crates/similarity/tests/alloc_free.rs`
+/// proves the same claim per measure at unit scale).
+fn check_steady_state_alloc_free(pairs: &[(String, String)]) {
+    let corpora: Vec<(Measure, Vec<(PreparedText, PreparedText)>)> =
+        MEASURES.iter().map(|&(_, m)| (m, prepared_corpus(m, SimKernel::Fast, pairs))).collect();
+    let mut sink = 0.0;
+    for (measure, corpus) in &corpora {
+        sink += prepared_pass(*measure, SimKernel::Fast, corpus); // warm-up
+    }
+    transer_trace::set_enabled(true);
+    let _ = transer_trace::drain_report();
+    // Second, *traced* warm-up pass: the kernels record trace counters,
+    // and the very first touch of each counter key after a drain inserts
+    // a map node — bookkeeping that would otherwise be charged to the
+    // steady-state span.
+    for (measure, corpus) in &corpora {
+        sink += prepared_pass(*measure, SimKernel::Fast, corpus);
+    }
+    {
+        let _span = transer_trace::span("similarity.steady");
+        for (measure, corpus) in &corpora {
+            sink += prepared_pass(*measure, SimKernel::Fast, corpus);
+        }
+    }
+    let report = transer_trace::drain_report();
+    transer_trace::set_enabled(false);
+    std::hint::black_box(sink);
+    let span = report.find_span("similarity.steady").expect("steady-state span recorded");
+    assert_eq!(
+        (span.alloc_count, span.alloc_bytes),
+        (0, 0),
+        "steady-state similarity scoring allocated {} times / {} bytes",
+        span.alloc_count,
+        span.alloc_bytes
+    );
+    println!("steady-state alloc-free OK: 0 allocations across {} measures", corpora.len());
+}
+
 fn main() {
+    let mut ledger = RunLedger::new("bench_similarity");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let path = args
-        .windows(2)
-        .find(|w| w[0] == "--out")
-        .map_or("results/BENCH_similarity.json", |w| w[1].as_str());
+    let path = transer_trace::ledger::out_path(&args, "results/BENCH_similarity.json");
+    let path = path.as_str();
     let (n_pairs, budget_ms) = if smoke { (400, 5) } else { (2000, 250) };
     let pairs = build_pairs(n_pairs, 0x5EED);
 
@@ -298,6 +335,9 @@ fn main() {
     }
 
     check_counter_partition(&pairs);
+    if transer_trace::alloc::enabled() {
+        check_steady_state_alloc_free(&pairs);
+    }
 
     let report = obj(vec![
         ("version", Json::Num(1.0)),
@@ -305,12 +345,12 @@ fn main() {
         ("pairs", Json::Num(n_pairs as f64)),
         ("measures", Json::Arr(rows)),
     ]);
-    let _ = std::fs::create_dir_all("results");
-    if let Err(e) = std::fs::write(path, report.to_pretty()) {
+    if let Err(e) = json::write_pretty(path, &report) {
         eprintln!("bench_similarity: cannot write {path}: {e}");
         std::process::exit(1);
     }
     println!("wrote {path}");
+    ledger.set_summary(obj(vec![("out", Json::Str(path.to_string()))]));
 
     if smoke {
         // Round-trip the artefact through the parser.

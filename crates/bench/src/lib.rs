@@ -29,17 +29,11 @@ pub fn music_pair() -> DomainPair {
     ScenarioPair::Music.domain_pair(BENCH_SCALE, BENCH_SEED).expect("bench workload generation")
 }
 
-/// Peak resident set size of the current process in bytes (`VmHWM` from
-/// `/proc/self/status`); `None` when the proc interface is unavailable
-/// (non-Linux hosts) or unparsable. The high-water mark is per process,
-/// which is why `bench_scale` runs every grid cell in a fresh child
-/// process — each cell gets its own untainted peak.
-pub fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb * 1024)
-}
+// Peak RSS moved into the run ledger (`transer_trace::ledger`), which
+// every bench/eval bin already links; re-exported here for the bench
+// bins' per-cell reporting (`bench_scale` runs every grid cell in a
+// fresh child process precisely because `VmHWM` is per process).
+pub use transer_trace::ledger::peak_rss_bytes;
 
 #[cfg(test)]
 mod tests {

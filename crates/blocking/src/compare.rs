@@ -184,6 +184,7 @@ impl Comparison {
         pairs: &[CandidatePair],
         pool: &Pool,
     ) -> Result<(FeatureMatrix, Vec<Label>)> {
+        let _span = transer_trace::span("blocking.compare");
         let (mut x, mut y) = if pairs.len() >= SHARDED_MIN_PAIRS {
             let (cm, y) = self.compare_pairs_colmajor_with_pool(left, right, pairs, pool)?;
             (cm.to_feature_matrix()?, y)

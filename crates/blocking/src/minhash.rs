@@ -152,6 +152,7 @@ impl MinHashLsh {
         attrs: Option<&[usize]>,
         pool: &Pool,
     ) -> Vec<CandidatePair> {
+        let _span = transer_trace::span("blocking.candidates");
         // Bucket the left records per band, then probe with the right.
         let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
         for (i, keys) in self.all_band_keys(left, attrs, pool).iter().enumerate() {

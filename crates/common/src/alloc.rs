@@ -1,0 +1,61 @@
+//! The process-wide counting allocator behind `TRANSER_ALLOC_TRACE`.
+//!
+//! [`CountingAllocator`] wraps [`System`] and reports every successful
+//! allocation to `transer_trace::alloc`, which attributes it to the
+//! calling thread (and from there to the enclosing trace span). It is
+//! registered as the `#[global_allocator]` here — `transer-common` sits at
+//! the bottom of the workspace dependency graph, so every bin that links
+//! any TransER crate gets the instrumented allocator automatically.
+//!
+//! This is the one `unsafe impl` in the workspace (`GlobalAlloc` cannot be
+//! implemented safely); each method delegates verbatim to [`System`] under
+//! the caller's own contract and adds only counter bookkeeping, which
+//! never allocates (see the reentrancy notes on `transer_trace::alloc`).
+//! When `TRANSER_ALLOC_TRACE` is off, the added cost per allocation is one
+//! relaxed atomic load and a compare.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+use transer_trace::alloc as counters;
+
+/// [`System`] plus per-thread allocation accounting for the trace layer.
+pub struct CountingAllocator;
+
+#[allow(unsafe_code)]
+// SAFETY: every method forwards the caller's arguments unchanged to
+// `System`, which upholds the `GlobalAlloc` contract; the counter hooks
+// run strictly after a *successful* call, never allocate and never touch
+// the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() {
+            counters::on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc_zeroed(layout) };
+        if !ptr.is_null() {
+            counters::on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
+        if !new_ptr.is_null() {
+            counters::on_realloc(layout.size(), new_size);
+        }
+        new_ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+// The `#[global_allocator]` registration itself lives at the crate root
+// (lib.rs), next to the note about explicit linkage: the registration
+// only takes effect in binaries that actually reference this crate.

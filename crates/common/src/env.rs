@@ -11,6 +11,7 @@
 //! |---|---|
 //! | `TRANSER_THREADS` | worker count for the parallel pool |
 //! | `TRANSER_TRACE` | enable structured tracing |
+//! | `TRANSER_ALLOC_TRACE` | enable allocation profiling (per-span alloc counts/bytes) |
 //! | `TRANSER_KNN_INDEX` | k-NN backend: `auto` / `kdtree` / `blocked` |
 //! | `TRANSER_TREE_ENGINE` | tree trainer: `presorted` / `reference` |
 //! | `TRANSER_FAULT` | fault injection: `<site>:<kind>[:<rate>:<seed>]` |
@@ -22,6 +23,9 @@
 pub const THREADS: &str = "TRANSER_THREADS";
 /// Enables structured tracing (`transer_trace::TRACE_ENV`).
 pub const TRACE: &str = "TRANSER_TRACE";
+/// Enables allocation profiling (`transer_trace::alloc::ALLOC_ENV`): the
+/// counting global allocator attributes events/bytes to the enclosing span.
+pub const ALLOC_TRACE: &str = "TRANSER_ALLOC_TRACE";
 /// k-NN index backend override (`transer-knn`).
 pub const KNN_INDEX: &str = "TRANSER_KNN_INDEX";
 /// Decision-tree training engine override (`transer-ml`).

@@ -22,9 +22,13 @@
 //! lifetimes in public signatures — so that the algorithm crates stay easy
 //! to read and the hot loops easy for the compiler to optimise.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the counting global allocator (`alloc`
+// module) carries the workspace's single audited `unsafe impl` behind a
+// targeted `#[allow]`; everything else still refuses unsafe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 mod colmajor;
 mod dataset;
 pub mod env;
@@ -35,7 +39,19 @@ pub mod l2;
 mod label;
 mod record;
 
+pub use alloc::CountingAllocator;
 pub use colmajor::{transpose_blocked, ColMajorMatrix};
+
+/// The registered global allocator for every binary that *references*
+/// this crate (see [`alloc`] — the workspace sits entirely above
+/// `transer-common`, so every pipeline bin gets allocation profiling
+/// without opting in). Caveat: rustc only loads — and therefore only
+/// discovers the `#[global_allocator]` of — crates that are actually
+/// referenced in code; a test binary that uses nothing from the
+/// workspace below `transer-trace` must link this crate explicitly with
+/// `use transer_common as _;` or it silently keeps the default allocator.
+#[global_allocator]
+static GLOBAL_ALLOCATOR: CountingAllocator = CountingAllocator;
 pub use dataset::{DomainPair, LabeledDataset};
 pub use error::{Error, Result};
 pub use features::FeatureMatrix;

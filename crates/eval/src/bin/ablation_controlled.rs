@@ -3,6 +3,8 @@
 use transer_eval::{controlled, Options};
 
 fn main() {
+    // Appends one provenance record to results/ledger.jsonl on exit.
+    let _ledger = transer_trace::RunLedger::new("ablation_controlled");
     let opts = Options::from_env();
     match controlled::conflict_sweep(&opts) {
         Ok(points) => {

@@ -7,6 +7,8 @@
 use transer_eval::{forest_bench, Options};
 
 fn main() {
+    // Appends one provenance record to results/ledger.jsonl on exit.
+    let _ledger = transer_trace::RunLedger::new("bench_forest");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = Options::parse(args.iter().cloned());
     if opts.json.is_none() {

@@ -11,6 +11,8 @@
 use transer_eval::{sel_bench, Options};
 
 fn main() {
+    // Appends one provenance record to results/ledger.jsonl on exit.
+    let _ledger = transer_trace::RunLedger::new("bench_sel");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = Options::parse(args.iter().cloned());
     let smoke = args.iter().any(|a| a == "--smoke");

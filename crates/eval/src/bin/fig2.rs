@@ -2,6 +2,8 @@
 use transer_eval::{distribution, Options};
 
 fn main() {
+    // Appends one provenance record to results/ledger.jsonl on exit.
+    let _ledger = transer_trace::RunLedger::new("fig2");
     let opts = Options::from_env();
     match distribution::fig2(&opts) {
         Ok(series) => {

@@ -2,6 +2,8 @@
 use transer_eval::{sensitivity, Options};
 
 fn main() {
+    // Appends one provenance record to results/ledger.jsonl on exit.
+    let _ledger = transer_trace::RunLedger::new("fig6");
     let opts = Options::from_env();
     match sensitivity::fig6(&opts) {
         Ok(series) => {

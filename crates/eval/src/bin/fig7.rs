@@ -2,6 +2,8 @@
 use transer_eval::{sensitivity, Options};
 
 fn main() {
+    // Appends one provenance record to results/ledger.jsonl on exit.
+    let _ledger = transer_trace::RunLedger::new("fig7");
     let opts = Options::from_env();
     match sensitivity::fig7(&opts) {
         Ok(panels) => {

@@ -2,6 +2,8 @@
 use transer_eval::{characteristics, Options};
 
 fn main() {
+    // Appends one provenance record to results/ledger.jsonl on exit.
+    let _ledger = transer_trace::RunLedger::new("table1");
     let opts = Options::from_env();
     match characteristics::table1(&opts) {
         Ok(rows) => {

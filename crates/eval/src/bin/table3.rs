@@ -2,6 +2,8 @@
 use transer_eval::{runtime, Options};
 
 fn main() {
+    // Appends one provenance record to results/ledger.jsonl on exit.
+    let _ledger = transer_trace::RunLedger::new("table3");
     let opts = Options::from_env();
     match runtime::table3(&opts) {
         Ok(rows) => {

@@ -3,7 +3,10 @@
 //! * `trace_report <path>` renders a human-readable summary: the span
 //!   tree with timings, then counters, histograms and warnings.
 //! * `trace_report --check <path>` validates the file against the
-//!   version-1 report schema *and* the expected layer coverage of a
+//!   report schema — version 1 or 2; version 2 additionally requires the
+//!   per-span `alloc_count`/`alloc_bytes` allocation counters, and any
+//!   unknown top-level key is rejected in both — *and* the expected
+//!   layer coverage of a
 //!   traced pipeline run (spans for all three phases, at least one
 //!   counter each from the blocking, knn, ml, core and grain-dispatch
 //!   layers, a `parallel.chunk_size` histogram consistent with the
@@ -52,13 +55,21 @@ fn fail(msg: &str) -> ! {
 
 /// Schema + layer-coverage validation (see the module docs).
 fn validate(doc: &Json) -> Result<(), String> {
-    if doc.get("version").and_then(Json::as_num) != Some(1.0) {
-        return Err("version is not 1".into());
+    let version = match doc.get("version").and_then(Json::as_num) {
+        Some(v @ (1.0 | 2.0)) => v as u64,
+        Some(v) => return Err(format!("unsupported version {v}")),
+        None => return Err("version is not a number".into()),
+    };
+    const TOP_LEVEL: [&str; 6] = ["version", "task", "spans", "counters", "histograms", "warnings"];
+    for key in doc.as_obj().ok_or("report is not an object")?.keys() {
+        if !TOP_LEVEL.contains(&key.as_str()) {
+            return Err(format!("unknown top-level key {key:?}"));
+        }
     }
     doc.get("task").and_then(Json::as_str).ok_or("task is not a string")?;
     let spans = doc.get("spans").and_then(Json::as_arr).ok_or("spans is not an array")?;
     for span in spans {
-        validate_span(span)?;
+        validate_span(span, version)?;
     }
     let counters = doc.get("counters").and_then(Json::as_obj).ok_or("counters is not an object")?;
     for (name, value) in counters {
@@ -140,14 +151,24 @@ fn validate(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
-fn validate_span(span: &Json) -> Result<(), String> {
-    span.get("name").and_then(Json::as_str).ok_or("span without name")?;
+fn validate_span(span: &Json, version: u64) -> Result<(), String> {
+    let name = span.get("name").and_then(Json::as_str).ok_or("span without name")?;
     let secs = span.get("secs").and_then(Json::as_num).ok_or("span without secs")?;
     if secs < 0.0 {
         return Err("span with negative secs".into());
     }
+    // Allocation counters arrived with version 2: required there,
+    // optional in a version-1 file but still type-checked when present.
+    for field in ["alloc_count", "alloc_bytes"] {
+        match span.get(field).map(Json::as_num) {
+            Some(Some(n)) if n >= 0.0 && n.fract() == 0.0 => {}
+            Some(_) => return Err(format!("span {name}: {field} is not a non-negative integer")),
+            None if version >= 2 => return Err(format!("span {name}: v2 requires {field}")),
+            None => {}
+        }
+    }
     for child in span.get("children").and_then(Json::as_arr).ok_or("span without children")? {
-        validate_span(child)?;
+        validate_span(child, version)?;
     }
     Ok(())
 }

@@ -52,7 +52,10 @@ impl Options {
                     }
                 }
                 "--quick" => opts.quick = true,
-                "--json" => opts.json = args.next(),
+                // `--out` is the workspace-wide artefact-path flag
+                // (`transer_trace::ledger::out_path`); `--json` is the
+                // original spelling, kept as an alias.
+                "--json" | "--out" => opts.json = args.next(),
                 "--budget-secs" => {
                     if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
                         opts.budget.max_secs = v;
@@ -124,6 +127,12 @@ mod tests {
         assert!(o.quick);
         assert_eq!(o.json.as_deref(), Some("out.json"));
         assert_eq!(o.classifier_set().len(), 1);
+    }
+
+    #[test]
+    fn out_is_an_alias_for_json() {
+        let o = parse(&["--out", "x.json"]);
+        assert_eq!(o.json.as_deref(), Some("x.json"));
     }
 
     #[test]

@@ -94,6 +94,7 @@ impl BallTree {
     ///
     /// An empty matrix yields an empty tree whose queries return nothing.
     pub fn build(matrix: &FeatureMatrix) -> Self {
+        let _span = transer_trace::span("knn.balltree.build");
         let dim = matrix.cols();
         let n = matrix.rows();
         let mut order: Vec<u32> = (0..n as u32).collect();

@@ -41,6 +41,7 @@ impl KdTree {
     ///
     /// An empty matrix yields an empty tree whose queries return nothing.
     pub fn build(matrix: &FeatureMatrix) -> Self {
+        let _span = transer_trace::span("knn.kdtree.build");
         let dim = matrix.cols();
         let n = matrix.rows();
         let points = matrix.as_slice().to_vec();

@@ -119,6 +119,7 @@ impl Classifier for RandomForest {
         y: &[Label],
         weights: Option<&[f64]>,
     ) -> Result<()> {
+        let _span = transer_trace::span("ml.forest.fit");
         check_training_input(x, y, weights)?;
         let n = x.rows();
         let m = x.cols();
@@ -195,6 +196,7 @@ impl Classifier for RandomForest {
     }
 
     fn predict_proba(&self, x: &FeatureMatrix) -> Vec<f64> {
+        let _span = transer_trace::span("ml.forest.predict");
         if self.trees.is_empty() {
             return vec![0.5; x.rows()]; // unfitted: uninformative prior
         }

@@ -1,0 +1,167 @@
+//! Allocation profiling: env-gated, thread-local allocation counters.
+//!
+//! This module owns the *accounting* half of the allocation profiler: a
+//! process-global enable switch (the `TRANSER_ALLOC_TRACE` environment
+//! variable, read once) and per-thread event/byte counters. The *hooking*
+//! half — the `#[global_allocator]` that actually observes allocations —
+//! lives in `transer-common` (`CountingAllocator`), because a global
+//! allocator needs one `unsafe impl` and this crate stays safe code; the
+//! allocator calls [`on_alloc`] / [`on_realloc`] on every successful
+//! allocation.
+//!
+//! # Zero overhead when disabled
+//!
+//! [`on_alloc`] starts with [`enabled`] — a single relaxed atomic load and
+//! a compare — so when `TRANSER_ALLOC_TRACE` is off every allocation in
+//! the process pays a handful of branch-predicted instructions and touches
+//! no thread-local state.
+//!
+//! # Reentrancy
+//!
+//! The counters are plain `const`-initialised `Cell`s: reading or bumping
+//! them never allocates, so the allocator hook cannot recurse. The one
+//! allocation the module itself performs — reading the environment
+//! variable on first use — is guarded by an *initialising* state that the
+//! recursive [`enabled`] calls observe as "off".
+//!
+//! # Counting policy
+//!
+//! Every successful allocator round-trip (`alloc`, `alloc_zeroed`,
+//! `realloc`) counts **one event**; bytes accumulate the fresh bytes
+//! requested (for `realloc`, the growth over the old size — a shrinking
+//! or same-size `realloc` still counts one event with zero bytes).
+//! Deallocations are not tracked: the profile answers "how much does this
+//! region churn the allocator", not "what is resident".
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Environment variable enabling allocation profiling
+/// (`0`/`false`/`off`/empty = off).
+pub const ALLOC_ENV: &str = "TRANSER_ALLOC_TRACE";
+
+/// 0 = uninitialised, 1 = disabled, 2 = enabled, 3 = initialising (treated
+/// as disabled so the env-var read below cannot recurse through the
+/// allocator hook).
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+#[cold]
+fn init_state() -> u8 {
+    // Claim the initialising state first: any allocation performed while
+    // reading the environment re-enters `enabled`, sees 3 and bails out.
+    if STATE.compare_exchange(0, 3, Ordering::Relaxed, Ordering::Relaxed).is_err() {
+        return STATE.load(Ordering::Relaxed);
+    }
+    let on = match std::env::var(ALLOC_ENV) {
+        Ok(v) => {
+            let t = v.trim();
+            !(t.is_empty()
+                || t == "0"
+                || t.eq_ignore_ascii_case("false")
+                || t.eq_ignore_ascii_case("off"))
+        }
+        Err(_) => false,
+    };
+    let state = if on { 2 } else { 1 };
+    // A racing `set_enabled` may have overwritten 3; its choice wins.
+    let _ = STATE.compare_exchange(3, state, Ordering::Relaxed, Ordering::Relaxed);
+    STATE.load(Ordering::Relaxed)
+}
+
+/// Is allocation profiling enabled? The fast path — one relaxed load and
+/// a compare — is what every allocation in the process pays when off.
+#[inline]
+pub fn enabled() -> bool {
+    let state = STATE.load(Ordering::Relaxed);
+    if state == 0 {
+        return init_state() == 2;
+    }
+    state == 2
+}
+
+/// Force allocation profiling on or off for the whole process, overriding
+/// `TRANSER_ALLOC_TRACE`. For tests and benchmarks (the environment
+/// variable is read once; this flips the same switch directly).
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+thread_local! {
+    /// Allocation events observed on this thread while profiling was on.
+    static COUNT: Cell<u64> = const { Cell::new(0) };
+    /// Fresh bytes requested on this thread while profiling was on.
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Record one successful allocation of `bytes` bytes on the calling
+/// thread. Called by the registered global allocator
+/// (`transer_common::CountingAllocator`); tests may call it directly to
+/// simulate allocations. Never allocates.
+#[inline]
+pub fn on_alloc(bytes: usize) {
+    if enabled() {
+        COUNT.with(|c| c.set(c.get().wrapping_add(1)));
+        BYTES.with(|b| b.set(b.get().wrapping_add(bytes as u64)));
+    }
+}
+
+/// Record one successful reallocation from `old` to `new` bytes: one
+/// event, counting only the growth (zero bytes for shrink / same-size).
+#[inline]
+pub fn on_realloc(old: usize, new: usize) {
+    on_alloc(new.saturating_sub(old));
+}
+
+/// The calling thread's cumulative `(events, bytes)` counters. Monotonic
+/// within a thread (they only ever advance while profiling is on), so a
+/// scoped measurement is the difference of two reads.
+#[inline]
+pub fn thread_counters() -> (u64, u64) {
+    (COUNT.with(Cell::get), BYTES.with(Cell::get))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The enable switch is process-global; tests that flip it serialise on
+    // the crate-wide test lock (shared with the span-attribution tests in
+    // `lib.rs`) and restore "disabled" before returning.
+    use crate::tests::TEST_LOCK;
+
+    #[test]
+    fn disabled_hook_is_a_no_op() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(false);
+        let before = thread_counters();
+        on_alloc(123);
+        on_realloc(10, 500);
+        assert_eq!(thread_counters(), before);
+    }
+
+    #[test]
+    fn enabled_hook_counts_events_and_bytes() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        let (c0, b0) = thread_counters();
+        on_alloc(100);
+        on_alloc(0);
+        on_realloc(64, 256); // one event, 192 fresh bytes
+        on_realloc(256, 64); // one event, shrink: zero fresh bytes
+        set_enabled(false);
+        let (c1, b1) = thread_counters();
+        assert_eq!(c1 - c0, 4);
+        assert_eq!(b1 - b0, 100 + 192);
+    }
+
+    #[test]
+    fn counters_are_thread_local() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        let (c0, _) = thread_counters();
+        std::thread::spawn(|| on_alloc(1_000_000)).join().expect("spawned thread");
+        set_enabled(false);
+        let (c1, _) = thread_counters();
+        assert_eq!(c1, c0, "another thread's allocations must not land here");
+    }
+}

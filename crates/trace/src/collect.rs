@@ -14,6 +14,10 @@ struct Frame {
     name: &'static str,
     start: Instant,
     children: Vec<SpanNode>,
+    /// Thread allocation counters ([`crate::alloc::thread_counters`]) when
+    /// the span opened; the span's alloc profile is the delta at close.
+    alloc_count0: u64,
+    alloc_bytes0: u64,
 }
 
 /// Per-thread trace buffer.
@@ -48,7 +52,21 @@ impl Collector {
     }
 
     pub(crate) fn open_span(&mut self, name: &'static str) {
-        self.stack.push(Frame { name, start: Instant::now(), children: Vec::new() });
+        // Push first, snapshot after: growing the stack may itself allocate,
+        // and that event belongs to whatever enclosed the push, not to the
+        // span being opened.
+        self.stack.push(Frame {
+            name,
+            start: Instant::now(),
+            children: Vec::new(),
+            alloc_count0: 0,
+            alloc_bytes0: 0,
+        });
+        let (count, bytes) = crate::alloc::thread_counters();
+        if let Some(frame) = self.stack.last_mut() {
+            frame.alloc_count0 = count;
+            frame.alloc_bytes0 = bytes;
+        }
     }
 
     /// Close the innermost open span. `secs` overrides the measured
@@ -56,12 +74,17 @@ impl Collector {
     /// measures outside the collector so the duration is identical whether
     /// or not tracing records it).
     pub(crate) fn close_span(&mut self, secs: Option<f64>) {
+        // Snapshot before popping: building and attaching the closed node
+        // allocates, and those events belong to the enclosing span.
+        let (alloc_count, alloc_bytes) = crate::alloc::thread_counters();
         let Some(frame) = self.stack.pop() else {
             return; // mismatched close (e.g. tracing toggled mid-span): drop
         };
         let node = SpanNode {
             name: frame.name,
             secs: secs.unwrap_or_else(|| frame.start.elapsed().as_secs_f64()),
+            alloc_count: alloc_count.wrapping_sub(frame.alloc_count0),
+            alloc_bytes: alloc_bytes.wrapping_sub(frame.alloc_bytes0),
             children: frame.children,
         };
         match self.stack.last_mut() {

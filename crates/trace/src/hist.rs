@@ -56,66 +56,52 @@ pub fn bucket_of(value: f64) -> Option<i16> {
 }
 
 impl Histogram {
-    /// Record one observation.
+    /// Record one observation. All `u64` totals saturate at `u64::MAX`
+    /// rather than wrap — a histogram fed more than 2^64 observations
+    /// pins at the ceiling instead of silently restarting from zero.
     pub fn observe(&mut self, value: f64) {
-        if value.is_nan() {
-            self.nan += 1;
-            return;
-        }
-        if value == f64::INFINITY {
-            self.inf += 1;
-            return;
-        }
-        if value == f64::NEG_INFINITY {
-            self.negative += 1;
-            return;
-        }
-        self.count += 1;
-        self.sum += value;
-        self.min = Some(self.min.map_or(value, |m| m.min(value)));
-        self.max = Some(self.max.map_or(value, |m| m.max(value)));
-        match bucket_of(value) {
-            Some(e) => *self.buckets.entry(e).or_insert(0) += 1,
-            None if value < 0.0 => self.negative += 1,
-            None => self.zero += 1,
-        }
+        self.observe_n(value, 1);
     }
 
     /// Record `value` `n` times (used when counting e.g. band sizes that
-    /// are already aggregated).
+    /// are already aggregated). Saturating, like [`Histogram::observe`].
     pub fn observe_n(&mut self, value: f64, n: u64) {
         if n == 0 {
             return;
         }
         if value.is_nan() {
-            self.nan += n;
+            self.nan = self.nan.saturating_add(n);
             return;
         }
         if value == f64::INFINITY {
-            self.inf += n;
+            self.inf = self.inf.saturating_add(n);
             return;
         }
         if value == f64::NEG_INFINITY {
-            self.negative += n;
+            self.negative = self.negative.saturating_add(n);
             return;
         }
-        self.count += n;
+        self.count = self.count.saturating_add(n);
         self.sum += value * n as f64;
         self.min = Some(self.min.map_or(value, |m| m.min(value)));
         self.max = Some(self.max.map_or(value, |m| m.max(value)));
         match bucket_of(value) {
-            Some(e) => *self.buckets.entry(e).or_insert(0) += n,
-            None if value < 0.0 => self.negative += n,
-            None => self.zero += n,
+            Some(e) => {
+                let slot = self.buckets.entry(e).or_insert(0);
+                *slot = slot.saturating_add(n);
+            }
+            None if value < 0.0 => self.negative = self.negative.saturating_add(n),
+            None => self.zero = self.zero.saturating_add(n),
         }
     }
 
     /// Fold another histogram into this one. Commutative and associative,
     /// which is what makes the worker merge order-insensitive in value
     /// (the merge is still performed in worker order for determinism of
-    /// any future order-sensitive fields).
+    /// any future order-sensitive fields). Totals saturate like
+    /// [`Histogram::observe_n`].
     pub fn merge(&mut self, other: &Histogram) {
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum += other.sum;
         self.min = match (self.min, other.min) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -125,18 +111,20 @@ impl Histogram {
             (Some(a), Some(b)) => Some(a.max(b)),
             (a, b) => a.or(b),
         };
-        self.zero += other.zero;
-        self.negative += other.negative;
-        self.inf += other.inf;
-        self.nan += other.nan;
+        self.zero = self.zero.saturating_add(other.zero);
+        self.negative = self.negative.saturating_add(other.negative);
+        self.inf = self.inf.saturating_add(other.inf);
+        self.nan = self.nan.saturating_add(other.nan);
         for (&e, &n) in &other.buckets {
-            *self.buckets.entry(e).or_insert(0) += n;
+            let slot = self.buckets.entry(e).or_insert(0);
+            *slot = slot.saturating_add(n);
         }
     }
 
-    /// Total observations including the non-finite side counters.
+    /// Total observations including the non-finite side counters
+    /// (saturating, so it never wraps past `u64::MAX`).
     pub fn total(&self) -> u64 {
-        self.count + self.inf + self.nan
+        self.count.saturating_add(self.inf).saturating_add(self.nan)
     }
 
     /// Mean of the finite observations (`None` when empty).
@@ -228,6 +216,72 @@ mod tests {
         assert_eq!(whole.buckets[&2], 1); // 4.0
         assert_eq!(whole.buckets[&-1], 1); // 0.75
         assert_eq!(whole.mean().unwrap(), whole.sum / 10.0);
+    }
+
+    #[test]
+    fn saturating_totals_never_wrap() {
+        let mut h = Histogram::default();
+        h.observe_n(2.0, u64::MAX);
+        h.observe_n(2.0, 5); // would wrap; must pin at the ceiling
+        h.observe_n(f64::NAN, u64::MAX);
+        h.observe_n(f64::NAN, 1);
+        h.observe_n(f64::INFINITY, u64::MAX);
+        assert_eq!(h.count, u64::MAX);
+        assert_eq!(h.buckets[&1], u64::MAX);
+        assert_eq!(h.nan, u64::MAX);
+        assert_eq!(h.total(), u64::MAX, "total saturates too");
+        let mut other = Histogram::default();
+        other.observe_n(2.0, 7);
+        other.observe_n(-1.0, u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.count, u64::MAX);
+        assert_eq!(h.negative, u64::MAX);
+        // merging the saturated histogram into a fresh one saturates there
+        let mut fresh = Histogram::default();
+        fresh.observe_n(2.0, 3);
+        fresh.merge(&h);
+        assert_eq!(fresh.count, u64::MAX);
+    }
+
+    #[test]
+    fn merge_handles_empty_subnormal_and_infinite_edges() {
+        // Merging an empty histogram is the identity in both directions.
+        let mut a = Histogram::default();
+        a.observe(1.5);
+        let before = a.clone();
+        a.merge(&Histogram::default());
+        assert_eq!(a, before);
+        let mut empty = Histogram::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+
+        // Subnormals land in `zero` but still drive count/min/max/sum.
+        let sub = f64::MIN_POSITIVE / 2.0;
+        let mut s = Histogram::default();
+        s.observe_n(sub, 2);
+        assert_eq!((s.zero, s.count), (2, 2));
+        assert_eq!(s.min, Some(sub));
+
+        // ±Inf go to side counters and leave min/max untouched.
+        let mut inf = Histogram::default();
+        inf.observe_n(f64::INFINITY, 3);
+        inf.observe_n(f64::NEG_INFINITY, 4);
+        assert_eq!((inf.inf, inf.negative, inf.count), (3, 4, 0));
+        assert_eq!((inf.min, inf.max), (None, None));
+        s.merge(&inf);
+        assert_eq!((s.inf, s.negative, s.count), (3, 4, 2));
+        assert_eq!(s.max, Some(sub), "inf must not become the finite max");
+        assert_eq!(s.total(), 2 + 3);
+    }
+
+    #[test]
+    fn observe_n_zero_is_a_no_op_for_every_class_of_value() {
+        let mut h = Histogram::default();
+        for v in [1.0, 0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, f64::MIN_POSITIVE] {
+            h.observe_n(v, 0);
+        }
+        assert_eq!(h, Histogram::default());
+        assert_eq!(h.mean(), None);
     }
 
     #[test]

@@ -78,6 +78,45 @@ impl Json {
         out
     }
 
+    /// Serialise on one line with no whitespace — the JSONL form used by
+    /// the run ledger (`results/ledger.jsonl`, one record per line).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -114,6 +153,24 @@ impl Json {
             }
         }
     }
+}
+
+/// Build a [`Json::Obj`] from `(key, value)` pairs — the shared literal
+/// constructor of every artefact-writing bin.
+pub fn obj(entries: Vec<(&str, Json)>) -> Json {
+    Json::Obj(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Write `doc` to `path` in pretty form, creating parent directories.
+/// The shared artefact writer of the `bench_*`/eval bins: one code path
+/// for `results/*.json` means one place that creates `results/`.
+pub fn write_pretty(path: &str, doc: &Json) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, doc.to_pretty())
 }
 
 fn pad(out: &mut String, indent: usize) {
@@ -187,7 +244,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -219,7 +276,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -228,11 +285,18 @@ impl Parser<'_> {
         }
         loop {
             self.skip_ws();
+            let key_at = self.pos;
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
+            if map.contains_key(&key) {
+                // A BTreeMap would silently keep one of the two values;
+                // reports never emit duplicates, so seeing one means the
+                // file is corrupt (or hand-edited) — fail loudly.
+                return Err(format!("duplicate object key {key:?} at byte {key_at}"));
+            }
             map.insert(key, value);
             self.skip_ws();
             match self.peek() {
@@ -247,7 +311,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -270,7 +334,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -367,6 +431,27 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"\\x\"", "{\"a\" 1}"] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn rejects_duplicate_object_keys() {
+        let err = parse(r#"{"a": 1, "b": 2, "a": 3}"#).unwrap_err();
+        assert!(err.contains("duplicate object key \"a\""), "{err}");
+        // Nested objects are checked too.
+        assert!(parse(r#"{"outer": {"x": 1, "x": 1}}"#).is_err());
+    }
+
+    #[test]
+    fn compact_form_round_trips_and_has_no_whitespace() {
+        let doc = Json::Obj(BTreeMap::from([
+            ("bin".into(), Json::Str("bench_sel \"q\"".into())),
+            ("secs".into(), Json::Num(1.25)),
+            ("argv".into(), Json::Arr(vec![Json::Str("--smoke".into()), Json::Null])),
+            ("empty".into(), Json::Obj(BTreeMap::new())),
+        ]));
+        let line = doc.to_compact();
+        assert!(!line.contains('\n') && !line.contains(": "), "{line}");
+        assert_eq!(parse(&line).unwrap(), doc);
     }
 
     #[test]

@@ -36,9 +36,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 mod collect;
 pub mod hist;
 pub mod json;
+pub mod ledger;
 mod report;
 
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -47,7 +49,8 @@ use std::time::Instant;
 
 pub use collect::{absorb, worker_harvest, WorkerTrace};
 pub use hist::Histogram;
-pub use report::{SpanNode, TraceReport, Warning};
+pub use ledger::RunLedger;
+pub use report::{SpanNode, TraceReport, Warning, REPORT_VERSION};
 
 /// Environment variable enabling tracing (`0`/`false`/`off`/empty = off).
 pub const TRACE_ENV: &str = "TRANSER_TRACE";
@@ -187,6 +190,31 @@ impl Drop for TimedSpan {
     }
 }
 
+/// Run `f`, attributing the allocation events/bytes it performs on the
+/// calling thread to the two named counters. A plain call to `f` unless
+/// both tracing *and* allocation profiling (`TRANSER_ALLOC_TRACE`) are on.
+///
+/// Unlike per-span attribution, counters merge through the deterministic
+/// worker harvest — so scoped alloc totals recorded inside pool workers
+/// are bit-identical at any worker count, exactly like every other
+/// counter.
+#[inline]
+pub fn alloc_counted<R>(
+    count_name: &'static str,
+    bytes_name: &'static str,
+    f: impl FnOnce() -> R,
+) -> R {
+    if !enabled() || !alloc::enabled() {
+        return f();
+    }
+    let (c0, b0) = alloc::thread_counters();
+    let out = f();
+    let (c1, b1) = alloc::thread_counters();
+    counter(count_name, c1.wrapping_sub(c0));
+    counter(bytes_name, b1.wrapping_sub(b0));
+    out
+}
+
 /// Record a structured warning. The warning always goes to stderr (it
 /// reports a misconfiguration the user should see regardless of tracing)
 /// and is additionally kept in the report when tracing is enabled.
@@ -219,10 +247,22 @@ pub fn drain_report() -> TraceReport {
     // once they close.
     let report = collect::with(|c| c.take_report());
     if !report.is_empty() {
-        let mut global = GLOBAL.lock().expect("trace accumulator poisoned");
+        // A panicking holder cannot corrupt the accumulator (every critical
+        // section is a merge/take that leaves it valid), so recover the
+        // report from a poisoned lock instead of propagating the panic.
+        let mut global = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
         global.get_or_insert_with(TraceReport::default).merge(report.clone());
     }
     report
+}
+
+/// Drain the calling thread, then *copy* the process-wide accumulated
+/// report without clearing it. For observers (e.g. the run ledger) that
+/// want the counters-so-far while leaving [`take_global_report`]'s
+/// take-and-clear semantics to the experiment harness.
+pub fn peek_global_report() -> TraceReport {
+    let _ = drain_report();
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner()).clone().unwrap_or_default()
 }
 
 /// Drain the calling thread, then take (and clear) the process-wide
@@ -233,7 +273,7 @@ pub fn take_global_report() -> TraceReport {
     // `drain_report` folds the thread's tail into the accumulator, so after
     // it the accumulator is the complete picture.
     let _ = drain_report();
-    GLOBAL.lock().expect("trace accumulator poisoned").take().unwrap_or_default()
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner()).take().unwrap_or_default()
 }
 
 /// True when the calling thread's buffer holds nothing (no open spans, no
@@ -247,8 +287,10 @@ mod tests {
     use super::*;
 
     // Tracing state is process-global; every test that flips it runs under
-    // this lock and restores "disabled" at the end.
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    // this lock and restores "disabled" at the end. Shared with the
+    // `alloc` module's tests, which flip the (equally global) allocation
+    // profiling switch.
+    pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
 
     fn with_tracing<R>(on: bool, f: impl FnOnce() -> R) -> R {
         let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
@@ -343,6 +385,67 @@ mod tests {
         // Taking clears it.
         let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         assert!(take_global_report().is_empty());
+    }
+
+    #[test]
+    fn spans_attribute_simulated_allocations() {
+        let report = with_tracing(true, || {
+            alloc::set_enabled(true);
+            let outer = span("alloc.outer");
+            alloc::on_alloc(100);
+            {
+                let inner = span("alloc.inner");
+                alloc::on_alloc(50);
+                alloc::on_alloc(50);
+                drop(inner);
+            }
+            drop(outer);
+            alloc::set_enabled(false);
+            drain_report()
+        });
+        let inner = report.find_span("alloc.inner").expect("inner span");
+        assert_eq!((inner.alloc_count, inner.alloc_bytes), (2, 100));
+        let outer = report.find_span("alloc.outer").expect("outer span");
+        // Inclusive attribution: the outer span sees its own event plus the
+        // inner span's two, plus whatever the trace machinery itself did
+        // while closing the inner span (real allocator hooks would add
+        // those; the simulated hook records exactly the explicit calls).
+        assert_eq!((outer.alloc_count, outer.alloc_bytes), (3, 200));
+        assert_eq!(report.alloc_totals("alloc.inner"), (2, 100));
+    }
+
+    #[test]
+    fn alloc_counted_records_deltas_into_counters() {
+        let report = with_tracing(true, || {
+            alloc::set_enabled(true);
+            let out = alloc_counted("t.alloc.count", "t.alloc.bytes", || {
+                alloc::on_alloc(64);
+                alloc::on_alloc(192);
+                7
+            });
+            assert_eq!(out, 7);
+            alloc::set_enabled(false);
+            // Disabled profiling: no counters recorded, `f` still runs.
+            let out = alloc_counted("t.alloc.count", "t.alloc.bytes", || 8);
+            assert_eq!(out, 8);
+            drain_report()
+        });
+        assert_eq!(report.counter("t.alloc.count"), 2);
+        assert_eq!(report.counter("t.alloc.bytes"), 256);
+    }
+
+    #[test]
+    fn peek_keeps_the_accumulator_intact() {
+        let (peeked, taken) = with_tracing(true, || {
+            counter("p.count", 4);
+            let _ = drain_report();
+            counter("p.count", 1);
+            let peeked = peek_global_report();
+            let taken = take_global_report();
+            (peeked, taken)
+        });
+        assert_eq!(peeked.counter("p.count"), 5, "peek folds the thread tail in");
+        assert_eq!(taken.counter("p.count"), 5, "peek must not clear the accumulator");
     }
 
     #[test]

@@ -6,6 +6,11 @@ use std::collections::BTreeMap;
 use crate::hist::Histogram;
 use crate::json::Json;
 
+/// Version stamped into serialised reports: v2 adds the per-span
+/// `alloc_count` / `alloc_bytes` fields (zero unless `TRANSER_ALLOC_TRACE`
+/// was on). `trace_report --check` accepts v1 files without them.
+pub const REPORT_VERSION: u64 = 2;
+
 /// One completed span: a named wall-clock interval with nested children.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanNode {
@@ -13,6 +18,14 @@ pub struct SpanNode {
     pub name: &'static str,
     /// Wall-clock seconds from open to close (monotonic clock).
     pub secs: f64,
+    /// Allocation events observed on the opening thread while the span was
+    /// open (inclusive of same-thread children; always 0 unless
+    /// `TRANSER_ALLOC_TRACE` is on). Spans harvested from pool workers keep
+    /// their own worker-thread attribution.
+    pub alloc_count: u64,
+    /// Fresh bytes requested on the opening thread while the span was open
+    /// (same attribution rules as `alloc_count`).
+    pub alloc_bytes: u64,
     /// Spans opened and closed while this one was open, in order.
     pub children: Vec<SpanNode>,
 }
@@ -30,6 +43,8 @@ impl SpanNode {
         Json::Obj(BTreeMap::from([
             ("name".to_string(), Json::Str(self.name.to_string())),
             ("secs".to_string(), Json::Num(self.secs)),
+            ("alloc_count".to_string(), Json::Num(self.alloc_count as f64)),
+            ("alloc_bytes".to_string(), Json::Num(self.alloc_bytes as f64)),
             ("children".to_string(), Json::Arr(self.children.iter().map(Self::to_json).collect())),
         ]))
     }
@@ -91,6 +106,28 @@ impl TraceReport {
         self.spans.iter().find_map(|s| s.find(name))
     }
 
+    /// Total `(alloc_count, alloc_bytes)` over *every* span with this name,
+    /// anywhere in the forest. Summing over occurrences makes the result
+    /// independent of where worker-harvested spans attached, so it is the
+    /// shape-insensitive aggregate to assert on in tests and gates. Note
+    /// that nested same-name spans double-count (attribution is inclusive).
+    pub fn alloc_totals(&self, name: &str) -> (u64, u64) {
+        fn walk(node: &SpanNode, name: &str, acc: &mut (u64, u64)) {
+            if node.name == name {
+                acc.0 = acc.0.saturating_add(node.alloc_count);
+                acc.1 = acc.1.saturating_add(node.alloc_bytes);
+            }
+            for child in &node.children {
+                walk(child, name, acc);
+            }
+        }
+        let mut acc = (0, 0);
+        for span in &self.spans {
+            walk(span, name, &mut acc);
+        }
+        acc
+    }
+
     /// Serialise to the versioned report JSON (see `trace_report --check`).
     pub fn to_json(&self, task: &str) -> String {
         let counters: BTreeMap<String, Json> =
@@ -108,7 +145,7 @@ impl TraceReport {
             })
             .collect();
         Json::Obj(BTreeMap::from([
-            ("version".to_string(), Json::Num(1.0)),
+            ("version".to_string(), Json::Num(REPORT_VERSION as f64)),
             ("task".to_string(), Json::Str(task.to_string())),
             ("spans".to_string(), Json::Arr(self.spans.iter().map(SpanNode::to_json).collect())),
             ("counters".to_string(), Json::Obj(counters)),
@@ -148,7 +185,15 @@ mod tests {
             spans: vec![SpanNode {
                 name: "pipeline",
                 secs: 0.5,
-                children: vec![SpanNode { name: "sel", secs: 0.25, children: vec![] }],
+                alloc_count: 12,
+                alloc_bytes: 4096,
+                children: vec![SpanNode {
+                    name: "sel",
+                    secs: 0.25,
+                    alloc_count: 3,
+                    alloc_bytes: 256,
+                    children: vec![],
+                }],
             }],
             counters: BTreeMap::from([("sel.accepted", 7u64)]),
             hists: BTreeMap::from([("gen.confidence", h)]),
@@ -179,13 +224,24 @@ mod tests {
     }
 
     #[test]
+    fn alloc_totals_sum_over_occurrences() {
+        let mut r = sample();
+        r.merge(sample()); // two root "pipeline" spans now
+        assert_eq!(r.alloc_totals("pipeline"), (24, 8192));
+        assert_eq!(r.alloc_totals("sel"), (6, 512));
+        assert_eq!(r.alloc_totals("absent"), (0, 0));
+    }
+
+    #[test]
     fn json_output_parses_and_has_the_schema_fields() {
         let text = sample().to_json("unit");
         let doc = json::parse(&text).unwrap();
-        assert_eq!(doc.get("version").unwrap().as_num(), Some(1.0));
+        assert_eq!(doc.get("version").unwrap().as_num(), Some(REPORT_VERSION as f64));
         assert_eq!(doc.get("task").unwrap().as_str(), Some("unit"));
         let spans = doc.get("spans").unwrap().as_arr().unwrap();
         assert_eq!(spans[0].get("name").unwrap().as_str(), Some("pipeline"));
+        assert_eq!(spans[0].get("alloc_count").unwrap().as_num(), Some(12.0));
+        assert_eq!(spans[0].get("alloc_bytes").unwrap().as_num(), Some(4096.0));
         let kids = spans[0].get("children").unwrap().as_arr().unwrap();
         assert_eq!(kids[0].get("name").unwrap().as_str(), Some("sel"));
         let hist = doc.get("histograms").unwrap().get("gen.confidence").unwrap();

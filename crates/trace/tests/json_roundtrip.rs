@@ -1,0 +1,210 @@
+//! Differential tests for `transer_trace::json`: any document the writer
+//! can produce must parse back to the identical value (pretty and compact
+//! forms alike), real `TraceReport`s round-trip through their serialised
+//! form, and malformed inputs — truncations, bad escapes, duplicate keys —
+//! must return `Err`, never panic.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use transer_trace::json::{self, Json};
+use transer_trace::{Histogram, SpanNode, TraceReport, Warning, REPORT_VERSION};
+
+/// Deterministic xorshift; proptest drives only the seed.
+fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    }
+}
+
+/// An ASCII string exercising every escape class the writer knows:
+/// quotes, backslashes, the named control escapes and raw control bytes
+/// (which serialise as `\u00xx`).
+fn gen_string(rng: &mut impl FnMut() -> u64) -> String {
+    const PIECES: &[&str] =
+        &["a", "key", "\"", "\\", "\n", "\t", "\r", "\u{1}", "\u{1f}", "/", " "];
+    let len = (rng() % 6) as usize;
+    (0..len).map(|_| PIECES[(rng() % PIECES.len() as u64) as usize]).collect()
+}
+
+/// A finite number from a palette of integers, dyadic fractions and
+/// extreme magnitudes — everything `write_num` prints round-trips through
+/// the shortest `f64` representation.
+fn gen_number(rng: &mut impl FnMut() -> u64) -> f64 {
+    match rng() % 5 {
+        0 => (rng() % 10_000) as f64,
+        1 => -((rng() % 100) as f64),
+        2 => (rng() % 1_000) as f64 / 8.0,
+        3 => (rng() % 97) as f64 * 1e300,
+        _ => (rng() % 97) as f64 * 1e-308, // subnormal territory
+    }
+}
+
+/// A random document, depth-limited so the recursive parser stays well
+/// within stack bounds.
+fn gen_value(rng: &mut impl FnMut() -> u64, depth: usize) -> Json {
+    let choices = if depth == 0 { 4 } else { 6 };
+    match rng() % choices {
+        0 => Json::Null,
+        1 => Json::Bool(rng().is_multiple_of(2)),
+        2 => Json::Num(gen_number(rng)),
+        3 => Json::Str(gen_string(rng)),
+        4 => {
+            let n = (rng() % 4) as usize;
+            Json::Arr((0..n).map(|_| gen_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = (rng() % 4) as usize;
+            let mut map = BTreeMap::new();
+            for i in 0..n {
+                // Suffix with the index so keys never collide (the writer
+                // could not emit duplicates from a BTreeMap anyway).
+                map.insert(format!("{}{i}", gen_string(rng)), gen_value(rng, depth - 1));
+            }
+            Json::Obj(map)
+        }
+    }
+}
+
+/// A randomised but structurally valid report, as `drain_report` would
+/// produce it.
+fn gen_report(rng: &mut impl FnMut() -> u64) -> TraceReport {
+    const COUNTERS: &[&str] = &["a.calls", "b.hits", "c.misses", "d.bytes"];
+    const HISTS: &[&str] = &["h.size", "h.score"];
+    const SPANS: &[&str] = &["pipeline", "sel", "gen", "tcl"];
+    let mut report = TraceReport::default();
+    for &name in COUNTERS {
+        if rng().is_multiple_of(2) {
+            report.counters.insert(name, rng() % 1_000_000);
+        }
+    }
+    for &name in HISTS {
+        if rng().is_multiple_of(2) {
+            let mut h = Histogram::default();
+            for _ in 0..(rng() % 20) {
+                h.observe(gen_number(rng));
+            }
+            report.hists.insert(name, h);
+        }
+    }
+    for &name in SPANS.iter().take((rng() % 3) as usize + 1) {
+        report.spans.push(SpanNode {
+            name,
+            secs: (rng() % 10_000) as f64 / 1e6,
+            alloc_count: rng() % 1_000,
+            alloc_bytes: rng() % 1_000_000,
+            children: vec![],
+        });
+    }
+    if rng().is_multiple_of(3) {
+        report.warnings.push(Warning { context: "env".into(), message: gen_string(rng) });
+    }
+    report
+}
+
+proptest! {
+    /// Writer → parser is the identity, in both output forms.
+    #[test]
+    fn generated_documents_round_trip(seed in any::<u64>()) {
+        let mut rng = xorshift(seed);
+        let doc = gen_value(&mut rng, 4);
+        let pretty = doc.to_pretty();
+        prop_assert_eq!(json::parse(&pretty).unwrap(), doc.clone());
+        let compact = doc.to_compact();
+        prop_assert_eq!(json::parse(&compact).unwrap(), doc);
+    }
+
+    /// Serialised trace reports parse back with the schema fields intact.
+    #[test]
+    fn trace_reports_round_trip_through_to_json(seed in any::<u64>()) {
+        let mut rng = xorshift(seed);
+        let report = gen_report(&mut rng);
+        let text = report.to_json("prop");
+        let doc = json::parse(&text).unwrap();
+        prop_assert_eq!(doc.get("version").unwrap().as_num(), Some(REPORT_VERSION as f64));
+        prop_assert_eq!(doc.get("task").unwrap().as_str(), Some("prop"));
+        let spans = doc.get("spans").unwrap().as_arr().unwrap();
+        prop_assert_eq!(spans.len(), report.spans.len());
+        for (node, span) in report.spans.iter().zip(spans) {
+            prop_assert_eq!(span.get("name").unwrap().as_str(), Some(node.name));
+            prop_assert_eq!(span.get("alloc_count").unwrap().as_num(), Some(node.alloc_count as f64));
+            prop_assert_eq!(span.get("alloc_bytes").unwrap().as_num(), Some(node.alloc_bytes as f64));
+        }
+        let counters = doc.get("counters").unwrap().as_obj().unwrap();
+        prop_assert_eq!(counters.len(), report.counters.len());
+        for (&name, &value) in &report.counters {
+            prop_assert_eq!(counters[name].as_num(), Some(value as f64));
+        }
+        for (&name, hist) in &report.hists {
+            let h = doc.get("histograms").unwrap().get(name).unwrap();
+            prop_assert_eq!(h.get("count").unwrap().as_num(), Some(hist.count as f64));
+        }
+    }
+
+    /// Every proper prefix of a serialised document is a parse error (the
+    /// root is always an object, so a cut anywhere inside leaves it
+    /// unbalanced) — and never a panic.
+    #[test]
+    fn truncations_error_out_gracefully(seed in any::<u64>()) {
+        let mut rng = xorshift(seed);
+        // Force an object root so prefixes can never be complete documents.
+        let mut map = BTreeMap::new();
+        map.insert("k".to_string(), gen_value(&mut rng, 3));
+        let text = Json::Obj(map).to_pretty();
+        let body_len = text.trim_end().len();
+        // The output is pure ASCII (non-ASCII never enters `gen_string`),
+        // so every byte offset is a char boundary.
+        let cut = (rng() % body_len as u64) as usize;
+        prop_assert!(json::parse(&text[..cut]).is_err(), "prefix {cut} of {body_len} parsed");
+    }
+
+    /// Flipping one interior byte to a hostile character never panics the
+    /// parser (it may still parse: e.g. a digit swapped inside a number).
+    #[test]
+    fn corrupted_bytes_never_panic(seed in any::<u64>()) {
+        let mut rng = xorshift(seed);
+        let mut map = BTreeMap::new();
+        map.insert("key".to_string(), gen_value(&mut rng, 3));
+        let mut text = Json::Obj(map).to_pretty().into_bytes();
+        const HOSTILE: &[u8] = b"\\\"{}[]:,xeE+-.\x01";
+        let at = (rng() % text.len() as u64) as usize;
+        text[at] = HOSTILE[(rng() % HOSTILE.len() as u64) as usize];
+        if let Ok(corrupted) = String::from_utf8(text) {
+            let _ = json::parse(&corrupted); // Err or Ok — just no panic
+        }
+    }
+}
+
+#[test]
+fn malformed_escapes_and_duplicates_are_errors() {
+    let cases = [
+        r#"{"a": "\q"}"#,                 // unknown escape
+        r#"{"a": "\u12"}"#,               // truncated \u escape
+        r#"{"a": "\u12zz"}"#,             // non-hex \u escape
+        "{\"a\": \"unterminated",         // unterminated string
+        r#"{"a": "x\"#,                   // unterminated escape at EOF
+        r#"{"k": 1, "k": 2}"#,            // duplicate key, flat
+        r#"{"o": {"i": [0], "i": [0]}}"#, // duplicate key, nested
+        r#"{"a": 1e}"#,                   // dangling exponent
+        r#"{"a": 1.2.3}"#,                // double decimal point
+        r#"{"a": 01e+}"#,                 // malformed exponent tail
+        "[1, 2,, 3]",                     // empty array slot
+        "{,}",                            // empty object slot
+    ];
+    for bad in cases {
+        assert!(json::parse(bad).is_err(), "{bad:?} should be an error");
+    }
+}
+
+#[test]
+fn non_ascii_strings_round_trip() {
+    let doc = Json::Obj(BTreeMap::from([
+        ("ключ".to_string(), Json::Str("ナルト — é\u{301}".to_string())),
+        ("mixed".to_string(), Json::Str("a\u{1}б\"\\\n".to_string())),
+    ]));
+    assert_eq!(json::parse(&doc.to_pretty()).unwrap(), doc);
+    assert_eq!(json::parse(&doc.to_compact()).unwrap(), doc);
+}

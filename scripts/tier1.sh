@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 gate: release build + full test suite, then clippy with warnings
 # denied and formatting checked. Run from anywhere; operates on the repo
-# root.
+# root. `--rebaseline` refreshes the blessed trace baseline in
+# results/baselines/ from this run instead of gating against it (use when
+# a counter, span or allocation-profile change is intentional).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+REBASELINE=0
+[ "${1:-}" = "--rebaseline" ] && REBASELINE=1
 
 cargo build --release
 cargo test -q
@@ -18,10 +23,42 @@ bash scripts/panic_audit.sh
 TRANSER_FAULT=gen.fit:nan ./target/release/ablation_controlled --quick --scale 0.05 > /dev/null
 
 # Traced smoke: a tiny controlled run with TRANSER_TRACE=1 must emit a
-# schema-valid trace report covering every instrumented layer (including
-# the grain-dispatch counters and chunk-size histogram).
-TRANSER_TRACE=1 ./target/release/ablation_controlled --quick --scale 0.05 > /dev/null
+# schema-valid (v2) trace report covering every instrumented layer,
+# including per-span allocation profiles from the counting allocator
+# (TRANSER_ALLOC_TRACE=1). The worker count is pinned so the
+# deterministic counters and allocation profile are comparable run to
+# run and against the committed baseline.
+TRACED_ENV="TRANSER_TRACE=1 TRANSER_ALLOC_TRACE=1 TRANSER_THREADS=2"
+env $TRACED_ENV ./target/release/ablation_controlled --quick --scale 0.05 > /dev/null
 ./target/release/trace_report --check results/TRACE_controlled.json
+
+# Trace regression gate: the traced smoke run must match the blessed
+# baseline — deterministic counters, histogram structure, span-tree
+# shape and allocation profile exactly; timings within the band. An
+# intentional change reruns with `tier1.sh --rebaseline` and commits the
+# refreshed baseline.
+BASELINE=results/baselines/TRACE_controlled.json
+if [ "$REBASELINE" = 1 ] || [ ! -f "$BASELINE" ]; then
+    mkdir -p results/baselines
+    cp results/TRACE_controlled.json "$BASELINE"
+    echo "tier1: rebaselined $BASELINE"
+else
+    ./target/release/trace_diff --gate "$BASELINE" results/TRACE_controlled.json
+fi
+
+# Negative control for the gate: a fault-perturbed traced run must FAIL
+# the diff (the degradation ladder changes the counter stream), otherwise
+# the gate is vacuous. The perturbed artefact is kept out of results/.
+env $TRACED_ENV TRANSER_FAULT=gen.fit:nan \
+    ./target/release/ablation_controlled --quick --scale 0.05 > /dev/null
+mv results/TRACE_controlled.json target/TRACE_perturbed.json
+if ./target/release/trace_diff --gate "$BASELINE" target/TRACE_perturbed.json > /dev/null; then
+    echo "tier1: trace_diff gate FAILED to flag a fault-perturbed run" >&2
+    exit 1
+fi
+echo "tier1: trace_diff gate flags the fault-perturbed control run (expected)"
+# Restore the clean committed-state artefact clobbered by the control.
+env $TRACED_ENV ./target/release/ablation_controlled --quick --scale 0.05 > /dev/null
 
 # Scale-ladder smoke: the end-to-end bench at its smallest rung (10^4
 # rows per domain) must report finite records/sec, bit-identical labels
@@ -32,12 +69,15 @@ TRANSER_TRACE=1 ./target/release/ablation_controlled --quick --scale 0.05 > /dev
 
 # Similarity-kernel smoke: every measure verified bitwise-equal between
 # the reference and fast engines on the bench corpus, the trace-counter
-# partition invariant asserted on live counts, and the JSON artefact
-# round-tripped through the parser.
-./target/release/bench_similarity --smoke --out target/BENCH_similarity_smoke.json > /dev/null
+# partition invariant asserted on live counts, the steady-state scoring
+# pass asserted allocation-free under the counting allocator
+# (TRANSER_ALLOC_TRACE=1), and the JSON artefact round-tripped through
+# the parser.
+TRANSER_ALLOC_TRACE=1 \
+    ./target/release/bench_similarity --smoke --out target/BENCH_similarity_smoke.json > /dev/null
 
 # k-NN index smoke: on one small deterministic dataset the KD-tree, ball
 # tree and blocked backends must agree bitwise with the brute-force
 # reference (neighbours, squared-distance bits, tie-break order) at
 # several k; panics non-zero on the first disagreement.
-./target/release/bench_sel --smoke --json target/BENCH_sel_smoke.json > /dev/null
+./target/release/bench_sel --smoke --out target/BENCH_sel_smoke.json > /dev/null
