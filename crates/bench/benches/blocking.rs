@@ -8,7 +8,7 @@ use transer_datagen::biblio::{self, BiblioConfig};
 
 fn bench_blocking(c: &mut Criterion) {
     let (left, right) = biblio::generate(&BiblioConfig::dblp_acm(1_000, 3));
-    let blocker = MinHashLsh::new(MinHashLshConfig::default());
+    let blocker = MinHashLsh::new(MinHashLshConfig::default()).expect("valid LSH config");
     let hashes = token_hashes(&left[0]);
 
     let mut g = c.benchmark_group("blocking");

@@ -26,7 +26,7 @@ fn bench_parallel(c: &mut Criterion) {
     let (left, right) = transer_datagen::biblio::generate(
         &transer_datagen::biblio::BiblioConfig::dblp_acm(entities, BENCH_SEED),
     );
-    let blocker = MinHashLsh::new(scenario.lsh_config());
+    let blocker = MinHashLsh::new(scenario.lsh_config()).expect("valid LSH config");
     let pairs = blocker.candidate_pairs_masked(&left, &right, Some(scenario.blocking_attrs()));
     let comparison = scenario.comparison();
 

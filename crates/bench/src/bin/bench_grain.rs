@@ -84,7 +84,7 @@ fn main() {
     let scenario = Scenario::DblpAcm;
     let entities = ((scenario.base_entities() as f64 * BENCH_SCALE) as usize).max(40);
     let (left, right) = biblio::generate(&biblio::BiblioConfig::dblp_acm(entities, BENCH_SEED));
-    let blocker = MinHashLsh::new(scenario.lsh_config());
+    let blocker = MinHashLsh::new(scenario.lsh_config()).expect("valid LSH config");
     let attrs = Some(scenario.blocking_attrs());
     let secs = time_best(|| {
         drop(blocker.candidate_pairs_masked_with_pool(&left, &right, attrs, &pool));

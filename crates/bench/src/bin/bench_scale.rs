@@ -64,7 +64,7 @@ fn label_hash(labels: &[Label]) -> u64 {
 fn build_task(rows: usize, seed: u64) -> (transer_common::FeatureMatrix, Vec<Label>, usize) {
     let gen = ScaleGen::new(ScaleConfig::new(rows).with_seed(seed)).expect("valid scale config");
     let (left, right): (Vec<Record>, Vec<Record>) = gen.pair();
-    let blocker = MinHashLsh::new(ScaleGen::lsh_config());
+    let blocker = MinHashLsh::new(ScaleGen::lsh_config()).expect("valid LSH config");
     let pairs = blocker.candidate_pairs_masked(&left, &right, Some(ScaleGen::blocking_attrs()));
     let n_pairs = pairs.len();
     let (x, y) = ScaleGen::comparison().compare_pairs(&left, &right, &pairs).expect("comparison");

@@ -1,0 +1,291 @@
+//! Serving-mode benchmark: train once, persist the artefacts, reload them
+//! cold, then stream query batches through a warm [`MatchService`] and
+//! record `results/BENCH_serve.json`.
+//!
+//! Per rung (`rows` records per domain):
+//!
+//! 1. **Train** — the scale generator's source task (seed 42) feeds
+//!    `TransEr::fit_predict_with_model` (random forest), whose serving
+//!    model is the classifier that produced the final target labels.
+//! 2. **Persist** — the model and a fresh LSH index over the target
+//!    reference domain (seed 1042, domain 0) are written to disk, then
+//!    *reloaded* into the service: every serve cell below runs on the
+//!    round-tripped artefacts, so the bench doubles as an end-to-end
+//!    persistence check.
+//! 3. **Serve** — the target query domain (seed 1042, domain 1) streams
+//!    through [`MatchService::query_batch_with_pool`] in batches of
+//!    `TRANSER_SERVE_BATCH` (default 256), once sequentially and once on
+//!    four workers. Each cell reports sustained queries/sec and
+//!    p50/p99/mean/max per-batch latency.
+//!
+//! The decision stream of every cell is folded into an FNV-1a hash; the
+//! two worker counts must agree (serving-path bit-identity), and each
+//! rung's hash is compared against the committed
+//! `results/BENCH_serve.json` baseline — `--rebaseline` skips the
+//! comparison when a behaviour change is intentional. `--smoke` runs the
+//! smallest rung only and validates the written JSON — the tier-1 hook.
+
+use std::time::Instant;
+
+use transer_bench::peak_rss_bytes;
+use transer_blocking::{LshIndex, MinHashLsh};
+use transer_common::{env, FeatureMatrix, Label, Record};
+use transer_core::{TransEr, TransErConfig};
+use transer_datagen::{ScaleConfig, ScaleGen};
+use transer_ml::{ClassifierKind, PersistedModel};
+use transer_parallel::Pool;
+use transer_serve::{batch_size_from_env, MatchService};
+use transer_trace::json::{self, obj, Json};
+use transer_trace::RunLedger;
+
+/// Seeds of the training (source) and serving (target) linkage tasks.
+const SOURCE_SEED: u64 = 42;
+const TARGET_SEED: u64 = 1042;
+
+/// The committed artefact carrying the per-rung baseline hashes.
+const BASELINE_PATH: &str = "results/BENCH_serve.json";
+
+/// One linkage task of the training phase: generate, block, compare.
+fn build_task(rows: usize, seed: u64) -> (FeatureMatrix, Vec<Label>) {
+    let gen = ScaleGen::new(ScaleConfig::new(rows).with_seed(seed)).expect("valid scale config");
+    let (left, right): (Vec<Record>, Vec<Record>) = gen.pair();
+    let blocker = MinHashLsh::new(ScaleGen::lsh_config()).expect("valid LSH config");
+    let pairs = blocker.candidate_pairs_masked(&left, &right, Some(ScaleGen::blocking_attrs()));
+    let (x, y) = ScaleGen::comparison().compare_pairs(&left, &right, &pairs).expect("comparison");
+    (x, y)
+}
+
+/// Train the serving model: run the transfer pipeline on the source task
+/// against the target task's features and keep the classifier that
+/// labelled the target.
+fn train_model(rows: usize) -> PersistedModel {
+    let (xs, ys) = build_task(rows, SOURCE_SEED);
+    let (xt, _yt) = build_task(rows, TARGET_SEED);
+    let transer = TransEr::new(TransErConfig::default(), ClassifierKind::RandomForest, SOURCE_SEED)
+        .expect("valid config");
+    let (_output, model) = transer.fit_predict_with_model(&xs, &ys, &xt).expect("pipeline");
+    model.expect("random forest persists")
+}
+
+/// FNV-1a over the decision stream: the serving-path bit-identity witness.
+fn fold_decisions(mut h: u64, batch_start: usize, resp: &transer_serve::BatchResponse) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    for d in &resp.decisions {
+        h = (h ^ (batch_start + d.query) as u64).wrapping_mul(PRIME);
+        h = (h ^ d.reference as u64).wrapping_mul(PRIME);
+        h = (h ^ u64::from(d.label.is_match())).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Percentile of an already-sorted sample (nearest-rank on `p` in 0–100).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Serve every query through the warm service on `workers` workers;
+/// returns the cell report and the decision hash.
+fn serve_cell(
+    service: &MatchService,
+    queries: &[Record],
+    batch_size: usize,
+    workers: usize,
+) -> (Json, u64) {
+    let pool = Pool::new(workers);
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut candidates = 0usize;
+    let mut matches = 0usize;
+    let start = Instant::now();
+    for (b, batch) in queries.chunks(batch_size).enumerate() {
+        let t = Instant::now();
+        let resp = service.query_batch_with_pool(batch, &pool).expect("serve batch");
+        latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        hash = fold_decisions(hash, b * batch_size, &resp);
+        candidates += resp.candidates;
+        matches += resp.matches;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    latencies_ms.sort_unstable_by(f64::total_cmp);
+    let mean = latencies_ms.iter().sum::<f64>() / latencies_ms.len().max(1) as f64;
+    let cell = obj(vec![
+        ("workers", Json::Num(workers as f64)),
+        ("queries", Json::Num(queries.len() as f64)),
+        ("batches", Json::Num(latencies_ms.len() as f64)),
+        ("candidates", Json::Num(candidates as f64)),
+        ("matches", Json::Num(matches as f64)),
+        ("secs_serve", Json::Num(secs)),
+        ("queries_per_sec", Json::Num(queries.len() as f64 / secs)),
+        (
+            "batch_latency_ms",
+            obj(vec![
+                ("p50", Json::Num(percentile(&latencies_ms, 50.0))),
+                ("p99", Json::Num(percentile(&latencies_ms, 99.0))),
+                ("mean", Json::Num(mean)),
+                ("max", Json::Num(percentile(&latencies_ms, 100.0))),
+            ]),
+        ),
+        ("decision_hash", Json::Str(format!("{hash:016x}"))),
+    ]);
+    (cell, hash)
+}
+
+/// Per-rung `rows → decision_hash` from an earlier artefact (empty when
+/// missing — first run on a fresh checkout).
+fn baseline_hashes(path: &str) -> Vec<(f64, String)> {
+    let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+    let Ok(doc) = json::parse(&text) else { return Vec::new() };
+    let Some(rungs) = doc.get("rungs").and_then(Json::as_arr) else { return Vec::new() };
+    rungs
+        .iter()
+        .filter_map(|rung| {
+            let rows = rung.get("rows").and_then(Json::as_num)?;
+            let hash = rung
+                .get("cells")
+                .and_then(Json::as_arr)?
+                .first()?
+                .get("decision_hash")
+                .and_then(Json::as_str)?;
+            Some((rows, hash.to_string()))
+        })
+        .collect()
+}
+
+fn main() {
+    let mut ledger = RunLedger::new("bench_serve");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let rebaseline = args.iter().any(|a| a == "--rebaseline");
+    let path = transer_trace::ledger::out_path(&args, BASELINE_PATH);
+    let path = path.as_str();
+    let committed = if rebaseline { Vec::new() } else { baseline_hashes(BASELINE_PATH) };
+    let rung_list: &[usize] = if smoke { &[2_000] } else { &[2_000, 10_000] };
+
+    let model_path =
+        env::raw(env::SERVE_MODEL).unwrap_or_else(|| "target/serve_model.json".to_string());
+    let index_path =
+        env::raw(env::SERVE_INDEX).unwrap_or_else(|| "target/serve_index.json".to_string());
+    let batch_size = batch_size_from_env();
+
+    let mut rungs = Vec::new();
+    let mut failed = false;
+    for &rows in rung_list {
+        eprintln!("bench_serve: rows={rows} training ...");
+        let train_start = Instant::now();
+        let model = train_model(rows);
+        let secs_train = train_start.elapsed().as_secs_f64();
+
+        // The serving corpus: target reference domain vs query domain.
+        let gen = ScaleGen::new(ScaleConfig::new(rows).with_seed(TARGET_SEED))
+            .expect("valid scale config");
+        let (reference, queries) = gen.pair();
+
+        // Persist model + index, then reload both: every serve cell runs
+        // on the round-tripped artefacts.
+        let index = LshIndex::from_records(
+            ScaleGen::lsh_config(),
+            Some(ScaleGen::blocking_attrs()),
+            &reference,
+        )
+        .expect("valid LSH config");
+        model.save(&model_path).expect("write model artefact");
+        index.save(&index_path).expect("write index artefact");
+        let load_start = Instant::now();
+        let service =
+            MatchService::load(ScaleGen::comparison(), &model_path, &index_path, reference)
+                .expect("reload persisted artefacts");
+        let secs_load = load_start.elapsed().as_secs_f64();
+
+        let mut cells = Vec::new();
+        let mut rung_hash: Option<u64> = None;
+        for &workers in &[1usize, 4] {
+            eprintln!("bench_serve: rows={rows} workers={workers} serving ...");
+            let (cell, hash) = serve_cell(&service, &queries, batch_size, workers);
+            match rung_hash {
+                None => rung_hash = Some(hash),
+                Some(expect) if expect != hash => {
+                    eprintln!(
+                        "bench_serve: BIT-IDENTITY VIOLATION at rows={rows}: \
+                         workers={workers} hash {hash:016x} != {expect:016x}"
+                    );
+                    failed = true;
+                }
+                Some(_) => {}
+            }
+            println!(
+                "rows={rows:>6} workers={workers} {:>9.0} q/s p50={:.2}ms p99={:.2}ms",
+                cell.get("queries_per_sec").and_then(Json::as_num).unwrap_or(f64::NAN),
+                cell.get("batch_latency_ms")
+                    .and_then(|l| l.get("p50"))
+                    .and_then(Json::as_num)
+                    .unwrap_or(f64::NAN),
+                cell.get("batch_latency_ms")
+                    .and_then(|l| l.get("p99"))
+                    .and_then(Json::as_num)
+                    .unwrap_or(f64::NAN),
+            );
+            if smoke {
+                let qps = cell.get("queries_per_sec").and_then(Json::as_num).unwrap_or(f64::NAN);
+                assert!(qps.is_finite() && qps > 0.0, "queries/sec must be finite, got {qps}");
+            }
+            cells.push(cell);
+        }
+
+        let hash = format!("{:016x}", rung_hash.unwrap_or(0));
+        if let Some((_, expect)) = committed.iter().find(|(r, _)| *r == rows as f64) {
+            if *expect != hash {
+                eprintln!(
+                    "bench_serve: BASELINE HASH MISMATCH at rows={rows}: \
+                     {hash} != committed {expect} (pass --rebaseline if intentional)"
+                );
+                failed = true;
+            }
+        }
+        rungs.push(obj(vec![
+            ("rows", Json::Num(rows as f64)),
+            ("model_kind", Json::Str(model.kind().name().to_string())),
+            ("secs_train", Json::Num(secs_train)),
+            ("secs_load", Json::Num(secs_load)),
+            ("cells", Json::Arr(cells)),
+        ]));
+    }
+
+    let report = obj(vec![
+        ("version", Json::Num(1.0)),
+        ("batch_size", Json::Num(batch_size as f64)),
+        (
+            "available_parallelism",
+            Json::Num(std::thread::available_parallelism().map_or(1, |n| n.get()) as f64),
+        ),
+        ("smoke", Json::Num(f64::from(u8::from(smoke)))),
+        ("peak_rss_bytes", Json::Num(peak_rss_bytes().unwrap_or(0) as f64)),
+        ("rungs", Json::Arr(rungs)),
+    ]);
+    if let Err(e) = json::write_pretty(path, &report) {
+        eprintln!("bench_serve: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+    ledger.set_summary(obj(vec![
+        ("out", Json::Str(path.to_string())),
+        (
+            "rungs",
+            Json::Num(report.get("rungs").and_then(Json::as_arr).map_or(0, <[Json]>::len) as f64),
+        ),
+    ]));
+
+    if smoke {
+        let text = std::fs::read_to_string(path).expect("re-read artefact");
+        let parsed = json::parse(&text).expect("artefact must parse");
+        let n = parsed.get("rungs").and_then(Json::as_arr).map_or(0, <[Json]>::len);
+        assert!(n > 0, "smoke run produced no rungs");
+        println!("smoke OK: {n} rungs validated");
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 mod compare;
+mod lsh_index;
 mod minhash;
 mod resolution;
 mod sorted;
@@ -25,6 +26,7 @@ mod standard;
 mod tokenize;
 
 pub use compare::Comparison;
+pub use lsh_index::{LshIndex, COMPACT_MIN_TOMBSTONES, INDEX_SCHEMA_VERSION};
 pub use minhash::{MinHashLsh, MinHashLshConfig};
 pub use resolution::{one_to_one_matching, transitive_clusters};
 pub use sorted::SortedNeighbourhood;

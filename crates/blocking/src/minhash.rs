@@ -14,7 +14,7 @@ use std::hash::{Hash, Hasher};
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use transer_common::Record;
+use transer_common::{Error, Record, Result};
 use transer_parallel::{CostClass, CostHint, Pool};
 
 use crate::tokenize::token_hashes_masked;
@@ -44,6 +44,45 @@ impl Default for MinHashLshConfig {
     }
 }
 
+impl MinHashLshConfig {
+    /// Validate the banding layout.
+    ///
+    /// Rejects `bands == 0` (the rows-per-band division would be undefined)
+    /// and `num_hashes == 0` (no signature), and rejects `bands` that do not
+    /// divide `num_hashes`: `chunks_exact` would silently drop the trailing
+    /// `num_hashes % bands` hash functions, paying for hashes that never
+    /// block.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_hashes == 0 {
+            return Err(Error::InvalidParameter {
+                name: "num_hashes",
+                message: "must be positive".into(),
+            });
+        }
+        if self.bands == 0 {
+            return Err(Error::InvalidParameter {
+                name: "bands",
+                message: "must be positive (rows per band is num_hashes / bands)".into(),
+            });
+        }
+        if !self.num_hashes.is_multiple_of(self.bands) {
+            return Err(Error::InvalidParameter {
+                name: "bands",
+                message: format!(
+                    "must divide num_hashes: {} % {} == {} trailing hashes would never block",
+                    self.num_hashes,
+                    self.bands,
+                    self.num_hashes % self.bands
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// MinHash LSH blocker over record token sets.
 #[derive(Debug, Clone)]
 pub struct MinHashLsh {
@@ -56,19 +95,24 @@ pub struct MinHashLsh {
 impl MinHashLsh {
     /// Create a blocker.
     ///
-    /// # Panics
-    /// Panics when `bands` does not divide `num_hashes`, or either is zero.
-    pub fn new(config: MinHashLshConfig) -> Self {
-        assert!(config.num_hashes > 0 && config.bands > 0, "hashes and bands must be positive");
-        assert_eq!(config.num_hashes % config.bands, 0, "bands must divide num_hashes");
+    /// # Errors
+    /// [`Error::InvalidParameter`] when the banding layout is invalid — see
+    /// [`MinHashLshConfig::validate`].
+    pub fn new(config: MinHashLshConfig) -> Result<Self> {
+        config.validate()?;
         let mut rng = StdRng::seed_from_u64(config.seed);
         let coeffs = (0..config.num_hashes)
             .map(|_| (rng.random::<u64>() | 1, rng.random::<u64>()))
             .collect();
-        MinHashLsh { config, coeffs }
+        Ok(MinHashLsh { config, coeffs })
     }
 
-    /// Rows per band.
+    /// The validated configuration this blocker was built from.
+    pub fn config(&self) -> &MinHashLshConfig {
+        &self.config
+    }
+
+    /// Rows per band (`bands > 0` is guaranteed by construction).
     pub fn rows_per_band(&self) -> usize {
         self.config.num_hashes / self.config.bands
     }
@@ -103,6 +147,19 @@ impl MinHashLsh {
             .collect()
     }
 
+    /// Band bucket keys of one record under an attribute mask; `None` when
+    /// the record's token set is empty (such records never block). This is
+    /// the per-record unit of work behind both the batch blocking paths and
+    /// the incremental [`crate::LshIndex`].
+    pub fn record_band_keys(&self, record: &Record, attrs: Option<&[usize]>) -> Option<Vec<u64>> {
+        let hashes = token_hashes_masked(record, attrs);
+        if hashes.is_empty() {
+            None
+        } else {
+            Some(self.band_keys(&self.signature(&hashes)))
+        }
+    }
+
     /// Tokenise, sign and band every record in parallel; `None` marks
     /// records with empty token sets (which never block). Output is in
     /// record order, so downstream bucket insertion stays deterministic.
@@ -114,14 +171,7 @@ impl MinHashLsh {
     ) -> Vec<Option<Vec<u64>>> {
         // Tokenise + sign + band is per-record tokenising/hashing work.
         let hint = CostHint::new(records.len(), CostClass::Medium);
-        pool.par_map_costed(records, hint, |rec| {
-            let hashes = token_hashes_masked(rec, attrs);
-            if hashes.is_empty() {
-                None
-            } else {
-                Some(self.band_keys(&self.signature(&hashes)))
-            }
-        })
+        pool.par_map_costed(records, hint, |rec| self.record_band_keys(rec, attrs))
     }
 
     /// Candidate pairs for linking two databases: indices `(i, j)` with `i`
@@ -154,10 +204,13 @@ impl MinHashLsh {
     ) -> Vec<CandidatePair> {
         let _span = transer_trace::span("blocking.candidates");
         // Bucket the left records per band, then probe with the right.
-        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        // Members are stored as `usize`: record indices cover the full
+        // address-space range with no truncation (a `u32` here silently
+        // aliased indices above 2^32 into wrong pairs).
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
         for (i, keys) in self.all_band_keys(left, attrs, pool).iter().enumerate() {
             for &key in keys.iter().flatten() {
-                buckets.entry(key).or_default().push(i as u32);
+                buckets.entry(key).or_default().push(i);
             }
         }
         let cap = if self.config.max_bucket == 0 { usize::MAX } else { self.config.max_bucket };
@@ -174,7 +227,7 @@ impl MinHashLsh {
                             if lefts.len() > cap {
                                 continue;
                             }
-                            local.extend(lefts.iter().map(|&i| (i as usize, j)));
+                            local.extend(lefts.iter().map(|&i| (i, j)));
                         }
                     }
                 }
@@ -188,28 +241,68 @@ impl MinHashLsh {
     }
 
     /// Candidate pairs for deduplication within one database: `(i, j)` with
-    /// `i < j`, deduplicated and sorted. Signature computation runs on the
-    /// global [`Pool`].
+    /// `i < j`, deduplicated and sorted. Signature computation and the
+    /// bucket-member sweep run on the global [`Pool`].
     pub fn candidate_pairs_dedup(&self, records: &[Record]) -> Vec<CandidatePair> {
-        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
-        for (i, keys) in self.all_band_keys(records, None, &Pool::global()).iter().enumerate() {
+        self.candidate_pairs_dedup_masked_with_pool(records, None, &Pool::global())
+    }
+
+    /// Like [`MinHashLsh::candidate_pairs_dedup`] but blocking only on the
+    /// given attribute indices (`None` = all attributes), mirroring the
+    /// linking path.
+    pub fn candidate_pairs_dedup_masked(
+        &self,
+        records: &[Record],
+        attrs: Option<&[usize]>,
+    ) -> Vec<CandidatePair> {
+        self.candidate_pairs_dedup_masked_with_pool(records, attrs, &Pool::global())
+    }
+
+    /// [`MinHashLsh::candidate_pairs_dedup_masked`] on an explicit [`Pool`].
+    ///
+    /// The quadratic per-bucket member loop is sharded through the grain
+    /// model: buckets are costed by their actual pair counts (not bucket
+    /// count), so one giant bucket does not serialise the sweep. Indices are
+    /// `usize` throughout — no truncation at any dataset size — and the
+    /// sorted, deduplicated output is identical for every worker count.
+    pub fn candidate_pairs_dedup_masked_with_pool(
+        &self,
+        records: &[Record],
+        attrs: Option<&[usize]>,
+        pool: &Pool,
+    ) -> Vec<CandidatePair> {
+        let _span = transer_trace::span("blocking.candidates");
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, keys) in self.all_band_keys(records, attrs, pool).iter().enumerate() {
             for &key in keys.iter().flatten() {
-                buckets.entry(key).or_default().push(i as u32);
+                buckets.entry(key).or_default().push(i);
             }
         }
         let cap = if self.config.max_bucket == 0 { usize::MAX } else { self.config.max_bucket };
-        let mut pairs = Vec::new();
-        for members in buckets.values() {
-            if members.len() > cap {
-                continue;
-            }
-            for (a, &i) in members.iter().enumerate() {
-                for &j in &members[a + 1..] {
-                    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
-                    pairs.push((lo as usize, hi as usize));
+        // Only buckets that emit pairs: at least two members, under the cap.
+        let groups: Vec<&Vec<usize>> =
+            buckets.values().filter(|m| m.len() >= 2 && m.len() <= cap).collect();
+        // Cost one "item" (bucket) by the mean pairs-per-bucket so the grain
+        // model sees the quadratic work, not the bucket count.
+        let total_pairs: usize = groups.iter().map(|m| m.len() * (m.len() - 1) / 2).sum();
+        const DEDUP_PAIR_NANOS: u64 = 25;
+        let per_group = ((total_pairs as u64).saturating_mul(DEDUP_PAIR_NANOS)
+            / groups.len().max(1) as u64)
+            .max(1);
+        let hint = CostHint::with_per_item_nanos(groups.len(), per_group);
+        let mut pairs: Vec<CandidatePair> =
+            pool.par_chunks_costed(&groups, None, hint, |_start, chunk| {
+                let mut local = Vec::new();
+                for members in chunk {
+                    for (a, &i) in members.iter().enumerate() {
+                        for &j in &members[a + 1..] {
+                            let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                            local.push((lo, hi));
+                        }
+                    }
                 }
-            }
-        }
+                local
+            });
         pairs.sort_unstable();
         pairs.dedup();
         transer_trace::counter("blocking.passes", 1);
@@ -228,7 +321,7 @@ mod tests {
     }
 
     fn blocker() -> MinHashLsh {
-        MinHashLsh::new(MinHashLshConfig::default())
+        MinHashLsh::new(MinHashLshConfig::default()).expect("default config is valid")
     }
 
     #[test]
@@ -289,7 +382,8 @@ mod tests {
             bands: 32,
             seed: 7,
             ..Default::default()
-        });
+        })
+        .expect("256 hashes / 32 bands is valid");
         let s1: Vec<u64> = (0..100).collect();
         let s2: Vec<u64> = (20..120).collect(); // Jaccard = 80/120 ≈ 0.667
         let sig1 = b.signature(&s1);
@@ -300,14 +394,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bands must divide")]
-    fn invalid_banding_panics() {
-        MinHashLsh::new(MinHashLshConfig {
-            num_hashes: 10,
-            bands: 3,
-            seed: 0,
-            ..Default::default()
-        });
+    fn zero_bands_is_a_typed_error_not_a_panic() {
+        let err = MinHashLsh::new(MinHashLshConfig { bands: 0, ..Default::default() })
+            .expect_err("bands == 0 must be rejected");
+        assert!(
+            matches!(err, Error::InvalidParameter { name: "bands", .. }),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn zero_hashes_is_a_typed_error() {
+        let err = MinHashLsh::new(MinHashLshConfig { num_hashes: 0, ..Default::default() })
+            .expect_err("num_hashes == 0 must be rejected");
+        assert!(matches!(err, Error::InvalidParameter { name: "num_hashes", .. }));
+    }
+
+    #[test]
+    fn non_divisible_banding_is_rejected_not_truncated() {
+        // 10 hashes over 3 bands would silently drop one hash function via
+        // chunks_exact; the config must refuse it up front.
+        let err =
+            MinHashLsh::new(MinHashLshConfig { num_hashes: 10, bands: 3, ..Default::default() })
+                .expect_err("non-divisible banding must be rejected");
+        assert!(matches!(err, Error::InvalidParameter { name: "bands", .. }));
+        assert!(err.to_string().contains("divide"), "message should explain: {err}");
     }
 
     #[test]
@@ -340,5 +451,41 @@ mod tests {
         );
         assert!(!seq.is_empty());
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn dedup_is_deterministic_across_pools_and_honours_attrs() {
+        let titles = [
+            "a fast algorithm for record linkage",
+            "record linkage at scale",
+            "the beatles abbey road",
+            "entity resolution with transfer learning",
+            "transfer learning for entity resolution",
+        ];
+        let recs: Vec<Record> = (0..300)
+            .map(|i| {
+                Record::new(
+                    i,
+                    i % 9,
+                    vec![
+                        AttrValue::Text(format!("{} part {}", titles[i as usize % 5], i % 13)),
+                        AttrValue::Text(format!("noise {}", i)),
+                    ],
+                )
+            })
+            .collect();
+        let b = blocker();
+        let seq =
+            b.candidate_pairs_dedup_masked_with_pool(&recs, None, &transer_parallel::Pool::new(1));
+        let par =
+            b.candidate_pairs_dedup_masked_with_pool(&recs, None, &transer_parallel::Pool::new(4));
+        assert!(!seq.is_empty());
+        assert_eq!(seq, par, "dedup pairs must be bit-identical across worker counts");
+        assert_eq!(seq, b.candidate_pairs_dedup(&recs), "default entry point must agree");
+        // Masking to the title attribute must differ from masking to the
+        // noise attribute (attrs are actually plumbed through).
+        let on_title = b.candidate_pairs_dedup_masked(&recs, Some(&[0]));
+        let on_noise = b.candidate_pairs_dedup_masked(&recs, Some(&[1]));
+        assert_ne!(on_title, on_noise);
     }
 }

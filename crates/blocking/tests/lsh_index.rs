@@ -1,0 +1,112 @@
+//! Property tests on the updatable LSH index: any interleaving of
+//! inserts, removes and compactions must answer queries exactly like an
+//! index built from scratch over the surviving records, and batch queries
+//! must be bit-identical across worker counts.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use transer_blocking::{LshIndex, MinHashLshConfig};
+use transer_common::{AttrValue, Record};
+use transer_parallel::Pool;
+
+fn record(id: usize, title: &str) -> Record {
+    Record::new(id as u64, id as u64, vec![AttrValue::Text(title.to_string())])
+}
+
+fn titles(max: usize) -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-z]{3,8}( [a-z]{3,8}){1,4}", 2..max)
+}
+
+/// Replay an op tape against an incrementally maintained index and a
+/// shadow map of the live records; returns both.
+fn replay(titles: &[String], ops: &[u8]) -> (LshIndex, BTreeMap<usize, Record>) {
+    let config = MinHashLshConfig::default();
+    let mut index = LshIndex::new(config, None).expect("valid LSH config");
+    let mut live: BTreeMap<usize, Record> = BTreeMap::new();
+    for (step, &op) in ops.iter().enumerate() {
+        let id = step % titles.len();
+        match op % 4 {
+            // Insert (re-insert after removal is legal and must purge the
+            // tombstoned entry).
+            0 | 1 => {
+                if let std::collections::btree_map::Entry::Vacant(slot) = live.entry(id) {
+                    let rec = record(id, &titles[id]);
+                    index.insert(id, &rec).expect("fresh id");
+                    slot.insert(rec);
+                }
+            }
+            // Remove a live id, chosen by the op tape.
+            2 => {
+                if !live.is_empty() {
+                    let victim = *live.keys().nth(step % live.len()).expect("non-empty live set");
+                    index.remove(victim).expect("live id");
+                    live.remove(&victim);
+                }
+            }
+            // Force a compaction mid-tape (the automatic trigger needs
+            // more tombstones than these small tapes accumulate).
+            _ => index.compact(),
+        }
+    }
+    (index, live)
+}
+
+/// Build the same index from scratch: fresh inserts of the survivors only.
+fn rebuild(live: &BTreeMap<usize, Record>) -> LshIndex {
+    let mut index = LshIndex::new(MinHashLshConfig::default(), None).expect("valid LSH config");
+    for (&id, rec) in live {
+        index.insert(id, rec).expect("fresh id");
+    }
+    index
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn incremental_maintenance_equals_from_scratch_rebuild(
+        titles in titles(16),
+        ops in prop::collection::vec(0u8..=255, 1..60),
+    ) {
+        let (index, live) = replay(&titles, &ops);
+        prop_assert_eq!(index.len(), live.len());
+        let fresh = rebuild(&live);
+        for (id, title) in titles.iter().enumerate() {
+            let probe = record(id, title);
+            prop_assert_eq!(
+                index.query(&probe),
+                fresh.query(&probe),
+                "id {} diverges after {} ops ({} tombstones)",
+                id, ops.len(), index.tombstones()
+            );
+        }
+    }
+
+    #[test]
+    fn query_batch_is_bit_identical_across_worker_counts(
+        titles in titles(24),
+        ops in prop::collection::vec(0u8..=255, 1..40),
+    ) {
+        let (index, _live) = replay(&titles, &ops);
+        let batch: Vec<Record> =
+            titles.iter().enumerate().map(|(id, t)| record(id, t)).collect();
+        let seq = index.query_batch(&batch, &Pool::new(1));
+        let par = index.query_batch(&batch, &Pool::new(4));
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn persistence_round_trip_preserves_every_query(
+        titles in titles(12),
+        ops in prop::collection::vec(0u8..=255, 1..40),
+    ) {
+        let (index, _live) = replay(&titles, &ops);
+        let reloaded = LshIndex::from_json(&index.to_json()).expect("round trip");
+        prop_assert_eq!(reloaded.len(), index.len());
+        for (id, title) in titles.iter().enumerate() {
+            let probe = record(id, title);
+            prop_assert_eq!(index.query(&probe), reloaded.query(&probe));
+        }
+    }
+}

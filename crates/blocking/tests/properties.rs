@@ -33,7 +33,7 @@ proptest! {
         left in records(30),
         right in records(30),
     ) {
-        let blocker = MinHashLsh::new(MinHashLshConfig::default());
+        let blocker = MinHashLsh::new(MinHashLshConfig::default()).expect("valid LSH config");
         let pairs = blocker.candidate_pairs(&left, &right);
         for w in pairs.windows(2) {
             prop_assert!(w[0] < w[1], "not sorted/unique: {:?}", w);
@@ -46,14 +46,14 @@ proptest! {
     #[test]
     fn identical_record_always_becomes_a_candidate(title in "[a-z]{4,12}( [a-z]{4,12}){1,3}") {
         let rec = Record::new(0, 0, vec![AttrValue::Text(title)]);
-        let blocker = MinHashLsh::new(MinHashLshConfig::default());
+        let blocker = MinHashLsh::new(MinHashLshConfig::default()).expect("valid LSH config");
         let pairs = blocker.candidate_pairs(std::slice::from_ref(&rec), std::slice::from_ref(&rec));
         prop_assert_eq!(pairs, vec![(0, 0)]);
     }
 
     #[test]
     fn dedup_pairs_are_strictly_ordered(recs in records(40)) {
-        let blocker = MinHashLsh::new(MinHashLshConfig::default());
+        let blocker = MinHashLsh::new(MinHashLshConfig::default()).expect("valid LSH config");
         for (i, j) in blocker.candidate_pairs_dedup(&recs) {
             prop_assert!(i < j);
             prop_assert!(j < recs.len());
@@ -62,8 +62,8 @@ proptest! {
 
     #[test]
     fn bucket_cap_only_removes_pairs(recs in records(40)) {
-        let base = MinHashLsh::new(MinHashLshConfig::default());
-        let capped = MinHashLsh::new(MinHashLshConfig { max_bucket: 2, ..Default::default() });
+        let base = MinHashLsh::new(MinHashLshConfig::default()).expect("valid LSH config");
+        let capped = MinHashLsh::new(MinHashLshConfig { max_bucket: 2, ..Default::default() }).expect("valid LSH config");
         let all = base.candidate_pairs_dedup(&recs);
         let few = capped.candidate_pairs_dedup(&recs);
         prop_assert!(few.len() <= all.len());
@@ -81,7 +81,7 @@ proptest! {
             (0, Measure::TokenJaccard),
             (1, Measure::Year),
         ]).unwrap();
-        let blocker = MinHashLsh::new(MinHashLshConfig::default());
+        let blocker = MinHashLsh::new(MinHashLshConfig::default()).expect("valid LSH config");
         let pairs = blocker.candidate_pairs(&left, &right);
         let (x, y) = comparison.compare_pairs(&left, &right, &pairs).unwrap();
         prop_assert_eq!(x.rows(), pairs.len());
@@ -97,7 +97,7 @@ proptest! {
 
     #[test]
     fn signature_length_matches_config(hashes in prop::collection::vec(any::<u64>(), 0..50)) {
-        let blocker = MinHashLsh::new(MinHashLshConfig { num_hashes: 48, bands: 8, ..Default::default() });
+        let blocker = MinHashLsh::new(MinHashLshConfig { num_hashes: 48, bands: 8, ..Default::default() }).expect("valid LSH config");
         prop_assert_eq!(blocker.signature(&hashes).len(), 48);
     }
 }

@@ -18,6 +18,9 @@
 //! | `TRANSER_GRAIN` | dispatch grain threshold in ns; `0` = always pool, `inf` = always inline |
 //! | `TRANSER_SIM_KERNEL` | similarity kernels: `fast` (bit-parallel, allocation-free) / `reference` |
 //! | `TRANSER_L2_KERNEL` | L2 distance kernel: `lanes` (vectorizable lane accumulators) / `reference` |
+//! | `TRANSER_SERVE_MODEL` | serving: path of the persisted model artefact |
+//! | `TRANSER_SERVE_INDEX` | serving: path of the persisted LSH index artefact |
+//! | `TRANSER_SERVE_BATCH` | serving: records per query batch (default 256) |
 
 /// Worker count for the parallel pool (unset/`0`/unparsable → all cores).
 pub const THREADS: &str = "TRANSER_THREADS";
@@ -41,6 +44,13 @@ pub const SIM_KERNEL: &str = "TRANSER_SIM_KERNEL";
 /// L2 distance kernel engine override (`transer_common::l2`):
 /// `lanes` (default) or `reference` (the pinned exact-order scalar loops).
 pub const L2_KERNEL: &str = "TRANSER_L2_KERNEL";
+/// Serving: path of the persisted model artefact (`transer-serve` /
+/// `bench_serve`).
+pub const SERVE_MODEL: &str = "TRANSER_SERVE_MODEL";
+/// Serving: path of the persisted LSH index artefact.
+pub const SERVE_INDEX: &str = "TRANSER_SERVE_INDEX";
+/// Serving: records per query batch (default 256).
+pub const SERVE_BATCH: &str = "TRANSER_SERVE_BATCH";
 
 /// The trimmed value of `var`, or `None` when unset, empty or not UTF-8.
 pub fn raw(var: &str) -> Option<String> {

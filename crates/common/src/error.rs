@@ -52,6 +52,10 @@ pub enum Error {
     /// (`TRANSER_FAULT=<site>:task_fail`). Never produced in normal
     /// operation; used to exercise the graceful-degradation ladder.
     FaultInjected(&'static str),
+    /// Saving or loading a persisted artefact (model, index) failed: I/O,
+    /// malformed JSON, schema-version mismatch or an unknown key under the
+    /// strict parser.
+    Persist(String),
 }
 
 impl fmt::Display for Error {
@@ -75,6 +79,7 @@ impl fmt::Display for Error {
             }
             Error::TrainingFailed(msg) => write!(f, "training failed: {msg}"),
             Error::FaultInjected(site) => write!(f, "fault injected at {site}"),
+            Error::Persist(msg) => write!(f, "persistence: {msg}"),
         }
     }
 }
@@ -101,6 +106,7 @@ mod tests {
         let e = Error::InvalidParameter { name: "k", message: "must be > 0".into() };
         assert_eq!(e.to_string(), "invalid parameter k: must be > 0");
         assert_eq!(Error::FaultInjected("tcl.fit").to_string(), "fault injected at tcl.fit");
+        assert_eq!(Error::Persist("bad key".into()).to_string(), "persistence: bad key");
     }
 
     #[test]

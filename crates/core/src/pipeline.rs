@@ -188,12 +188,16 @@ fn trace_confidences(pseudo: &PseudoLabels, t_p: f64) {
 
 /// What the GEN phase produced: pseudo labels for TCL, or — when every
 /// pseudo-labelling attempt failed — target labels classified directly.
+/// Either way the trained classifier rides along, so the serving layer can
+/// persist whichever model produced the labels it will replay.
 pub(crate) enum GenOutcome {
-    /// Pseudo labels with confidences; TCL runs next.
-    Pseudo(PseudoLabels),
+    /// Pseudo labels with confidences (and the trained `C^U`); TCL runs
+    /// next.
+    Pseudo(PseudoLabels, Box<dyn Classifier>),
     /// GEN fell back to direct classification; there is nothing for TCL
-    /// to refine, so these are the final labels.
-    Direct(Vec<Label>),
+    /// to refine, so these are the final labels (and the direct model is
+    /// the one that produced them).
+    Direct(Vec<Label>, Box<dyn Classifier>),
 }
 
 /// Fit a fresh classifier on `(x, y)` and label the target — the shape of
@@ -205,10 +209,11 @@ fn direct_labels(
     x: &FeatureMatrix,
     y: &[Label],
     xt: &FeatureMatrix,
-) -> Result<Vec<Label>> {
+) -> Result<(Vec<Label>, Box<dyn Classifier>)> {
     let mut clf = classifier.build_with_engine(seed, engine);
     clf.fit(x, y)?;
-    Ok(clf.predict(xt))
+    let labels = clf.predict(xt);
+    Ok((labels, clf))
 }
 
 /// Run GEN with the graceful-degradation ladder:
@@ -260,15 +265,16 @@ pub(crate) fn gen_with_ladder(
             None => Ok(pseudo),
         });
     match generated {
-        Ok(pseudo) => Ok(GenOutcome::Pseudo(pseudo)),
+        Ok(pseudo) => Ok(GenOutcome::Pseudo(pseudo, cu)),
         Err(e) if e.is_resource_exceeded() => Err(e),
         Err(_) => {
             diag.record_fallback(FallbackReason::GenFailed);
-            if let Ok(labels) = direct_labels(classifier, seed, engine, xu, yu, xt) {
-                return Ok(GenOutcome::Direct(labels));
+            if let Ok((labels, clf)) = direct_labels(classifier, seed, engine, xu, yu, xt) {
+                return Ok(GenOutcome::Direct(labels, clf));
             }
             diag.record_fallback(FallbackReason::SourceDirect);
-            direct_labels(classifier, seed, engine, xs, ys, xt).map(GenOutcome::Direct)
+            direct_labels(classifier, seed, engine, xs, ys, xt)
+                .map(|(labels, clf)| GenOutcome::Direct(labels, clf))
         }
     }
 }
@@ -331,6 +337,28 @@ impl TransEr {
         ys: &[Label],
         xt: &FeatureMatrix,
     ) -> Result<TransErOutput> {
+        self.fit_predict_with_model(xs, ys, xt).map(|(out, _)| out)
+    }
+
+    /// [`TransEr::fit_predict`], additionally returning the trained model
+    /// that produced the final labels — the TCL classifier `C^V` on the
+    /// happy path, or whichever ladder rung answered (the GEN model `C^U`
+    /// when TCL fell back, a direct classifier when GEN degraded). `None`
+    /// when that classifier kind has no persistence format (SVM, MLP); the
+    /// three serialisable kinds always yield `Some`.
+    ///
+    /// This is the offline half of the serving story: train once, persist
+    /// the returned model, and replay it against query batches without
+    /// refitting.
+    ///
+    /// # Errors
+    /// See [`TransEr::fit_predict`].
+    pub fn fit_predict_with_model(
+        &self,
+        xs: &FeatureMatrix,
+        ys: &[Label],
+        xt: &FeatureMatrix,
+    ) -> Result<(TransErOutput, Option<transer_ml::PersistedModel>)> {
         let root = transer_trace::timed("pipeline");
         let mut diag = Diagnostics { source_count: xs.rows(), ..Default::default() };
         let variant = self.config.variant;
@@ -374,12 +402,11 @@ impl TransEr {
             let labels = clf.predict(xt);
             diag.gen_secs = gen_span.finish();
             diag.total_secs = root.finish();
-            return Ok(TransErOutput {
-                labels,
-                pseudo: None,
-                diagnostics: diag,
-                trace: take_run_trace(),
-            });
+            let model = transer_ml::PersistedModel::from_classifier(clf.as_ref());
+            return Ok((
+                TransErOutput { labels, pseudo: None, diagnostics: diag, trace: take_run_trace() },
+                model,
+            ));
         }
 
         // Phase (ii): GEN, with the degradation ladder.
@@ -396,18 +423,22 @@ impl TransEr {
             &mut diag,
         )?;
         diag.gen_secs = gen_span.finish();
-        let pseudo = match outcome {
-            GenOutcome::Pseudo(pseudo) => pseudo,
-            GenOutcome::Direct(labels) => {
+        let (pseudo, cu) = match outcome {
+            GenOutcome::Pseudo(pseudo, cu) => (pseudo, cu),
+            GenOutcome::Direct(labels, clf) => {
                 // GEN degraded to direct classification: nothing for TCL
                 // to refine.
                 diag.total_secs = root.finish();
-                return Ok(TransErOutput {
-                    labels,
-                    pseudo: None,
-                    diagnostics: diag,
-                    trace: take_run_trace(),
-                });
+                let model = transer_ml::PersistedModel::from_classifier(clf.as_ref());
+                return Ok((
+                    TransErOutput {
+                        labels,
+                        pseudo: None,
+                        diagnostics: diag,
+                        trace: take_run_trace(),
+                    },
+                    model,
+                ));
             }
         };
         trace_confidences(&pseudo, self.config.t_p);
@@ -416,7 +447,7 @@ impl TransEr {
         let tcl_span = transer_trace::timed("tcl");
         let mut cv: Box<dyn Classifier> =
             self.classifier.build_with_engine(self.seed.wrapping_add(1), self.tree_engine);
-        let output = match train_target_classifier(
+        let (output, served_model) = match train_target_classifier(
             cv.as_mut(),
             xt,
             &pseudo,
@@ -427,24 +458,30 @@ impl TransEr {
             Ok(out) => {
                 diag.candidate_count = out.candidate_count;
                 diag.balanced_count = out.balanced_count;
-                out.labels
+                (out.labels, cv.as_ref())
             }
             Err(e) if !e.is_resource_exceeded() => {
-                // Fallback: the pseudo labels are the best available answer.
+                // Fallback: the pseudo labels are the best available
+                // answer, and the GEN model that produced them is the one
+                // worth persisting.
                 diag.record_fallback(FallbackReason::TclFailed);
-                pseudo.labels.clone()
+                (pseudo.labels.clone(), cu.as_ref())
             }
             Err(e) => return Err(e),
         };
         diag.tcl_secs = tcl_span.finish();
         diag.total_secs = root.finish();
+        let model = transer_ml::PersistedModel::from_classifier(served_model);
 
-        Ok(TransErOutput {
-            labels: output,
-            pseudo: Some(pseudo),
-            diagnostics: diag,
-            trace: take_run_trace(),
-        })
+        Ok((
+            TransErOutput {
+                labels: output,
+                pseudo: Some(pseudo),
+                diagnostics: diag,
+                trace: take_run_trace(),
+            },
+            model,
+        ))
     }
 }
 

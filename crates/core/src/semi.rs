@@ -94,8 +94,8 @@ impl SemiSupervisedTransEr {
             &mut diag,
         )?;
         let mut pseudo: PseudoLabels = match outcome {
-            GenOutcome::Pseudo(pseudo) => pseudo,
-            GenOutcome::Direct(mut labels) => {
+            GenOutcome::Pseudo(pseudo, _) => pseudo,
+            GenOutcome::Direct(mut labels, _) => {
                 // GEN degraded to direct classification; the known labels
                 // are still authoritative in the output.
                 for &(i, label) in target_labels {

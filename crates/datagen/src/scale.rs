@@ -416,7 +416,7 @@ mod tests {
     fn small_pipeline_smoke_finds_cross_domain_matches() {
         let g = gen(600);
         let (left, right) = g.pair();
-        let blocker = MinHashLsh::new(ScaleGen::lsh_config());
+        let blocker = MinHashLsh::new(ScaleGen::lsh_config()).expect("valid LSH config");
         let pairs = blocker.candidate_pairs_masked(&left, &right, Some(ScaleGen::blocking_attrs()));
         assert!(!pairs.is_empty());
         let matches = pairs.iter().filter(|&&(i, j)| left[i].entity == right[j].entity).count();

@@ -167,7 +167,7 @@ impl Scenario {
                 demographic::generate(&DemographicConfig::kil(LinkKind::BpBp, entities, seed))
             }
         };
-        let blocker = MinHashLsh::new(self.lsh_config());
+        let blocker = MinHashLsh::new(self.lsh_config())?;
         let pairs = blocker.candidate_pairs_masked(&left, &right, Some(self.blocking_attrs()));
         let dataset = self.comparison().compare_to_dataset(self.name(), &left, &right, &pairs)?;
         let render =

@@ -93,7 +93,7 @@ pub fn thread_scaling(opts: &Options, threads: Option<usize>) -> Result<ScalingR
     let (left, right) = transer_datagen::biblio::generate(
         &transer_datagen::biblio::BiblioConfig::dblp_acm(entities, opts.seed),
     );
-    let blocker = MinHashLsh::new(scenario.lsh_config());
+    let blocker = MinHashLsh::new(scenario.lsh_config()).expect("valid LSH config");
     let attrs = Some(scenario.blocking_attrs());
     let secs_seq = time_best(|| {
         blocker.candidate_pairs_masked_with_pool(&left, &right, attrs, &seq);

@@ -88,6 +88,22 @@ impl RandomForest {
         self
     }
 
+    /// Prediction state for model persistence: hyper-parameters, forest
+    /// seed and the fitted trees.
+    pub(crate) fn persist_parts(&self) -> (&RandomForestConfig, u64, &[DecisionTree]) {
+        (&self.config, self.seed, &self.trees)
+    }
+
+    /// Rebuild a forest from persisted prediction state (pool override and
+    /// engine reset to defaults — see `DecisionTree::from_persist_parts`).
+    pub(crate) fn from_persist_parts(
+        config: RandomForestConfig,
+        seed: u64,
+        trees: Vec<DecisionTree>,
+    ) -> Self {
+        RandomForest { trees, ..RandomForest::new(config, seed) }
+    }
+
     /// Number of fitted trees.
     pub fn tree_count(&self) -> usize {
         self.trees.len()
@@ -111,6 +127,10 @@ impl RandomForest {
 impl Classifier for RandomForest {
     fn name(&self) -> &'static str {
         "rf"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 
     fn fit_weighted(

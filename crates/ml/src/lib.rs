@@ -32,6 +32,7 @@ mod forest;
 mod logistic;
 mod mlp;
 mod naive_bayes;
+mod persist;
 mod presorted;
 mod sampling;
 mod scaler;
@@ -45,6 +46,7 @@ pub use forest::{RandomForest, RandomForestConfig};
 pub use logistic::{LogisticRegression, LogisticRegressionConfig};
 pub use mlp::{Mlp, MlpConfig};
 pub use naive_bayes::GaussianNaiveBayes;
+pub use persist::{PersistedModel, MODEL_SCHEMA_VERSION};
 pub use sampling::{bootstrap_bag, stratified_fraction, undersample_to_ratio};
 pub use scaler::StandardScaler;
 pub use split::{TreeEngine, TREE_ENGINE_ENV};

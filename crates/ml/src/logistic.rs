@@ -50,6 +50,21 @@ impl LogisticRegression {
         self.bias
     }
 
+    /// Prediction state for model persistence.
+    pub(crate) fn persist_parts(&self) -> (&LogisticRegressionConfig, &[f64], f64, bool) {
+        (&self.config, &self.weights, self.bias, self.fitted)
+    }
+
+    /// Rebuild from persisted prediction state.
+    pub(crate) fn from_persist_parts(
+        config: LogisticRegressionConfig,
+        weights: Vec<f64>,
+        bias: f64,
+        fitted: bool,
+    ) -> Self {
+        LogisticRegression { config, weights, bias, fitted }
+    }
+
     fn raw_score(&self, row: &[f64]) -> f64 {
         self.bias + self.weights.iter().zip(row).map(|(w, x)| w * x).sum::<f64>()
     }
@@ -69,6 +84,10 @@ pub(crate) fn sigmoid(z: f64) -> f64 {
 impl Classifier for LogisticRegression {
     fn name(&self) -> &'static str {
         "logreg"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 
     fn fit_weighted(

@@ -138,6 +138,10 @@ impl Classifier for Mlp {
         "mlp"
     }
 
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn fit_weighted(
         &mut self,
         x: &FeatureMatrix,

@@ -43,6 +43,10 @@ impl Classifier for GaussianNaiveBayes {
         "gnb"
     }
 
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn fit_weighted(
         &mut self,
         x: &FeatureMatrix,

@@ -121,6 +121,10 @@ impl Classifier for LinearSvm {
         "svm"
     }
 
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn fit_weighted(
         &mut self,
         x: &FeatureMatrix,

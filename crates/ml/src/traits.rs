@@ -25,6 +25,11 @@ pub trait Classifier: Send {
     /// Short human-readable name (`"svm"`, `"rf"`, ...).
     fn name(&self) -> &'static str;
 
+    /// The concrete model behind the trait object — the downcast hook used
+    /// by model persistence (`PersistedModel::from_classifier`) to save a
+    /// trained classifier that only exists as a `Box<dyn Classifier>`.
+    fn as_any(&self) -> &dyn std::any::Any;
+
     /// Fit on a feature matrix and aligned labels, with optional per-sample
     /// weights (uniform when `None`).
     ///

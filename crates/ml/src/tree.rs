@@ -108,6 +108,23 @@ impl DecisionTree {
         self.workers.map_or_else(Pool::global, Pool::new)
     }
 
+    /// Prediction state for model persistence: hyper-parameters, node
+    /// arena and root id.
+    pub(crate) fn persist_parts(&self) -> (&DecisionTreeConfig, &[Node], u32) {
+        (&self.config, &self.nodes, self.root)
+    }
+
+    /// Rebuild a tree from persisted prediction state. Training-only state
+    /// (rng stream, engine, worker override) resets to defaults: a loaded
+    /// model predicts bit-identically, while refitting it starts fresh.
+    pub(crate) fn from_persist_parts(
+        config: DecisionTreeConfig,
+        nodes: Vec<Node>,
+        root: u32,
+    ) -> Self {
+        DecisionTree { nodes, root, ..DecisionTree::new(config) }
+    }
+
     /// Number of nodes in the fitted tree (0 before `fit`).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -277,6 +294,10 @@ impl DecisionTree {
 impl Classifier for DecisionTree {
     fn name(&self) -> &'static str {
         "dtree"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 
     fn fit_weighted(

@@ -1,0 +1,98 @@
+//! Property tests on model persistence: save → load → predict must be
+//! bit-identical to the in-memory classifier for every persistable kind,
+//! through both the JSON value round trip and the on-disk file format.
+
+// Registers the counting global allocator so the suite runs under
+// `TRANSER_ALLOC_TRACE=1` (the tier-1 hook).
+use transer_common as _;
+
+use proptest::prelude::*;
+use transer_common::{FeatureMatrix, Label};
+use transer_ml::{ClassifierKind, PersistedModel};
+
+/// Rows in `[0, 1]^3`; the label is a threshold on the first feature so
+/// every kind has something learnable, with the first two rows pinned to
+/// one label per class (degenerate single-class draws teach nothing
+/// about persistence).
+fn task(rows: usize) -> impl Strategy<Value = (FeatureMatrix, Vec<Label>)> {
+    prop::collection::vec((0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0), 8..rows).prop_map(|rows| {
+        let mut labels: Vec<Label> = rows.iter().map(|&(a, _, _)| Label::from_score(a)).collect();
+        labels[0] = Label::Match;
+        labels[1] = Label::NonMatch;
+        let vecs: Vec<Vec<f64>> = rows.into_iter().map(|(a, b, c)| vec![a, b, c]).collect();
+        (FeatureMatrix::from_vecs(&vecs).expect("rectangular"), labels)
+    })
+}
+
+/// Fit `kind`, round-trip it through JSON and through a file, and demand
+/// bit-identical probabilities from all three models.
+fn assert_round_trip(kind: ClassifierKind, x: &FeatureMatrix, y: &[Label]) {
+    let mut clf = kind.build(7);
+    clf.fit(x, y).expect("fit");
+    let persisted = PersistedModel::from_classifier(clf.as_ref()).expect("persistable kind");
+
+    let via_json = PersistedModel::from_json(&persisted.to_json()).expect("value round trip");
+
+    let path = std::env::temp_dir().join(format!(
+        "transer_persist_{}_{}_{}.json",
+        kind.name(),
+        std::process::id(),
+        x.rows(),
+    ));
+    let path_str = path.to_str().expect("utf-8 temp path");
+    persisted.save(path_str).expect("save");
+    let via_file = PersistedModel::load(path_str).expect("load");
+    let _ = std::fs::remove_file(&path);
+
+    let expect: Vec<u64> = clf.predict_proba(x).iter().map(|p| p.to_bits()).collect();
+    for (label, model) in [("json", &via_json), ("file", &via_file)] {
+        let got: Vec<u64> =
+            model.classifier().predict_proba(x).iter().map(|p| p.to_bits()).collect();
+        assert_eq!(
+            got,
+            expect,
+            "{} probabilities drift through the {label} round trip",
+            kind.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn forest_round_trip_is_bit_identical((x, y) in task(40)) {
+        assert_round_trip(ClassifierKind::RandomForest, &x, &y);
+    }
+
+    #[test]
+    fn logistic_round_trip_is_bit_identical((x, y) in task(40)) {
+        assert_round_trip(ClassifierKind::LogisticRegression, &x, &y);
+    }
+
+    #[test]
+    fn tree_round_trip_is_bit_identical((x, y) in task(40)) {
+        assert_round_trip(ClassifierKind::DecisionTree, &x, &y);
+    }
+}
+
+#[test]
+fn unfitted_models_round_trip_too() {
+    let kinds = [
+        ClassifierKind::RandomForest,
+        ClassifierKind::LogisticRegression,
+        ClassifierKind::DecisionTree,
+    ];
+    let x = FeatureMatrix::from_vecs(&[vec![0.3, 0.7], vec![0.9, 0.1]]).expect("rectangular");
+    for kind in kinds {
+        let clf = kind.build(0);
+        let persisted = PersistedModel::from_classifier(clf.as_ref()).expect("persistable kind");
+        let reloaded = PersistedModel::from_json(&persisted.to_json()).expect("round trip");
+        assert_eq!(
+            reloaded.classifier().predict_proba(&x),
+            clf.predict_proba(&x),
+            "{} unfitted fallback drifts",
+            kind.name()
+        );
+    }
+}

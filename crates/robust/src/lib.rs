@@ -59,6 +59,8 @@ pub mod site {
     pub const TCL_FIT: &str = "tcl.fit";
     /// Thread-pool task dispatch (`transer-parallel::Pool`).
     pub const POOL_DISPATCH: &str = "pool.dispatch";
+    /// Serving-path batch query (`transer-serve::MatchService::query_batch`).
+    pub const SERVE_QUERY: &str = "serve.query";
 }
 
 /// What an armed fault does when it fires at a site.
@@ -210,6 +212,7 @@ fn counter_name(site: &str) -> &'static str {
         site::TCL_BALANCE => "robust.fault.tcl.balance",
         site::TCL_FIT => "robust.fault.tcl.fit",
         site::POOL_DISPATCH => "robust.fault.pool.dispatch",
+        site::SERVE_QUERY => "robust.fault.serve.query",
         _ => "robust.fault.other",
     }
 }

@@ -373,13 +373,19 @@ impl Parser<'_> {
                     }
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is &str, so the
-                    // byte stream is valid UTF-8 by construction).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8")?;
-                    let c = s.chars().next().ok_or("unterminated string")?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume the maximal run up to the next quote or
+                    // escape in one slice. `"` and `\` are ASCII, so they
+                    // never occur inside a multi-byte UTF-8 sequence and
+                    // the run boundary is always a character boundary.
+                    // (Validating per character would rescan the remaining
+                    // input each time — quadratic on large artefacts.)
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| "invalid utf-8")?;
+                    out.push_str(run);
                 }
             }
         }

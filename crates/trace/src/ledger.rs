@@ -34,6 +34,9 @@ const ENV_KNOBS: &[&str] = &[
     "TRANSER_GRAIN",
     "TRANSER_SIM_KERNEL",
     "TRANSER_L2_KERNEL",
+    "TRANSER_SERVE_MODEL",
+    "TRANSER_SERVE_INDEX",
+    "TRANSER_SERVE_BATCH",
 ];
 
 /// The current git revision: `.git/HEAD` resolved through loose refs and

@@ -21,7 +21,8 @@ fn build_task(name: &str, config: &BiblioConfig) -> LabeledDataset {
         bands: 8,
         max_bucket: 60,
         ..Default::default()
-    });
+    })
+    .expect("valid LSH config");
     let pairs = blocker.candidate_pairs_masked(&left, &right, Some(&[0, 1]));
     println!("  blocking: {} candidate pairs", pairs.len());
 

@@ -55,7 +55,8 @@ fn main() {
 
     // Block (the catalogues are tiny, so a permissive LSH is fine).
     let blocker =
-        MinHashLsh::new(MinHashLshConfig { num_hashes: 16, bands: 8, ..Default::default() });
+        MinHashLsh::new(MinHashLshConfig { num_hashes: 16, bands: 8, ..Default::default() })
+            .expect("valid LSH config");
     let pairs = blocker.candidate_pairs(&left, &right);
     println!("blocking produced {} candidate pairs", pairs.len());
 

@@ -16,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-CRATES=(common similarity blocking knn ml linalg core trace)
+CRATES=(common similarity blocking knn ml linalg core trace serve)
 ALLOWLIST=scripts/panic_allowlist.txt
 DENY='\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(|todo!\(|unimplemented!\('
 

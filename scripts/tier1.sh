@@ -81,3 +81,15 @@ TRANSER_ALLOC_TRACE=1 \
 # reference (neighbours, squared-distance bits, tie-break order) at
 # several k; panics non-zero on the first disagreement.
 ./target/release/bench_sel --smoke --out target/BENCH_sel_smoke.json > /dev/null
+
+# Serving smoke: train at the smallest rung, round-trip the model and LSH
+# index through their on-disk JSON artefacts, then serve the query domain
+# through the warm MatchService. The decision hash must be bit-identical
+# across worker counts AND match the committed BENCH_serve.json baseline
+# (a behaviour change reruns bench_serve --rebaseline and commits the
+# refreshed artefact).
+./target/release/bench_serve --smoke --out target/BENCH_serve_smoke.json > /dev/null
+
+# Model-persistence round trip under the counting allocator: save → load
+# → predict must be bit-identical for every persistable classifier kind.
+TRANSER_ALLOC_TRACE=1 cargo test -q -p transer-ml --test persist_roundtrip
